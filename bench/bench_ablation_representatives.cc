@@ -1,0 +1,83 @@
+// Ablation: the representative-image fraction (paper designates 5% of the
+// database as representatives).
+//
+// Fewer representatives mean a lighter RFS structure (the fraction of the
+// database a client needs for feedback processing) but a higher chance that
+// a semantic sub-concept has no representative at the upper tree levels and
+// is never discovered during decomposition. This sweep quantifies the
+// trade-off.
+//
+// Flags: --images=6000 --seeds=3 --cache=bench_cache
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "qdcbir/eval/ground_truth.h"
+#include "qdcbir/eval/table_printer.h"
+
+namespace qdcbir {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::size_t images =
+      static_cast<std::size_t>(flags.Int("images", 6000));
+  const int seeds = static_cast<int>(flags.Int("seeds", 3));
+  const std::string cache = flags.Str("cache", "bench_cache");
+
+  PrintHeader("Ablation — representative fraction (paper uses 5%)",
+              "Retrieval quality vs the fraction of the database stored as "
+              "representative images, over the 11 queries and " +
+                  std::to_string(seeds) + " users at " +
+                  std::to_string(images) + " images.");
+
+  StatusOr<ImageDatabase> db =
+      GetDatabase(images, /*with_channels=*/false, cache);
+  if (!db.ok()) return 1;
+
+  TablePrinter table({"Fraction", "Leaf reps", "Actual %", "Precision",
+                      "GTIR"});
+  for (const double fraction : {0.02, 0.05, 0.08, 0.12}) {
+    RfsBuildOptions build = PaperRfsOptions();
+    build.representatives.fraction = fraction;
+    const std::string key =
+        "frac" + std::to_string(static_cast<int>(fraction * 1000));
+    StatusOr<RfsTree> rfs = GetRfs(*db, build, key, cache);
+    if (!rfs.ok()) continue;
+    const RfsTree::Stats stats = rfs->ComputeStats();
+
+    double precision = 0, gtir = 0;
+    int runs = 0;
+    for (const QueryConceptSpec& spec : db->catalog().queries()) {
+      StatusOr<QueryGroundTruth> gt = BuildGroundTruth(*db, spec);
+      if (!gt.ok()) continue;
+      for (int seed = 1; seed <= seeds; ++seed) {
+        StatusOr<RunOutcome> outcome = SessionRunner::RunQd(
+            *rfs, *gt, QdOptions{}, PaperProtocol(seed));
+        if (!outcome.ok()) continue;
+        precision += outcome->final_precision;
+        gtir += outcome->final_gtir;
+        ++runs;
+      }
+    }
+    if (runs == 0) continue;
+    table.AddRow({TablePrinter::Num(fraction, 2),
+                  std::to_string(stats.leaf_representatives),
+                  TablePrinter::Num(100.0 * stats.representative_fraction, 1),
+                  TablePrinter::Num(precision / runs),
+                  TablePrinter::Num(gtir / runs)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpected shape: GTIR rises with the representative fraction and "
+      "saturates; the paper's 5%% sits near the knee at its 15k scale.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qdcbir
+
+int main(int argc, char** argv) { return qdcbir::bench::Run(argc, argv); }

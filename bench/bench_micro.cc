@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark) of the library's hot paths: distance
+// kernels, brute-force vs R*-tree k-NN, k-means, feature extraction, and
+// the Haar transform. These quantify the primitives behind Figures 10-11.
+
+#include <benchmark/benchmark.h>
+
+#include "qdcbir/cluster/kmeans.h"
+#include "qdcbir/core/distance.h"
+#include "qdcbir/core/rng.h"
+#include "qdcbir/dataset/recipe.h"
+#include "qdcbir/features/extractor.h"
+#include "qdcbir/features/wavelet_texture.h"
+#include "qdcbir/index/rstar_tree.h"
+#include "qdcbir/index/str_bulk_load.h"
+#include "qdcbir/query/knn.h"
+
+namespace qdcbir {
+namespace {
+
+std::vector<FeatureVector> RandomPoints(std::size_t n, std::size_t dim,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FeatureVector> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    FeatureVector v(dim);
+    for (std::size_t d = 0; d < dim; ++d) v[d] = rng.Gaussian();
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+void BM_SquaredL2_37d(benchmark::State& state) {
+  const auto points = RandomPoints(2, kPaperFeatureDim, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SquaredL2(points[0], points[1]));
+  }
+}
+BENCHMARK(BM_SquaredL2_37d);
+
+void BM_BruteForceKnn(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto table = RandomPoints(n, kPaperFeatureDim, 2);
+  const auto query = RandomPoints(1, kPaperFeatureDim, 3)[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BruteForceKnn(table, query, 20));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BruteForceKnn)->Arg(1000)->Arg(5000)->Arg(15000);
+
+void BM_RStarTreeKnn(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto table = RandomPoints(n, kPaperFeatureDim, 4);
+  std::vector<ImageId> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<ImageId>(i);
+  RStarTreeOptions options;
+  options.max_entries = 100;
+  options.min_entries = 40;
+  const RStarTree tree =
+      BulkLoadRStarTree(table, ids, kPaperFeatureDim, options).value();
+  const auto query = RandomPoints(1, kPaperFeatureDim, 5)[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.KnnSearch(query, 20));
+  }
+}
+BENCHMARK(BM_RStarTreeKnn)->Arg(1000)->Arg(5000)->Arg(15000);
+
+void BM_RStarTreeInsert(benchmark::State& state) {
+  const auto points = RandomPoints(2000, 8, 6);
+  for (auto _ : state) {
+    RStarTreeOptions options;
+    options.max_entries = 32;
+    options.min_entries = 13;
+    RStarTree tree(8, options);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      benchmark::DoNotOptimize(
+          tree.Insert(points[i], static_cast<ImageId>(i)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_RStarTreeInsert);
+
+void BM_KMeans(benchmark::State& state) {
+  const auto points = RandomPoints(1000, kPaperFeatureDim, 7);
+  for (auto _ : state) {
+    KMeansOptions options;
+    options.k = static_cast<int>(state.range(0));
+    options.max_iterations = 12;
+    benchmark::DoNotOptimize(RunKMeans(points, options));
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(8)->Arg(32);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  SubConceptRecipe recipe;
+  recipe.texture = TextureKind::kStripes;
+  Rng rng(8);
+  const Image image = RenderRecipe(recipe, 48, 48, rng);
+  const FeatureExtractor extractor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.Extract(image));
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_RenderRecipe(benchmark::State& state) {
+  SubConceptRecipe recipe;
+  recipe.background = BackgroundKind::kNoisy;
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RenderRecipe(recipe, 48, 48, rng));
+  }
+}
+BENCHMARK(BM_RenderRecipe);
+
+void BM_HaarTransform(benchmark::State& state) {
+  Rng rng(10);
+  std::vector<double> input(48 * 48);
+  for (double& v : input) v = rng.UniformDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HaarTransform2D(input, 48, 48));
+  }
+}
+BENCHMARK(BM_HaarTransform);
+
+}  // namespace
+}  // namespace qdcbir
+
+BENCHMARK_MAIN();

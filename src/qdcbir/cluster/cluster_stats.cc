@@ -1,0 +1,150 @@
+#include "qdcbir/cluster/cluster_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "qdcbir/core/distance.h"
+
+namespace qdcbir {
+
+namespace {
+
+/// Groups point indices by label, skipping negative labels.
+std::map<int, std::vector<std::size_t>> GroupByLabel(
+    const std::vector<int>& labels) {
+  std::map<int, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] >= 0) groups[labels[i]].push_back(i);
+  }
+  return groups;
+}
+
+std::map<int, FeatureVector> Centroids(
+    const std::vector<FeatureVector>& points,
+    const std::map<int, std::vector<std::size_t>>& groups) {
+  std::map<int, FeatureVector> centroids;
+  for (const auto& [label, idx] : groups) {
+    FeatureVector sum(points.front().dim());
+    for (std::size_t i : idx) sum += points[i];
+    sum *= 1.0 / static_cast<double>(idx.size());
+    centroids.emplace(label, std::move(sum));
+  }
+  return centroids;
+}
+
+}  // namespace
+
+ClusterSeparationStats ComputeSeparation(
+    const std::vector<FeatureVector>& points, const std::vector<int>& labels) {
+  ClusterSeparationStats stats;
+  if (points.empty() || points.size() != labels.size()) return stats;
+
+  const auto groups = GroupByLabel(labels);
+  const auto centroids = Centroids(points, groups);
+  stats.num_clusters = groups.size();
+  if (groups.empty()) return stats;
+
+  double intra_sum = 0.0;
+  std::size_t intra_count = 0;
+  for (const auto& [label, idx] : groups) {
+    const FeatureVector& c = centroids.at(label);
+    for (std::size_t i : idx) {
+      intra_sum += std::sqrt(SquaredL2(points[i], c));
+      ++intra_count;
+    }
+  }
+  stats.mean_intra_radius = intra_count > 0 ? intra_sum / intra_count : 0.0;
+
+  double min_inter = std::numeric_limits<double>::infinity();
+  double inter_sum = 0.0;
+  std::size_t inter_count = 0;
+  for (auto it1 = centroids.begin(); it1 != centroids.end(); ++it1) {
+    for (auto it2 = std::next(it1); it2 != centroids.end(); ++it2) {
+      const double d = std::sqrt(SquaredL2(it1->second, it2->second));
+      min_inter = std::min(min_inter, d);
+      inter_sum += d;
+      ++inter_count;
+    }
+  }
+  if (inter_count > 0) {
+    stats.min_inter_centroid_dist = min_inter;
+    stats.mean_inter_centroid_dist = inter_sum / inter_count;
+    if (stats.mean_intra_radius > 0.0) {
+      stats.separation_ratio =
+          stats.min_inter_centroid_dist / (2.0 * stats.mean_intra_radius);
+    }
+  }
+  return stats;
+}
+
+double MeanSilhouette(const std::vector<FeatureVector>& points,
+                      const std::vector<int>& labels) {
+  if (points.size() != labels.size() || points.size() < 2) return 0.0;
+  const auto groups = GroupByLabel(labels);
+  if (groups.size() < 2) return 0.0;
+
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (labels[i] < 0) continue;
+    double a = 0.0;
+    double b = std::numeric_limits<double>::infinity();
+    for (const auto& [label, idx] : groups) {
+      double sum = 0.0;
+      std::size_t cnt = 0;
+      for (std::size_t j : idx) {
+        if (j == i) continue;
+        sum += std::sqrt(SquaredL2(points[i], points[j]));
+        ++cnt;
+      }
+      if (label == labels[i]) {
+        if (cnt == 0) {
+          a = -1.0;  // singleton cluster: silhouette defined as 0
+        } else {
+          a = sum / cnt;
+        }
+      } else if (cnt > 0) {
+        b = std::min(b, sum / cnt);
+      }
+    }
+    if (a < 0.0 || !std::isfinite(b)) continue;  // singleton or degenerate
+    const double denom = std::max(a, b);
+    total += denom > 0.0 ? (b - a) / denom : 0.0;
+    ++counted;
+  }
+  return counted > 0 ? total / counted : 0.0;
+}
+
+double DaviesBouldinIndex(const std::vector<FeatureVector>& points,
+                          const std::vector<int>& labels) {
+  if (points.size() != labels.size() || points.empty()) return 0.0;
+  const auto groups = GroupByLabel(labels);
+  if (groups.size() < 2) return 0.0;
+  const auto centroids = Centroids(points, groups);
+
+  std::map<int, double> scatter;
+  for (const auto& [label, idx] : groups) {
+    double sum = 0.0;
+    for (std::size_t i : idx) {
+      sum += std::sqrt(SquaredL2(points[i], centroids.at(label)));
+    }
+    scatter[label] = sum / static_cast<double>(idx.size());
+  }
+
+  double db = 0.0;
+  for (const auto& [li, ci] : centroids) {
+    double worst = 0.0;
+    for (const auto& [lj, cj] : centroids) {
+      if (li == lj) continue;
+      const double d = std::sqrt(SquaredL2(ci, cj));
+      if (d <= 0.0) continue;
+      worst = std::max(worst, (scatter.at(li) + scatter.at(lj)) / d);
+    }
+    db += worst;
+  }
+  return db / static_cast<double>(centroids.size());
+}
+
+}  // namespace qdcbir

@@ -1,0 +1,39 @@
+#ifndef QDCBIR_CLUSTER_CLUSTER_STATS_H_
+#define QDCBIR_CLUSTER_CLUSTER_STATS_H_
+
+#include <vector>
+
+#include "qdcbir/core/feature_vector.h"
+
+namespace qdcbir {
+
+/// Summary geometry of a labeled clustering, used to verify that the
+/// synthetic dataset reproduces the paper's "semantic scattering" premise
+/// (Figure 1): sub-concepts of one concept form well-separated clusters.
+struct ClusterSeparationStats {
+  std::size_t num_clusters = 0;
+  double mean_intra_radius = 0.0;        ///< mean distance to own centroid
+  double min_inter_centroid_dist = 0.0;  ///< closest pair of centroids
+  double mean_inter_centroid_dist = 0.0;
+  /// min inter-centroid distance / (2 * mean intra radius); > 1 means the
+  /// closest pair of clusters is still separated by more than their radii.
+  double separation_ratio = 0.0;
+};
+
+/// Computes separation stats for points labeled 0..k-1. Labels outside the
+/// observed range and empty clusters are skipped.
+ClusterSeparationStats ComputeSeparation(
+    const std::vector<FeatureVector>& points, const std::vector<int>& labels);
+
+/// Mean silhouette coefficient of a labeled clustering (in [-1, 1], higher
+/// is better separated). O(n^2); intended for evaluation-sized inputs.
+double MeanSilhouette(const std::vector<FeatureVector>& points,
+                      const std::vector<int>& labels);
+
+/// Davies-Bouldin index (lower is better; 0 is ideal).
+double DaviesBouldinIndex(const std::vector<FeatureVector>& points,
+                          const std::vector<int>& labels);
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_CLUSTER_CLUSTER_STATS_H_

@@ -1,0 +1,185 @@
+#include "qdcbir/cluster/kmeans.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "qdcbir/core/distance.h"
+
+namespace qdcbir {
+
+namespace {
+
+/// k-means++ seeding: first centroid uniform, then proportional to squared
+/// distance from the nearest chosen centroid.
+std::vector<FeatureVector> SeedPlusPlus(
+    const std::vector<FeatureVector>& points, int k, Rng& rng) {
+  std::vector<FeatureVector> centroids;
+  centroids.reserve(static_cast<std::size_t>(k));
+  centroids.push_back(points[rng.UniformInt(points.size())]);
+
+  std::vector<double> d2(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    d2[i] = SquaredL2(points[i], centroids[0]);
+  }
+  while (static_cast<int>(centroids.size()) < k) {
+    double total = 0.0;
+    for (double d : d2) total += d;
+    std::size_t chosen = 0;
+    if (total <= 0.0) {
+      // All points coincide with chosen centroids; pick uniformly.
+      chosen = rng.UniformInt(points.size());
+    } else {
+      double r = rng.UniformDouble() * total;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        r -= d2[i];
+        if (r <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    centroids.push_back(points[chosen]);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      d2[i] = std::min(d2[i], SquaredL2(points[i], centroids.back()));
+    }
+  }
+  return centroids;
+}
+
+KMeansResult LloydRun(const std::vector<FeatureVector>& points, int k,
+                      const KMeansOptions& options, Rng& rng) {
+  const std::size_t n = points.size();
+  const std::size_t dim = points.front().dim();
+
+  KMeansResult result;
+  result.centroids = SeedPlusPlus(points, k, rng);
+  result.assignments.assign(n, 0);
+  result.cluster_sizes.assign(static_cast<std::size_t>(k), 0);
+
+  std::vector<FeatureVector> sums(static_cast<std::size_t>(k));
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (int c = 0; c < k; ++c) {
+        const double d = SquaredL2(points[i], result.centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      result.assignments[i] = best_c;
+      inertia += best;
+    }
+    result.inertia = inertia;
+
+    // Update step.
+    for (int c = 0; c < k; ++c) {
+      sums[c] = FeatureVector(dim);
+      result.cluster_sizes[c] = 0;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      sums[result.assignments[i]] += points[i];
+      result.cluster_sizes[result.assignments[i]] += 1;
+    }
+
+    double movement = 0.0;
+    for (int c = 0; c < k; ++c) {
+      FeatureVector new_centroid(dim);
+      if (result.cluster_sizes[c] == 0) {
+        // Reseed an empty cluster at the point farthest from its centroid.
+        std::size_t farthest = 0;
+        double fd = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d =
+              SquaredL2(points[i], result.centroids[result.assignments[i]]);
+          if (d > fd) {
+            fd = d;
+            farthest = i;
+          }
+        }
+        new_centroid = points[farthest];
+      } else {
+        new_centroid =
+            sums[c] * (1.0 / static_cast<double>(result.cluster_sizes[c]));
+      }
+      movement += SquaredL2(new_centroid, result.centroids[c]);
+      result.centroids[c] = std::move(new_centroid);
+    }
+    if (movement < options.tolerance) break;
+  }
+
+  // Final assignment against the last centroid update.
+  double inertia = 0.0;
+  std::fill(result.cluster_sizes.begin(), result.cluster_sizes.end(), 0u);
+  for (std::size_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    int best_c = 0;
+    for (int c = 0; c < k; ++c) {
+      const double d = SquaredL2(points[i], result.centroids[c]);
+      if (d < best) {
+        best = d;
+        best_c = c;
+      }
+    }
+    result.assignments[i] = best_c;
+    result.cluster_sizes[best_c] += 1;
+    inertia += best;
+  }
+  result.inertia = inertia;
+  return result;
+}
+
+}  // namespace
+
+StatusOr<KMeansResult> RunKMeans(const std::vector<FeatureVector>& points,
+                                 const KMeansOptions& options) {
+  if (points.empty()) {
+    return Status::InvalidArgument("k-means requires at least one point");
+  }
+  if (options.k <= 0) {
+    return Status::InvalidArgument("k-means requires k > 0");
+  }
+  const std::size_t dim = points.front().dim();
+  for (const FeatureVector& p : points) {
+    if (p.dim() != dim) {
+      return Status::InvalidArgument("k-means points have mixed dimensions");
+    }
+  }
+  const int k = std::min<int>(options.k, static_cast<int>(points.size()));
+
+  Rng rng(options.seed);
+  KMeansResult best;
+  bool have_best = false;
+  const int n_init = std::max(1, options.n_init);
+  for (int run = 0; run < n_init; ++run) {
+    Rng run_rng = rng.Fork();
+    KMeansResult r = LloydRun(points, k, options, run_rng);
+    if (!have_best || r.inertia < best.inertia) {
+      best = std::move(r);
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+std::size_t NearestPointIndex(const std::vector<FeatureVector>& points,
+                              const FeatureVector& target) {
+  assert(!points.empty());
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double d = SquaredL2(points[i], target);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace qdcbir

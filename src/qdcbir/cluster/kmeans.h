@@ -1,0 +1,46 @@
+#ifndef QDCBIR_CLUSTER_KMEANS_H_
+#define QDCBIR_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qdcbir/core/feature_vector.h"
+#include "qdcbir/core/rng.h"
+#include "qdcbir/core/status.h"
+
+namespace qdcbir {
+
+/// Options for the Lloyd k-means algorithm.
+struct KMeansOptions {
+  int k = 8;                ///< number of clusters (clamped to |points|)
+  int max_iterations = 50;  ///< Lloyd iteration cap
+  int n_init = 1;           ///< restarts; the lowest-inertia run wins
+  double tolerance = 1e-6;  ///< stop when centroid movement^2 falls below this
+  std::uint64_t seed = 42;  ///< seeding for k-means++ initialization
+};
+
+/// Result of a k-means run.
+struct KMeansResult {
+  std::vector<FeatureVector> centroids;    ///< k centroids
+  std::vector<int> assignments;            ///< cluster index per input point
+  std::vector<std::size_t> cluster_sizes;  ///< points per cluster
+  double inertia = 0.0;  ///< sum of squared distances to assigned centroids
+  int iterations = 0;    ///< Lloyd iterations of the winning run
+};
+
+/// Runs k-means (k-means++ seeding, Lloyd iterations, empty clusters reseeded
+/// to the farthest point). Fails on an empty input or non-positive k.
+///
+/// This is the unsupervised clustering step the paper's RFS construction uses
+/// to pick representative images at every tree node.
+StatusOr<KMeansResult> RunKMeans(const std::vector<FeatureVector>& points,
+                                 const KMeansOptions& options);
+
+/// Returns the index of the point nearest to `target` (squared L2).
+/// `points` must be non-empty.
+std::size_t NearestPointIndex(const std::vector<FeatureVector>& points,
+                              const FeatureVector& target);
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_CLUSTER_KMEANS_H_

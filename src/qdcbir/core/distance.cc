@@ -1,0 +1,65 @@
+#include "qdcbir/core/distance.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace qdcbir {
+
+double SquaredL2(const double* a, const double* b, std::size_t dim) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double SquaredL2(const FeatureVector& a, const FeatureVector& b) {
+  assert(a.dim() == b.dim());
+  return SquaredL2(a.data(), b.data(), a.dim());
+}
+
+double L2Distance::Distance(const FeatureVector& a,
+                            const FeatureVector& b) const {
+  return std::sqrt(SquaredL2(a, b));
+}
+
+double L2Distance::Compare(const FeatureVector& a,
+                           const FeatureVector& b) const {
+  return SquaredL2(a, b);
+}
+
+double L1Distance::Distance(const FeatureVector& a,
+                            const FeatureVector& b) const {
+  assert(a.dim() == b.dim());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.dim(); ++i) sum += std::fabs(a[i] - b[i]);
+  return sum;
+}
+
+WeightedL2Distance::WeightedL2Distance(std::vector<double> weights)
+    : weights_(std::move(weights)) {
+  for (double w : weights_) {
+    assert(w >= 0.0);
+    (void)w;
+  }
+}
+
+double WeightedL2Distance::Distance(const FeatureVector& a,
+                                    const FeatureVector& b) const {
+  return std::sqrt(Compare(a, b));
+}
+
+double WeightedL2Distance::Compare(const FeatureVector& a,
+                                   const FeatureVector& b) const {
+  assert(a.dim() == b.dim());
+  assert(a.dim() == weights_.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.dim(); ++i) {
+    const double d = a[i] - b[i];
+    sum += weights_[i] * d * d;
+  }
+  return sum;
+}
+
+}  // namespace qdcbir

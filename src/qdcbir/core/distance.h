@@ -1,0 +1,80 @@
+#ifndef QDCBIR_CORE_DISTANCE_H_
+#define QDCBIR_CORE_DISTANCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "qdcbir/core/feature_vector.h"
+
+namespace qdcbir {
+
+/// Abstract distance metric over feature vectors.
+///
+/// Implementations must be symmetric and non-negative with d(x, x) == 0.
+/// `Distance` is the actual metric; `Compare` may be any monotone transform
+/// of it (e.g. squared L2) and is what ranking code should call.
+class DistanceMetric {
+ public:
+  virtual ~DistanceMetric() = default;
+
+  /// The metric value d(a, b).
+  virtual double Distance(const FeatureVector& a,
+                          const FeatureVector& b) const = 0;
+
+  /// A value monotone in `Distance`, potentially cheaper (default: same).
+  virtual double Compare(const FeatureVector& a,
+                         const FeatureVector& b) const {
+    return Distance(a, b);
+  }
+
+  /// Short name for logs ("l2", "l1", "weighted_l2").
+  virtual const char* Name() const = 0;
+};
+
+/// Euclidean distance; `Compare` returns the squared distance.
+class L2Distance final : public DistanceMetric {
+ public:
+  double Distance(const FeatureVector& a,
+                  const FeatureVector& b) const override;
+  double Compare(const FeatureVector& a,
+                 const FeatureVector& b) const override;
+  const char* Name() const override { return "l2"; }
+};
+
+/// Manhattan (city-block) distance.
+class L1Distance final : public DistanceMetric {
+ public:
+  double Distance(const FeatureVector& a,
+                  const FeatureVector& b) const override;
+  const char* Name() const override { return "l1"; }
+};
+
+/// Per-dimension weighted Euclidean distance, as used by query-point-movement
+/// style relevance feedback (MindReader): d(a,b)^2 = sum_i w_i (a_i - b_i)^2.
+/// Weights must be non-negative.
+class WeightedL2Distance final : public DistanceMetric {
+ public:
+  explicit WeightedL2Distance(std::vector<double> weights);
+
+  double Distance(const FeatureVector& a,
+                  const FeatureVector& b) const override;
+  double Compare(const FeatureVector& a,
+                 const FeatureVector& b) const override;
+  const char* Name() const override { return "weighted_l2"; }
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<double> weights_;
+};
+
+/// Squared Euclidean distance between raw double arrays of length `dim`.
+/// Hot-path helper used by the index and clustering code.
+double SquaredL2(const double* a, const double* b, std::size_t dim);
+
+/// Squared Euclidean distance between two feature vectors (dims must match).
+double SquaredL2(const FeatureVector& a, const FeatureVector& b);
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_CORE_DISTANCE_H_

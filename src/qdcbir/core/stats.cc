@@ -1,0 +1,80 @@
+#include "qdcbir/core/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qdcbir {
+
+void MomentAccumulator::Add(double x) {
+  // Incremental central-moment update (Welford / Pébay).
+  const std::size_t n1 = count_;
+  count_ += 1;
+  const double delta = x - mean_;
+  const double delta_n = delta / static_cast<double>(count_);
+  const double term1 = delta * delta_n * static_cast<double>(n1);
+  mean_ += delta_n;
+  m3_ += term1 * delta_n * static_cast<double>(count_ - 2) -
+         3.0 * delta_n * m2_;
+  m2_ += term1;
+}
+
+double MomentAccumulator::variance() const {
+  if (count_ < 1) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double MomentAccumulator::stddev() const { return std::sqrt(variance()); }
+
+double MomentAccumulator::skewness_cuberoot() const {
+  if (count_ < 1) return 0.0;
+  return SignedCubeRoot(m3_ / static_cast<double>(count_));
+}
+
+double MomentAccumulator::skewness_standardized() const {
+  const double sd = stddev();
+  if (sd <= 0.0 || count_ < 1) return 0.0;
+  const double third = m3_ / static_cast<double>(count_);
+  return third / (sd * sd * sd);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 1) return 0.0;
+  const double mu = Mean(values);
+  double sum = 0.0;
+  for (double v : values) sum += (v - mu) * (v - mu);
+  return std::sqrt(sum / static_cast<double>(values.size()));
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double m = values[mid];
+  if (values.size() % 2 == 0) {
+    const double lower =
+        *std::max_element(values.begin(), values.begin() + mid);
+    m = (m + lower) / 2.0;
+  }
+  return m;
+}
+
+double Min(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+double SignedCubeRoot(double x) { return std::cbrt(x); }
+
+}  // namespace qdcbir

@@ -1,0 +1,59 @@
+#ifndef QDCBIR_CORE_STATS_H_
+#define QDCBIR_CORE_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace qdcbir {
+
+/// Streaming accumulator for mean / variance / skewness (Welford-style).
+///
+/// Used by the feature extractors (color moments) and by the per-dimension
+/// feature normalizer.
+class MomentAccumulator {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+
+  /// Population variance (divides by N). Zero when count() < 1.
+  double variance() const;
+
+  /// Population standard deviation.
+  double stddev() const;
+
+  /// Cube root of the third central moment, i.e. the paper's "skewness"
+  /// color moment (Stricker & Orengo use E[(x-mu)^3]^(1/3), preserving sign).
+  double skewness_cuberoot() const;
+
+  /// Standardized skewness: E[(x-mu)^3] / sigma^3; zero when sigma == 0.
+  double skewness_standardized() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations
+  double m3_ = 0.0;  // sum of cubed deviations
+};
+
+/// Mean of `values` (0 for empty input).
+double Mean(const std::vector<double>& values);
+
+/// Population standard deviation of `values` (0 for inputs of size < 1).
+double StdDev(const std::vector<double>& values);
+
+/// Median of `values` (0 for empty input). Takes a copy internally.
+double Median(std::vector<double> values);
+
+/// Minimum / maximum (0 for empty input).
+double Min(const std::vector<double>& values);
+double Max(const std::vector<double>& values);
+
+/// Signed cube root (std::cbrt wrapper kept for call-site clarity).
+double SignedCubeRoot(double x);
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_CORE_STATS_H_

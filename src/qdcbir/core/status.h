@@ -1,0 +1,143 @@
+#ifndef QDCBIR_CORE_STATUS_H_
+#define QDCBIR_CORE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace qdcbir {
+
+/// Canonical error codes used throughout the library.
+///
+/// The library does not throw exceptions from hot paths; fallible operations
+/// return a `Status` (or `StatusOr<T>` when they produce a value).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kUnimplemented = 7,
+  kIoError = 8,
+};
+
+/// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail.
+///
+/// A `Status` is either OK (carries no message) or an error carrying a
+/// `StatusCode` and a descriptive message. The class is cheap to copy for the
+/// OK case and small for the error case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// `kOk`; use the default constructor for success.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  /// Named constructors, mirroring the canonical codes.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders the status as "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type `T` or an error `Status`.
+///
+/// Access to `value()` requires `ok()`; violating this is a programming error
+/// and asserts in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit to allow `return value;`).
+  StatusOr(T value) : status_(), value_(std::move(value)) {}
+
+  /// Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` on error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error status from an expression to the caller.
+#define QDCBIR_RETURN_IF_ERROR(expr)              \
+  do {                                            \
+    ::qdcbir::Status _qdcbir_st = (expr);         \
+    if (!_qdcbir_st.ok()) return _qdcbir_st;      \
+  } while (0)
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_CORE_STATUS_H_

@@ -1,0 +1,36 @@
+#ifndef QDCBIR_CORE_TYPES_H_
+#define QDCBIR_CORE_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace qdcbir {
+
+/// Identifier of an image in the database. Dense, 0-based.
+using ImageId = std::uint32_t;
+
+/// Identifier of a semantic category (e.g. "car") in the ground truth.
+using CategoryId = std::uint32_t;
+
+/// Identifier of a sub-concept within a category (e.g. "sedan, side view").
+/// Sub-concept ids are globally unique across categories.
+using SubConceptId = std::uint32_t;
+
+/// Identifier of a node in the RFS tree / R*-tree. Dense, 0-based.
+using NodeId = std::uint32_t;
+
+inline constexpr ImageId kInvalidImageId =
+    std::numeric_limits<ImageId>::max();
+inline constexpr NodeId kInvalidNodeId = std::numeric_limits<NodeId>::max();
+inline constexpr CategoryId kInvalidCategoryId =
+    std::numeric_limits<CategoryId>::max();
+inline constexpr SubConceptId kInvalidSubConceptId =
+    std::numeric_limits<SubConceptId>::max();
+
+/// Dimensionality of the paper's feature vector: 9 color-moment features +
+/// 10 wavelet-texture features + 18 edge-structure features.
+inline constexpr std::size_t kPaperFeatureDim = 37;
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_CORE_TYPES_H_

@@ -1,0 +1,438 @@
+#include "qdcbir/dataset/catalog.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "qdcbir/image/color.h"
+
+namespace qdcbir {
+
+std::vector<SubConceptId> QueryConceptSpec::AllMembers() const {
+  std::vector<SubConceptId> out;
+  for (const QuerySubConcept& qs : subconcepts) {
+    out.insert(out.end(), qs.members.begin(), qs.members.end());
+  }
+  return out;
+}
+
+CategoryId Catalog::AddCategory(const std::string& name) {
+  CategorySpec cat;
+  cat.id = static_cast<CategoryId>(categories_.size());
+  cat.name = name;
+  categories_.push_back(std::move(cat));
+  return categories_.back().id;
+}
+
+SubConceptId Catalog::AddSubConcept(CategoryId category,
+                                    const std::string& name,
+                                    const SubConceptRecipe& recipe,
+                                    double weight) {
+  SubConceptSpec sub;
+  sub.id = static_cast<SubConceptId>(subconcepts_.size());
+  sub.category = category;
+  sub.name = name;
+  sub.recipe = recipe;
+  sub.weight = weight;
+  subconcepts_.push_back(std::move(sub));
+  categories_[category].subconcepts.push_back(subconcepts_.back().id);
+  return subconcepts_.back().id;
+}
+
+namespace {
+
+/// Terse recipe construction helpers for the hand-crafted categories.
+
+SubConceptRecipe Base() { return SubConceptRecipe{}; }
+
+SubConceptRecipe& Bg(SubConceptRecipe& r, BackgroundKind kind, Rgb c1,
+                     Rgb c2 = Rgb{0, 0, 0}) {
+  r.background = kind;
+  r.bg_color1 = c1;
+  r.bg_color2 = kind == BackgroundKind::kSolid ? c1 : c2;
+  return r;
+}
+
+SubConceptRecipe& Shape(SubConceptRecipe& r, ShapeKind kind, Rgb color,
+                        double size_frac, double aspect = 1.0,
+                        double rotation = 0.0) {
+  r.shape = kind;
+  r.shape_color = color;
+  r.shape_size_frac = size_frac;
+  r.shape_aspect = aspect;
+  r.shape_rotation = rotation;
+  return r;
+}
+
+SubConceptRecipe& Tex(SubConceptRecipe& r, TextureKind kind, Rgb color,
+                      double param, double alpha = 0.35, double angle = 0.0) {
+  r.texture = kind;
+  r.texture_color = color;
+  r.texture_param = param;
+  r.texture_alpha = alpha;
+  r.texture_angle = angle;
+  return r;
+}
+
+}  // namespace
+
+void Catalog::AddEvaluationCategories() {
+  // --- person: hair model / fitness / kongfu --------------------------
+  {
+    const CategoryId cat = AddCategory("person");
+    SubConceptRecipe r = Base();
+    Bg(r, BackgroundKind::kVerticalGradient, Rgb{245, 205, 200},
+       Rgb{255, 250, 245});
+    Shape(r, ShapeKind::kEllipse, Rgb{224, 172, 140}, 0.32, 0.6);
+    AddSubConcept(cat, "hair_model", r);
+
+    r = Base();
+    Bg(r, BackgroundKind::kSolid, Rgb{150, 190, 230});
+    Shape(r, ShapeKind::kRectangle, Rgb{200, 40, 40}, 0.28, 0.5);
+    Tex(r, TextureKind::kStripes, Rgb{230, 230, 230}, 7.0, 0.3, 1.2);
+    AddSubConcept(cat, "fitness", r);
+
+    r = Base();
+    Bg(r, BackgroundKind::kSolid, Rgb{45, 45, 50});
+    Shape(r, ShapeKind::kTriangle, Rgb{240, 240, 240}, 0.33);
+    AddSubConcept(cat, "kongfu", r);
+  }
+
+  // --- airplane: single / multiple -------------------------------------
+  // The two sub-concepts share a clear-sky background, so — as the paper
+  // observes — they are comparatively close in feature space and even the
+  // MV baseline can capture both.
+  {
+    const CategoryId cat = AddCategory("airplane");
+    SubConceptRecipe r = Base();
+    Bg(r, BackgroundKind::kVerticalGradient, Rgb{135, 190, 240},
+       Rgb{235, 245, 255});
+    Shape(r, ShapeKind::kTriangle, Rgb{190, 195, 205}, 0.30, 1.0, 0.4);
+    AddSubConcept(cat, "airplane_single", r);
+
+    r = Base();
+    Bg(r, BackgroundKind::kVerticalGradient, Rgb{140, 195, 240},
+       Rgb{240, 248, 255});
+    Shape(r, ShapeKind::kTriangle, Rgb{185, 190, 200}, 0.22, 1.0, 0.4);
+    r.shape_count = 4;
+    AddSubConcept(cat, "airplane_multiple", r);
+  }
+
+  // --- bird: eagle / owl / sparrow --------------------------------------
+  {
+    const CategoryId cat = AddCategory("bird");
+    SubConceptRecipe r = Base();
+    Bg(r, BackgroundKind::kVerticalGradient, Rgb{120, 180, 235},
+       Rgb{220, 235, 250});
+    Shape(r, ShapeKind::kTriangle, Rgb{90, 60, 30}, 0.36, 1.0, 1.6);
+    AddSubConcept(cat, "eagle", r);
+
+    r = Base();
+    Bg(r, BackgroundKind::kSolid, Rgb{40, 30, 25});
+    Shape(r, ShapeKind::kEllipse, Rgb{190, 150, 100}, 0.30, 0.75);
+    Tex(r, TextureKind::kSpeckle, Rgb{90, 70, 50}, 1.5);
+    r.texture_count = 60;
+    AddSubConcept(cat, "owl", r);
+
+    r = Base();
+    Bg(r, BackgroundKind::kHorizontalGradient, Rgb{235, 230, 215},
+       Rgb{250, 248, 240});
+    Shape(r, ShapeKind::kEllipse, Rgb{150, 120, 90}, 0.16, 1.2);
+    AddSubConcept(cat, "sparrow", r);
+  }
+
+  // --- car: modern sedan / antique car / steamed car --------------------
+  {
+    const CategoryId cat = AddCategory("car");
+    SubConceptRecipe r = Base();
+    Bg(r, BackgroundKind::kHorizontalGradient, Rgb{170, 170, 175},
+       Rgb{210, 210, 215});
+    Shape(r, ShapeKind::kRectangle, Rgb{40, 80, 180}, 0.26, 1.8);
+    AddSubConcept(cat, "modern_sedan", r);
+
+    r = Base();
+    Bg(r, BackgroundKind::kSolid, Rgb{205, 180, 140});
+    Shape(r, ShapeKind::kRectangle, Rgb{120, 40, 30}, 0.26, 1.4);
+    Tex(r, TextureKind::kChecker, Rgb{160, 140, 110}, 5.0, 0.25);
+    AddSubConcept(cat, "antique_car", r);
+
+    r = Base();
+    Bg(r, BackgroundKind::kNoisy, Rgb{150, 150, 150});
+    r.bg_noise_amp = 0.35;
+    Shape(r, ShapeKind::kPolygon, Rgb{30, 30, 30}, 0.27);
+    r.polygon_sides = 6;
+    Tex(r, TextureKind::kSpeckle, Rgb{220, 220, 220}, 2.0);
+    r.texture_count = 30;
+    AddSubConcept(cat, "steamed_car", r);
+  }
+
+  // --- horse: polo / wild / race -----------------------------------------
+  {
+    const CategoryId cat = AddCategory("horse");
+    SubConceptRecipe r = Base();
+    Bg(r, BackgroundKind::kSolid, Rgb{70, 150, 60});
+    Shape(r, ShapeKind::kEllipse, Rgb{130, 85, 45}, 0.28, 1.5);
+    AddSubConcept(cat, "polo_horse", r);
+
+    r = Base();
+    Bg(r, BackgroundKind::kNoisy, Rgb{200, 175, 120});
+    r.bg_noise_amp = 0.3;
+    Shape(r, ShapeKind::kEllipse, Rgb{80, 55, 35}, 0.26, 1.4);
+    Tex(r, TextureKind::kSpeckle, Rgb{150, 130, 90}, 1.8);
+    AddSubConcept(cat, "wild_horse", r);
+
+    r = Base();
+    Bg(r, BackgroundKind::kHorizontalGradient, Rgb{90, 170, 80},
+       Rgb{230, 235, 230});
+    Shape(r, ShapeKind::kRectangle, Rgb{140, 90, 50}, 0.24, 1.6);
+    Tex(r, TextureKind::kStripes, Rgb{250, 250, 250}, 9.0, 0.3, 0.0);
+    AddSubConcept(cat, "race_horse", r);
+  }
+
+  // --- mountain view: snow / with water ----------------------------------
+  // Faraway, busy scenes: both sub-concepts use high-noise backgrounds so
+  // that (as in the paper) many unrelated images interfere and the QD edge
+  // over MV stays small.
+  {
+    const CategoryId cat = AddCategory("mountain");
+    SubConceptRecipe r = Base();
+    Bg(r, BackgroundKind::kVerticalGradient, Rgb{140, 175, 225},
+       Rgb{240, 245, 250});
+    Shape(r, ShapeKind::kTriangle, Rgb{235, 240, 245}, 0.40);
+    r.pixel_noise_stddev = 18.0;
+    AddSubConcept(cat, "snow_mountain", r);
+
+    r = Base();
+    Bg(r, BackgroundKind::kVerticalGradient, Rgb{150, 180, 220},
+       Rgb{40, 80, 140});
+    Shape(r, ShapeKind::kTriangle, Rgb{110, 115, 125}, 0.36);
+    Tex(r, TextureKind::kStripes, Rgb{70, 110, 170}, 6.0, 0.3, 0.0);
+    r.pixel_noise_stddev = 18.0;
+    AddSubConcept(cat, "mountain_water", r);
+  }
+
+  // --- rose: yellow / red -------------------------------------------------
+  {
+    const CategoryId cat = AddCategory("rose");
+    SubConceptRecipe r = Base();
+    Bg(r, BackgroundKind::kSolid, Rgb{30, 80, 35});
+    Shape(r, ShapeKind::kPolygon, Rgb{235, 200, 40}, 0.30);
+    r.polygon_sides = 8;
+    AddSubConcept(cat, "yellow_rose", r);
+
+    r = Base();
+    Bg(r, BackgroundKind::kSolid, Rgb{25, 70, 30});
+    Shape(r, ShapeKind::kPolygon, Rgb{190, 25, 45}, 0.30);
+    r.polygon_sides = 8;
+    AddSubConcept(cat, "red_rose", r);
+  }
+
+  // --- water sports: surfing / sailing ------------------------------------
+  {
+    const CategoryId cat = AddCategory("water_sports");
+    SubConceptRecipe r = Base();
+    Bg(r, BackgroundKind::kVerticalGradient, Rgb{120, 200, 220},
+       Rgb{20, 90, 160});
+    Shape(r, ShapeKind::kTriangle, Rgb{250, 250, 250}, 0.15, 1.0, 0.8);
+    Tex(r, TextureKind::kStripes, Rgb{240, 250, 255}, 5.0, 0.4, 0.1);
+    AddSubConcept(cat, "surfing", r);
+
+    r = Base();
+    Bg(r, BackgroundKind::kSolid, Rgb{30, 90, 170});
+    Shape(r, ShapeKind::kTriangle, Rgb{250, 250, 245}, 0.34, 1.0, 0.0);
+    AddSubConcept(cat, "sailing", r);
+  }
+
+  // --- computer: server / desktop / laptop (clear & complicated bg) ------
+  {
+    const CategoryId cat = AddCategory("computer");
+    SubConceptRecipe r = Base();
+    Bg(r, BackgroundKind::kSolid, Rgb{70, 70, 75});
+    Shape(r, ShapeKind::kRectangle, Rgb{25, 25, 30}, 0.34, 0.5);
+    Tex(r, TextureKind::kSpeckle, Rgb{60, 220, 90}, 1.2);
+    r.texture_count = 25;
+    AddSubConcept(cat, "server", r);
+
+    r = Base();
+    Bg(r, BackgroundKind::kHorizontalGradient, Rgb{225, 215, 195},
+       Rgb{245, 240, 230});
+    Shape(r, ShapeKind::kRectangle, Rgb{150, 150, 155}, 0.28, 1.2);
+    Tex(r, TextureKind::kChecker, Rgb{100, 100, 105}, 4.0, 0.3);
+    AddSubConcept(cat, "desktop", r);
+
+    r = Base();
+    Bg(r, BackgroundKind::kSolid, Rgb{248, 248, 248});
+    Shape(r, ShapeKind::kRectangle, Rgb{55, 55, 60}, 0.28, 1.5);
+    AddSubConcept(cat, "laptop_clear", r);
+
+    r = Base();
+    Bg(r, BackgroundKind::kNoisy, Rgb{170, 120, 150});
+    r.bg_noise_amp = 0.45;
+    r.bg_noise_scale = 5.0;
+    Shape(r, ShapeKind::kRectangle, Rgb{50, 50, 55}, 0.28, 1.5);
+    Tex(r, TextureKind::kSpeckle, Rgb{230, 200, 90}, 2.0);
+    r.texture_count = 40;
+    AddSubConcept(cat, "laptop_complex", r);
+  }
+
+  // --- white sedan: four views (Figure 1) ---------------------------------
+  {
+    const CategoryId cat = AddCategory("white_sedan");
+    SubConceptRecipe r = Base();
+    Bg(r, BackgroundKind::kHorizontalGradient, Rgb{160, 160, 165},
+       Rgb{205, 205, 210});
+    Shape(r, ShapeKind::kRectangle, Rgb{245, 245, 248}, 0.26, 2.2);
+    AddSubConcept(cat, "white_sedan_side", r);
+
+    r = Base();
+    Bg(r, BackgroundKind::kHorizontalGradient, Rgb{150, 150, 160},
+       Rgb{200, 200, 205});
+    Shape(r, ShapeKind::kRectangle, Rgb{240, 240, 245}, 0.28, 1.0);
+    AddSubConcept(cat, "white_sedan_front", r);
+
+    r = Base();
+    Bg(r, BackgroundKind::kSolid, Rgb{120, 120, 130});
+    Shape(r, ShapeKind::kRectangle, Rgb{235, 235, 240}, 0.28, 1.1);
+    Tex(r, TextureKind::kChecker, Rgb{90, 90, 95}, 4.0, 0.2);
+    AddSubConcept(cat, "white_sedan_back", r);
+
+    r = Base();
+    Bg(r, BackgroundKind::kHorizontalGradient, Rgb{170, 175, 180},
+       Rgb{120, 125, 130});
+    Shape(r, ShapeKind::kPolygon, Rgb{240, 242, 246}, 0.28, 1.0, 0.5);
+    r.polygon_sides = 5;
+    AddSubConcept(cat, "white_sedan_angle", r);
+  }
+}
+
+void Catalog::AddFillerCategories(std::size_t total_categories,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  const ShapeKind shapes[] = {ShapeKind::kEllipse, ShapeKind::kRectangle,
+                              ShapeKind::kTriangle, ShapeKind::kPolygon,
+                              ShapeKind::kLineBurst};
+  const BackgroundKind backgrounds[] = {
+      BackgroundKind::kSolid, BackgroundKind::kVerticalGradient,
+      BackgroundKind::kHorizontalGradient, BackgroundKind::kNoisy};
+  const TextureKind textures[] = {TextureKind::kNone, TextureKind::kChecker,
+                                  TextureKind::kStripes,
+                                  TextureKind::kSpeckle};
+
+  auto random_color = [&](double v_lo, double v_hi) {
+    return HsvToRgb(Hsv{rng.UniformDouble(0.0, 360.0),
+                        rng.UniformDouble(0.2, 1.0),
+                        rng.UniformDouble(v_lo, v_hi)});
+  };
+
+  std::size_t filler_index = 0;
+  while (categories_.size() < total_categories) {
+    const CategoryId cat =
+        AddCategory("corel_" + std::to_string(filler_index++));
+    const int num_subs = static_cast<int>(rng.UniformInt(1, 3));
+    for (int s = 0; s < num_subs; ++s) {
+      SubConceptRecipe r;
+      r.background = backgrounds[rng.UniformInt(4)];
+      r.bg_color1 = random_color(0.2, 1.0);
+      r.bg_color2 = random_color(0.2, 1.0);
+      r.bg_noise_scale = rng.UniformDouble(4.0, 12.0);
+      r.bg_noise_amp = rng.UniformDouble(0.1, 0.4);
+      r.shape = shapes[rng.UniformInt(5)];
+      r.shape_color = random_color(0.1, 1.0);
+      r.shape_size_frac = rng.UniformDouble(0.15, 0.40);
+      r.shape_aspect = rng.UniformDouble(0.5, 2.0);
+      r.shape_rotation = rng.UniformDouble(0.0, M_PI);
+      r.polygon_sides = static_cast<int>(rng.UniformInt(3, 8));
+      r.shape_count = rng.Bernoulli(0.15) ? 3 : 1;
+      r.texture = textures[rng.UniformInt(4)];
+      r.texture_color = random_color(0.1, 1.0);
+      r.texture_param = rng.UniformDouble(3.0, 10.0);
+      r.texture_alpha = rng.UniformDouble(0.2, 0.5);
+      r.texture_angle = rng.UniformDouble(0.0, M_PI);
+      r.pixel_noise_stddev = rng.UniformDouble(2.0, 6.0);
+      AddSubConcept(cat,
+                    categories_[cat].name + "_" +
+                        std::string(1, static_cast<char>('a' + s)),
+                    r);
+    }
+  }
+}
+
+void Catalog::AddEvaluationQueries() {
+  auto sub = [this](const char* name) {
+    StatusOr<SubConceptId> id = FindSubConcept(name);
+    assert(id.ok());
+    return *id;
+  };
+
+  auto add = [this](const std::string& name,
+                    std::vector<QuerySubConcept> subs) {
+    QueryConceptSpec q;
+    q.name = name;
+    q.subconcepts = std::move(subs);
+    queries_.push_back(std::move(q));
+  };
+
+  add("a_person", {{"hair_model", {sub("hair_model")}},
+                   {"fitness", {sub("fitness")}},
+                   {"kongfu", {sub("kongfu")}}});
+  add("airplane", {{"single", {sub("airplane_single")}},
+                   {"multiple", {sub("airplane_multiple")}}});
+  add("bird", {{"eagle", {sub("eagle")}},
+               {"owl", {sub("owl")}},
+               {"sparrow", {sub("sparrow")}}});
+  add("car", {{"modern_sedan", {sub("modern_sedan")}},
+              {"antique_car", {sub("antique_car")}},
+              {"steamed_car", {sub("steamed_car")}}});
+  add("horse", {{"polo", {sub("polo_horse")}},
+                {"wild_horse", {sub("wild_horse")}},
+                {"race", {sub("race_horse")}}});
+  add("mountain_view", {{"snow", {sub("snow_mountain")}},
+                        {"with_water", {sub("mountain_water")}}});
+  add("rose", {{"yellow", {sub("yellow_rose")}},
+               {"red", {sub("red_rose")}}});
+  add("water_sports", {{"surfing", {sub("surfing")}},
+                       {"sailing", {sub("sailing")}}});
+  add("computer",
+      {{"server", {sub("server")}},
+       {"desktop", {sub("desktop")}},
+       {"laptop", {sub("laptop_clear"), sub("laptop_complex")}}});
+  add("personal_computer",
+      {{"desktop", {sub("desktop")}},
+       {"laptop", {sub("laptop_clear"), sub("laptop_complex")}}});
+  add("laptop", {{"clear_background", {sub("laptop_clear")}},
+                 {"complicated_background", {sub("laptop_complex")}}});
+}
+
+StatusOr<Catalog> Catalog::Build(const CatalogOptions& options) {
+  Catalog catalog;
+  catalog.AddEvaluationCategories();
+  if (options.num_categories < catalog.categories_.size()) {
+    return Status::InvalidArgument(
+        "num_categories smaller than the hand-crafted evaluation set");
+  }
+  catalog.AddFillerCategories(options.num_categories, options.seed);
+  catalog.AddEvaluationQueries();
+  return catalog;
+}
+
+StatusOr<CategoryId> Catalog::FindCategory(const std::string& name) const {
+  for (const CategorySpec& c : categories_) {
+    if (c.name == name) return c.id;
+  }
+  return Status::NotFound("no category named " + name);
+}
+
+StatusOr<SubConceptId> Catalog::FindSubConcept(const std::string& name) const {
+  for (const SubConceptSpec& s : subconcepts_) {
+    if (s.name == name) return s.id;
+  }
+  return Status::NotFound("no sub-concept named " + name);
+}
+
+StatusOr<QueryConceptSpec> Catalog::FindQuery(const std::string& name) const {
+  for (const QueryConceptSpec& q : queries_) {
+    if (q.name == name) return q;
+  }
+  return Status::NotFound("no query named " + name);
+}
+
+}  // namespace qdcbir

@@ -1,0 +1,109 @@
+#ifndef QDCBIR_DATASET_CATALOG_H_
+#define QDCBIR_DATASET_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qdcbir/core/status.h"
+#include "qdcbir/core/types.h"
+#include "qdcbir/dataset/recipe.h"
+
+namespace qdcbir {
+
+/// One sub-concept: the unit of ground truth (e.g. "eagle" inside "bird").
+struct SubConceptSpec {
+  SubConceptId id = kInvalidSubConceptId;
+  CategoryId category = kInvalidCategoryId;
+  std::string name;
+  SubConceptRecipe recipe;
+  double weight = 1.0;  ///< relative share of database images
+};
+
+/// One semantic category (the Corel-style class label).
+struct CategorySpec {
+  CategoryId id = kInvalidCategoryId;
+  std::string name;
+  std::vector<SubConceptId> subconcepts;
+};
+
+/// A ground-truth sub-concept of a test query: a named group of one or more
+/// dataset sub-concepts. (E.g. the query "computer" counts "laptop" as one
+/// ground-truth sub-concept even though the dataset splits laptops into
+/// clear-background and complicated-background sub-concepts.)
+struct QuerySubConcept {
+  std::string name;
+  std::vector<SubConceptId> members;
+};
+
+/// One of the paper's Table 1 evaluation queries.
+struct QueryConceptSpec {
+  std::string name;
+  std::vector<QuerySubConcept> subconcepts;
+
+  /// All dataset sub-concept ids relevant to this query.
+  std::vector<SubConceptId> AllMembers() const;
+};
+
+/// Options controlling catalog construction.
+struct CatalogOptions {
+  /// Total number of categories including the hand-crafted evaluation
+  /// categories; the paper's database has "about 150 categories".
+  std::size_t num_categories = 150;
+  /// Seed for the procedurally generated filler categories.
+  std::uint64_t seed = 2006;
+};
+
+/// The dataset catalog: categories, sub-concepts (with drawing recipes), and
+/// the 11 evaluation queries of the paper's Table 1.
+///
+/// Hand-crafted evaluation categories reproduce the paper's query set
+/// (person, airplane, bird, car, horse, mountain view, rose, water sports,
+/// computer) plus the "white sedan" category with four view sub-concepts for
+/// Figure 1. The remaining categories are procedurally generated "Corel
+/// filler" with 1-3 sub-concepts each.
+class Catalog {
+ public:
+  /// Constructs an empty catalog; use `Build` to obtain a populated one.
+  Catalog() = default;
+
+  /// Builds the full catalog.
+  static StatusOr<Catalog> Build(const CatalogOptions& options = CatalogOptions());
+
+  const std::vector<CategorySpec>& categories() const { return categories_; }
+  const std::vector<SubConceptSpec>& subconcepts() const {
+    return subconcepts_;
+  }
+  const std::vector<QueryConceptSpec>& queries() const { return queries_; }
+
+  const CategorySpec& category(CategoryId id) const {
+    return categories_[id];
+  }
+  const SubConceptSpec& subconcept(SubConceptId id) const {
+    return subconcepts_[id];
+  }
+
+  /// Finds a category / sub-concept / query by name.
+  StatusOr<CategoryId> FindCategory(const std::string& name) const;
+  StatusOr<SubConceptId> FindSubConcept(const std::string& name) const;
+  StatusOr<QueryConceptSpec> FindQuery(const std::string& name) const;
+
+ private:
+  friend class DatabaseIo;
+
+  CategoryId AddCategory(const std::string& name);
+  SubConceptId AddSubConcept(CategoryId category, const std::string& name,
+                             const SubConceptRecipe& recipe,
+                             double weight = 1.0);
+  void AddEvaluationCategories();
+  void AddFillerCategories(std::size_t total_categories, std::uint64_t seed);
+  void AddEvaluationQueries();
+
+  std::vector<CategorySpec> categories_;
+  std::vector<SubConceptSpec> subconcepts_;
+  std::vector<QueryConceptSpec> queries_;
+};
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_DATASET_CATALOG_H_

@@ -1,0 +1,99 @@
+#ifndef QDCBIR_DATASET_DATABASE_H_
+#define QDCBIR_DATASET_DATABASE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qdcbir/core/feature_vector.h"
+#include "qdcbir/core/status.h"
+#include "qdcbir/core/types.h"
+#include "qdcbir/dataset/catalog.h"
+#include "qdcbir/features/extractor.h"
+#include "qdcbir/features/normalizer.h"
+#include "qdcbir/image/image.h"
+
+namespace qdcbir {
+
+/// Per-image ground-truth metadata.
+struct ImageRecord {
+  ImageId id = kInvalidImageId;
+  SubConceptId subconcept = kInvalidSubConceptId;
+  CategoryId category = kInvalidCategoryId;
+  std::uint64_t render_seed = 0;  ///< reproduces the pixels on demand
+};
+
+/// The in-memory image database: ground-truth records plus normalized
+/// feature vectors for the main channel and (optionally) the three extra
+/// viewpoint channels used by the Multiple Viewpoints baseline.
+///
+/// Pixels are not retained: every image can be re-rendered deterministically
+/// from its record (`Render`), which keeps a 24k-image database small.
+class ImageDatabase {
+ public:
+  ImageDatabase() = default;
+
+  std::size_t size() const { return records_.size(); }
+  std::size_t feature_dim() const {
+    return features_.empty() ? 0 : features_.front().dim();
+  }
+  bool has_channel_features() const { return !channel_features_[1].empty(); }
+
+  const Catalog& catalog() const { return catalog_; }
+  int image_width() const { return image_width_; }
+  int image_height() const { return image_height_; }
+
+  const ImageRecord& record(ImageId id) const { return records_[id]; }
+  const std::vector<ImageRecord>& records() const { return records_; }
+
+  /// Normalized feature vector of an image (main channel).
+  const FeatureVector& feature(ImageId id) const { return features_[id]; }
+  const std::vector<FeatureVector>& features() const { return features_; }
+
+  /// Normalized feature vector as seen through a viewpoint channel.
+  const FeatureVector& channel_feature(ViewpointChannel channel,
+                                       ImageId id) const {
+    return channel_features_[static_cast<int>(channel)][id];
+  }
+  const std::vector<FeatureVector>& channel_features(
+      ViewpointChannel channel) const {
+    return channel_features_[static_cast<int>(channel)];
+  }
+
+  /// Normalizer fitted on the raw main-channel features.
+  const FeatureNormalizer& normalizer() const { return normalizer_; }
+  const FeatureNormalizer& channel_normalizer(ViewpointChannel channel) const {
+    return channel_normalizers_[static_cast<int>(channel)];
+  }
+
+  /// All image ids belonging to a sub-concept / a set of sub-concepts.
+  std::vector<ImageId> ImagesOfSubConcept(SubConceptId sub) const;
+  std::vector<ImageId> ImagesOfSubConcepts(
+      const std::vector<SubConceptId>& subs) const;
+
+  /// Re-renders the pixels of an image (deterministic).
+  Image Render(ImageId id) const;
+
+  /// A short human-readable label ("bird/eagle") for result listings.
+  std::string LabelOf(ImageId id) const;
+
+ private:
+  friend class DatabaseSynthesizer;
+  friend class DatabaseIo;
+
+  Catalog catalog_;
+  std::vector<ImageRecord> records_;
+  std::vector<FeatureVector> features_;
+  std::array<std::vector<FeatureVector>, kNumViewpointChannels>
+      channel_features_;
+  FeatureNormalizer normalizer_;
+  std::array<FeatureNormalizer, kNumViewpointChannels> channel_normalizers_;
+  std::vector<std::vector<ImageId>> subconcept_images_;
+  int image_width_ = 48;
+  int image_height_ = 48;
+};
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_DATASET_DATABASE_H_

@@ -1,0 +1,347 @@
+#include "qdcbir/dataset/database_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace qdcbir {
+
+namespace {
+
+constexpr char kCatalogMagic[] = "QDCAT001";
+constexpr char kDatabaseMagic[] = "QDDB0001";
+constexpr std::size_t kMagicLen = 8;
+
+class Writer {
+ public:
+  void Raw(const void* data, std::size_t n) {
+    out_.append(static_cast<const char*>(data), n);
+  }
+  template <typename T>
+  void Pod(T v) {
+    Raw(&v, sizeof(T));
+  }
+  void Str(const std::string& s) {
+    Pod<std::uint64_t>(s.size());
+    Raw(s.data(), s.size());
+  }
+  void Doubles(const std::vector<double>& v) {
+    Pod<std::uint64_t>(v.size());
+    Raw(v.data(), v.size() * sizeof(double));
+  }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  bool Raw(void* data, std::size_t n) {
+    if (pos_ + n > bytes_.size()) return false;
+    std::memcpy(data, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  template <typename T>
+  bool Pod(T* v) {
+    return Raw(v, sizeof(T));
+  }
+  bool Str(std::string* s) {
+    std::uint64_t n = 0;
+    if (!Pod(&n) || pos_ + n > bytes_.size()) return false;
+    s->assign(bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool Doubles(std::vector<double>* v) {
+    std::uint64_t n = 0;
+    if (!Pod(&n) || pos_ + n * sizeof(double) > bytes_.size()) return false;
+    v->resize(n);
+    return Raw(v->data(), n * sizeof(double));
+  }
+
+ private:
+  const std::string& bytes_;
+  std::size_t pos_ = 0;
+};
+
+void WriteRecipe(Writer& w, const SubConceptRecipe& r) {
+  w.Pod<std::int32_t>(static_cast<std::int32_t>(r.background));
+  w.Pod(r.bg_color1);
+  w.Pod(r.bg_color2);
+  w.Pod(r.bg_noise_scale);
+  w.Pod(r.bg_noise_amp);
+  w.Pod<std::int32_t>(static_cast<std::int32_t>(r.texture));
+  w.Pod(r.texture_color);
+  w.Pod(r.texture_param);
+  w.Pod(r.texture_alpha);
+  w.Pod(r.texture_angle);
+  w.Pod<std::int32_t>(r.texture_count);
+  w.Pod<std::int32_t>(static_cast<std::int32_t>(r.shape));
+  w.Pod(r.shape_color);
+  w.Pod(r.shape_size_frac);
+  w.Pod(r.shape_aspect);
+  w.Pod(r.shape_rotation);
+  w.Pod<std::int32_t>(r.polygon_sides);
+  w.Pod<std::int32_t>(r.shape_count);
+  w.Pod<std::int32_t>(r.line_count);
+  w.Pod<std::int32_t>(r.line_thickness);
+  w.Pod(r.jitter_position_frac);
+  w.Pod(r.jitter_size_frac);
+  w.Pod(r.jitter_rotation);
+  w.Pod(r.jitter_hue);
+  w.Pod(r.pixel_noise_stddev);
+}
+
+bool ReadRecipe(Reader& r, SubConceptRecipe* out) {
+  std::int32_t background = 0, texture = 0, shape = 0;
+  bool ok = r.Pod(&background) && r.Pod(&out->bg_color1) &&
+            r.Pod(&out->bg_color2) && r.Pod(&out->bg_noise_scale) &&
+            r.Pod(&out->bg_noise_amp) && r.Pod(&texture) &&
+            r.Pod(&out->texture_color) && r.Pod(&out->texture_param) &&
+            r.Pod(&out->texture_alpha) && r.Pod(&out->texture_angle) &&
+            r.Pod(&out->texture_count) && r.Pod(&shape) &&
+            r.Pod(&out->shape_color) && r.Pod(&out->shape_size_frac) &&
+            r.Pod(&out->shape_aspect) && r.Pod(&out->shape_rotation) &&
+            r.Pod(&out->polygon_sides) && r.Pod(&out->shape_count) &&
+            r.Pod(&out->line_count) && r.Pod(&out->line_thickness) &&
+            r.Pod(&out->jitter_position_frac) &&
+            r.Pod(&out->jitter_size_frac) && r.Pod(&out->jitter_rotation) &&
+            r.Pod(&out->jitter_hue) && r.Pod(&out->pixel_noise_stddev);
+  if (!ok) return false;
+  out->background = static_cast<BackgroundKind>(background);
+  out->texture = static_cast<TextureKind>(texture);
+  out->shape = static_cast<ShapeKind>(shape);
+  return true;
+}
+
+void WriteCatalogBody(Writer& w, const Catalog& catalog) {
+  w.Pod<std::uint64_t>(catalog.categories().size());
+  for (const CategorySpec& c : catalog.categories()) {
+    w.Str(c.name);
+    w.Pod<std::uint64_t>(c.subconcepts.size());
+    for (const SubConceptId id : c.subconcepts) w.Pod(id);
+  }
+  w.Pod<std::uint64_t>(catalog.subconcepts().size());
+  for (const SubConceptSpec& s : catalog.subconcepts()) {
+    w.Pod(s.category);
+    w.Str(s.name);
+    w.Pod(s.weight);
+    WriteRecipe(w, s.recipe);
+  }
+  w.Pod<std::uint64_t>(catalog.queries().size());
+  for (const QueryConceptSpec& q : catalog.queries()) {
+    w.Str(q.name);
+    w.Pod<std::uint64_t>(q.subconcepts.size());
+    for (const QuerySubConcept& qs : q.subconcepts) {
+      w.Str(qs.name);
+      w.Pod<std::uint64_t>(qs.members.size());
+      for (const SubConceptId id : qs.members) w.Pod(id);
+    }
+  }
+}
+
+Status ReadCatalogBody(Reader& r, std::vector<CategorySpec>* categories,
+                       std::vector<SubConceptSpec>* subconcepts,
+                       std::vector<QueryConceptSpec>* queries) {
+  const auto corrupt = [] { return Status::IoError("truncated catalog blob"); };
+  std::uint64_t num_categories = 0;
+  if (!r.Pod(&num_categories)) return corrupt();
+  categories->resize(num_categories);
+  for (std::uint64_t c = 0; c < num_categories; ++c) {
+    CategorySpec& cat = (*categories)[c];
+    cat.id = static_cast<CategoryId>(c);
+    std::uint64_t subs = 0;
+    if (!r.Str(&cat.name) || !r.Pod(&subs)) return corrupt();
+    cat.subconcepts.resize(subs);
+    for (auto& id : cat.subconcepts) {
+      if (!r.Pod(&id)) return corrupt();
+    }
+  }
+  std::uint64_t num_subs = 0;
+  if (!r.Pod(&num_subs)) return corrupt();
+  subconcepts->resize(num_subs);
+  for (std::uint64_t s = 0; s < num_subs; ++s) {
+    SubConceptSpec& sub = (*subconcepts)[s];
+    sub.id = static_cast<SubConceptId>(s);
+    if (!r.Pod(&sub.category) || !r.Str(&sub.name) || !r.Pod(&sub.weight) ||
+        !ReadRecipe(r, &sub.recipe)) {
+      return corrupt();
+    }
+  }
+  std::uint64_t num_queries = 0;
+  if (!r.Pod(&num_queries)) return corrupt();
+  queries->resize(num_queries);
+  for (auto& q : *queries) {
+    std::uint64_t subs = 0;
+    if (!r.Str(&q.name) || !r.Pod(&subs)) return corrupt();
+    q.subconcepts.resize(subs);
+    for (auto& qs : q.subconcepts) {
+      std::uint64_t members = 0;
+      if (!r.Str(&qs.name) || !r.Pod(&members)) return corrupt();
+      qs.members.resize(members);
+      for (auto& id : qs.members) {
+        if (!r.Pod(&id)) return corrupt();
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void WriteFeatureTable(Writer& w, const std::vector<FeatureVector>& table) {
+  w.Pod<std::uint64_t>(table.size());
+  for (const FeatureVector& f : table) w.Doubles(f.values());
+}
+
+bool ReadFeatureTable(Reader& r, std::vector<FeatureVector>* table) {
+  std::uint64_t n = 0;
+  if (!r.Pod(&n)) return false;
+  table->clear();
+  table->reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::vector<double> values;
+    if (!r.Doubles(&values)) return false;
+    table->emplace_back(std::move(values));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string DatabaseIo::SerializeCatalog(const Catalog& catalog) {
+  Writer w;
+  w.Raw(kCatalogMagic, kMagicLen);
+  WriteCatalogBody(w, catalog);
+  return w.Take();
+}
+
+StatusOr<Catalog> DatabaseIo::DeserializeCatalog(const std::string& bytes) {
+  Reader r(bytes);
+  char magic[kMagicLen];
+  if (!r.Raw(magic, kMagicLen) ||
+      std::memcmp(magic, kCatalogMagic, kMagicLen) != 0) {
+    return Status::IoError("not a catalog blob (bad magic)");
+  }
+  Catalog catalog;
+  QDCBIR_RETURN_IF_ERROR(ReadCatalogBody(r, &catalog.categories_,
+                                         &catalog.subconcepts_,
+                                         &catalog.queries_));
+  return catalog;
+}
+
+std::string DatabaseIo::SerializeDatabase(const ImageDatabase& db) {
+  Writer w;
+  w.Raw(kDatabaseMagic, kMagicLen);
+  WriteCatalogBody(w, db.catalog_);
+
+  w.Pod<std::int32_t>(db.image_width_);
+  w.Pod<std::int32_t>(db.image_height_);
+  w.Pod<std::uint64_t>(db.records_.size());
+  for (const ImageRecord& rec : db.records_) {
+    w.Pod(rec.subconcept);
+    w.Pod(rec.category);
+    w.Pod(rec.render_seed);
+  }
+  WriteFeatureTable(w, db.features_);
+  const std::uint8_t has_channels = db.has_channel_features() ? 1 : 0;
+  w.Pod(has_channels);
+  if (has_channels) {
+    for (int c = 1; c < kNumViewpointChannels; ++c) {
+      WriteFeatureTable(w, db.channel_features_[c]);
+    }
+  }
+  w.Str(db.normalizer_.Serialize());
+  if (has_channels) {
+    for (int c = 1; c < kNumViewpointChannels; ++c) {
+      w.Str(db.channel_normalizers_[c].Serialize());
+    }
+  }
+  return w.Take();
+}
+
+StatusOr<ImageDatabase> DatabaseIo::DeserializeDatabase(
+    const std::string& bytes) {
+  const auto corrupt = [] { return Status::IoError("truncated database blob"); };
+  Reader r(bytes);
+  char magic[kMagicLen];
+  if (!r.Raw(magic, kMagicLen) ||
+      std::memcmp(magic, kDatabaseMagic, kMagicLen) != 0) {
+    return Status::IoError("not a database blob (bad magic)");
+  }
+  ImageDatabase db;
+  QDCBIR_RETURN_IF_ERROR(ReadCatalogBody(r, &db.catalog_.categories_,
+                                         &db.catalog_.subconcepts_,
+                                         &db.catalog_.queries_));
+  std::uint64_t num_records = 0;
+  if (!r.Pod(&db.image_width_) || !r.Pod(&db.image_height_) ||
+      !r.Pod(&num_records)) {
+    return corrupt();
+  }
+  db.records_.resize(num_records);
+  db.subconcept_images_.assign(db.catalog_.subconcepts().size(), {});
+  for (std::uint64_t i = 0; i < num_records; ++i) {
+    ImageRecord& rec = db.records_[i];
+    rec.id = static_cast<ImageId>(i);
+    if (!r.Pod(&rec.subconcept) || !r.Pod(&rec.category) ||
+        !r.Pod(&rec.render_seed)) {
+      return corrupt();
+    }
+    if (rec.subconcept >= db.subconcept_images_.size()) {
+      return Status::IoError("record references unknown sub-concept");
+    }
+    db.subconcept_images_[rec.subconcept].push_back(rec.id);
+  }
+  if (!ReadFeatureTable(r, &db.features_)) return corrupt();
+  if (db.features_.size() != num_records) {
+    return Status::IoError("feature table size mismatch");
+  }
+  db.channel_features_[0] = db.features_;
+
+  std::uint8_t has_channels = 0;
+  if (!r.Pod(&has_channels)) return corrupt();
+  if (has_channels) {
+    for (int c = 1; c < kNumViewpointChannels; ++c) {
+      if (!ReadFeatureTable(r, &db.channel_features_[c])) return corrupt();
+    }
+  }
+  std::string normalizer_blob;
+  if (!r.Str(&normalizer_blob)) return corrupt();
+  StatusOr<FeatureNormalizer> normalizer =
+      FeatureNormalizer::Deserialize(normalizer_blob);
+  if (!normalizer.ok()) return normalizer.status();
+  db.normalizer_ = std::move(normalizer).value();
+  db.channel_normalizers_[0] = db.normalizer_;
+  if (has_channels) {
+    for (int c = 1; c < kNumViewpointChannels; ++c) {
+      if (!r.Str(&normalizer_blob)) return corrupt();
+      StatusOr<FeatureNormalizer> n =
+          FeatureNormalizer::Deserialize(normalizer_blob);
+      if (!n.ok()) return n.status();
+      db.channel_normalizers_[c] = std::move(n).value();
+    }
+  }
+  return db;
+}
+
+Status DatabaseIo::SaveDatabase(const ImageDatabase& db,
+                                const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  const std::string bytes = SerializeDatabase(db);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<ImageDatabase> DatabaseIo::LoadDatabase(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return DeserializeDatabase(ss.str());
+}
+
+}  // namespace qdcbir

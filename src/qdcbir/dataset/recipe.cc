@@ -1,0 +1,136 @@
+#include "qdcbir/dataset/recipe.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qdcbir/image/color.h"
+#include "qdcbir/image/draw.h"
+#include "qdcbir/image/texture.h"
+
+namespace qdcbir {
+
+Rgb JitterHue(Rgb color, double degrees, Rng& rng) {
+  if (degrees <= 0.0) return color;
+  Hsv hsv = RgbToHsv(color);
+  hsv.h += rng.UniformDouble(-degrees, degrees);
+  hsv.s = std::clamp(hsv.s + rng.UniformDouble(-0.03, 0.03), 0.0, 1.0);
+  hsv.v = std::clamp(hsv.v + rng.UniformDouble(-0.03, 0.03), 0.0, 1.0);
+  return HsvToRgb(hsv);
+}
+
+namespace {
+
+void PaintBackground(const SubConceptRecipe& r, Image& img, Rng& rng) {
+  const Rgb c1 = JitterHue(r.bg_color1, r.jitter_hue, rng);
+  const Rgb c2 = JitterHue(r.bg_color2, r.jitter_hue, rng);
+  switch (r.background) {
+    case BackgroundKind::kSolid:
+      img.Fill(c1);
+      break;
+    case BackgroundKind::kVerticalGradient:
+      VerticalGradient(img, c1, c2);
+      break;
+    case BackgroundKind::kHorizontalGradient:
+      HorizontalGradient(img, c1, c2);
+      break;
+    case BackgroundKind::kNoisy:
+      img.Fill(c1);
+      ValueNoise(img, r.bg_noise_scale, r.bg_noise_amp, rng);
+      break;
+  }
+}
+
+void PaintTexture(const SubConceptRecipe& r, Image& img, Rng& rng) {
+  switch (r.texture) {
+    case TextureKind::kNone:
+      break;
+    case TextureKind::kChecker:
+      Checkerboard(img, std::max(1, static_cast<int>(r.texture_param)),
+                   r.texture_color, r.texture_alpha);
+      break;
+    case TextureKind::kStripes:
+      Stripes(img, r.texture_param,
+              r.texture_angle + rng.UniformDouble(-0.05, 0.05),
+              r.texture_color, r.texture_alpha);
+      break;
+    case TextureKind::kSpeckle:
+      SpeckleDots(img, r.texture_count, r.texture_param, r.texture_color, rng);
+      break;
+  }
+}
+
+void PaintShape(const SubConceptRecipe& r, Image& img, Rng& rng) {
+  const double base = std::min(img.width(), img.height());
+  const Rgb color = JitterHue(r.shape_color, r.jitter_hue, rng);
+
+  for (int s = 0; s < std::max(1, r.shape_count); ++s) {
+    double cx = img.width() / 2.0;
+    double cy = img.height() / 2.0;
+    if (r.shape_count > 1) {
+      // Spread multiple shapes across the canvas.
+      cx = img.width() * rng.UniformDouble(0.25, 0.75);
+      cy = img.height() * rng.UniformDouble(0.25, 0.75);
+    }
+    cx += base * r.jitter_position_frac * rng.UniformDouble(-1.0, 1.0);
+    cy += base * r.jitter_position_frac * rng.UniformDouble(-1.0, 1.0);
+
+    double size = base * r.shape_size_frac *
+                  (1.0 + r.jitter_size_frac * rng.UniformDouble(-1.0, 1.0));
+    if (r.shape_count > 1) size *= 0.6;  // shrink when several objects
+    const double rotation =
+        r.shape_rotation + r.jitter_rotation * rng.UniformDouble(-1.0, 1.0);
+    const Point2 center{cx, cy};
+
+    switch (r.shape) {
+      case ShapeKind::kEllipse:
+        FillEllipse(img, cx, cy, size * r.shape_aspect, size, color);
+        break;
+      case ShapeKind::kRectangle: {
+        const double hx = size * r.shape_aspect;
+        const double hy = size;
+        std::vector<Point2> corners = {{cx - hx, cy - hy},
+                                       {cx + hx, cy - hy},
+                                       {cx + hx, cy + hy},
+                                       {cx - hx, cy + hy}};
+        FillPolygon(img, RotatePoints(corners, center, rotation), color);
+        break;
+      }
+      case ShapeKind::kTriangle: {
+        std::vector<Point2> tri =
+            RegularPolygon(center, size, 3, rotation - M_PI / 2.0);
+        FillPolygon(img, tri, color);
+        break;
+      }
+      case ShapeKind::kPolygon: {
+        std::vector<Point2> poly = RegularPolygon(
+            center, size, std::max(3, r.polygon_sides), rotation);
+        FillPolygon(img, poly, color);
+        break;
+      }
+      case ShapeKind::kLineBurst: {
+        for (int i = 0; i < std::max(1, r.line_count); ++i) {
+          const double a =
+              rotation + M_PI * i / std::max(1, r.line_count);
+          const Point2 p1{cx - size * std::cos(a), cy - size * std::sin(a)};
+          const Point2 p2{cx + size * std::cos(a), cy + size * std::sin(a)};
+          DrawLine(img, p1, p2, color, r.line_thickness);
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Image RenderRecipe(const SubConceptRecipe& recipe, int width, int height,
+                   Rng& rng) {
+  Image img(width, height);
+  PaintBackground(recipe, img, rng);
+  PaintTexture(recipe, img, rng);
+  PaintShape(recipe, img, rng);
+  AddGaussianNoise(img, recipe.pixel_noise_stddev, rng);
+  return img;
+}
+
+}  // namespace qdcbir

@@ -1,0 +1,90 @@
+#ifndef QDCBIR_DATASET_RECIPE_H_
+#define QDCBIR_DATASET_RECIPE_H_
+
+#include <string>
+
+#include "qdcbir/core/rng.h"
+#include "qdcbir/image/image.h"
+
+namespace qdcbir {
+
+/// How the background of a synthetic image is painted.
+enum class BackgroundKind {
+  kSolid = 0,
+  kVerticalGradient = 1,
+  kHorizontalGradient = 2,
+  kNoisy = 3,  ///< solid base modulated by smooth value noise
+};
+
+/// The object shape drawn on the background.
+enum class ShapeKind {
+  kEllipse = 0,
+  kRectangle = 1,
+  kTriangle = 2,
+  kPolygon = 3,   ///< regular n-gon (see `polygon_sides`)
+  kLineBurst = 4, ///< a fan of thick lines (high edge response)
+};
+
+/// Texture overlaid between background and shapes.
+enum class TextureKind {
+  kNone = 0,
+  kChecker = 1,
+  kStripes = 2,
+  kSpeckle = 3,
+};
+
+/// Procedural drawing recipe of one *sub-concept* (e.g. "sedan, side view").
+///
+/// Every image of the sub-concept is rendered from this recipe with small
+/// per-image jitter, so the sub-concept forms a tight cluster in feature
+/// space, while different sub-concepts of the same semantic category use
+/// visually distinct recipes and land in *separate* clusters — the semantic
+/// scattering the paper's Figure 1 illustrates and Query Decomposition
+/// exploits.
+struct SubConceptRecipe {
+  // Background.
+  BackgroundKind background = BackgroundKind::kSolid;
+  Rgb bg_color1 = Rgb{128, 128, 128};
+  Rgb bg_color2 = Rgb{128, 128, 128};
+  double bg_noise_scale = 8.0;   ///< value-noise cell size (kNoisy only)
+  double bg_noise_amp = 0.25;    ///< value-noise amplitude (kNoisy only)
+
+  // Texture overlay.
+  TextureKind texture = TextureKind::kNone;
+  Rgb texture_color = Rgb{0, 0, 0};
+  double texture_param = 6.0;  ///< checker cell / stripe period / dot radius
+  double texture_alpha = 0.35;
+  double texture_angle = 0.0;  ///< stripe angle in radians
+  int texture_count = 40;      ///< speckle dot count
+
+  // Shape(s).
+  ShapeKind shape = ShapeKind::kEllipse;
+  Rgb shape_color = Rgb{200, 60, 60};
+  double shape_size_frac = 0.30;  ///< circumradius / min(image dimension)
+  double shape_aspect = 1.0;      ///< x-radius / y-radius for ellipse/rect
+  double shape_rotation = 0.0;    ///< base rotation in radians
+  int polygon_sides = 5;
+  int shape_count = 1;            ///< e.g. 1 airplane vs several
+  int line_count = 5;             ///< for kLineBurst
+  int line_thickness = 2;
+
+  // Per-image jitter. Kept small so each sub-concept forms a tight cluster
+  // (the premise of Figure 1) while still exercising every feature group.
+  double jitter_position_frac = 0.05;  ///< center offset, fraction of size
+  double jitter_size_frac = 0.06;     ///< relative size perturbation
+  double jitter_rotation = 0.07;      ///< radians
+  double jitter_hue = 4.0;            ///< degrees of hue wobble
+  double pixel_noise_stddev = 4.0;    ///< Gaussian pixel noise (8-bit units)
+};
+
+/// Renders one image of the sub-concept. `rng` supplies the per-image
+/// jitter; rendering is deterministic given the rng state.
+Image RenderRecipe(const SubConceptRecipe& recipe, int width, int height,
+                   Rng& rng);
+
+/// Perturbs a color's hue by `degrees` (used to apply `jitter_hue`).
+Rgb JitterHue(Rgb color, double degrees, Rng& rng);
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_DATASET_RECIPE_H_

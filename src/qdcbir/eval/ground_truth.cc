@@ -1,0 +1,38 @@
+#include "qdcbir/eval/ground_truth.h"
+
+namespace qdcbir {
+
+StatusOr<QueryGroundTruth> BuildGroundTruth(const ImageDatabase& db,
+                                            const QueryConceptSpec& spec) {
+  if (spec.subconcepts.empty()) {
+    return Status::InvalidArgument("query has no ground-truth sub-concepts");
+  }
+  QueryGroundTruth gt;
+  gt.spec = spec;
+  for (const QuerySubConcept& qs : spec.subconcepts) {
+    std::vector<ImageId> images = db.ImagesOfSubConcepts(qs.members);
+    if (images.empty()) {
+      return Status::NotFound("ground-truth sub-concept '" + qs.name +
+                              "' has no images in this database");
+    }
+    for (const ImageId id : images) {
+      gt.all_images.push_back(id);
+      gt.relevant.insert(id);
+    }
+    gt.subconcept_images.push_back(std::move(images));
+  }
+  return gt;
+}
+
+StatusOr<std::vector<QueryGroundTruth>> BuildAllGroundTruths(
+    const ImageDatabase& db) {
+  std::vector<QueryGroundTruth> out;
+  for (const QueryConceptSpec& spec : db.catalog().queries()) {
+    StatusOr<QueryGroundTruth> gt = BuildGroundTruth(db, spec);
+    if (!gt.ok()) return gt.status();
+    out.push_back(std::move(gt).value());
+  }
+  return out;
+}
+
+}  // namespace qdcbir

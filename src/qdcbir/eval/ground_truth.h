@@ -1,0 +1,40 @@
+#ifndef QDCBIR_EVAL_GROUND_TRUTH_H_
+#define QDCBIR_EVAL_GROUND_TRUTH_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "qdcbir/core/status.h"
+#include "qdcbir/core/types.h"
+#include "qdcbir/dataset/catalog.h"
+#include "qdcbir/dataset/database.h"
+
+namespace qdcbir {
+
+/// Ground truth of one evaluation query, resolved against a database: the
+/// relevant image set, broken down by the query's ground-truth sub-concepts
+/// (the unit of the paper's GTIR metric).
+struct QueryGroundTruth {
+  QueryConceptSpec spec;
+  /// Image ids per ground-truth sub-concept (parallel to spec.subconcepts).
+  std::vector<std::vector<ImageId>> subconcept_images;
+  /// All relevant ids (union of the above).
+  std::vector<ImageId> all_images;
+  /// Same as `all_images`, as a set for O(1) membership tests.
+  std::unordered_set<ImageId> relevant;
+
+  std::size_t size() const { return all_images.size(); }
+  bool IsRelevant(ImageId id) const { return relevant.count(id) > 0; }
+};
+
+/// Resolves `spec` against `db`.
+StatusOr<QueryGroundTruth> BuildGroundTruth(const ImageDatabase& db,
+                                            const QueryConceptSpec& spec);
+
+/// Resolves all of the catalog's evaluation queries against `db`.
+StatusOr<std::vector<QueryGroundTruth>> BuildAllGroundTruths(
+    const ImageDatabase& db);
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_EVAL_GROUND_TRUTH_H_

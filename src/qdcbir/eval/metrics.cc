@@ -1,0 +1,52 @@
+#include "qdcbir/eval/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace qdcbir {
+
+PrecisionRecall ComputePrecisionRecall(const std::vector<ImageId>& results,
+                                       const QueryGroundTruth& gt) {
+  PrecisionRecall pr;
+  if (results.empty() || gt.size() == 0) return pr;
+  std::unordered_set<ImageId> unique(results.begin(), results.end());
+  std::size_t hits = 0;
+  for (const ImageId id : unique) {
+    if (gt.IsRelevant(id)) ++hits;
+  }
+  pr.precision = static_cast<double>(hits) / static_cast<double>(unique.size());
+  pr.recall = static_cast<double>(hits) / static_cast<double>(gt.size());
+  return pr;
+}
+
+double ComputeGtir(const std::vector<ImageId>& results,
+                   const QueryGroundTruth& gt, std::size_t min_hits) {
+  if (gt.subconcept_images.empty()) return 0.0;
+  const std::unordered_set<ImageId> result_set(results.begin(), results.end());
+  std::size_t covered = 0;
+  for (const std::vector<ImageId>& members : gt.subconcept_images) {
+    std::size_t hits = 0;
+    for (const ImageId id : members) {
+      if (result_set.count(id) > 0) {
+        ++hits;
+        if (hits >= min_hits) break;
+      }
+    }
+    if (hits >= min_hits) ++covered;
+  }
+  return static_cast<double>(covered) /
+         static_cast<double>(gt.subconcept_images.size());
+}
+
+double PrecisionAtN(const std::vector<ImageId>& results,
+                    const QueryGroundTruth& gt, std::size_t n) {
+  n = std::min(n, results.size());
+  if (n == 0) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (gt.IsRelevant(results[i])) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+}  // namespace qdcbir

@@ -1,0 +1,38 @@
+#ifndef QDCBIR_EVAL_METRICS_H_
+#define QDCBIR_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "qdcbir/core/types.h"
+#include "qdcbir/eval/ground_truth.h"
+
+namespace qdcbir {
+
+/// Precision and recall of a result list.
+struct PrecisionRecall {
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+/// Computes precision (relevant retrieved / retrieved) and recall
+/// (relevant retrieved / relevant). When the number of retrieved images
+/// equals the ground-truth size — the paper's protocol — the two coincide.
+PrecisionRecall ComputePrecisionRecall(const std::vector<ImageId>& results,
+                                       const QueryGroundTruth& gt);
+
+/// The paper's Ground Truth Inclusion Ratio:
+///
+///   GTIR = (# retrieved sub-concepts) / (# sub-concepts in ground truth)
+///
+/// A sub-concept counts as retrieved when at least `min_hits` of its images
+/// appear in `results`.
+double ComputeGtir(const std::vector<ImageId>& results,
+                   const QueryGroundTruth& gt, std::size_t min_hits = 1);
+
+/// Precision@n over the first n results (n clamped to the result size).
+double PrecisionAtN(const std::vector<ImageId>& results,
+                    const QueryGroundTruth& gt, std::size_t n);
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_EVAL_METRICS_H_

@@ -1,0 +1,24 @@
+#include "qdcbir/eval/oracle.h"
+
+namespace qdcbir {
+
+OracleUser::OracleUser(const OracleOptions& options)
+    : options_(options), rng_(options.seed) {}
+
+std::vector<ImageId> OracleUser::SelectRelevant(
+    const std::vector<ImageId>& display, const QueryGroundTruth& gt,
+    std::size_t max_picks) {
+  std::vector<ImageId> picks;
+  for (const ImageId id : display) {
+    if (picks.size() >= max_picks) break;
+    const bool relevant = gt.IsRelevant(id);
+    if (relevant && !rng_.Bernoulli(options_.miss_rate)) {
+      picks.push_back(id);
+    } else if (!relevant && rng_.Bernoulli(options_.false_mark_rate)) {
+      picks.push_back(id);
+    }
+  }
+  return picks;
+}
+
+}  // namespace qdcbir

@@ -1,0 +1,49 @@
+#ifndef QDCBIR_EVAL_ORACLE_H_
+#define QDCBIR_EVAL_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qdcbir/core/rng.h"
+#include "qdcbir/core/types.h"
+#include "qdcbir/eval/ground_truth.h"
+
+namespace qdcbir {
+
+/// Options of the simulated user.
+struct OracleOptions {
+  /// Probability of overlooking a relevant displayed image (imperfect user).
+  double miss_rate = 0.0;
+  /// Probability of wrongly marking an irrelevant displayed image.
+  double false_mark_rate = 0.0;
+  std::uint64_t seed = 211;
+};
+
+/// A simulated relevance-feedback user. The paper's 20 test students judged
+/// displayed images against the Corel category ground truth; this oracle
+/// applies the same rule — an image is relevant iff its sub-concept belongs
+/// to the query's ground truth — with optional noise for robustness
+/// ablations.
+class OracleUser {
+ public:
+  explicit OracleUser(const OracleOptions& options = OracleOptions());
+
+  /// Ground-truth relevance (noise-free).
+  static bool IsRelevant(ImageId id, const QueryGroundTruth& gt) {
+    return gt.IsRelevant(id);
+  }
+
+  /// Marks the relevant images within `display` (applying the configured
+  /// noise), keeping at most `max_picks`.
+  std::vector<ImageId> SelectRelevant(const std::vector<ImageId>& display,
+                                      const QueryGroundTruth& gt,
+                                      std::size_t max_picks);
+
+ private:
+  OracleOptions options_;
+  Rng rng_;
+};
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_EVAL_ORACLE_H_

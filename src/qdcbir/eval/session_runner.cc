@@ -1,0 +1,205 @@
+#include "qdcbir/eval/session_runner.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "qdcbir/eval/metrics.h"
+#include "qdcbir/eval/timer.h"
+
+namespace qdcbir {
+
+namespace {
+
+std::vector<ImageId> FlattenDisplay(const std::vector<DisplayGroup>& groups) {
+  std::vector<ImageId> out;
+  for (const DisplayGroup& g : groups) {
+    out.insert(out.end(), g.images.begin(), g.images.end());
+  }
+  return out;
+}
+
+/// Removes images the user already marked in earlier rounds/browses.
+std::vector<ImageId> FilterNew(const std::vector<ImageId>& picks,
+                               std::unordered_set<ImageId>& marked) {
+  std::vector<ImageId> out;
+  for (const ImageId id : picks) {
+    if (marked.insert(id).second) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<RunOutcome> SessionRunner::RunQd(const RfsTree& rfs,
+                                          const QueryGroundTruth& gt,
+                                          const QdOptions& qd_options,
+                                          const ProtocolOptions& protocol) {
+  const std::size_t k =
+      protocol.retrieval_size > 0 ? protocol.retrieval_size : gt.size();
+
+  OracleOptions oracle_options = protocol.oracle;
+  oracle_options.seed ^= protocol.seed * 0x9e3779b97f4a7c15ULL;
+  OracleUser oracle(oracle_options);
+
+  QdOptions session_options = qd_options;
+  session_options.seed ^= protocol.seed;
+  QdSession session(&rfs, session_options);
+
+  RunOutcome outcome;
+  std::unordered_set<ImageId> marked;
+  std::vector<ImageId> all_marked;
+
+  WallTimer total;
+  WallTimer step;
+  std::vector<DisplayGroup> display = session.Start();
+  double engine_time = step.Seconds();
+
+  for (int round = 1; round <= protocol.feedback_rounds; ++round) {
+    double round_time = engine_time;  // Start() / previous Feedback cost
+    engine_time = 0.0;
+    // A new round shows deeper subclusters; the user may (and should)
+    // re-mark a representative seen before, so dedup is per round.
+    marked.clear();
+
+    // Browse: press "Random" until enough relevant images were found or the
+    // budget runs out.
+    std::vector<ImageId> picks;
+    for (int browse = 0; browse < protocol.browse_budget; ++browse) {
+      const std::vector<ImageId> found = oracle.SelectRelevant(
+          FlattenDisplay(display), gt,
+          protocol.max_picks_per_round - picks.size());
+      const std::vector<ImageId> fresh = FilterNew(found, marked);
+      picks.insert(picks.end(), fresh.begin(), fresh.end());
+      if (picks.size() >= protocol.max_picks_per_round) break;
+      step.Restart();
+      display = session.Resample();
+      round_time += step.Seconds();
+    }
+    all_marked.insert(all_marked.end(), picks.begin(), picks.end());
+
+    step.Restart();
+    StatusOr<std::vector<DisplayGroup>> next = session.Feedback(picks);
+    round_time += step.Seconds();
+    if (!next.ok()) return next.status();
+    display = std::move(next).value();
+
+    RoundQuality quality;
+    quality.gtir = ComputeGtir(all_marked, gt);
+    outcome.rounds.push_back(quality);
+    outcome.iteration_seconds.push_back(round_time);
+  }
+
+  step.Restart();
+  StatusOr<QdResult> result = session.Finalize(k);
+  outcome.finalize_seconds = step.Seconds();
+  if (!result.ok()) return result.status();
+
+  outcome.qd_result = std::move(result).value();
+  outcome.final_results = outcome.qd_result.Flatten();
+  const PrecisionRecall pr =
+      ComputePrecisionRecall(outcome.final_results, gt);
+  outcome.final_precision = pr.precision;
+  outcome.final_recall = pr.recall;
+  outcome.final_gtir = ComputeGtir(outcome.final_results, gt);
+  if (!outcome.rounds.empty()) {
+    outcome.rounds.back().precision_defined = true;
+    outcome.rounds.back().precision = outcome.final_precision;
+    outcome.rounds.back().gtir = outcome.final_gtir;
+  }
+  outcome.qd_stats = session.stats();
+
+  double engine_total = outcome.finalize_seconds;
+  for (const double t : outcome.iteration_seconds) engine_total += t;
+  outcome.total_seconds = engine_total;
+  return outcome;
+}
+
+StatusOr<RunOutcome> SessionRunner::RunEngine(FeedbackEngine& engine,
+                                              const QueryGroundTruth& gt,
+                                              const ProtocolOptions& protocol) {
+  const std::size_t k =
+      protocol.retrieval_size > 0 ? protocol.retrieval_size : gt.size();
+
+  OracleOptions oracle_options = protocol.oracle;
+  oracle_options.seed ^= protocol.seed * 0x9e3779b97f4a7c15ULL;
+  OracleUser oracle(oracle_options);
+
+  RunOutcome outcome;
+  std::unordered_set<ImageId> marked;
+
+  WallTimer step;
+  std::vector<ImageId> display = engine.Start();
+  double engine_time = step.Seconds();
+  bool any_marked = false;
+
+  for (int round = 1; round <= protocol.feedback_rounds; ++round) {
+    double round_time = engine_time;
+    engine_time = 0.0;
+    marked.clear();  // per-round dedup, as in RunQd
+
+    std::vector<ImageId> picks;
+    for (int browse = 0; browse < protocol.browse_budget; ++browse) {
+      const std::vector<ImageId> found = oracle.SelectRelevant(
+          display, gt, protocol.max_picks_per_round - picks.size());
+      const std::vector<ImageId> fresh = FilterNew(found, marked);
+      picks.insert(picks.end(), fresh.begin(), fresh.end());
+      if (picks.size() >= protocol.max_picks_per_round) break;
+      step.Restart();
+      display = engine.Resample();
+      round_time += step.Seconds();
+    }
+    if (!picks.empty()) any_marked = true;
+
+    step.Restart();
+    StatusOr<std::vector<ImageId>> next = engine.Feedback(picks);
+    round_time += step.Seconds();
+    if (!next.ok()) return next.status();
+    display = std::move(next).value();
+
+    outcome.iteration_seconds.push_back(round_time);
+
+    // Per-round quality snapshot (measurement only; not counted as engine
+    // time). Rankings need at least one relevant image.
+    RoundQuality quality;
+    if (any_marked) {
+      StatusOr<Ranking> snapshot = engine.Finalize(k);
+      if (snapshot.ok()) {
+        std::vector<ImageId> ids;
+        ids.reserve(snapshot->size());
+        for (const KnnMatch& m : *snapshot) ids.push_back(m.id);
+        quality.precision_defined = true;
+        quality.precision = ComputePrecisionRecall(ids, gt).precision;
+        quality.gtir = ComputeGtir(ids, gt);
+      }
+    }
+    outcome.rounds.push_back(quality);
+  }
+
+  if (!any_marked) {
+    return Status::FailedPrecondition(
+        "the user never found a relevant image to mark");
+  }
+
+  step.Restart();
+  StatusOr<Ranking> final_ranking = engine.Finalize(k);
+  outcome.finalize_seconds = step.Seconds();
+  if (!final_ranking.ok()) return final_ranking.status();
+
+  outcome.final_results.reserve(final_ranking->size());
+  for (const KnnMatch& m : *final_ranking) {
+    outcome.final_results.push_back(m.id);
+  }
+  const PrecisionRecall pr =
+      ComputePrecisionRecall(outcome.final_results, gt);
+  outcome.final_precision = pr.precision;
+  outcome.final_recall = pr.recall;
+  outcome.final_gtir = ComputeGtir(outcome.final_results, gt);
+  outcome.global_stats = engine.stats();
+
+  double engine_total = outcome.finalize_seconds;
+  for (const double t : outcome.iteration_seconds) engine_total += t;
+  outcome.total_seconds = engine_total;
+  return outcome;
+}
+
+}  // namespace qdcbir

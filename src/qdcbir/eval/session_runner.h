@@ -1,0 +1,78 @@
+#ifndef QDCBIR_EVAL_SESSION_RUNNER_H_
+#define QDCBIR_EVAL_SESSION_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qdcbir/core/status.h"
+#include "qdcbir/eval/ground_truth.h"
+#include "qdcbir/eval/oracle.h"
+#include "qdcbir/query/feedback_engine.h"
+#include "qdcbir/query/qd_engine.h"
+#include "qdcbir/rfs/rfs_tree.h"
+
+namespace qdcbir {
+
+/// Options of the paper's 3-round interactive evaluation protocol.
+struct ProtocolOptions {
+  /// Feedback rounds before the final retrieval (the paper uses 3).
+  int feedback_rounds = 3;
+  /// "Random" button presses per round: how many 21-image screens the
+  /// simulated user is willing to browse looking for relevant images.
+  int browse_budget = 40;
+  /// Picks the user makes per round at most.
+  std::size_t max_picks_per_round = 10;
+  /// Result size; 0 means |ground truth| (the paper's setting, which makes
+  /// precision and recall coincide).
+  std::size_t retrieval_size = 0;
+  OracleOptions oracle;
+  std::uint64_t seed = 1;
+};
+
+/// Quality after one feedback round (Table 2's rows).
+struct RoundQuality {
+  bool precision_defined = false;  ///< QD commits no k-NN until the end
+  double precision = 0.0;
+  double gtir = 0.0;
+};
+
+/// The outcome of one full protocol run.
+struct RunOutcome {
+  std::vector<RoundQuality> rounds;
+  double final_precision = 0.0;
+  double final_recall = 0.0;
+  double final_gtir = 0.0;
+  std::vector<ImageId> final_results;
+
+  /// Engine-side processing time: everything except the simulated user's
+  /// deliberation (which is free for an oracle).
+  double total_seconds = 0.0;
+  /// Engine-side time per feedback round.
+  std::vector<double> iteration_seconds;
+  double finalize_seconds = 0.0;
+
+  QdSessionStats qd_stats;          ///< populated by RunQd
+  GlobalEngineStats global_stats;   ///< populated by RunEngine
+  QdResult qd_result;               ///< grouped results (RunQd only)
+};
+
+/// Drives full evaluation sessions: oracle browsing, feedback rounds, final
+/// retrieval, metric computation, and timing.
+class SessionRunner {
+ public:
+  /// Runs the Query Decomposition protocol over an RFS tree.
+  static StatusOr<RunOutcome> RunQd(const RfsTree& rfs,
+                                    const QueryGroundTruth& gt,
+                                    const QdOptions& qd_options,
+                                    const ProtocolOptions& protocol);
+
+  /// Runs the same protocol through a traditional feedback engine
+  /// (MV / QPM / MARS / Qcluster).
+  static StatusOr<RunOutcome> RunEngine(FeedbackEngine& engine,
+                                        const QueryGroundTruth& gt,
+                                        const ProtocolOptions& protocol);
+};
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_EVAL_SESSION_RUNNER_H_

@@ -1,0 +1,32 @@
+#ifndef QDCBIR_EVAL_TABLE_PRINTER_H_
+#define QDCBIR_EVAL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qdcbir {
+
+/// Fixed-width text table, used by the benchmark binaries to print the
+/// paper's tables side by side with measured values.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; missing cells print empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string Num(double value, int precision = 2);
+
+  /// Renders the table with a header separator.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_EVAL_TABLE_PRINTER_H_

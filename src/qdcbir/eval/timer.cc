@@ -1,0 +1,3 @@
+#include "qdcbir/eval/timer.h"
+
+// WallTimer is header-only; this file anchors the target's source list.

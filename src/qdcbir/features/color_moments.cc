@@ -1,0 +1,23 @@
+#include "qdcbir/features/color_moments.h"
+
+#include "qdcbir/core/stats.h"
+#include "qdcbir/image/color.h"
+
+namespace qdcbir {
+
+std::array<double, kColorMomentDim> ComputeColorMoments(const Image& image) {
+  MomentAccumulator h_acc, s_acc, v_acc;
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      const Hsv hsv = RgbToHsv(image.At(x, y));
+      h_acc.Add(hsv.h / 360.0);
+      s_acc.Add(hsv.s);
+      v_acc.Add(hsv.v);
+    }
+  }
+  return {h_acc.mean(), h_acc.stddev(), h_acc.skewness_cuberoot(),
+          s_acc.mean(), s_acc.stddev(), s_acc.skewness_cuberoot(),
+          v_acc.mean(), v_acc.stddev(), v_acc.skewness_cuberoot()};
+}
+
+}  // namespace qdcbir

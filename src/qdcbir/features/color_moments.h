@@ -1,0 +1,26 @@
+#ifndef QDCBIR_FEATURES_COLOR_MOMENTS_H_
+#define QDCBIR_FEATURES_COLOR_MOMENTS_H_
+
+#include <array>
+
+#include "qdcbir/image/image.h"
+
+namespace qdcbir {
+
+/// Number of color-moment features: 3 moments x 3 HSV channels.
+inline constexpr std::size_t kColorMomentDim = 9;
+
+/// Computes the 9 color-moment features of Stricker & Orengo (SPIE'95):
+/// for each HSV channel, the mean, the standard deviation, and the signed
+/// cube root of the third central moment ("skewness").
+///
+/// Channel scaling: h is normalized to [0, 1] (dividing by 360) so all nine
+/// features live on comparable scales before database-level normalization.
+///
+/// Layout: [h_mean, h_std, h_skew, s_mean, s_std, s_skew, v_mean, v_std,
+/// v_skew].
+std::array<double, kColorMomentDim> ComputeColorMoments(const Image& image);
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_FEATURES_COLOR_MOMENTS_H_

@@ -1,0 +1,105 @@
+#include "qdcbir/features/edge_structure.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qdcbir/image/color.h"
+
+namespace qdcbir {
+
+GradientField ComputeGradients(const Image& image) {
+  GradientField field;
+  field.width = image.width();
+  field.height = image.height();
+  const std::size_t n = image.pixel_count();
+  field.magnitude.assign(n, 0.0);
+  field.orientation.assign(n, 0.0);
+  if (image.empty()) return field;
+
+  const int w = image.width();
+  const int h = image.height();
+  auto gray = [&](int x, int y) {
+    x = std::clamp(x, 0, w - 1);
+    y = std::clamp(y, 0, h - 1);
+    return Luma(image.At(x, y)) / 255.0;
+  };
+
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double gx = gray(x + 1, y - 1) + 2.0 * gray(x + 1, y) +
+                        gray(x + 1, y + 1) - gray(x - 1, y - 1) -
+                        2.0 * gray(x - 1, y) - gray(x - 1, y + 1);
+      const double gy = gray(x - 1, y + 1) + 2.0 * gray(x, y + 1) +
+                        gray(x + 1, y + 1) - gray(x - 1, y - 1) -
+                        2.0 * gray(x, y - 1) - gray(x + 1, y - 1);
+      const std::size_t i = static_cast<std::size_t>(y) * w + x;
+      field.magnitude[i] = std::sqrt(gx * gx + gy * gy);
+      double theta = std::atan2(gy, gx);  // (-pi, pi]
+      if (theta < 0.0) theta += M_PI;     // fold to [0, pi)
+      if (theta >= M_PI) theta -= M_PI;
+      field.orientation[i] = theta;
+    }
+  }
+  return field;
+}
+
+std::array<double, kEdgeStructureDim> ComputeEdgeStructure(
+    const Image& image, double edge_threshold) {
+  std::array<double, kEdgeStructureDim> features{};
+  if (image.empty()) return features;
+
+  constexpr int kBins = 12;
+  const GradientField field = ComputeGradients(image);
+  const int w = field.width;
+  const int h = field.height;
+
+  double hist[kBins] = {0.0};
+  double hist_mass = 0.0;
+  double mag_sum = 0.0;
+  std::size_t edge_count = 0;
+  std::size_t quadrant_edges[4] = {0, 0, 0, 0};
+  std::size_t quadrant_pixels[4] = {0, 0, 0, 0};
+
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const std::size_t i = static_cast<std::size_t>(y) * w + x;
+      const double mag = field.magnitude[i];
+      mag_sum += mag;
+      const int quadrant = (y >= h / 2 ? 2 : 0) + (x >= w / 2 ? 1 : 0);
+      quadrant_pixels[quadrant] += 1;
+      if (mag > edge_threshold) {
+        edge_count += 1;
+        quadrant_edges[quadrant] += 1;
+        // Soft assignment across the two nearest bins (circular), so small
+        // rotations shift the histogram smoothly instead of flickering
+        // whole pixels between bins.
+        const double pos = field.orientation[i] / M_PI * kBins - 0.5;
+        const double base = std::floor(pos);
+        const double frac = pos - base;
+        const int lo_bin = (static_cast<int>(base) % kBins + kBins) % kBins;
+        const int hi_bin = (lo_bin + 1) % kBins;
+        hist[lo_bin] += mag * (1.0 - frac);
+        hist[hi_bin] += mag * frac;
+        hist_mass += mag;
+      }
+    }
+  }
+
+  for (int b = 0; b < kBins; ++b) {
+    features[b] = hist_mass > 0.0 ? hist[b] / hist_mass : 0.0;
+  }
+  const double npix = static_cast<double>(image.pixel_count());
+  features[12] = static_cast<double>(edge_count) / npix;
+  for (int q = 0; q < 4; ++q) {
+    features[13 + q] =
+        quadrant_pixels[q] > 0
+            ? static_cast<double>(quadrant_edges[q]) / quadrant_pixels[q]
+            : 0.0;
+  }
+  // Sobel magnitude on unit-scaled gray maxes out near 4*sqrt(2); scale to
+  // keep the feature in the same ballpark as the others.
+  features[17] = mag_sum / npix / (4.0 * std::sqrt(2.0));
+  return features;
+}
+
+}  // namespace qdcbir

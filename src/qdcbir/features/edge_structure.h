@@ -1,0 +1,39 @@
+#ifndef QDCBIR_FEATURES_EDGE_STRUCTURE_H_
+#define QDCBIR_FEATURES_EDGE_STRUCTURE_H_
+
+#include <array>
+#include <vector>
+
+#include "qdcbir/image/image.h"
+
+namespace qdcbir {
+
+/// Number of edge-based structural features: 12 orientation-histogram bins +
+/// 1 global edge density + 4 quadrant edge densities + 1 mean edge strength.
+inline constexpr std::size_t kEdgeStructureDim = 18;
+
+/// Per-pixel gradient field (Sobel operator over the grayscale image).
+struct GradientField {
+  int width = 0;
+  int height = 0;
+  std::vector<double> magnitude;    ///< gradient magnitude per pixel
+  std::vector<double> orientation;  ///< gradient orientation in [0, pi)
+};
+
+/// Computes Sobel gradients of `image` (border pixels use replicated edges).
+GradientField ComputeGradients(const Image& image);
+
+/// Computes the 18 edge-based structural features in the spirit of
+/// Zhou & Huang's edge-based structural descriptor (PRL 2000): a 12-bin
+/// magnitude-weighted edge-orientation histogram (normalized to sum 1 when
+/// any edge mass exists), the fraction of pixels whose gradient magnitude
+/// exceeds `edge_threshold`, the same fraction per image quadrant, and the
+/// mean gradient magnitude (scaled to [0, ~1]).
+///
+/// Layout: [hist0..hist11, density, q0, q1, q2, q3, mean_strength].
+std::array<double, kEdgeStructureDim> ComputeEdgeStructure(
+    const Image& image, double edge_threshold = 0.25);
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_FEATURES_EDGE_STRUCTURE_H_

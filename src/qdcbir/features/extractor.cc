@@ -1,0 +1,79 @@
+#include "qdcbir/features/extractor.h"
+
+#include "qdcbir/features/color_moments.h"
+#include "qdcbir/features/edge_structure.h"
+#include "qdcbir/features/wavelet_texture.h"
+#include "qdcbir/image/color.h"
+
+namespace qdcbir {
+
+std::vector<double> MakeGroupWeights(double color_weight,
+                                     double texture_weight,
+                                     double edge_weight) {
+  std::vector<double> weights(kPaperFeatureDim, 0.0);
+  for (std::size_t i = kPaperLayout.color_begin; i < kPaperLayout.color_end;
+       ++i) {
+    weights[i] = color_weight;
+  }
+  for (std::size_t i = kPaperLayout.texture_begin;
+       i < kPaperLayout.texture_end; ++i) {
+    weights[i] = texture_weight;
+  }
+  for (std::size_t i = kPaperLayout.edge_begin; i < kPaperLayout.edge_end;
+       ++i) {
+    weights[i] = edge_weight;
+  }
+  return weights;
+}
+
+const char* ViewpointChannelName(ViewpointChannel channel) {
+  switch (channel) {
+    case ViewpointChannel::kOriginal:
+      return "original";
+    case ViewpointChannel::kNegative:
+      return "negative";
+    case ViewpointChannel::kGray:
+      return "gray";
+    case ViewpointChannel::kGrayNegative:
+      return "gray_negative";
+  }
+  return "unknown";
+}
+
+Image ApplyViewpointChannel(const Image& image, ViewpointChannel channel) {
+  switch (channel) {
+    case ViewpointChannel::kOriginal:
+      return image;
+    case ViewpointChannel::kNegative:
+      return ToNegative(image);
+    case ViewpointChannel::kGray:
+      return ToGrayscale(image);
+    case ViewpointChannel::kGrayNegative:
+      return ToGrayNegative(image);
+  }
+  return image;
+}
+
+StatusOr<FeatureVector> FeatureExtractor::Extract(const Image& image) const {
+  if (image.empty()) {
+    return Status::InvalidArgument("cannot extract features from empty image");
+  }
+  FeatureVector out(kPaperFeatureDim);
+  const auto color = ComputeColorMoments(image);
+  const auto texture = ComputeWaveletTexture(image);
+  const auto edge = ComputeEdgeStructure(image);
+
+  std::size_t i = 0;
+  for (double v : color) out[i++] = v;
+  for (double v : texture) out[i++] = v;
+  for (double v : edge) out[i++] = v;
+  return out;
+}
+
+StatusOr<FeatureVector> FeatureExtractor::ExtractChannel(
+    const Image& image, ViewpointChannel channel) const {
+  if (channel == ViewpointChannel::kOriginal) return Extract(image);
+  return Extract(ApplyViewpointChannel(image, channel));
+}
+
+}  // namespace qdcbir

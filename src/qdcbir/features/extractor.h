@@ -1,0 +1,72 @@
+#ifndef QDCBIR_FEATURES_EXTRACTOR_H_
+#define QDCBIR_FEATURES_EXTRACTOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "qdcbir/core/feature_vector.h"
+#include "qdcbir/core/status.h"
+#include "qdcbir/core/types.h"
+#include "qdcbir/image/image.h"
+
+namespace qdcbir {
+
+/// Index ranges of the three feature groups inside the 37-D vector.
+struct FeatureLayout {
+  std::size_t color_begin = 0;
+  std::size_t color_end = 9;
+  std::size_t texture_begin = 9;
+  std::size_t texture_end = 19;
+  std::size_t edge_begin = 19;
+  std::size_t edge_end = 37;
+};
+
+/// The paper's feature layout: [color moments | wavelet texture | edge].
+inline constexpr FeatureLayout kPaperLayout{};
+
+/// The four "viewpoint channels" the paper's Multiple Viewpoints baseline
+/// extracts features from: the original image, its color negative, its
+/// grayscale (black-white) version, and the black-white negative.
+enum class ViewpointChannel {
+  kOriginal = 0,
+  kNegative = 1,
+  kGray = 2,
+  kGrayNegative = 3,
+};
+inline constexpr int kNumViewpointChannels = 4;
+const char* ViewpointChannelName(ViewpointChannel channel);
+
+/// Applies a viewpoint channel transform to an image.
+Image ApplyViewpointChannel(const Image& image, ViewpointChannel channel);
+
+/// Builds a 37-dimensional weight vector assigning one importance weight to
+/// each feature *group* — the paper's §6 future-work extension where "the
+/// user may define color as the most important feature". Weights must be
+/// non-negative; e.g. `MakeGroupWeights(3.0, 1.0, 1.0)` triples the
+/// influence of the color moments.
+std::vector<double> MakeGroupWeights(double color_weight,
+                                     double texture_weight,
+                                     double edge_weight);
+
+/// Extracts the paper's 37-dimensional feature vector from raster images.
+///
+/// Thread-compatible: `Extract` is const and reentrant.
+class FeatureExtractor {
+ public:
+  FeatureExtractor() = default;
+
+  /// Extracts the 37-D vector: 9 color moments, 10 wavelet-texture features,
+  /// 18 edge-structure features. Fails on empty images.
+  StatusOr<FeatureVector> Extract(const Image& image) const;
+
+  /// Extracts the 37-D vector from the image as seen through `channel`.
+  StatusOr<FeatureVector> ExtractChannel(const Image& image,
+                                         ViewpointChannel channel) const;
+
+  std::size_t dim() const { return kPaperFeatureDim; }
+};
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_FEATURES_EXTRACTOR_H_

@@ -1,0 +1,55 @@
+#ifndef QDCBIR_FEATURES_NORMALIZER_H_
+#define QDCBIR_FEATURES_NORMALIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "qdcbir/core/feature_vector.h"
+#include "qdcbir/core/status.h"
+
+namespace qdcbir {
+
+/// Per-dimension z-score normalizer fit on a database of feature vectors.
+///
+/// Raw feature groups (color moments, wavelet energies, edge statistics)
+/// have very different numeric ranges; without normalization a Euclidean
+/// metric would be dominated by one group. `Fit` learns per-dimension mean
+/// and standard deviation; `Transform` maps x_i -> (x_i - mu_i) / sigma_i
+/// (dimensions with sigma == 0 are mapped to 0).
+class FeatureNormalizer {
+ public:
+  FeatureNormalizer() = default;
+
+  /// Learns the statistics of `vectors`. All vectors must share one
+  /// dimensionality and the set must be non-empty.
+  Status Fit(const std::vector<FeatureVector>& vectors);
+
+  /// Whether `Fit` (or deserialization) has provided statistics.
+  bool fitted() const { return !mean_.empty(); }
+  std::size_t dim() const { return mean_.size(); }
+
+  /// Normalizes one vector (dimensions must match the fitted statistics).
+  StatusOr<FeatureVector> Transform(const FeatureVector& v) const;
+
+  /// Normalizes a batch in place.
+  Status TransformInPlace(std::vector<FeatureVector>& vectors) const;
+
+  /// Maps a normalized vector back to raw feature space.
+  StatusOr<FeatureVector> InverseTransform(const FeatureVector& v) const;
+
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return stddev_; }
+
+  /// Serialization (little binary header + doubles), for persisting built
+  /// databases alongside the RFS tree.
+  std::string Serialize() const;
+  static StatusOr<FeatureNormalizer> Deserialize(const std::string& bytes);
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_FEATURES_NORMALIZER_H_

@@ -1,0 +1,128 @@
+#include "qdcbir/features/wavelet_texture.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "qdcbir/image/color.h"
+
+namespace qdcbir {
+
+namespace {
+
+double LogEnergy(const std::vector<double>& band) {
+  if (band.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : band) sum += v * v;
+  return std::log1p(sum / static_cast<double>(band.size()));
+}
+
+/// Pads `input` to even dimensions by edge replication.
+std::vector<double> PadToEven(const std::vector<double>& input, int& width,
+                              int& height) {
+  const int w2 = width + (width % 2);
+  const int h2 = height + (height % 2);
+  if (w2 == width && h2 == height) return input;
+  std::vector<double> out(static_cast<std::size_t>(w2) * h2);
+  for (int y = 0; y < h2; ++y) {
+    const int sy = y < height ? y : height - 1;
+    for (int x = 0; x < w2; ++x) {
+      const int sx = x < width ? x : width - 1;
+      out[static_cast<std::size_t>(y) * w2 + x] =
+          input[static_cast<std::size_t>(sy) * width + sx];
+    }
+  }
+  width = w2;
+  height = h2;
+  return out;
+}
+
+}  // namespace
+
+HaarSubbands HaarTransform2D(const std::vector<double>& input, int width,
+                             int height) {
+  assert(width % 2 == 0 && height % 2 == 0);
+  assert(static_cast<std::size_t>(width) * height == input.size());
+  HaarSubbands out;
+  out.width = width / 2;
+  out.height = height / 2;
+  const std::size_t n =
+      static_cast<std::size_t>(out.width) * static_cast<std::size_t>(out.height);
+  out.ll.resize(n);
+  out.lh.resize(n);
+  out.hl.resize(n);
+  out.hh.resize(n);
+
+  auto in = [&](int x, int y) {
+    return input[static_cast<std::size_t>(y) * width + x];
+  };
+  for (int y = 0; y < out.height; ++y) {
+    for (int x = 0; x < out.width; ++x) {
+      const double a = in(2 * x, 2 * y);
+      const double b = in(2 * x + 1, 2 * y);
+      const double c = in(2 * x, 2 * y + 1);
+      const double d = in(2 * x + 1, 2 * y + 1);
+      const std::size_t i = static_cast<std::size_t>(y) * out.width + x;
+      out.ll[i] = (a + b + c + d) / 2.0;   // orthonormal Haar: scale by 1/2
+      out.hl[i] = (a - b + c - d) / 2.0;   // horizontal detail
+      out.lh[i] = (a + b - c - d) / 2.0;   // vertical detail
+      out.hh[i] = (a - b - c + d) / 2.0;   // diagonal detail
+    }
+  }
+  return out;
+}
+
+std::array<double, kWaveletTextureDim> ComputeWaveletTexture(
+    const Image& image) {
+  std::array<double, kWaveletTextureDim> features{};
+  if (image.empty()) return features;
+
+  int w = image.width();
+  int h = image.height();
+  std::vector<double> gray(static_cast<std::size_t>(w) * h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      gray[static_cast<std::size_t>(y) * w + x] = Luma(image.At(x, y)) / 255.0;
+    }
+  }
+
+  // Light 3x3 box prefilter. Haar subband energies are sensitive to the
+  // dyadic alignment of sharp edges (a one-pixel shift flips coefficient
+  // parity); the blur spreads edge energy so the descriptor varies smoothly
+  // under sub-pixel object motion.
+  {
+    std::vector<double> blurred(gray.size());
+    auto at = [&](int x, int y) {
+      x = std::clamp(x, 0, w - 1);
+      y = std::clamp(y, 0, h - 1);
+      return gray[static_cast<std::size_t>(y) * w + x];
+    };
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        double sum = 0.0;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) sum += at(x + dx, y + dy);
+        }
+        blurred[static_cast<std::size_t>(y) * w + x] = sum / 9.0;
+      }
+    }
+    gray = std::move(blurred);
+  }
+
+  std::size_t fi = 1;  // features[0] reserved for the deepest LL band
+  for (int level = 0; level < kWaveletLevels; ++level) {
+    if (w < 2 || h < 2) break;  // too small to decompose further
+    gray = PadToEven(gray, w, h);
+    HaarSubbands bands = HaarTransform2D(gray, w, h);
+    features[fi++] = LogEnergy(bands.lh);
+    features[fi++] = LogEnergy(bands.hl);
+    features[fi++] = LogEnergy(bands.hh);
+    gray = std::move(bands.ll);
+    w = bands.width;
+    h = bands.height;
+    if (level == kWaveletLevels - 1) features[0] = LogEnergy(gray);
+  }
+  return features;
+}
+
+}  // namespace qdcbir

@@ -1,0 +1,38 @@
+#ifndef QDCBIR_FEATURES_WAVELET_TEXTURE_H_
+#define QDCBIR_FEATURES_WAVELET_TEXTURE_H_
+
+#include <array>
+#include <vector>
+
+#include "qdcbir/image/image.h"
+
+namespace qdcbir {
+
+/// Number of wavelet-texture features: LL of the deepest level plus
+/// LH/HL/HH of 3 decomposition levels = 1 + 3*3 = 10.
+inline constexpr std::size_t kWaveletTextureDim = 10;
+inline constexpr int kWaveletLevels = 3;
+
+/// One level of the 2-D Haar wavelet transform of `input` (row-major,
+/// `width` x `height`, both even; callers pad first). Outputs four half-size
+/// subbands.
+struct HaarSubbands {
+  int width = 0;   ///< subband width  (input width / 2)
+  int height = 0;  ///< subband height (input height / 2)
+  std::vector<double> ll, lh, hl, hh;
+};
+HaarSubbands HaarTransform2D(const std::vector<double>& input, int width,
+                             int height);
+
+/// Computes the 10 wavelet-based texture features (Smith & Chang, ICIP'94
+/// style): a 3-level Haar decomposition of the grayscale image; the feature
+/// is the log-energy (log(1 + mean squared coefficient)) of each of the nine
+/// detail subbands plus the deepest approximation subband.
+///
+/// Layout: [LL3, LH1, HL1, HH1, LH2, HL2, HH2, LH3, HL3, HH3].
+std::array<double, kWaveletTextureDim> ComputeWaveletTexture(
+    const Image& image);
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_FEATURES_WAVELET_TEXTURE_H_

@@ -1,0 +1,109 @@
+#include "qdcbir/image/color.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qdcbir {
+
+namespace {
+
+std::uint8_t ClampByte(double v) {
+  if (v <= 0.0) return 0;
+  if (v >= 255.0) return 255;
+  return static_cast<std::uint8_t>(std::lround(v));
+}
+
+}  // namespace
+
+Hsv RgbToHsv(Rgb c) {
+  const double r = c.r / 255.0;
+  const double g = c.g / 255.0;
+  const double b = c.b / 255.0;
+  const double mx = std::max({r, g, b});
+  const double mn = std::min({r, g, b});
+  const double delta = mx - mn;
+
+  Hsv out;
+  out.v = mx;
+  out.s = mx > 0.0 ? delta / mx : 0.0;
+  if (delta <= 0.0) {
+    out.h = 0.0;
+  } else if (mx == r) {
+    out.h = 60.0 * std::fmod((g - b) / delta, 6.0);
+  } else if (mx == g) {
+    out.h = 60.0 * ((b - r) / delta + 2.0);
+  } else {
+    out.h = 60.0 * ((r - g) / delta + 4.0);
+  }
+  if (out.h < 0.0) out.h += 360.0;
+  return out;
+}
+
+Rgb HsvToRgb(Hsv c) {
+  double h = std::fmod(c.h, 360.0);
+  if (h < 0.0) h += 360.0;
+  const double s = std::clamp(c.s, 0.0, 1.0);
+  const double v = std::clamp(c.v, 0.0, 1.0);
+
+  const double cc = v * s;
+  const double x = cc * (1.0 - std::fabs(std::fmod(h / 60.0, 2.0) - 1.0));
+  const double m = v - cc;
+
+  double r = 0.0, g = 0.0, b = 0.0;
+  if (h < 60.0) {
+    r = cc, g = x;
+  } else if (h < 120.0) {
+    r = x, g = cc;
+  } else if (h < 180.0) {
+    g = cc, b = x;
+  } else if (h < 240.0) {
+    g = x, b = cc;
+  } else if (h < 300.0) {
+    r = x, b = cc;
+  } else {
+    r = cc, b = x;
+  }
+  return Rgb{ClampByte((r + m) * 255.0), ClampByte((g + m) * 255.0),
+             ClampByte((b + m) * 255.0)};
+}
+
+double Luma(Rgb c) { return 0.299 * c.r + 0.587 * c.g + 0.114 * c.b; }
+
+Image ToGrayscale(const Image& image) {
+  Image out(image.width(), image.height());
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      const std::uint8_t g = ClampByte(Luma(image.At(x, y)));
+      out.Set(x, y, Rgb{g, g, g});
+    }
+  }
+  return out;
+}
+
+Image ToNegative(const Image& image) {
+  Image out(image.width(), image.height());
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      const Rgb c = image.At(x, y);
+      out.Set(x, y, Rgb{static_cast<std::uint8_t>(255 - c.r),
+                        static_cast<std::uint8_t>(255 - c.g),
+                        static_cast<std::uint8_t>(255 - c.b)});
+    }
+  }
+  return out;
+}
+
+Image ToGrayNegative(const Image& image) { return ToNegative(ToGrayscale(image)); }
+
+Rgb LerpColor(Rgb a, Rgb b, double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  return Rgb{ClampByte(a.r + (b.r - a.r) * t), ClampByte(a.g + (b.g - a.g) * t),
+             ClampByte(a.b + (b.b - a.b) * t)};
+}
+
+Rgb ScaleColor(Rgb c, double factor) {
+  return Rgb{ClampByte(c.r * factor), ClampByte(c.g * factor),
+             ClampByte(c.b * factor)};
+}
+
+}  // namespace qdcbir

@@ -1,0 +1,43 @@
+#ifndef QDCBIR_IMAGE_COLOR_H_
+#define QDCBIR_IMAGE_COLOR_H_
+
+#include "qdcbir/image/image.h"
+
+namespace qdcbir {
+
+/// HSV triple with h in [0, 360), s and v in [0, 1].
+struct Hsv {
+  double h = 0.0;
+  double s = 0.0;
+  double v = 0.0;
+};
+
+/// Converts an RGB pixel to HSV.
+Hsv RgbToHsv(Rgb c);
+
+/// Converts HSV back to RGB (h outside [0, 360) is wrapped; s, v clamped).
+Rgb HsvToRgb(Hsv c);
+
+/// Luma (Rec. 601 luminance) of a pixel, in [0, 255].
+double Luma(Rgb c);
+
+/// Returns the grayscale version of `image` (each channel set to luma).
+Image ToGrayscale(const Image& image);
+
+/// Returns the color-negative of `image` (255 - channel).
+Image ToNegative(const Image& image);
+
+/// Returns the black-and-white negative: negative of the grayscale image.
+/// Together with identity, grayscale, and negative this forms the four
+/// "viewpoint channels" the paper's Multiple Viewpoints baseline combines.
+Image ToGrayNegative(const Image& image);
+
+/// Linear interpolation between colors (t in [0, 1], clamped).
+Rgb LerpColor(Rgb a, Rgb b, double t);
+
+/// Scales the brightness of a color by `factor` (clamped to [0, 255]).
+Rgb ScaleColor(Rgb c, double factor);
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_IMAGE_COLOR_H_

@@ -1,0 +1,59 @@
+#ifndef QDCBIR_IMAGE_DRAW_H_
+#define QDCBIR_IMAGE_DRAW_H_
+
+#include <vector>
+
+#include "qdcbir/core/rng.h"
+#include "qdcbir/image/image.h"
+
+namespace qdcbir {
+
+/// 2-D point in pixel coordinates (sub-pixel positions allowed).
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Drawing primitives used by the synthetic dataset generator. All functions
+/// clip at the image borders; out-of-bounds coordinates are legal.
+
+/// Fills the axis-aligned rectangle [x0, x1) x [y0, y1).
+void FillRect(Image& img, int x0, int y0, int x1, int y1, Rgb color);
+
+/// Fills a disk of radius `r` centered at (cx, cy).
+void FillCircle(Image& img, double cx, double cy, double r, Rgb color);
+
+/// Fills an axis-aligned ellipse with radii (rx, ry) centered at (cx, cy).
+void FillEllipse(Image& img, double cx, double cy, double rx, double ry,
+                 Rgb color);
+
+/// Fills an arbitrary simple polygon (scanline algorithm).
+void FillPolygon(Image& img, const std::vector<Point2>& vertices, Rgb color);
+
+/// Fills the triangle (a, b, c).
+void FillTriangle(Image& img, Point2 a, Point2 b, Point2 c, Rgb color);
+
+/// Draws a line segment of the given thickness (>= 1 pixel).
+void DrawLine(Image& img, Point2 a, Point2 b, Rgb color, int thickness = 1);
+
+/// Fills the image with a vertical gradient from `top` to `bottom`.
+void VerticalGradient(Image& img, Rgb top, Rgb bottom);
+
+/// Fills the image with a horizontal gradient from `left` to `right`.
+void HorizontalGradient(Image& img, Rgb left, Rgb right);
+
+/// Adds independent Gaussian noise (stddev in 8-bit units) to every channel.
+void AddGaussianNoise(Image& img, double stddev, Rng& rng);
+
+/// Rotates `points` by `angle_rad` around `center` (returns new points).
+std::vector<Point2> RotatePoints(const std::vector<Point2>& points,
+                                 Point2 center, double angle_rad);
+
+/// Returns the vertices of a regular `n`-gon of circumradius `r` centered at
+/// `center`, with the first vertex at angle `phase_rad`.
+std::vector<Point2> RegularPolygon(Point2 center, double r, int n,
+                                   double phase_rad = 0.0);
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_IMAGE_DRAW_H_

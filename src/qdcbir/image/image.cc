@@ -1,0 +1,15 @@
+#include "qdcbir/image/image.h"
+
+namespace qdcbir {
+
+Image::Image(int width, int height, Rgb fill)
+    : width_(width), height_(height) {
+  assert(width >= 0 && height >= 0);
+  pixels_.assign(pixel_count(), fill);
+}
+
+void Image::Fill(Rgb c) {
+  for (Rgb& p : pixels_) p = c;
+}
+
+}  // namespace qdcbir

@@ -1,0 +1,85 @@
+#ifndef QDCBIR_IMAGE_IMAGE_H_
+#define QDCBIR_IMAGE_IMAGE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace qdcbir {
+
+/// 8-bit RGB pixel.
+struct Rgb {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+
+  friend bool operator==(const Rgb& a, const Rgb& b) {
+    return a.r == b.r && a.g == b.g && a.b == b.b;
+  }
+};
+
+/// In-memory RGB raster image, row-major, origin at the top-left corner.
+///
+/// This is the substrate the synthetic dataset generator draws into and the
+/// feature extractors read from. It deliberately stays minimal: pixel access,
+/// fills, and whole-image transforms live here; shapes live in draw.h.
+class Image {
+ public:
+  Image() = default;
+
+  /// Creates a width x height image filled with `fill`.
+  Image(int width, int height, Rgb fill = Rgb{0, 0, 0});
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  std::size_t pixel_count() const {
+    return static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+  }
+  bool empty() const { return width_ == 0 || height_ == 0; }
+
+  /// Pixel accessors; coordinates must be in range.
+  const Rgb& At(int x, int y) const {
+    assert(InBounds(x, y));
+    return pixels_[Index(x, y)];
+  }
+  Rgb& At(int x, int y) {
+    assert(InBounds(x, y));
+    return pixels_[Index(x, y)];
+  }
+  void Set(int x, int y, Rgb c) { At(x, y) = c; }
+
+  /// Sets the pixel if (x, y) is inside the image; no-op otherwise.
+  /// Drawing code uses this to clip primitives at the borders.
+  void SetClipped(int x, int y, Rgb c) {
+    if (InBounds(x, y)) pixels_[Index(x, y)] = c;
+  }
+
+  bool InBounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  /// Fills the whole image with `c`.
+  void Fill(Rgb c);
+
+  const std::vector<Rgb>& pixels() const { return pixels_; }
+  std::vector<Rgb>& pixels() { return pixels_; }
+
+  friend bool operator==(const Image& a, const Image& b) {
+    return a.width_ == b.width_ && a.height_ == b.height_ &&
+           a.pixels_ == b.pixels_;
+  }
+
+ private:
+  std::size_t Index(int x, int y) const {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(x);
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<Rgb> pixels_;
+};
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_IMAGE_IMAGE_H_

@@ -1,0 +1,109 @@
+#include "qdcbir/image/ppm_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace qdcbir {
+
+namespace {
+
+/// Skips whitespace and '#' comments in a PPM header.
+void SkipPpmSpace(const std::string& s, std::size_t& pos) {
+  while (pos < s.size()) {
+    if (std::isspace(static_cast<unsigned char>(s[pos]))) {
+      ++pos;
+    } else if (s[pos] == '#') {
+      while (pos < s.size() && s[pos] != '\n') ++pos;
+    } else {
+      break;
+    }
+  }
+}
+
+StatusOr<long> ParsePpmInt(const std::string& s, std::size_t& pos) {
+  SkipPpmSpace(s, pos);
+  if (pos >= s.size() || !std::isdigit(static_cast<unsigned char>(s[pos]))) {
+    return Status::IoError("malformed PPM header: expected integer");
+  }
+  long value = 0;
+  while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos]))) {
+    value = value * 10 + (s[pos] - '0');
+    if (value > 1'000'000'000L) {
+      return Status::IoError("malformed PPM header: integer too large");
+    }
+    ++pos;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string EncodePpm(const Image& image) {
+  std::ostringstream header;
+  header << "P6\n" << image.width() << " " << image.height() << "\n255\n";
+  std::string out = header.str();
+  out.reserve(out.size() + image.pixel_count() * 3);
+  for (const Rgb& p : image.pixels()) {
+    out.push_back(static_cast<char>(p.r));
+    out.push_back(static_cast<char>(p.g));
+    out.push_back(static_cast<char>(p.b));
+  }
+  return out;
+}
+
+StatusOr<Image> DecodePpm(const std::string& bytes) {
+  if (bytes.size() < 2 || bytes[0] != 'P' || bytes[1] != '6') {
+    return Status::IoError("not a binary PPM (missing P6 magic)");
+  }
+  std::size_t pos = 2;
+  StatusOr<long> w = ParsePpmInt(bytes, pos);
+  if (!w.ok()) return w.status();
+  StatusOr<long> h = ParsePpmInt(bytes, pos);
+  if (!h.ok()) return h.status();
+  StatusOr<long> maxval = ParsePpmInt(bytes, pos);
+  if (!maxval.ok()) return maxval.status();
+  if (*maxval != 255) {
+    return Status::Unimplemented("only maxval 255 PPM files are supported");
+  }
+  if (*w < 0 || *h < 0) return Status::IoError("negative PPM dimensions");
+  // Exactly one whitespace byte separates the header from pixel data.
+  if (pos >= bytes.size() ||
+      !std::isspace(static_cast<unsigned char>(bytes[pos]))) {
+    return Status::IoError("malformed PPM header: missing separator");
+  }
+  ++pos;
+
+  const std::size_t npixels =
+      static_cast<std::size_t>(*w) * static_cast<std::size_t>(*h);
+  if (bytes.size() - pos < npixels * 3) {
+    return Status::IoError("truncated PPM pixel data");
+  }
+  Image image(static_cast<int>(*w), static_cast<int>(*h));
+  for (std::size_t i = 0; i < npixels; ++i) {
+    image.pixels()[i] = Rgb{static_cast<std::uint8_t>(bytes[pos + 3 * i]),
+                            static_cast<std::uint8_t>(bytes[pos + 3 * i + 1]),
+                            static_cast<std::uint8_t>(bytes[pos + 3 * i + 2])};
+  }
+  return image;
+}
+
+Status WritePpm(const Image& image, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  const std::string bytes = EncodePpm(image);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<Image> ReadPpm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return DecodePpm(ss.str());
+}
+
+}  // namespace qdcbir

@@ -1,0 +1,25 @@
+#ifndef QDCBIR_IMAGE_PPM_IO_H_
+#define QDCBIR_IMAGE_PPM_IO_H_
+
+#include <string>
+
+#include "qdcbir/core/status.h"
+#include "qdcbir/image/image.h"
+
+namespace qdcbir {
+
+/// Writes `image` as a binary PPM (P6) file at `path`.
+Status WritePpm(const Image& image, const std::string& path);
+
+/// Reads a binary PPM (P6) file. Supports comments and maxval 255.
+StatusOr<Image> ReadPpm(const std::string& path);
+
+/// Serializes `image` to an in-memory P6 byte string.
+std::string EncodePpm(const Image& image);
+
+/// Parses a P6 byte string produced by `EncodePpm` (or any conforming P6).
+StatusOr<Image> DecodePpm(const std::string& bytes);
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_IMAGE_PPM_IO_H_

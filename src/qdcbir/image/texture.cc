@@ -1,0 +1,78 @@
+#include "qdcbir/image/texture.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "qdcbir/image/color.h"
+#include "qdcbir/image/draw.h"
+
+namespace qdcbir {
+
+void Checkerboard(Image& img, int cell, Rgb color, double alpha) {
+  if (cell <= 0) return;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      if (((x / cell) + (y / cell)) % 2 == 0) {
+        img.Set(x, y, LerpColor(img.At(x, y), color, alpha));
+      }
+    }
+  }
+}
+
+void Stripes(Image& img, double period, double angle_rad, Rgb color,
+             double alpha) {
+  if (period <= 0.0) return;
+  const double nx = std::cos(angle_rad);
+  const double ny = std::sin(angle_rad);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const double phase = std::fmod(x * nx + y * ny, period);
+      const double p = phase < 0.0 ? phase + period : phase;
+      if (p < period / 2.0) {
+        img.Set(x, y, LerpColor(img.At(x, y), color, alpha));
+      }
+    }
+  }
+}
+
+void ValueNoise(Image& img, double scale, double amplitude, Rng& rng) {
+  if (scale <= 0.0 || amplitude <= 0.0 || img.empty()) return;
+  const int gw = static_cast<int>(std::ceil(img.width() / scale)) + 2;
+  const int gh = static_cast<int>(std::ceil(img.height() / scale)) + 2;
+  std::vector<double> lattice(static_cast<std::size_t>(gw) * gh);
+  for (double& v : lattice) v = rng.UniformDouble(-1.0, 1.0);
+  auto lat = [&](int gx, int gy) {
+    return lattice[static_cast<std::size_t>(gy) * gw + gx];
+  };
+  auto smooth = [](double t) { return t * t * (3.0 - 2.0 * t); };
+
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const double fx = x / scale;
+      const double fy = y / scale;
+      const int gx = static_cast<int>(fx);
+      const int gy = static_cast<int>(fy);
+      const double tx = smooth(fx - gx);
+      const double ty = smooth(fy - gy);
+      const double a = lat(gx, gy) + tx * (lat(gx + 1, gy) - lat(gx, gy));
+      const double b =
+          lat(gx, gy + 1) + tx * (lat(gx + 1, gy + 1) - lat(gx, gy + 1));
+      const double n = a + ty * (b - a);  // in [-1, 1]
+      const double factor = 1.0 + amplitude * n;
+      img.Set(x, y, ScaleColor(img.At(x, y), factor));
+    }
+  }
+}
+
+void SpeckleDots(Image& img, int count, double max_radius, Rgb color,
+                 Rng& rng) {
+  for (int i = 0; i < count; ++i) {
+    const double cx = rng.UniformDouble(0.0, img.width());
+    const double cy = rng.UniformDouble(0.0, img.height());
+    const double r = rng.UniformDouble(0.5, std::max(0.5, max_radius));
+    FillCircle(img, cx, cy, r, color);
+  }
+}
+
+}  // namespace qdcbir

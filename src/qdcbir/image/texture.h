@@ -1,0 +1,30 @@
+#ifndef QDCBIR_IMAGE_TEXTURE_H_
+#define QDCBIR_IMAGE_TEXTURE_H_
+
+#include "qdcbir/core/rng.h"
+#include "qdcbir/image/image.h"
+
+namespace qdcbir {
+
+/// Procedural textures. The wavelet-texture features respond to these, so the
+/// dataset generator uses them to separate sub-concepts that share colors.
+
+/// Overlays a checkerboard of `cell` pixels, blending `color` at `alpha`.
+void Checkerboard(Image& img, int cell, Rgb color, double alpha);
+
+/// Overlays stripes of width `period/2` at `angle_rad`, blending at `alpha`.
+void Stripes(Image& img, double period, double angle_rad, Rgb color,
+             double alpha);
+
+/// Smooth value-noise field (bilinear interpolation of a random lattice),
+/// blended multiplicatively onto brightness. `scale` is the lattice cell size
+/// in pixels; `amplitude` in [0, 1] controls the brightness swing.
+void ValueNoise(Image& img, double scale, double amplitude, Rng& rng);
+
+/// Scatters `count` small dots of radius up to `max_radius`.
+void SpeckleDots(Image& img, int count, double max_radius, Rgb color,
+                 Rng& rng);
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_IMAGE_TEXTURE_H_

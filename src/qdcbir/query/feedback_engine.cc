@@ -1,0 +1,69 @@
+#include "qdcbir/query/feedback_engine.h"
+
+#include <algorithm>
+
+namespace qdcbir {
+
+GlobalFeedbackEngineBase::GlobalFeedbackEngineBase(const ImageDatabase* db,
+                                                   std::size_t display_size,
+                                                   std::uint64_t seed)
+    : db_(db), display_size_(display_size), rng_(seed) {}
+
+std::vector<ImageId> GlobalFeedbackEngineBase::RandomDisplay() {
+  const std::vector<std::size_t> picks =
+      rng_.SampleWithoutReplacement(db_->size(), display_size_);
+  std::vector<ImageId> out;
+  out.reserve(picks.size());
+  for (const std::size_t i : picks) out.push_back(static_cast<ImageId>(i));
+  return out;
+}
+
+std::vector<ImageId> GlobalFeedbackEngineBase::Start() {
+  relevant_.clear();
+  current_ranking_.clear();
+  page_ = 0;
+  stats_ = GlobalEngineStats{};
+  return RandomDisplay();
+}
+
+std::vector<ImageId> GlobalFeedbackEngineBase::Resample() {
+  if (current_ranking_.empty()) return RandomDisplay();
+  // Page deeper into the current ranking.
+  page_ += display_size_;
+  if (page_ >= current_ranking_.size()) page_ = 0;
+  std::vector<ImageId> out;
+  for (std::size_t i = page_;
+       i < current_ranking_.size() && out.size() < display_size_; ++i) {
+    out.push_back(current_ranking_[i].id);
+  }
+  return out;
+}
+
+StatusOr<std::vector<ImageId>> GlobalFeedbackEngineBase::Feedback(
+    const std::vector<ImageId>& relevant) {
+  for (const ImageId id : relevant) {
+    if (id >= db_->size()) {
+      return Status::InvalidArgument("relevant image id out of range");
+    }
+    if (std::find(relevant_.begin(), relevant_.end(), id) == relevant_.end()) {
+      relevant_.push_back(id);
+    }
+  }
+  stats_.feedback_rounds += 1;
+  if (relevant_.empty()) return RandomDisplay();
+
+  // Refine and show the top of the new ranking (over-fetch one page so the
+  // user can browse past the first screen).
+  StatusOr<Ranking> ranking = ComputeRanking(display_size_ * 4);
+  if (!ranking.ok()) return ranking.status();
+  current_ranking_ = std::move(ranking).value();
+  page_ = 0;
+  std::vector<ImageId> out;
+  for (const KnnMatch& m : current_ranking_) {
+    if (out.size() >= display_size_) break;
+    out.push_back(m.id);
+  }
+  return out;
+}
+
+}  // namespace qdcbir

@@ -1,0 +1,88 @@
+#ifndef QDCBIR_QUERY_FEEDBACK_ENGINE_H_
+#define QDCBIR_QUERY_FEEDBACK_ENGINE_H_
+
+#include <vector>
+
+#include "qdcbir/core/rng.h"
+#include "qdcbir/core/status.h"
+#include "qdcbir/core/types.h"
+#include "qdcbir/dataset/database.h"
+#include "qdcbir/query/knn.h"
+
+namespace qdcbir {
+
+/// Cost counters for the traditional (global k-NN) feedback engines.
+struct GlobalEngineStats {
+  std::size_t feedback_rounds = 0;
+  std::size_t global_knn_computations = 0;  ///< whole-database scans
+  std::size_t candidates_scanned = 0;       ///< images visited by scans
+};
+
+/// Interface of a traditional relevance-feedback retrieval engine: the user
+/// browses a flat display, marks relevant images, and each feedback round
+/// refines a global query. Implementations: Multiple Viewpoints (MV), Query
+/// Point Movement (QPM / MindReader), MARS multipoint refinement, and a
+/// Qcluster-style disjunctive engine.
+///
+/// Unlike `QdSession`, these engines search a single (possibly reshaped)
+/// neighborhood of the full feature space, and pay a global k-NN computation
+/// every round — the two properties the paper's QD model addresses.
+class FeedbackEngine {
+ public:
+  virtual ~FeedbackEngine() = default;
+
+  virtual const char* Name() const = 0;
+
+  /// Begins a session; returns the initial (random) display.
+  virtual std::vector<ImageId> Start() = 0;
+
+  /// Re-rolls the current display without consuming a feedback round.
+  /// Before any feedback this is a fresh random sample; afterwards it pages
+  /// deeper into the current ranking.
+  virtual std::vector<ImageId> Resample() = 0;
+
+  /// Records relevant picks and refines the query; returns the next display.
+  virtual StatusOr<std::vector<ImageId>> Feedback(
+      const std::vector<ImageId>& relevant) = 0;
+
+  /// Final retrieval of `k` images under the refined query.
+  virtual StatusOr<Ranking> Finalize(std::size_t k) = 0;
+
+  virtual const GlobalEngineStats& stats() const = 0;
+};
+
+/// Shared machinery of the global-scan engines: random browsing, relevant
+/// set accumulation, display paging, statistics.
+class GlobalFeedbackEngineBase : public FeedbackEngine {
+ public:
+  GlobalFeedbackEngineBase(const ImageDatabase* db, std::size_t display_size,
+                           std::uint64_t seed);
+
+  std::vector<ImageId> Start() override;
+  std::vector<ImageId> Resample() override;
+  StatusOr<std::vector<ImageId>> Feedback(
+      const std::vector<ImageId>& relevant) override;
+  const GlobalEngineStats& stats() const override { return stats_; }
+
+ protected:
+  /// Computes the engine's current global ranking from `relevant_`.
+  /// Called after every feedback round and by Finalize.
+  virtual StatusOr<Ranking> ComputeRanking(std::size_t k) = 0;
+
+  std::vector<ImageId> RandomDisplay();
+  const std::vector<ImageId>& relevant() const { return relevant_; }
+
+  const ImageDatabase* db_;
+  std::size_t display_size_;
+  Rng rng_;
+  GlobalEngineStats stats_;
+
+ private:
+  std::vector<ImageId> relevant_;
+  Ranking current_ranking_;
+  std::size_t page_ = 0;  ///< display paging offset into the ranking
+};
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_QUERY_FEEDBACK_ENGINE_H_

@@ -1,0 +1,40 @@
+#ifndef QDCBIR_QUERY_KNN_H_
+#define QDCBIR_QUERY_KNN_H_
+
+#include <vector>
+
+#include "qdcbir/core/distance.h"
+#include "qdcbir/core/feature_vector.h"
+#include "qdcbir/core/types.h"
+#include "qdcbir/index/rstar_tree.h"
+
+namespace qdcbir {
+
+/// A ranked retrieval list (ascending distance).
+using Ranking = std::vector<KnnMatch>;
+
+/// Brute-force k-NN over a full feature table (image id = table index).
+/// Distances are squared L2. This is what the traditional relevance-feedback
+/// baselines execute against the whole database every round — the cost the
+/// RFS structure avoids.
+Ranking BruteForceKnn(const std::vector<FeatureVector>& table,
+                      const FeatureVector& query, std::size_t k);
+
+/// Brute-force k-NN restricted to `candidates` (ids into `table`).
+Ranking BruteForceKnnSubset(const std::vector<FeatureVector>& table,
+                            const std::vector<ImageId>& candidates,
+                            const FeatureVector& query, std::size_t k);
+
+/// Brute-force k-NN under an arbitrary metric (uses `Compare`).
+Ranking BruteForceKnnWithMetric(const std::vector<FeatureVector>& table,
+                                const FeatureVector& query, std::size_t k,
+                                const DistanceMetric& metric);
+
+/// Merges multiple rankings into one of size `k`: entries are interleaved in
+/// score order with duplicates (same id) dropped, keeping each id's best
+/// distance.
+Ranking MergeRankings(const std::vector<Ranking>& rankings, std::size_t k);
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_QUERY_KNN_H_

@@ -1,0 +1,41 @@
+#ifndef QDCBIR_QUERY_MARS_ENGINE_H_
+#define QDCBIR_QUERY_MARS_ENGINE_H_
+
+#include "qdcbir/query/feedback_engine.h"
+
+namespace qdcbir {
+
+/// Options of the MARS multipoint engine.
+struct MarsOptions {
+  std::size_t display_size = 21;
+  std::uint64_t seed = 107;
+  /// Upper bound on the number of query-expansion clusters.
+  int max_clusters = 3;
+  std::uint64_t kmeans_seed = 11;
+};
+
+/// The MARS multipoint-query baseline (Porkaew et al., ACM MM'99; the
+/// paper's §2 "Multipoint Query"). Relevant images are clustered; each
+/// cluster contributes the image nearest its centroid as a *representative*,
+/// weighted by cluster size; candidates are ranked by the weighted sum of
+/// their distances to the representatives. The query contour expands toward
+/// the relevant clusters but remains one connected region — so distant
+/// relevant clusters pull in the irrelevant space between them.
+class MarsEngine final : public GlobalFeedbackEngineBase {
+ public:
+  MarsEngine(const ImageDatabase* db,
+             const MarsOptions& options = MarsOptions());
+
+  const char* Name() const override { return "mars"; }
+  StatusOr<Ranking> Finalize(std::size_t k) override;
+
+ protected:
+  StatusOr<Ranking> ComputeRanking(std::size_t k) override;
+
+ private:
+  MarsOptions options_;
+};
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_QUERY_MARS_ENGINE_H_

@@ -1,0 +1,56 @@
+#ifndef QDCBIR_QUERY_MV_ENGINE_H_
+#define QDCBIR_QUERY_MV_ENGINE_H_
+
+#include "qdcbir/query/feedback_engine.h"
+
+namespace qdcbir {
+
+/// Options of the Multiple Viewpoints engine.
+struct MvOptions {
+  std::size_t display_size = 21;
+  std::uint64_t seed = 101;
+  /// Number of viewpoint channels combined (1..4). The paper's comparison
+  /// combines the four "color channels": original, color-negative,
+  /// black-white, and black-white negative.
+  int num_channels = 4;
+};
+
+/// The Multiple Viewpoints (MV) baseline (French & Jin, CIVR'04; the paper's
+/// §5 comparison). Each viewpoint is a k-NN query over the features of one
+/// image channel (original / negative / gray / gray-negative); each feedback
+/// round moves every channel's query point to the centroid of the relevant
+/// images in that channel's feature space; the final result combines the
+/// per-channel rankings by rank interleaving.
+///
+/// MV can return multiple *neighboring* clusters (one per viewpoint), but
+/// each viewpoint is still a single-neighborhood k-NN in its channel space —
+/// when the ground truth scatters into distant clusters, the centroid
+/// collapses between them and recall suffers, which is exactly the behavior
+/// Table 1 of the paper documents.
+class MvEngine final : public GlobalFeedbackEngineBase {
+ public:
+  /// `db` must outlive the engine and must carry viewpoint-channel features
+  /// when `options.num_channels > 1`.
+  MvEngine(const ImageDatabase* db, const MvOptions& options = MvOptions());
+
+  const char* Name() const override { return "mv"; }
+  StatusOr<Ranking> Finalize(std::size_t k) override;
+
+ protected:
+  StatusOr<Ranking> ComputeRanking(std::size_t k) override;
+
+ private:
+  /// Per-channel ranking of size `k` against the centroid of the relevant
+  /// images' channel features.
+  StatusOr<std::vector<Ranking>> PerChannelRankings(std::size_t k);
+
+  /// Rank-interleaves per-channel rankings into `k` distinct ids.
+  static Ranking InterleaveByRank(const std::vector<Ranking>& rankings,
+                                  std::size_t k);
+
+  MvOptions options_;
+};
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_QUERY_MV_ENGINE_H_

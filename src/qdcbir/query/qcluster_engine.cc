@@ -1,0 +1,75 @@
+#include "qdcbir/query/qcluster_engine.h"
+
+#include <algorithm>
+
+#include "qdcbir/cluster/kmeans.h"
+#include "qdcbir/query/multipoint.h"
+
+namespace qdcbir {
+
+QclusterEngine::QclusterEngine(const ImageDatabase* db,
+                               const QclusterOptions& options)
+    : GlobalFeedbackEngineBase(db, options.display_size, options.seed),
+      options_(options) {}
+
+StatusOr<Ranking> QclusterEngine::ComputeRanking(std::size_t k) {
+  if (relevant().empty()) {
+    return Status::FailedPrecondition("Qcluster has no relevant feedback yet");
+  }
+  const std::vector<FeatureVector>& table = db_->features();
+
+  std::vector<FeatureVector> relevant_points;
+  relevant_points.reserve(relevant().size());
+  for (const ImageId id : relevant()) relevant_points.push_back(table[id]);
+
+  // Adaptive cluster count: run k-means for k = 1..max and keep the k with
+  // the largest relative inertia improvement (elbow heuristic).
+  const int upper = std::min<int>(options_.max_clusters,
+                                  static_cast<int>(relevant_points.size()));
+  std::vector<double> inertia(static_cast<std::size_t>(upper) + 1, 0.0);
+  std::vector<KMeansResult> runs(static_cast<std::size_t>(upper) + 1);
+  for (int c = 1; c <= upper; ++c) {
+    KMeansOptions km;
+    km.k = c;
+    km.seed = options_.kmeans_seed + static_cast<std::uint64_t>(c);
+    StatusOr<KMeansResult> r = RunKMeans(relevant_points, km);
+    if (!r.ok()) return r.status();
+    inertia[c] = r->inertia;
+    runs[c] = std::move(r).value();
+  }
+  int best_c = 1;
+  double best_gain = 0.0;
+  for (int c = 2; c <= upper; ++c) {
+    const double denom = inertia[1] > 0.0 ? inertia[1] : 1.0;
+    const double gain = (inertia[c - 1] - inertia[c]) / denom;
+    if (gain > best_gain + 0.05) {  // require a material drop to add contours
+      best_gain = gain;
+      best_c = c;
+    }
+  }
+
+  const MultipointQuery query(runs[best_c].centroids);
+  Ranking ranking;
+  ranking.reserve(table.size());
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    ranking.push_back(
+        KnnMatch{static_cast<ImageId>(i), query.DisjunctiveScore(table[i])});
+  }
+  stats_.global_knn_computations += 1;
+  stats_.candidates_scanned += table.size();
+  std::sort(ranking.begin(), ranking.end(),
+            [](const KnnMatch& a, const KnnMatch& b) {
+              if (a.distance_squared != b.distance_squared) {
+                return a.distance_squared < b.distance_squared;
+              }
+              return a.id < b.id;
+            });
+  if (ranking.size() > k) ranking.resize(k);
+  return ranking;
+}
+
+StatusOr<Ranking> QclusterEngine::Finalize(std::size_t k) {
+  return ComputeRanking(k);
+}
+
+}  // namespace qdcbir

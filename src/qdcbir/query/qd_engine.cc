@@ -1,0 +1,365 @@
+#include "qdcbir/query/qd_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <unordered_set>
+
+#include "qdcbir/core/distance.h"
+#include "qdcbir/query/multipoint.h"
+
+namespace qdcbir {
+
+std::vector<ImageId> QdResult::Flatten() const {
+  std::vector<ImageId> out;
+  for (const ResultGroup& g : groups) {
+    for (const KnnMatch& m : g.images) out.push_back(m.id);
+  }
+  return out;
+}
+
+std::vector<ImageId> QdResult::FlattenBySimilarity() const {
+  std::vector<KnnMatch> all;
+  for (const ResultGroup& g : groups) {
+    all.insert(all.end(), g.images.begin(), g.images.end());
+  }
+  std::sort(all.begin(), all.end(), [](const KnnMatch& a, const KnnMatch& b) {
+    if (a.distance_squared != b.distance_squared) {
+      return a.distance_squared < b.distance_squared;
+    }
+    return a.id < b.id;
+  });
+  std::vector<ImageId> out;
+  out.reserve(all.size());
+  for (const KnnMatch& m : all) out.push_back(m.id);
+  return out;
+}
+
+std::size_t QdResult::TotalImages() const {
+  std::size_t n = 0;
+  for (const ResultGroup& g : groups) n += g.images.size();
+  return n;
+}
+
+QdSession::QdSession(const RfsTree* rfs, const QdOptions& options)
+    : rfs_(rfs), options_(options), rng_(options.seed) {}
+
+std::vector<DisplayGroup> QdSession::Start() {
+  started_ = true;
+  round_ = 0;
+  frontier_ = {rfs_->root()};
+  relevant_by_leaf_.clear();
+  display_origin_.clear();
+  sampled_nodes_.clear();
+  stats_ = QdSessionStats{};
+  current_display_ = MakeDisplay();
+  return current_display_;
+}
+
+std::vector<DisplayGroup> QdSession::Resample() {
+  current_display_ = MakeDisplay();
+  return current_display_;
+}
+
+std::vector<DisplayGroup> QdSession::MakeDisplay() {
+  std::vector<DisplayGroup> display;
+  if (frontier_.empty()) return display;
+  stats_.nodes_touched += frontier_.size();
+  for (const NodeId node : frontier_) sampled_nodes_.insert(node);
+  stats_.distinct_nodes_sampled = sampled_nodes_.size();
+
+  // Allocate display slots proportionally to subtree size, at least one per
+  // active subquery.
+  std::vector<std::size_t> sizes;
+  std::size_t total = 0;
+  for (const NodeId node : frontier_) {
+    sizes.push_back(rfs_->info(node).subtree_size);
+    total += sizes.back();
+  }
+  std::vector<std::size_t> alloc(frontier_.size(), 1);
+  std::size_t used = frontier_.size();
+  if (options_.display_size > used && total > 0) {
+    const std::size_t spare = options_.display_size - used;
+    for (std::size_t i = 0; i < frontier_.size(); ++i) {
+      alloc[i] += spare * sizes[i] / total;
+    }
+  }
+  for (std::size_t i = 0; i < frontier_.size(); ++i) {
+    DisplayGroup group;
+    group.node = frontier_[i];
+    group.images =
+        rfs_->SampleRepresentatives(frontier_[i], alloc[i], rng_);
+    for (const ImageId image : group.images) {
+      display_origin_.emplace(image, group.node);
+    }
+    if (!group.images.empty()) display.push_back(std::move(group));
+  }
+  (void)used;
+  return display;
+}
+
+StatusOr<std::vector<DisplayGroup>> QdSession::Feedback(
+    const std::vector<ImageId>& relevant) {
+  if (!started_) {
+    return Status::FailedPrecondition("call Start() before Feedback()");
+  }
+
+  // Locate each pick among the images displayed since the last feedback.
+  std::set<NodeId> next_frontier;
+  for (const ImageId image : relevant) {
+    const auto it = display_origin_.find(image);
+    if (it == display_origin_.end()) {
+      return Status::InvalidArgument(
+          "relevant image was not in any display this round");
+    }
+    const NodeId display_node = it->second;
+
+    // Record the relevant image with its subcluster (leaf).
+    const NodeId leaf = rfs_->LeafOf(image);
+    std::vector<ImageId>& bucket = relevant_by_leaf_[leaf];
+    if (std::find(bucket.begin(), bucket.end(), image) == bucket.end()) {
+      bucket.push_back(image);
+    }
+
+    // The subquery split: descend into the subtree this representative
+    // came from.
+    StatusOr<NodeId> origin =
+        rfs_->OriginOfRepresentative(display_node, image);
+    if (!origin.ok()) return origin.status();
+    next_frontier.insert(*origin);
+  }
+
+  if (!next_frontier.empty()) {
+    frontier_.assign(next_frontier.begin(), next_frontier.end());
+  }
+  display_origin_.clear();
+  ++round_;
+  stats_.feedback_rounds = static_cast<std::size_t>(round_);
+  current_display_ = MakeDisplay();
+  return current_display_;
+}
+
+Ranking QdSession::LocalizedSearch(NodeId node,
+                                   const FeatureVector& query_point,
+                                   std::size_t fetch) {
+  if (options_.feature_weights.empty()) {
+    SearchStats search_stats;
+    Ranking ranking = rfs_->index().KnnSearchInSubtree(node, query_point,
+                                                       fetch, &search_stats);
+    stats_.knn_nodes_visited += search_stats.nodes_visited;
+    return ranking;
+  }
+  // Weighted ranking: scan the (small) localized subtree under the
+  // user-supplied importance weights. The scan reads every node of the
+  // subtree once.
+  {
+    std::vector<NodeId> stack = {node};
+    while (!stack.empty()) {
+      const NodeId nid = stack.back();
+      stack.pop_back();
+      stats_.knn_nodes_visited += 1;
+      const RStarTree::Node& n = rfs_->index().node(nid);
+      if (!n.IsLeaf()) {
+        for (const RStarTree::Entry& e : n.entries) stack.push_back(e.child);
+      }
+    }
+  }
+  const WeightedL2Distance metric(options_.feature_weights);
+  const std::vector<ImageId> members = rfs_->index().CollectSubtree(node);
+  Ranking ranking;
+  ranking.reserve(members.size());
+  for (const ImageId id : members) {
+    ranking.push_back(
+        KnnMatch{id, metric.Compare(rfs_->feature(id), query_point)});
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const KnnMatch& a, const KnnMatch& b) {
+              if (a.distance_squared != b.distance_squared) {
+                return a.distance_squared < b.distance_squared;
+              }
+              return a.id < b.id;
+            });
+  if (ranking.size() > fetch) ranking.resize(fetch);
+  return ranking;
+}
+
+NodeId QdSession::ExpandSearchNode(NodeId leaf,
+                                   const std::vector<ImageId>& query_images) {
+  NodeId node = leaf;
+  for (;;) {
+    const RfsTree::NodeInfo& info = rfs_->info(node);
+    bool near_boundary = false;
+    for (const ImageId image : query_images) {
+      const double dist =
+          std::sqrt(SquaredL2(rfs_->feature(image), info.center));
+      if (dist > options_.boundary_threshold * info.diagonal) {
+        near_boundary = true;
+        break;
+      }
+    }
+    if (!near_boundary || info.parent == kInvalidNodeId) return node;
+    node = info.parent;
+    ++stats_.boundary_expansions;
+  }
+}
+
+StatusOr<QdResult> QdSession::Finalize(std::size_t k) {
+  if (relevant_by_leaf_.empty()) {
+    return Status::FailedPrecondition(
+        "no relevant feedback was provided; nothing to decompose");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+
+  std::size_t total_relevant = 0;
+  for (const auto& [leaf, images] : relevant_by_leaf_) {
+    total_relevant += images.size();
+  }
+
+  // Result allocation proportional to each subcluster's relevant count
+  // (largest-remainder rounding, each subquery gets at least 1).
+  struct Local {
+    NodeId leaf;
+    const std::vector<ImageId>* relevant;
+    std::size_t quota = 0;
+    double remainder = 0.0;
+  };
+  std::vector<Local> locals;
+  std::size_t assigned = 0;
+  for (const auto& [leaf, images] : relevant_by_leaf_) {
+    Local local;
+    local.leaf = leaf;
+    local.relevant = &images;
+    const double ideal = static_cast<double>(k) *
+                         static_cast<double>(images.size()) /
+                         static_cast<double>(total_relevant);
+    local.quota = std::max<std::size_t>(1, static_cast<std::size_t>(ideal));
+    local.remainder = ideal - std::floor(ideal);
+    assigned += local.quota;
+    locals.push_back(local);
+  }
+  std::sort(locals.begin(), locals.end(), [](const Local& a, const Local& b) {
+    return a.remainder > b.remainder;
+  });
+  std::size_t li = 0;
+  while (assigned < k && !locals.empty()) {
+    locals[li % locals.size()].quota += 1;
+    ++assigned;
+    ++li;
+  }
+  while (assigned > k) {
+    Local& largest = *std::max_element(
+        locals.begin(), locals.end(),
+        [](const Local& a, const Local& b) { return a.quota < b.quota; });
+    if (largest.quota <= 1) break;  // cannot shrink below 1 per subquery
+    largest.quota -= 1;
+    --assigned;
+  }
+  if (assigned > k) {
+    // Fewer result slots than relevant subclusters: keep the subqueries
+    // with the most relevant feedback (each at quota 1).
+    std::sort(locals.begin(), locals.end(),
+              [](const Local& a, const Local& b) {
+                if (a.relevant->size() != b.relevant->size()) {
+                  return a.relevant->size() > b.relevant->size();
+                }
+                return a.leaf < b.leaf;
+              });
+    locals.resize(k);
+    assigned = k;
+  }
+
+  // Run one localized multipoint k-NN per relevant subcluster. Subqueries
+  // with more relevant feedback get dedup priority.
+  std::sort(locals.begin(), locals.end(), [](const Local& a, const Local& b) {
+    if (a.relevant->size() != b.relevant->size()) {
+      return a.relevant->size() > b.relevant->size();
+    }
+    return a.leaf < b.leaf;
+  });
+
+  QdResult result;
+  std::unordered_set<ImageId> taken;
+  std::vector<Ranking> spare_candidates(locals.size());
+  for (std::size_t li2 = 0; li2 < locals.size(); ++li2) {
+    const Local& local = locals[li2];
+    ResultGroup group;
+    group.leaf = local.leaf;
+    group.relevant_count = local.relevant->size();
+    group.search_node = ExpandSearchNode(local.leaf, *local.relevant);
+
+    std::vector<FeatureVector> points;
+    points.reserve(local.relevant->size());
+    for (const ImageId image : *local.relevant) {
+      points.push_back(rfs_->feature(image));
+    }
+    const MultipointQuery query(std::move(points));
+
+    // Over-fetch to survive cross-group dedup and to provide spare
+    // candidates if another subquery's subtree runs dry.
+    const std::size_t fetch = 2 * local.quota + locals.size() + 8;
+    Ranking candidates =
+        LocalizedSearch(group.search_node, query.Centroid(), fetch);
+    stats_.localized_subqueries += 1;
+    stats_.knn_candidates += rfs_->info(group.search_node).subtree_size;
+
+    std::size_t consumed = 0;
+    for (const KnnMatch& m : candidates) {
+      ++consumed;
+      if (group.images.size() >= local.quota) {
+        --consumed;
+        break;
+      }
+      if (!taken.insert(m.id).second) continue;
+      group.images.push_back(m);
+      group.ranking_score += std::sqrt(m.distance_squared);
+    }
+    candidates.erase(candidates.begin(),
+                     candidates.begin() + static_cast<std::ptrdiff_t>(consumed));
+    spare_candidates[li2] = std::move(candidates);
+    result.groups.push_back(std::move(group));
+  }
+
+  // Quota deficit (a subquery's subtree was smaller than its share): refill
+  // from the remaining candidates of the other subqueries, best-first by
+  // similarity. This keeps the result size at exactly k whenever the
+  // searched subtrees jointly hold k images.
+  std::size_t produced = result.TotalImages();
+  while (produced < k) {
+    std::size_t best_group = locals.size();
+    double best_distance = std::numeric_limits<double>::infinity();
+    for (std::size_t g = 0; g < spare_candidates.size(); ++g) {
+      // Skip already-taken ids at the front of each spare list.
+      Ranking& spare = spare_candidates[g];
+      std::size_t front = 0;
+      while (front < spare.size() && taken.count(spare[front].id) > 0) {
+        ++front;
+      }
+      spare.erase(spare.begin(), spare.begin() + static_cast<std::ptrdiff_t>(front));
+      if (!spare.empty() && spare.front().distance_squared < best_distance) {
+        best_distance = spare.front().distance_squared;
+        best_group = g;
+      }
+    }
+    if (best_group == locals.size()) break;  // every subtree is exhausted
+    Ranking& spare = spare_candidates[best_group];
+    const KnnMatch m = spare.front();
+    spare.erase(spare.begin());
+    taken.insert(m.id);
+    result.groups[best_group].images.push_back(m);
+    result.groups[best_group].ranking_score += std::sqrt(m.distance_squared);
+    ++produced;
+  }
+
+  // §3.4 presentation: groups ordered by their ranking scores.
+  std::sort(result.groups.begin(), result.groups.end(),
+            [](const ResultGroup& a, const ResultGroup& b) {
+              if (a.ranking_score != b.ranking_score) {
+                return a.ranking_score < b.ranking_score;
+              }
+              return a.leaf < b.leaf;
+            });
+  return result;
+}
+
+}  // namespace qdcbir

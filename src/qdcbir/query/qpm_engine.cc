@@ -1,0 +1,43 @@
+#include "qdcbir/query/qpm_engine.h"
+
+#include <cmath>
+
+#include "qdcbir/core/stats.h"
+
+namespace qdcbir {
+
+QpmEngine::QpmEngine(const ImageDatabase* db, const QpmOptions& options)
+    : GlobalFeedbackEngineBase(db, options.display_size, options.seed),
+      options_(options) {}
+
+StatusOr<Ranking> QpmEngine::ComputeRanking(std::size_t k) {
+  if (relevant().empty()) {
+    return Status::FailedPrecondition("QPM has no relevant feedback yet");
+  }
+  const std::vector<FeatureVector>& table = db_->features();
+  const std::size_t dim = table.front().dim();
+
+  // Query point: centroid of the relevant images. Weights: inverse standard
+  // deviation per dimension (MindReader's diagonal metric).
+  std::vector<MomentAccumulator> acc(dim);
+  for (const ImageId id : relevant()) {
+    for (std::size_t d = 0; d < dim; ++d) acc[d].Add(table[id][d]);
+  }
+  FeatureVector centroid(dim);
+  std::vector<double> weights(dim);
+  for (std::size_t d = 0; d < dim; ++d) {
+    centroid[d] = acc[d].mean();
+    weights[d] = 1.0 / (acc[d].stddev() + options_.sigma_floor);
+  }
+
+  const WeightedL2Distance metric(std::move(weights));
+  stats_.global_knn_computations += 1;
+  stats_.candidates_scanned += table.size();
+  return BruteForceKnnWithMetric(table, centroid, k, metric);
+}
+
+StatusOr<Ranking> QpmEngine::Finalize(std::size_t k) {
+  return ComputeRanking(k);
+}
+
+}  // namespace qdcbir

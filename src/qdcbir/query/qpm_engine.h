@@ -1,0 +1,40 @@
+#ifndef QDCBIR_QUERY_QPM_ENGINE_H_
+#define QDCBIR_QUERY_QPM_ENGINE_H_
+
+#include "qdcbir/query/feedback_engine.h"
+
+namespace qdcbir {
+
+/// Options of the Query Point Movement engine.
+struct QpmOptions {
+  std::size_t display_size = 21;
+  std::uint64_t seed = 103;
+  /// Floor added to per-dimension standard deviations before inverting, so
+  /// a dimension on which all relevant images agree exactly does not blow
+  /// up the metric.
+  double sigma_floor = 1e-3;
+};
+
+/// The Query Point Movement baseline (MindReader; Ishikawa et al., VLDB'98;
+/// the paper's §2 "Query Point Movement"). Each feedback round moves the
+/// query point to the centroid of all relevant images and reweights the
+/// Euclidean metric per dimension by the inverse standard deviation of the
+/// relevant set — shrinking the query contour along dimensions the relevant
+/// images agree on.
+class QpmEngine final : public GlobalFeedbackEngineBase {
+ public:
+  QpmEngine(const ImageDatabase* db, const QpmOptions& options = QpmOptions());
+
+  const char* Name() const override { return "qpm"; }
+  StatusOr<Ranking> Finalize(std::size_t k) override;
+
+ protected:
+  StatusOr<Ranking> ComputeRanking(std::size_t k) override;
+
+ private:
+  QpmOptions options_;
+};
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_QUERY_QPM_ENGINE_H_

@@ -1,0 +1,121 @@
+#include "qdcbir/rfs/rfs_builder.h"
+
+#include <numeric>
+
+#include "qdcbir/index/str_bulk_load.h"
+
+namespace qdcbir {
+
+const char* RfsBuildStrategyName(RfsBuildStrategy strategy) {
+  switch (strategy) {
+    case RfsBuildStrategy::kClustered:
+      return "clustered";
+    case RfsBuildStrategy::kTgsBulkLoad:
+      return "tgs_bulk";
+    case RfsBuildStrategy::kInsertion:
+      return "insertion";
+  }
+  return "unknown";
+}
+
+StatusOr<RfsTree> RfsBuilder::Build(std::vector<FeatureVector> features,
+                                    const RfsBuildOptions& options) {
+  if (features.empty()) {
+    return Status::InvalidArgument("cannot build RFS over an empty database");
+  }
+  const std::size_t dim = features.front().dim();
+  QDCBIR_RETURN_IF_ERROR(options.tree.Validate());
+
+  std::vector<ImageId> ids(features.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+
+  // Stage 1: data clustering via the R*-tree.
+  RStarTree index(dim, options.tree);
+  switch (options.strategy) {
+    case RfsBuildStrategy::kClustered: {
+      StatusOr<RStarTree> loaded = ClusteredTreeBuilder::Build(
+          features, ids, dim, options.tree, options.clustering);
+      if (!loaded.ok()) return loaded.status();
+      index = std::move(loaded).value();
+      break;
+    }
+    case RfsBuildStrategy::kTgsBulkLoad: {
+      StatusOr<RStarTree> loaded = BulkLoadRStarTree(
+          features, ids, dim, options.tree, options.bulk_fill_factor);
+      if (!loaded.ok()) return loaded.status();
+      index = std::move(loaded).value();
+      break;
+    }
+    case RfsBuildStrategy::kInsertion: {
+      for (std::size_t i = 0; i < features.size(); ++i) {
+        QDCBIR_RETURN_IF_ERROR(index.Insert(features[i], ids[i]));
+      }
+      break;
+    }
+  }
+
+  RfsTree rfs(std::move(index), std::move(features));
+
+  rfs.RebuildLeafMap();
+
+  // Stage 2: bottom-up representative selection.
+  QDCBIR_RETURN_IF_ERROR(
+      SelectAllRepresentatives(rfs, options.representatives));
+  return rfs;
+}
+
+Status RfsBuilder::SelectAllRepresentatives(
+    RfsTree& rfs, const RepresentativeOptions& options) {
+  const RStarTree& index = rfs.index_;
+  const auto levels = index.NodesByLevel();
+
+  // Leaves first, then each upper level in order, so children's
+  // representatives exist before their parent aggregates them.
+  for (std::size_t level = 0; level < levels.size(); ++level) {
+    for (const NodeId nid : levels[level]) {
+      const RStarTree::Node& node = index.node(nid);
+      RfsTree::NodeInfo info;
+      info.level = node.level;
+
+      std::vector<RepresentativeCandidate> candidates;
+      if (node.IsLeaf()) {
+        for (const RStarTree::Entry& e : node.entries) {
+          candidates.push_back(RepresentativeCandidate{e.data, nid});
+        }
+        info.subtree_size = node.entries.size();
+      } else {
+        for (const RStarTree::Entry& e : node.entries) {
+          info.children.push_back(e.child);
+          const RfsTree::NodeInfo& child_info = rfs.info_.at(e.child);
+          info.subtree_size += child_info.subtree_size;
+          for (const ImageId rep : child_info.representatives) {
+            candidates.push_back(RepresentativeCandidate{rep, e.child});
+          }
+          rfs.info_.at(e.child).parent = nid;
+        }
+      }
+
+      const Rect rect = index.NodeRect(nid);
+      info.center = rect.Center();
+      info.diagonal = rect.Diagonal();
+
+      const std::size_t target = RepresentativeCount(
+          info.subtree_size, candidates.size(), options);
+      // Vary the k-means seed per node so sibling nodes do not share
+      // degenerate seedings.
+      RepresentativeOptions node_options = options;
+      node_options.seed = options.seed ^ (0x9e3779b97f4a7c15ULL * (nid + 1));
+      StatusOr<SelectedRepresentatives> selected =
+          SelectRepresentatives(candidates, rfs.features_, target,
+                                node_options);
+      if (!selected.ok()) return selected.status();
+      info.representatives = std::move(selected->images);
+      info.rep_origin = std::move(selected->origins);
+
+      rfs.info_[nid] = std::move(info);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace qdcbir

@@ -1,0 +1,57 @@
+#ifndef QDCBIR_RFS_RFS_BUILDER_H_
+#define QDCBIR_RFS_RFS_BUILDER_H_
+
+#include <vector>
+
+#include "qdcbir/core/feature_vector.h"
+#include "qdcbir/core/status.h"
+#include "qdcbir/index/rstar_tree.h"
+#include "qdcbir/rfs/clustered_bulk_load.h"
+#include "qdcbir/rfs/representative_selector.h"
+#include "qdcbir/rfs/rfs_tree.h"
+
+namespace qdcbir {
+
+/// How the RFS "data clustering" stage builds the index.
+enum class RfsBuildStrategy {
+  /// Hierarchical k-means bulk load (default): leaves hold whole visual
+  /// clusters, which is the property query decomposition relies on.
+  kClustered = 0,
+  /// Spatial median-partition bulk load (fast, but can slice clusters
+  /// across leaf boundaries). Kept for the ablation benchmarks.
+  kTgsBulkLoad = 1,
+  /// One-at-a-time R* insertion (Beckmann et al. dynamics).
+  kInsertion = 2,
+};
+
+const char* RfsBuildStrategyName(RfsBuildStrategy strategy);
+
+/// Options for RFS construction.
+struct RfsBuildOptions {
+  RStarTreeOptions tree;
+  RepresentativeOptions representatives;
+  RfsBuildStrategy strategy = RfsBuildStrategy::kClustered;
+  ClusteredBulkLoadOptions clustering;
+  double bulk_fill_factor = 0.85;  ///< for kTgsBulkLoad
+};
+
+/// Builds RFS trees (paper §3.1): index construction ("data clustering")
+/// followed by bottom-up representative selection.
+class RfsBuilder {
+ public:
+  /// Builds an RFS tree over `features` (image id i = index i).
+  /// The two construction stages:
+  ///  1. Data clustering: an R*-tree organizes the images hierarchically.
+  ///  2. Representative selection, bottom-up: leaves k-means their images;
+  ///     internal nodes k-means the union of children's representatives.
+  static StatusOr<RfsTree> Build(std::vector<FeatureVector> features,
+                                 const RfsBuildOptions& options = RfsBuildOptions());
+
+ private:
+  static Status SelectAllRepresentatives(RfsTree& rfs,
+                                         const RepresentativeOptions& options);
+};
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_RFS_RFS_BUILDER_H_

@@ -1,0 +1,245 @@
+#include "qdcbir/rfs/rfs_serialization.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace qdcbir {
+
+namespace {
+
+constexpr char kMagic[] = "QDRFS001";
+constexpr std::size_t kMagicLen = 8;
+
+class Writer {
+ public:
+  void Raw(const void* data, std::size_t n) {
+    out_.append(static_cast<const char*>(data), n);
+  }
+  template <typename T>
+  void Pod(T v) {
+    Raw(&v, sizeof(T));
+  }
+  void U32(std::uint32_t v) { Pod(v); }
+  void U64(std::uint64_t v) { Pod(v); }
+  void I32(std::int32_t v) { Pod(v); }
+  void F64(double v) { Pod(v); }
+  void Doubles(const std::vector<double>& v) {
+    Raw(v.data(), v.size() * sizeof(double));
+  }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  bool Raw(void* data, std::size_t n) {
+    if (pos_ + n > bytes_.size()) return false;
+    std::memcpy(data, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  template <typename T>
+  bool Pod(T* v) {
+    return Raw(v, sizeof(T));
+  }
+  bool Doubles(std::vector<double>* v, std::size_t n) {
+    v->resize(n);
+    return Raw(v->data(), n * sizeof(double));
+  }
+
+ private:
+  const std::string& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string RfsSerializer::Serialize(const RfsTree& tree) {
+  Writer w;
+  w.Raw(kMagic, kMagicLen);
+
+  // Features.
+  const std::uint64_t num_images = tree.features_.size();
+  const std::uint64_t dim = tree.feature_dim();
+  w.U64(num_images);
+  w.U64(dim);
+  for (const FeatureVector& f : tree.features_) w.Doubles(f.values());
+
+  // Index options and shape.
+  const RStarTree& index = tree.index_;
+  w.U64(index.options().max_entries);
+  w.U64(index.options().min_entries);
+  w.F64(index.options().reinsert_fraction);
+  w.U64(index.nodes_.size());
+  w.U32(index.root_);
+  w.U64(index.size_);
+
+  for (std::size_t i = 0; i < index.nodes_.size(); ++i) {
+    const bool present = index.nodes_[i] != nullptr;
+    w.Pod<std::uint8_t>(present ? 1 : 0);
+    if (!present) continue;
+    const RStarTree::Node& node = *index.nodes_[i];
+    w.I32(node.level);
+    w.U32(index.parent_[i]);
+    w.U64(node.entries.size());
+    for (const RStarTree::Entry& e : node.entries) {
+      w.U32(e.child);
+      w.U32(e.data);
+      w.Doubles(e.rect.lo());
+      w.Doubles(e.rect.hi());
+    }
+  }
+
+  // Per-node RFS annotations.
+  w.U64(tree.info_.size());
+  for (const auto& [id, info] : tree.info_) {
+    w.U32(id);
+    w.I32(info.level);
+    w.U32(info.parent);
+    w.U64(info.children.size());
+    for (const NodeId c : info.children) w.U32(c);
+    w.U64(info.representatives.size());
+    for (const ImageId r : info.representatives) w.U32(r);
+    for (const NodeId o : info.rep_origin) w.U32(o);
+    w.Doubles(info.center.values());
+    w.F64(info.diagonal);
+    w.U64(info.subtree_size);
+  }
+  return w.Take();
+}
+
+StatusOr<RfsTree> RfsSerializer::Deserialize(const std::string& bytes) {
+  Reader r(bytes);
+  char magic[kMagicLen];
+  if (!r.Raw(magic, kMagicLen) || std::memcmp(magic, kMagic, kMagicLen) != 0) {
+    return Status::IoError("not an RFS blob (bad magic)");
+  }
+  const auto corrupt = [] { return Status::IoError("truncated RFS blob"); };
+
+  std::uint64_t num_images = 0, dim = 0;
+  if (!r.Pod(&num_images) || !r.Pod(&dim)) return corrupt();
+  std::vector<FeatureVector> features;
+  features.reserve(num_images);
+  for (std::uint64_t i = 0; i < num_images; ++i) {
+    std::vector<double> values;
+    if (!r.Doubles(&values, dim)) return corrupt();
+    features.emplace_back(std::move(values));
+  }
+
+  RStarTreeOptions options;
+  std::uint64_t max_entries = 0, min_entries = 0;
+  if (!r.Pod(&max_entries) || !r.Pod(&min_entries) ||
+      !r.Pod(&options.reinsert_fraction)) {
+    return corrupt();
+  }
+  options.max_entries = max_entries;
+  options.min_entries = min_entries;
+  QDCBIR_RETURN_IF_ERROR(options.Validate());
+
+  std::uint64_t node_slots = 0;
+  std::uint32_t root = 0;
+  std::uint64_t tree_size = 0;
+  if (!r.Pod(&node_slots) || !r.Pod(&root) || !r.Pod(&tree_size)) {
+    return corrupt();
+  }
+
+  RStarTree index(dim, options);
+  index.nodes_.clear();
+  index.parent_.clear();
+  index.free_nodes_.clear();
+  index.nodes_.resize(node_slots);
+  index.parent_.assign(node_slots, kInvalidNodeId);
+
+  for (std::uint64_t i = 0; i < node_slots; ++i) {
+    std::uint8_t present = 0;
+    if (!r.Pod(&present)) return corrupt();
+    if (!present) {
+      index.free_nodes_.push_back(static_cast<NodeId>(i));
+      continue;
+    }
+    auto node = std::make_unique<RStarTree::Node>();
+    std::uint32_t parent = 0;
+    std::uint64_t entry_count = 0;
+    if (!r.Pod(&node->level) || !r.Pod(&parent) || !r.Pod(&entry_count)) {
+      return corrupt();
+    }
+    index.parent_[i] = parent;
+    node->entries.reserve(entry_count);
+    for (std::uint64_t e = 0; e < entry_count; ++e) {
+      RStarTree::Entry entry;
+      std::vector<double> lo, hi;
+      if (!r.Pod(&entry.child) || !r.Pod(&entry.data) ||
+          !r.Doubles(&lo, dim) || !r.Doubles(&hi, dim)) {
+        return corrupt();
+      }
+      entry.rect = Rect(std::move(lo), std::move(hi));
+      node->entries.push_back(std::move(entry));
+    }
+    index.nodes_[i] = std::move(node);
+  }
+  if (root >= node_slots || index.nodes_[root] == nullptr) {
+    return Status::IoError("RFS blob has an invalid root");
+  }
+  index.root_ = root;
+  index.size_ = tree_size;
+
+  RfsTree tree(std::move(index), std::move(features));
+
+  std::uint64_t info_count = 0;
+  if (!r.Pod(&info_count)) return corrupt();
+  for (std::uint64_t i = 0; i < info_count; ++i) {
+    std::uint32_t id = 0;
+    RfsTree::NodeInfo info;
+    std::uint64_t child_count = 0, rep_count = 0;
+    if (!r.Pod(&id) || !r.Pod(&info.level) || !r.Pod(&info.parent) ||
+        !r.Pod(&child_count)) {
+      return corrupt();
+    }
+    info.children.resize(child_count);
+    for (auto& c : info.children) {
+      if (!r.Pod(&c)) return corrupt();
+    }
+    if (!r.Pod(&rep_count)) return corrupt();
+    info.representatives.resize(rep_count);
+    info.rep_origin.resize(rep_count);
+    for (auto& rep : info.representatives) {
+      if (!r.Pod(&rep)) return corrupt();
+    }
+    for (auto& origin : info.rep_origin) {
+      if (!r.Pod(&origin)) return corrupt();
+    }
+    std::vector<double> center;
+    if (!r.Doubles(&center, dim) || !r.Pod(&info.diagonal) ||
+        !r.Pod(&info.subtree_size)) {
+      return corrupt();
+    }
+    info.center = FeatureVector(std::move(center));
+    tree.info_[id] = std::move(info);
+  }
+  tree.RebuildLeafMap();
+  return tree;
+}
+
+Status RfsSerializer::SaveToFile(const RfsTree& tree, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  const std::string bytes = Serialize(tree);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<RfsTree> RfsSerializer::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return Deserialize(ss.str());
+}
+
+}  // namespace qdcbir

@@ -1,0 +1,33 @@
+#ifndef QDCBIR_RFS_RFS_SERIALIZATION_H_
+#define QDCBIR_RFS_RFS_SERIALIZATION_H_
+
+#include <string>
+
+#include "qdcbir/core/status.h"
+#include "qdcbir/rfs/rfs_tree.h"
+
+namespace qdcbir {
+
+/// Binary (de)serialization of a complete RFS tree: feature vectors, the
+/// R*-tree structure, and every node's representative annotations. Building
+/// the RFS over 15k images costs seconds; persisting it lets the benchmark
+/// binaries and a client-side feedback process (paper §4) reuse one build.
+///
+/// The format is host-endian and versioned by a magic string; it is a cache
+/// format, not an interchange format.
+class RfsSerializer {
+ public:
+  /// Serializes `tree` to a byte string.
+  static std::string Serialize(const RfsTree& tree);
+
+  /// Reconstructs a tree from `bytes`.
+  static StatusOr<RfsTree> Deserialize(const std::string& bytes);
+
+  /// File convenience wrappers.
+  static Status SaveToFile(const RfsTree& tree, const std::string& path);
+  static StatusOr<RfsTree> LoadFromFile(const std::string& path);
+};
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_RFS_RFS_SERIALIZATION_H_

@@ -1,0 +1,100 @@
+#include "qdcbir/cluster/cluster_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "qdcbir/core/rng.h"
+
+namespace qdcbir {
+namespace {
+
+struct LabeledData {
+  std::vector<FeatureVector> points;
+  std::vector<int> labels;
+};
+
+LabeledData Blobs(double spread, double distance, std::uint64_t seed) {
+  Rng rng(seed);
+  LabeledData data;
+  const double centers[3][2] = {
+      {0.0, 0.0}, {distance, 0.0}, {0.0, distance}};
+  for (int b = 0; b < 3; ++b) {
+    for (int i = 0; i < 25; ++i) {
+      data.points.push_back(
+          FeatureVector{centers[b][0] + rng.Gaussian(0.0, spread),
+                        centers[b][1] + rng.Gaussian(0.0, spread)});
+      data.labels.push_back(b);
+    }
+  }
+  return data;
+}
+
+TEST(SeparationTest, WellSeparatedBlobsScoreHigh) {
+  const LabeledData data = Blobs(0.2, 10.0, 3);
+  const ClusterSeparationStats stats =
+      ComputeSeparation(data.points, data.labels);
+  EXPECT_EQ(stats.num_clusters, 3u);
+  EXPECT_GT(stats.separation_ratio, 2.0);
+  EXPECT_NEAR(stats.min_inter_centroid_dist, 10.0, 1.0);
+}
+
+TEST(SeparationTest, OverlappingBlobsScoreLow) {
+  const LabeledData data = Blobs(3.0, 1.0, 5);
+  const ClusterSeparationStats stats =
+      ComputeSeparation(data.points, data.labels);
+  EXPECT_LT(stats.separation_ratio, 1.0);
+}
+
+TEST(SeparationTest, HandlesDegenerateInputs) {
+  EXPECT_EQ(ComputeSeparation({}, {}).num_clusters, 0u);
+  // Mismatched sizes.
+  EXPECT_EQ(ComputeSeparation({FeatureVector{1.0}}, {0, 1}).num_clusters, 0u);
+  // Single cluster: no inter-centroid distances.
+  const ClusterSeparationStats stats = ComputeSeparation(
+      {FeatureVector{0.0}, FeatureVector{1.0}}, {0, 0});
+  EXPECT_EQ(stats.num_clusters, 1u);
+  EXPECT_EQ(stats.min_inter_centroid_dist, 0.0);
+}
+
+TEST(SeparationTest, NegativeLabelsAreSkipped) {
+  const ClusterSeparationStats stats = ComputeSeparation(
+      {FeatureVector{0.0}, FeatureVector{1.0}, FeatureVector{5.0}},
+      {0, -1, 1});
+  EXPECT_EQ(stats.num_clusters, 2u);
+}
+
+TEST(SilhouetteTest, SeparatedBeatsOverlapping) {
+  const LabeledData good = Blobs(0.2, 10.0, 7);
+  const LabeledData bad = Blobs(3.0, 1.0, 9);
+  const double s_good = MeanSilhouette(good.points, good.labels);
+  const double s_bad = MeanSilhouette(bad.points, bad.labels);
+  EXPECT_GT(s_good, 0.8);
+  EXPECT_LT(s_bad, 0.3);
+  EXPECT_GT(s_good, s_bad);
+}
+
+TEST(SilhouetteTest, DegenerateInputsReturnZero) {
+  EXPECT_EQ(MeanSilhouette({}, {}), 0.0);
+  EXPECT_EQ(MeanSilhouette({FeatureVector{1.0}}, {0}), 0.0);
+  // One cluster only.
+  EXPECT_EQ(
+      MeanSilhouette({FeatureVector{0.0}, FeatureVector{1.0}}, {0, 0}), 0.0);
+}
+
+TEST(DaviesBouldinTest, SeparatedScoresLower) {
+  const LabeledData good = Blobs(0.2, 10.0, 11);
+  const LabeledData bad = Blobs(3.0, 1.0, 13);
+  const double db_good = DaviesBouldinIndex(good.points, good.labels);
+  const double db_bad = DaviesBouldinIndex(bad.points, bad.labels);
+  EXPECT_LT(db_good, db_bad);
+  EXPECT_LT(db_good, 0.2);
+}
+
+TEST(DaviesBouldinTest, DegenerateInputsReturnZero) {
+  EXPECT_EQ(DaviesBouldinIndex({}, {}), 0.0);
+  EXPECT_EQ(
+      DaviesBouldinIndex({FeatureVector{0.0}, FeatureVector{1.0}}, {0, 0}),
+      0.0);
+}
+
+}  // namespace
+}  // namespace qdcbir

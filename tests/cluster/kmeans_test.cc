@@ -1,0 +1,146 @@
+#include "qdcbir/cluster/kmeans.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "qdcbir/core/distance.h"
+
+namespace qdcbir {
+namespace {
+
+/// Three well-separated 2-D blobs of `per_blob` points each.
+std::vector<FeatureVector> ThreeBlobs(std::size_t per_blob,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FeatureVector> out;
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  for (const auto& c : centers) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      out.push_back(FeatureVector{c[0] + rng.Gaussian(0.0, 0.3),
+                                  c[1] + rng.Gaussian(0.0, 0.3)});
+    }
+  }
+  return out;
+}
+
+TEST(KMeansTest, RejectsInvalidInputs) {
+  KMeansOptions options;
+  EXPECT_FALSE(RunKMeans({}, options).ok());
+  options.k = 0;
+  EXPECT_FALSE(RunKMeans({FeatureVector{1.0}}, options).ok());
+  options.k = 2;
+  EXPECT_FALSE(
+      RunKMeans({FeatureVector{1.0}, FeatureVector{1.0, 2.0}}, options).ok());
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  const auto points = ThreeBlobs(30, 3);
+  KMeansOptions options;
+  options.k = 3;
+  options.seed = 5;
+  const KMeansResult result = RunKMeans(points, options).value();
+
+  ASSERT_EQ(result.centroids.size(), 3u);
+  // Every blob's points share one label, and labels differ across blobs.
+  std::set<int> blob_labels;
+  for (int blob = 0; blob < 3; ++blob) {
+    const int label = result.assignments[blob * 30];
+    blob_labels.insert(label);
+    for (int i = 0; i < 30; ++i) {
+      EXPECT_EQ(result.assignments[blob * 30 + i], label);
+    }
+  }
+  EXPECT_EQ(blob_labels.size(), 3u);
+}
+
+TEST(KMeansTest, CentroidsNearTrueCenters) {
+  const auto points = ThreeBlobs(50, 7);
+  KMeansOptions options;
+  options.k = 3;
+  const KMeansResult result = RunKMeans(points, options).value();
+  const std::vector<FeatureVector> expected = {FeatureVector{0.0, 0.0},
+                                               FeatureVector{10.0, 0.0},
+                                               FeatureVector{0.0, 10.0}};
+  for (const FeatureVector& e : expected) {
+    double best = 1e18;
+    for (const FeatureVector& c : result.centroids) {
+      best = std::min(best, SquaredL2(e, c));
+    }
+    EXPECT_LT(best, 0.1);
+  }
+}
+
+TEST(KMeansTest, ClusterSizesSumToPointCount) {
+  const auto points = ThreeBlobs(20, 11);
+  KMeansOptions options;
+  options.k = 4;
+  const KMeansResult result = RunKMeans(points, options).value();
+  std::size_t total = 0;
+  for (const std::size_t s : result.cluster_sizes) total += s;
+  EXPECT_EQ(total, points.size());
+}
+
+TEST(KMeansTest, KClampedToPointCount) {
+  const std::vector<FeatureVector> points = {FeatureVector{0.0},
+                                             FeatureVector{5.0}};
+  KMeansOptions options;
+  options.k = 10;
+  const KMeansResult result = RunKMeans(points, options).value();
+  EXPECT_EQ(result.centroids.size(), 2u);
+}
+
+TEST(KMeansTest, DeterministicForFixedSeed) {
+  const auto points = ThreeBlobs(25, 13);
+  KMeansOptions options;
+  options.k = 3;
+  options.seed = 77;
+  const KMeansResult a = RunKMeans(points, options).value();
+  const KMeansResult b = RunKMeans(points, options).value();
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeansTest, MoreRestartsNeverWorse) {
+  const auto points = ThreeBlobs(20, 17);
+  KMeansOptions one;
+  one.k = 3;
+  one.n_init = 1;
+  one.seed = 3;
+  KMeansOptions many = one;
+  many.n_init = 5;
+  EXPECT_LE(RunKMeans(points, many).value().inertia,
+            RunKMeans(points, one).value().inertia + 1e-9);
+}
+
+TEST(KMeansTest, IdenticalPointsYieldZeroInertia) {
+  const std::vector<FeatureVector> points(10, FeatureVector{2.0, 2.0});
+  KMeansOptions options;
+  options.k = 3;
+  const KMeansResult result = RunKMeans(points, options).value();
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, InertiaIsSumOfSquaredDistances) {
+  const auto points = ThreeBlobs(10, 19);
+  KMeansOptions options;
+  options.k = 2;
+  const KMeansResult result = RunKMeans(points, options).value();
+  double manual = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    manual += SquaredL2(points[i], result.centroids[result.assignments[i]]);
+  }
+  EXPECT_NEAR(result.inertia, manual, 1e-9);
+}
+
+TEST(NearestPointIndexTest, FindsNearest) {
+  const std::vector<FeatureVector> points = {
+      FeatureVector{0.0, 0.0}, FeatureVector{5.0, 5.0},
+      FeatureVector{10.0, 0.0}};
+  EXPECT_EQ(NearestPointIndex(points, FeatureVector{4.4, 4.9}), 1u);
+  EXPECT_EQ(NearestPointIndex(points, FeatureVector{9.0, 1.0}), 2u);
+}
+
+}  // namespace
+}  // namespace qdcbir

@@ -1,0 +1,140 @@
+#include "qdcbir/cluster/pca.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "qdcbir/core/rng.h"
+
+namespace qdcbir {
+namespace {
+
+TEST(JacobiTest, DiagonalMatrixEigenvalues) {
+  // diag(3, 1, 2) -> eigenvalues sorted descending: 3, 2, 1.
+  std::vector<double> m = {3, 0, 0, 0, 1, 0, 0, 0, 2};
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;
+  JacobiEigenSymmetric(m, 3, values, vectors);
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_NEAR(values[0], 3.0, 1e-10);
+  EXPECT_NEAR(values[1], 2.0, 1e-10);
+  EXPECT_NEAR(values[2], 1.0, 1e-10);
+}
+
+TEST(JacobiTest, KnownSymmetricMatrix) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  std::vector<double> m = {2, 1, 1, 2};
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;
+  JacobiEigenSymmetric(m, 2, values, vectors);
+  EXPECT_NEAR(values[0], 3.0, 1e-10);
+  EXPECT_NEAR(values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(vectors[0][0]), 1.0 / std::sqrt(2.0), 1e-8);
+  EXPECT_NEAR(std::fabs(vectors[0][1]), 1.0 / std::sqrt(2.0), 1e-8);
+}
+
+TEST(JacobiTest, EigenvectorsAreOrthonormal) {
+  Rng rng(3);
+  const std::size_t n = 6;
+  std::vector<double> m(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      m[i * n + j] = m[j * n + i] = rng.UniformDouble(-1.0, 1.0);
+    }
+  }
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;
+  JacobiEigenSymmetric(m, n, values, vectors);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) dot += vectors[a][i] * vectors[b][i];
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+std::vector<FeatureVector> AnisotropicCloud(std::size_t n,
+                                            std::uint64_t seed) {
+  // Points spread mostly along the (1, 1, 0) direction in 3-D.
+  Rng rng(seed);
+  std::vector<FeatureVector> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = rng.Gaussian(0.0, 5.0);
+    out.push_back(FeatureVector{t + rng.Gaussian(0.0, 0.2),
+                                t + rng.Gaussian(0.0, 0.2),
+                                rng.Gaussian(0.0, 0.2)});
+  }
+  return out;
+}
+
+TEST(PcaTest, RejectsBadInputs) {
+  Pca pca;
+  EXPECT_FALSE(pca.Fit({}, 1).ok());
+  EXPECT_FALSE(pca.Fit({FeatureVector{1.0}}, 1).ok());
+  EXPECT_FALSE(
+      pca.Fit({FeatureVector{1.0, 2.0}, FeatureVector{3.0, 4.0}}, 0).ok());
+  EXPECT_FALSE(
+      pca.Fit({FeatureVector{1.0, 2.0}, FeatureVector{3.0, 4.0}}, 5).ok());
+}
+
+TEST(PcaTest, FirstComponentCapturesDominantDirection) {
+  Pca pca;
+  ASSERT_TRUE(pca.Fit(AnisotropicCloud(400, 5), 1).ok());
+  const FeatureVector& axis = pca.components()[0];
+  // The dominant axis is (1,1,0)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(axis[0]), 1.0 / std::sqrt(2.0), 0.05);
+  EXPECT_NEAR(std::fabs(axis[1]), 1.0 / std::sqrt(2.0), 0.05);
+  EXPECT_NEAR(axis[2], 0.0, 0.05);
+  EXPECT_GT(pca.explained_variance_ratio(), 0.95);
+}
+
+TEST(PcaTest, TransformReducesDimension) {
+  Pca pca;
+  const auto cloud = AnisotropicCloud(200, 7);
+  ASSERT_TRUE(pca.Fit(cloud, 2).ok());
+  const FeatureVector projected = pca.Transform(cloud[0]).value();
+  EXPECT_EQ(projected.dim(), 2u);
+}
+
+TEST(PcaTest, TransformBatchMatchesSingle) {
+  Pca pca;
+  const auto cloud = AnisotropicCloud(100, 9);
+  ASSERT_TRUE(pca.Fit(cloud, 2).ok());
+  const auto batch = pca.TransformBatch(cloud).value();
+  for (std::size_t i = 0; i < 5; ++i) {
+    const FeatureVector single = pca.Transform(cloud[i]).value();
+    EXPECT_EQ(batch[i], single);
+  }
+}
+
+TEST(PcaTest, ExplainedVarianceDecreasing) {
+  Pca pca;
+  ASSERT_TRUE(pca.Fit(AnisotropicCloud(300, 11), 3).ok());
+  const auto& ev = pca.explained_variance();
+  ASSERT_EQ(ev.size(), 3u);
+  EXPECT_GE(ev[0], ev[1]);
+  EXPECT_GE(ev[1], ev[2]);
+}
+
+TEST(PcaTest, TransformRejectsWrongDim) {
+  Pca pca;
+  ASSERT_TRUE(pca.Fit(AnisotropicCloud(50, 13), 2).ok());
+  EXPECT_FALSE(pca.Transform(FeatureVector{1.0}).ok());
+}
+
+TEST(PcaTest, ProjectionPreservesPairwiseStructure) {
+  // Distances along the dominant direction survive projection.
+  Pca pca;
+  const auto cloud = AnisotropicCloud(200, 15);
+  ASSERT_TRUE(pca.Fit(cloud, 1).ok());
+  const FeatureVector far_a{-20.0, -20.0, 0.0};
+  const FeatureVector far_b{20.0, 20.0, 0.0};
+  const double pa = pca.Transform(far_a).value()[0];
+  const double pb = pca.Transform(far_b).value()[0];
+  EXPECT_GT(std::fabs(pa - pb), 30.0);
+}
+
+}  // namespace
+}  // namespace qdcbir

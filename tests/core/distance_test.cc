@@ -1,0 +1,88 @@
+#include "qdcbir/core/distance.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "qdcbir/core/rng.h"
+
+namespace qdcbir {
+namespace {
+
+TEST(SquaredL2Test, MatchesManualComputation) {
+  FeatureVector a{1.0, 2.0, 3.0};
+  FeatureVector b{4.0, 6.0, 3.0};
+  EXPECT_DOUBLE_EQ(SquaredL2(a, b), 9.0 + 16.0 + 0.0);
+}
+
+TEST(SquaredL2Test, ZeroForIdenticalPoints) {
+  FeatureVector a{1.5, -2.5, 0.0};
+  EXPECT_DOUBLE_EQ(SquaredL2(a, a), 0.0);
+}
+
+TEST(L2DistanceTest, DistanceIsSqrtOfCompare) {
+  L2Distance metric;
+  FeatureVector a{0.0, 0.0};
+  FeatureVector b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(metric.Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(metric.Compare(a, b), 25.0);
+  EXPECT_STREQ(metric.Name(), "l2");
+}
+
+TEST(L1DistanceTest, CityBlock) {
+  L1Distance metric;
+  FeatureVector a{1.0, -1.0};
+  FeatureVector b{4.0, 1.0};
+  EXPECT_DOUBLE_EQ(metric.Distance(a, b), 5.0);
+}
+
+TEST(WeightedL2Test, WeightsScalePerDimension) {
+  WeightedL2Distance metric({4.0, 0.0});
+  FeatureVector a{0.0, 0.0};
+  FeatureVector b{1.0, 100.0};
+  // Second dimension has weight 0 and is ignored entirely.
+  EXPECT_DOUBLE_EQ(metric.Compare(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(metric.Distance(a, b), 2.0);
+}
+
+TEST(WeightedL2Test, UnitWeightsMatchPlainL2) {
+  WeightedL2Distance weighted({1.0, 1.0, 1.0});
+  L2Distance plain;
+  FeatureVector a{1.0, 2.0, 3.0};
+  FeatureVector b{-1.0, 0.5, 9.0};
+  EXPECT_DOUBLE_EQ(weighted.Distance(a, b), plain.Distance(a, b));
+}
+
+class MetricAxiomsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricAxiomsTest, SymmetryNonNegativityIdentityTriangle) {
+  Rng rng(GetParam());
+  const std::size_t dim = 8;
+  auto random_point = [&] {
+    FeatureVector v(dim);
+    for (std::size_t i = 0; i < dim; ++i) v[i] = rng.UniformDouble(-5.0, 5.0);
+    return v;
+  };
+  L2Distance l2;
+  L1Distance l1;
+  for (int iter = 0; iter < 50; ++iter) {
+    const FeatureVector a = random_point();
+    const FeatureVector b = random_point();
+    const FeatureVector c = random_point();
+    for (const DistanceMetric* m :
+         {static_cast<const DistanceMetric*>(&l2),
+          static_cast<const DistanceMetric*>(&l1)}) {
+      EXPECT_GE(m->Distance(a, b), 0.0);
+      EXPECT_DOUBLE_EQ(m->Distance(a, b), m->Distance(b, a));
+      EXPECT_DOUBLE_EQ(m->Distance(a, a), 0.0);
+      EXPECT_LE(m->Distance(a, c),
+                m->Distance(a, b) + m->Distance(b, c) + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricAxiomsTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace qdcbir

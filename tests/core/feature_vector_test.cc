@@ -1,0 +1,78 @@
+#include "qdcbir/core/feature_vector.h"
+
+#include <gtest/gtest.h>
+
+namespace qdcbir {
+namespace {
+
+TEST(FeatureVectorTest, ZeroConstruction) {
+  FeatureVector v(4);
+  EXPECT_EQ(v.dim(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], 0.0);
+}
+
+TEST(FeatureVectorTest, InitializerListConstruction) {
+  FeatureVector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.dim(), 3u);
+  EXPECT_EQ(v[1], 2.0);
+}
+
+TEST(FeatureVectorTest, ArithmeticOperators) {
+  FeatureVector a{1.0, 2.0};
+  FeatureVector b{3.0, 5.0};
+  const FeatureVector sum = a + b;
+  EXPECT_EQ(sum, (FeatureVector{4.0, 7.0}));
+  const FeatureVector diff = b - a;
+  EXPECT_EQ(diff, (FeatureVector{2.0, 3.0}));
+  const FeatureVector scaled = a * 2.0;
+  EXPECT_EQ(scaled, (FeatureVector{2.0, 4.0}));
+  const FeatureVector scaled_left = 3.0 * a;
+  EXPECT_EQ(scaled_left, (FeatureVector{3.0, 6.0}));
+}
+
+TEST(FeatureVectorTest, CompoundAssignment) {
+  FeatureVector a{1.0, 1.0};
+  a += FeatureVector{2.0, 3.0};
+  EXPECT_EQ(a, (FeatureVector{3.0, 4.0}));
+  a -= FeatureVector{1.0, 1.0};
+  EXPECT_EQ(a, (FeatureVector{2.0, 3.0}));
+  a *= 0.5;
+  EXPECT_EQ(a, (FeatureVector{1.0, 1.5}));
+}
+
+TEST(FeatureVectorTest, DotAndNorm) {
+  FeatureVector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.Dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+  FeatureVector b{-4.0, 3.0};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 0.0);
+}
+
+TEST(FeatureVectorTest, CentroidOfPoints) {
+  const std::vector<FeatureVector> points = {
+      FeatureVector{0.0, 0.0}, FeatureVector{2.0, 4.0},
+      FeatureVector{4.0, 2.0}};
+  const FeatureVector c = FeatureVector::Centroid(points);
+  EXPECT_DOUBLE_EQ(c[0], 2.0);
+  EXPECT_DOUBLE_EQ(c[1], 2.0);
+}
+
+TEST(FeatureVectorTest, CentroidOfSinglePointIsThePoint) {
+  const FeatureVector c =
+      FeatureVector::Centroid({FeatureVector{1.5, -2.5}});
+  EXPECT_EQ(c, (FeatureVector{1.5, -2.5}));
+}
+
+TEST(FeatureVectorTest, ToStringIsReadable) {
+  FeatureVector v{1.0, 2.5};
+  EXPECT_EQ(v.ToString(), "[1, 2.5]");
+}
+
+TEST(FeatureVectorTest, MutationThroughIndex) {
+  FeatureVector v(2);
+  v[0] = 9.0;
+  EXPECT_EQ(v[0], 9.0);
+}
+
+}  // namespace
+}  // namespace qdcbir

@@ -1,0 +1,97 @@
+#include "qdcbir/core/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "qdcbir/core/rng.h"
+
+namespace qdcbir {
+namespace {
+
+TEST(MomentAccumulatorTest, EmptyIsZero) {
+  MomentAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.skewness_cuberoot(), 0.0);
+}
+
+TEST(MomentAccumulatorTest, SingleValue) {
+  MomentAccumulator acc;
+  acc.Add(5.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(MomentAccumulatorTest, KnownMoments) {
+  MomentAccumulator acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(acc.stddev(), 2.0);
+}
+
+TEST(MomentAccumulatorTest, SkewnessSignReflectsAsymmetry) {
+  MomentAccumulator right_skewed;
+  for (const double x : {1.0, 1.0, 1.0, 1.0, 10.0}) right_skewed.Add(x);
+  EXPECT_GT(right_skewed.skewness_cuberoot(), 0.0);
+  EXPECT_GT(right_skewed.skewness_standardized(), 0.0);
+
+  MomentAccumulator left_skewed;
+  for (const double x : {10.0, 10.0, 10.0, 10.0, 1.0}) left_skewed.Add(x);
+  EXPECT_LT(left_skewed.skewness_cuberoot(), 0.0);
+}
+
+TEST(MomentAccumulatorTest, SymmetricDataHasNearZeroSkewness) {
+  MomentAccumulator acc;
+  for (const double x : {-2.0, -1.0, 0.0, 1.0, 2.0}) acc.Add(x);
+  EXPECT_NEAR(acc.skewness_cuberoot(), 0.0, 1e-12);
+}
+
+TEST(MomentAccumulatorTest, MatchesBatchComputationOnRandomData) {
+  Rng rng(7);
+  std::vector<double> values;
+  MomentAccumulator acc;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.Gaussian(3.0, 2.5);
+    values.push_back(v);
+    acc.Add(v);
+  }
+  EXPECT_NEAR(acc.mean(), Mean(values), 1e-9);
+  EXPECT_NEAR(acc.stddev(), StdDev(values), 1e-9);
+}
+
+TEST(BatchStatsTest, MeanAndStdDev) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_NEAR(StdDev(v), std::sqrt(1.25), 1e-12);
+}
+
+TEST(BatchStatsTest, EmptyInputs) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(StdDev({}), 0.0);
+  EXPECT_EQ(Median({}), 0.0);
+  EXPECT_EQ(Min({}), 0.0);
+  EXPECT_EQ(Max({}), 0.0);
+}
+
+TEST(BatchStatsTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(BatchStatsTest, MinMax) {
+  const std::vector<double> v = {3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(Min(v), -1.0);
+  EXPECT_DOUBLE_EQ(Max(v), 7.0);
+}
+
+TEST(SignedCubeRootTest, PreservesSign) {
+  EXPECT_DOUBLE_EQ(SignedCubeRoot(8.0), 2.0);
+  EXPECT_DOUBLE_EQ(SignedCubeRoot(-8.0), -2.0);
+  EXPECT_DOUBLE_EQ(SignedCubeRoot(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace qdcbir

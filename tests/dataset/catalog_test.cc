@@ -1,0 +1,124 @@
+#include "qdcbir/dataset/catalog.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace qdcbir {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog(Catalog::Build().value());
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+  static const Catalog* catalog_;
+};
+
+const Catalog* CatalogTest::catalog_ = nullptr;
+
+TEST_F(CatalogTest, BuildsRequestedCategoryCount) {
+  EXPECT_EQ(catalog_->categories().size(), 150u);
+}
+
+TEST_F(CatalogTest, RejectsTooFewCategories) {
+  CatalogOptions options;
+  options.num_categories = 2;
+  EXPECT_FALSE(Catalog::Build(options).ok());
+}
+
+TEST_F(CatalogTest, EvaluationCategoriesExist) {
+  for (const char* name :
+       {"person", "airplane", "bird", "car", "horse", "mountain", "rose",
+        "water_sports", "computer", "white_sedan"}) {
+    EXPECT_TRUE(catalog_->FindCategory(name).ok()) << name;
+  }
+}
+
+TEST_F(CatalogTest, ElevenEvaluationQueries) {
+  EXPECT_EQ(catalog_->queries().size(), 11u);
+}
+
+TEST_F(CatalogTest, QuerySubConceptCountsMatchPaperTable1) {
+  const std::vector<std::pair<std::string, std::size_t>> expected = {
+      {"a_person", 3},  {"airplane", 2},          {"bird", 3},
+      {"car", 3},       {"horse", 3},             {"mountain_view", 2},
+      {"rose", 2},      {"water_sports", 2},      {"computer", 3},
+      {"personal_computer", 2},                   {"laptop", 2},
+  };
+  for (const auto& [name, count] : expected) {
+    const QueryConceptSpec q = catalog_->FindQuery(name).value();
+    EXPECT_EQ(q.subconcepts.size(), count) << name;
+  }
+}
+
+TEST_F(CatalogTest, WhiteSedanHasFourViewSubconcepts) {
+  const CategoryId id = catalog_->FindCategory("white_sedan").value();
+  EXPECT_EQ(catalog_->category(id).subconcepts.size(), 4u);
+}
+
+TEST_F(CatalogTest, SubConceptIdsAreDenseAndConsistent) {
+  const auto& subs = catalog_->subconcepts();
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    EXPECT_EQ(subs[i].id, i);
+    // Category back-reference holds this sub-concept.
+    const CategorySpec& cat = catalog_->category(subs[i].category);
+    EXPECT_NE(std::find(cat.subconcepts.begin(), cat.subconcepts.end(),
+                        subs[i].id),
+              cat.subconcepts.end());
+  }
+}
+
+TEST_F(CatalogTest, SubConceptNamesAreUnique) {
+  std::set<std::string> names;
+  for (const SubConceptSpec& s : catalog_->subconcepts()) {
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate name " << s.name;
+  }
+}
+
+TEST_F(CatalogTest, LaptopQueryGroupsTwoDatasetSubconcepts) {
+  const QueryConceptSpec computer = catalog_->FindQuery("computer").value();
+  // The "laptop" ground-truth sub-concept unions both laptop variants.
+  bool found_laptop_group = false;
+  for (const QuerySubConcept& qs : computer.subconcepts) {
+    if (qs.name == "laptop") {
+      found_laptop_group = true;
+      EXPECT_EQ(qs.members.size(), 2u);
+    }
+  }
+  EXPECT_TRUE(found_laptop_group);
+  EXPECT_EQ(computer.AllMembers().size(), 4u);
+}
+
+TEST_F(CatalogTest, FindersReturnNotFoundForUnknownNames) {
+  EXPECT_EQ(catalog_->FindCategory("nonexistent").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(catalog_->FindSubConcept("nonexistent").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(catalog_->FindQuery("nonexistent").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CatalogTest, DeterministicForFixedSeed) {
+  const Catalog a = Catalog::Build().value();
+  const Catalog b = Catalog::Build().value();
+  ASSERT_EQ(a.subconcepts().size(), b.subconcepts().size());
+  for (std::size_t i = 0; i < a.subconcepts().size(); ++i) {
+    EXPECT_EQ(a.subconcepts()[i].name, b.subconcepts()[i].name);
+    EXPECT_EQ(a.subconcepts()[i].recipe.shape_color.r,
+              b.subconcepts()[i].recipe.shape_color.r);
+  }
+}
+
+TEST_F(CatalogTest, FillerCategoriesHaveSubconcepts) {
+  for (const CategorySpec& cat : catalog_->categories()) {
+    EXPECT_FALSE(cat.subconcepts.empty()) << cat.name;
+  }
+}
+
+}  // namespace
+}  // namespace qdcbir

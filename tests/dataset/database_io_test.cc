@@ -1,0 +1,120 @@
+#include "qdcbir/dataset/database_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "qdcbir/dataset/synthesizer.h"
+
+namespace qdcbir {
+namespace {
+
+class DatabaseIoTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CatalogOptions catalog_options;
+    catalog_options.num_categories = 20;
+    catalog_ = new Catalog(Catalog::Build(catalog_options).value());
+    SynthesizerOptions options;
+    options.total_images = 300;
+    options.image_width = 24;
+    options.image_height = 24;
+    db_ = new ImageDatabase(
+        DatabaseSynthesizer::Synthesize(*catalog_, options).value());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete catalog_;
+  }
+  static const Catalog* catalog_;
+  static const ImageDatabase* db_;
+};
+
+const Catalog* DatabaseIoTest::catalog_ = nullptr;
+const ImageDatabase* DatabaseIoTest::db_ = nullptr;
+
+TEST_F(DatabaseIoTest, CatalogRoundTrip) {
+  const std::string blob = DatabaseIo::SerializeCatalog(*catalog_);
+  StatusOr<Catalog> restored = DatabaseIo::DeserializeCatalog(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  ASSERT_EQ(restored->categories().size(), catalog_->categories().size());
+  ASSERT_EQ(restored->subconcepts().size(), catalog_->subconcepts().size());
+  ASSERT_EQ(restored->queries().size(), catalog_->queries().size());
+  for (std::size_t i = 0; i < catalog_->subconcepts().size(); ++i) {
+    const SubConceptSpec& a = catalog_->subconcepts()[i];
+    const SubConceptSpec& b = restored->subconcepts()[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.category, b.category);
+    EXPECT_EQ(a.recipe.shape, b.recipe.shape);
+    EXPECT_EQ(a.recipe.shape_color, b.recipe.shape_color);
+    EXPECT_DOUBLE_EQ(a.recipe.shape_size_frac, b.recipe.shape_size_frac);
+  }
+  for (std::size_t q = 0; q < catalog_->queries().size(); ++q) {
+    EXPECT_EQ(restored->queries()[q].name, catalog_->queries()[q].name);
+    EXPECT_EQ(restored->queries()[q].AllMembers(),
+              catalog_->queries()[q].AllMembers());
+  }
+}
+
+TEST_F(DatabaseIoTest, DatabaseRoundTrip) {
+  const std::string blob = DatabaseIo::SerializeDatabase(*db_);
+  StatusOr<ImageDatabase> restored = DatabaseIo::DeserializeDatabase(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  ASSERT_EQ(restored->size(), db_->size());
+  EXPECT_EQ(restored->image_width(), db_->image_width());
+  EXPECT_TRUE(restored->has_channel_features());
+  for (ImageId i = 0; i < db_->size(); ++i) {
+    EXPECT_EQ(restored->feature(i), db_->feature(i));
+    EXPECT_EQ(restored->record(i).subconcept, db_->record(i).subconcept);
+    EXPECT_EQ(restored->record(i).render_seed, db_->record(i).render_seed);
+    EXPECT_EQ(
+        restored->channel_feature(ViewpointChannel::kGray, i),
+        db_->channel_feature(ViewpointChannel::kGray, i));
+  }
+  // Renders reproduce identical pixels.
+  EXPECT_TRUE(restored->Render(7) == db_->Render(7));
+  // Ground-truth lookups intact.
+  for (const SubConceptSpec& s : catalog_->subconcepts()) {
+    EXPECT_EQ(restored->ImagesOfSubConcept(s.id),
+              db_->ImagesOfSubConcept(s.id));
+  }
+}
+
+TEST_F(DatabaseIoTest, DatabaseWithoutChannelsRoundTrips) {
+  SynthesizerOptions options;
+  options.total_images = 80;
+  options.image_width = 16;
+  options.image_height = 16;
+  options.extract_viewpoint_channels = false;
+  const ImageDatabase small =
+      DatabaseSynthesizer::Synthesize(*catalog_, options).value();
+  StatusOr<ImageDatabase> restored =
+      DatabaseIo::DeserializeDatabase(DatabaseIo::SerializeDatabase(small));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_FALSE(restored->has_channel_features());
+  EXPECT_EQ(restored->size(), 80u);
+}
+
+TEST_F(DatabaseIoTest, RejectsCorruptBlobs) {
+  EXPECT_FALSE(DatabaseIo::DeserializeDatabase("").ok());
+  EXPECT_FALSE(DatabaseIo::DeserializeDatabase("XXXXXXXXjunk").ok());
+  EXPECT_FALSE(DatabaseIo::DeserializeCatalog("YYYYYYYYjunk").ok());
+  std::string blob = DatabaseIo::SerializeDatabase(*db_);
+  blob.resize(blob.size() / 3);
+  EXPECT_FALSE(DatabaseIo::DeserializeDatabase(blob).ok());
+}
+
+TEST_F(DatabaseIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/qdcbir_db_test.bin";
+  ASSERT_TRUE(DatabaseIo::SaveDatabase(*db_, path).ok());
+  StatusOr<ImageDatabase> loaded = DatabaseIo::LoadDatabase(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), db_->size());
+  std::remove(path.c_str());
+  EXPECT_FALSE(DatabaseIo::LoadDatabase("/nonexistent/db.bin").ok());
+}
+
+}  // namespace
+}  // namespace qdcbir

@@ -1,0 +1,160 @@
+// Property tests of the hand-crafted evaluation categories: the dataset's
+// whole purpose is that sub-concepts of one semantic concept are (a)
+// internally tight and (b) mutually distant in feature space. These tests
+// pin that property for the concepts the paper's queries depend on.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "qdcbir/core/distance.h"
+#include "qdcbir/core/rng.h"
+#include "qdcbir/dataset/catalog.h"
+#include "qdcbir/features/extractor.h"
+
+namespace qdcbir {
+namespace {
+
+class EvalRecipesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog(Catalog::Build().value());
+  }
+  static void TearDownTestSuite() { delete catalog_; }
+
+  /// Renders `n` images of a sub-concept and extracts raw features.
+  static std::vector<FeatureVector> Sample(const char* name, int n,
+                                           std::uint64_t seed) {
+    const SubConceptSpec& spec =
+        catalog_->subconcept(catalog_->FindSubConcept(name).value());
+    FeatureExtractor extractor;
+    Rng rng(seed);
+    std::vector<FeatureVector> out;
+    for (int i = 0; i < n; ++i) {
+      out.push_back(
+          extractor.Extract(RenderRecipe(spec.recipe, 48, 48, rng)).value());
+    }
+    return out;
+  }
+
+  /// Mean distance of the samples to their centroid.
+  static double Radius(const std::vector<FeatureVector>& samples) {
+    const FeatureVector c = FeatureVector::Centroid(samples);
+    double sum = 0.0;
+    for (const FeatureVector& s : samples) {
+      sum += std::sqrt(SquaredL2(s, c));
+    }
+    return sum / static_cast<double>(samples.size());
+  }
+
+  static double CentroidDistance(const std::vector<FeatureVector>& a,
+                                 const std::vector<FeatureVector>& b) {
+    return std::sqrt(SquaredL2(FeatureVector::Centroid(a),
+                               FeatureVector::Centroid(b)));
+  }
+
+  static const Catalog* catalog_;
+};
+
+const Catalog* EvalRecipesTest::catalog_ = nullptr;
+
+struct ConceptPair {
+  const char* a;
+  const char* b;
+};
+
+class ScatteredPairTest : public EvalRecipesTest,
+                          public ::testing::WithParamInterface<ConceptPair> {};
+
+TEST_P(ScatteredPairTest, SubconceptsAreTightAndMutuallyDistant) {
+  const ConceptPair pair = GetParam();
+  const auto sa = Sample(pair.a, 12, 1);
+  const auto sb = Sample(pair.b, 12, 2);
+  const double ra = Radius(sa);
+  const double rb = Radius(sb);
+  const double d = CentroidDistance(sa, sb);
+  // The inter-centroid distance clearly exceeds both cluster radii — the
+  // clusters do not overlap (Figure 1's geometry, in raw feature space).
+  EXPECT_GT(d, 1.5 * (ra + rb))
+      << pair.a << " vs " << pair.b << ": radius " << ra << "/" << rb
+      << ", distance " << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EvaluationConcepts, ScatteredPairTest,
+    ::testing::Values(
+        // The bird query's three scattered sub-concepts (Figure 3).
+        ConceptPair{"eagle", "owl"}, ConceptPair{"eagle", "sparrow"},
+        ConceptPair{"owl", "sparrow"},
+        // The car query (Figure 2's walk-through).
+        ConceptPair{"modern_sedan", "antique_car"},
+        ConceptPair{"modern_sedan", "steamed_car"},
+        // The person query (largest QD-vs-MV gap in Table 1).
+        ConceptPair{"hair_model", "kongfu"},
+        ConceptPair{"fitness", "hair_model"},
+        // The computer family (Figures 4-9).
+        ConceptPair{"server", "laptop_clear"},
+        ConceptPair{"desktop", "laptop_complex"},
+        ConceptPair{"laptop_clear", "laptop_complex"},
+        // Figure 1's white-sedan views.
+        ConceptPair{"white_sedan_side", "white_sedan_angle"},
+        ConceptPair{"white_sedan_front", "white_sedan_back"}),
+    [](const ::testing::TestParamInfo<ConceptPair>& info) {
+      return std::string(info.param.a) + "_vs_" + info.param.b;
+    });
+
+TEST_F(EvalRecipesTest, AirplaneSubconceptsAreDeliberatelyCloser) {
+  // The paper notes MV also captures both airplane sub-concepts because
+  // they share a clear-sky background; the dataset preserves that: the
+  // airplane pair is much closer (relative to its radii) than the bird
+  // pair.
+  const auto single = Sample("airplane_single", 12, 3);
+  const auto multiple = Sample("airplane_multiple", 12, 4);
+  const auto eagle = Sample("eagle", 12, 5);
+  const auto owl = Sample("owl", 12, 6);
+
+  const double airplane_ratio =
+      CentroidDistance(single, multiple) /
+      (Radius(single) + Radius(multiple));
+  const double bird_ratio =
+      CentroidDistance(eagle, owl) / (Radius(eagle) + Radius(owl));
+  EXPECT_LT(airplane_ratio, bird_ratio);
+}
+
+TEST_F(EvalRecipesTest, RosesAreBestSeparatedByAColorDimension) {
+  // yellow_rose vs red_rose share layout and differ by petal color. Raw
+  // feature scales differ per block, so compare per-dimension
+  // signal-to-noise: |centroid difference| / pooled within-cluster spread.
+  // The single most discriminative dimension must be a color moment.
+  const auto yellow = Sample("yellow_rose", 12, 7);
+  const auto red = Sample("red_rose", 12, 8);
+  const FeatureVector cy = FeatureVector::Centroid(yellow);
+  const FeatureVector cr = FeatureVector::Centroid(red);
+
+  auto dim_stddev = [](const std::vector<FeatureVector>& samples,
+                       const FeatureVector& centroid, std::size_t d) {
+    double sum = 0.0;
+    for (const FeatureVector& s : samples) {
+      sum += (s[d] - centroid[d]) * (s[d] - centroid[d]);
+    }
+    return std::sqrt(sum / static_cast<double>(samples.size()));
+  };
+
+  std::size_t best_dim = 0;
+  double best_snr = -1.0;
+  for (std::size_t d = 0; d < kPaperFeatureDim; ++d) {
+    const double spread =
+        dim_stddev(yellow, cy, d) + dim_stddev(red, cr, d) + 1e-9;
+    const double snr = std::fabs(cy[d] - cr[d]) / spread;
+    if (snr > best_snr) {
+      best_snr = snr;
+      best_dim = d;
+    }
+  }
+  EXPECT_LT(best_dim, kPaperLayout.color_end)
+      << "most discriminative dimension " << best_dim
+      << " is not a color moment (SNR " << best_snr << ")";
+}
+
+}  // namespace
+}  // namespace qdcbir

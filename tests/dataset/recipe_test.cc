@@ -1,0 +1,130 @@
+#include "qdcbir/dataset/recipe.h"
+
+#include <gtest/gtest.h>
+
+#include "qdcbir/core/distance.h"
+#include "qdcbir/features/extractor.h"
+#include "qdcbir/image/color.h"
+
+namespace qdcbir {
+namespace {
+
+TEST(RecipeTest, RendersRequestedSize) {
+  SubConceptRecipe recipe;
+  Rng rng(1);
+  const Image img = RenderRecipe(recipe, 48, 32, rng);
+  EXPECT_EQ(img.width(), 48);
+  EXPECT_EQ(img.height(), 32);
+}
+
+TEST(RecipeTest, DeterministicGivenRngState) {
+  SubConceptRecipe recipe;
+  recipe.texture = TextureKind::kSpeckle;
+  Rng a(77), b(77);
+  const Image img_a = RenderRecipe(recipe, 32, 32, a);
+  const Image img_b = RenderRecipe(recipe, 32, 32, b);
+  EXPECT_TRUE(img_a == img_b);
+}
+
+TEST(RecipeTest, DifferentRngStatesJitter) {
+  SubConceptRecipe recipe;
+  Rng a(1), b(2);
+  const Image img_a = RenderRecipe(recipe, 32, 32, a);
+  const Image img_b = RenderRecipe(recipe, 32, 32, b);
+  EXPECT_FALSE(img_a == img_b);
+}
+
+TEST(RecipeTest, ShapeColorAppears) {
+  SubConceptRecipe recipe;
+  recipe.background = BackgroundKind::kSolid;
+  recipe.bg_color1 = Rgb{0, 0, 0};
+  recipe.shape = ShapeKind::kEllipse;
+  recipe.shape_color = Rgb{255, 0, 0};
+  recipe.jitter_hue = 0.0;
+  recipe.pixel_noise_stddev = 0.0;
+  Rng rng(3);
+  const Image img = RenderRecipe(recipe, 32, 32, rng);
+  // The center of the canvas is covered by the red ellipse.
+  const Rgb center = img.At(16, 16);
+  EXPECT_GT(center.r, 200);
+  EXPECT_LT(center.g, 50);
+}
+
+TEST(RecipeTest, MultipleShapesSpread) {
+  SubConceptRecipe one;
+  one.pixel_noise_stddev = 0.0;
+  SubConceptRecipe many = one;
+  many.shape_count = 4;
+  Rng ra(5), rb(5);
+  const Image img_one = RenderRecipe(one, 48, 48, ra);
+  const Image img_many = RenderRecipe(many, 48, 48, rb);
+  EXPECT_FALSE(img_one == img_many);
+}
+
+TEST(RecipeTest, AllShapeKindsRenderWithoutCrash) {
+  for (const ShapeKind kind :
+       {ShapeKind::kEllipse, ShapeKind::kRectangle, ShapeKind::kTriangle,
+        ShapeKind::kPolygon, ShapeKind::kLineBurst}) {
+    SubConceptRecipe recipe;
+    recipe.shape = kind;
+    Rng rng(7);
+    const Image img = RenderRecipe(recipe, 24, 24, rng);
+    EXPECT_FALSE(img.empty());
+  }
+}
+
+TEST(RecipeTest, AllBackgroundKindsRender) {
+  for (const BackgroundKind kind :
+       {BackgroundKind::kSolid, BackgroundKind::kVerticalGradient,
+        BackgroundKind::kHorizontalGradient, BackgroundKind::kNoisy}) {
+    SubConceptRecipe recipe;
+    recipe.background = kind;
+    Rng rng(9);
+    const Image img = RenderRecipe(recipe, 24, 24, rng);
+    EXPECT_FALSE(img.empty());
+  }
+}
+
+TEST(RecipeTest, AllTextureKindsRender) {
+  for (const TextureKind kind :
+       {TextureKind::kNone, TextureKind::kChecker, TextureKind::kStripes,
+        TextureKind::kSpeckle}) {
+    SubConceptRecipe recipe;
+    recipe.texture = kind;
+    Rng rng(11);
+    const Image img = RenderRecipe(recipe, 24, 24, rng);
+    EXPECT_FALSE(img.empty());
+  }
+}
+
+TEST(RecipeTest, JitterHuePreservesColorWhenZero) {
+  Rng rng(13);
+  const Rgb c = JitterHue(Rgb{120, 60, 200}, 0.0, rng);
+  EXPECT_EQ(c, (Rgb{120, 60, 200}));
+}
+
+TEST(RecipeTest, SameRecipeImagesClusterInFeatureSpace) {
+  // The core dataset premise: two renders of one recipe are much closer in
+  // feature space than renders of different recipes.
+  SubConceptRecipe red_circle;
+  red_circle.shape_color = Rgb{220, 40, 40};
+  SubConceptRecipe blue_square = red_circle;
+  blue_square.shape = ShapeKind::kRectangle;
+  blue_square.shape_color = Rgb{40, 40, 220};
+  blue_square.background = BackgroundKind::kVerticalGradient;
+  blue_square.bg_color2 = Rgb{200, 200, 100};
+
+  FeatureExtractor extractor;
+  Rng rng(15);
+  const FeatureVector a1 =
+      extractor.Extract(RenderRecipe(red_circle, 48, 48, rng)).value();
+  const FeatureVector a2 =
+      extractor.Extract(RenderRecipe(red_circle, 48, 48, rng)).value();
+  const FeatureVector b1 =
+      extractor.Extract(RenderRecipe(blue_square, 48, 48, rng)).value();
+
+  EXPECT_LT(SquaredL2(a1, a2) * 4.0, SquaredL2(a1, b1));
+}
+
+}  // namespace
+}  // namespace qdcbir

@@ -1,0 +1,91 @@
+#include "qdcbir/eval/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+#include "qdcbir/dataset/synthesizer.h"
+
+namespace qdcbir {
+namespace {
+
+class GroundTruthTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CatalogOptions catalog_options;
+    catalog_options.num_categories = 25;
+    Catalog catalog = Catalog::Build(catalog_options).value();
+    SynthesizerOptions options;
+    options.total_images = 600;
+    options.image_width = 24;
+    options.image_height = 24;
+    options.extract_viewpoint_channels = false;
+    db_ = new ImageDatabase(
+        DatabaseSynthesizer::Synthesize(catalog, options).value());
+  }
+  static void TearDownTestSuite() { delete db_; }
+  static const ImageDatabase* db_;
+};
+
+const ImageDatabase* GroundTruthTest::db_ = nullptr;
+
+TEST_F(GroundTruthTest, ResolvesBirdQuery) {
+  const QueryConceptSpec spec = db_->catalog().FindQuery("bird").value();
+  const QueryGroundTruth gt = BuildGroundTruth(*db_, spec).value();
+  EXPECT_EQ(gt.subconcept_images.size(), 3u);
+  EXPECT_FALSE(gt.all_images.empty());
+  EXPECT_EQ(gt.relevant.size(), gt.all_images.size());
+  for (const ImageId id : gt.all_images) {
+    EXPECT_TRUE(gt.IsRelevant(id));
+    EXPECT_EQ(db_->record(id).category,
+              db_->catalog().FindCategory("bird").value());
+  }
+}
+
+TEST_F(GroundTruthTest, ComputerQueryUnionsLaptopVariants) {
+  const QueryConceptSpec spec = db_->catalog().FindQuery("computer").value();
+  const QueryGroundTruth gt = BuildGroundTruth(*db_, spec).value();
+  ASSERT_EQ(gt.subconcept_images.size(), 3u);
+  // The laptop ground-truth group merges two dataset sub-concepts, so it is
+  // at least as large as either.
+  const SubConceptId clear =
+      db_->catalog().FindSubConcept("laptop_clear").value();
+  EXPECT_GT(gt.subconcept_images[2].size(),
+            db_->ImagesOfSubConcept(clear).size() - 1);
+}
+
+TEST_F(GroundTruthTest, RejectsEmptySpec) {
+  QueryConceptSpec empty;
+  EXPECT_EQ(BuildGroundTruth(*db_, empty).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(GroundTruthTest, RejectsSpecWithUnpopulatedSubconcept) {
+  QueryConceptSpec spec;
+  spec.name = "bogus";
+  spec.subconcepts = {{"ghost", {9999}}};
+  EXPECT_EQ(BuildGroundTruth(*db_, spec).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(GroundTruthTest, BuildAllCoversElevenQueries) {
+  const std::vector<QueryGroundTruth> all =
+      BuildAllGroundTruths(*db_).value();
+  EXPECT_EQ(all.size(), 11u);
+  for (const QueryGroundTruth& gt : all) {
+    EXPECT_FALSE(gt.all_images.empty()) << gt.spec.name;
+  }
+}
+
+TEST_F(GroundTruthTest, IrrelevantImagesAreNotMembers) {
+  const QueryGroundTruth gt =
+      BuildGroundTruth(*db_, db_->catalog().FindQuery("rose").value())
+          .value();
+  const CategoryId rose = db_->catalog().FindCategory("rose").value();
+  for (ImageId id = 0; id < db_->size(); ++id) {
+    if (db_->record(id).category != rose) {
+      EXPECT_FALSE(gt.IsRelevant(id));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qdcbir

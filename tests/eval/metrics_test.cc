@@ -1,0 +1,104 @@
+#include "qdcbir/eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace qdcbir {
+namespace {
+
+QueryGroundTruth MakeGroundTruth() {
+  // Two sub-concepts: {0, 1, 2} and {10, 11}.
+  QueryGroundTruth gt;
+  gt.spec.name = "test";
+  gt.spec.subconcepts = {{"a", {}}, {"b", {}}};
+  gt.subconcept_images = {{0, 1, 2}, {10, 11}};
+  for (const auto& group : gt.subconcept_images) {
+    for (const ImageId id : group) {
+      gt.all_images.push_back(id);
+      gt.relevant.insert(id);
+    }
+  }
+  return gt;
+}
+
+TEST(PrecisionRecallTest, PerfectRetrieval) {
+  const QueryGroundTruth gt = MakeGroundTruth();
+  const PrecisionRecall pr =
+      ComputePrecisionRecall({0, 1, 2, 10, 11}, gt);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+TEST(PrecisionRecallTest, PartialRetrieval) {
+  const QueryGroundTruth gt = MakeGroundTruth();
+  // 2 relevant of 4 retrieved; 2 of 5 relevant found.
+  const PrecisionRecall pr = ComputePrecisionRecall({0, 10, 99, 98}, gt);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.5);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.4);
+}
+
+TEST(PrecisionRecallTest, PrecisionEqualsRecallWhenSizesMatch) {
+  // The paper's protocol: |retrieved| == |ground truth|.
+  const QueryGroundTruth gt = MakeGroundTruth();
+  const PrecisionRecall pr =
+      ComputePrecisionRecall({0, 1, 99, 98, 97}, gt);
+  EXPECT_DOUBLE_EQ(pr.precision, pr.recall);
+}
+
+TEST(PrecisionRecallTest, EmptyResults) {
+  const QueryGroundTruth gt = MakeGroundTruth();
+  const PrecisionRecall pr = ComputePrecisionRecall({}, gt);
+  EXPECT_EQ(pr.precision, 0.0);
+  EXPECT_EQ(pr.recall, 0.0);
+}
+
+TEST(PrecisionRecallTest, DuplicatesCountOnce) {
+  const QueryGroundTruth gt = MakeGroundTruth();
+  const PrecisionRecall pr = ComputePrecisionRecall({0, 0, 0}, gt);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.2);
+}
+
+TEST(GtirTest, MatchesPaperDefinition) {
+  const QueryGroundTruth gt = MakeGroundTruth();
+  // Both sub-concepts retrieved.
+  EXPECT_DOUBLE_EQ(ComputeGtir({0, 10}, gt), 1.0);
+  // Only the first.
+  EXPECT_DOUBLE_EQ(ComputeGtir({0, 1, 2}, gt), 0.5);
+  // None.
+  EXPECT_DOUBLE_EQ(ComputeGtir({99}, gt), 0.0);
+}
+
+TEST(GtirTest, PaperExamplePersonQuery) {
+  // "A person" has 3 sub-concepts; capturing 1 of 3 yields GTIR = 1/3.
+  QueryGroundTruth gt;
+  gt.subconcept_images = {{0}, {1}, {2}};
+  for (int i = 0; i < 3; ++i) gt.relevant.insert(i);
+  EXPECT_NEAR(ComputeGtir({0}, gt), 1.0 / 3.0, 1e-12);
+}
+
+TEST(GtirTest, MinHitsRaisesTheBar) {
+  const QueryGroundTruth gt = MakeGroundTruth();
+  // One image of each sub-concept: GTIR=1 at min_hits=1, 0 at min_hits=2.
+  EXPECT_DOUBLE_EQ(ComputeGtir({0, 10}, gt, 1), 1.0);
+  EXPECT_DOUBLE_EQ(ComputeGtir({0, 10}, gt, 2), 0.0);
+  EXPECT_DOUBLE_EQ(ComputeGtir({0, 1, 10, 11}, gt, 2), 1.0);
+}
+
+TEST(GtirTest, EmptyGroundTruthIsZero) {
+  QueryGroundTruth gt;
+  EXPECT_EQ(ComputeGtir({0, 1}, gt), 0.0);
+}
+
+TEST(PrecisionAtNTest, Prefix) {
+  const QueryGroundTruth gt = MakeGroundTruth();
+  const std::vector<ImageId> results = {0, 99, 1, 98};
+  EXPECT_DOUBLE_EQ(PrecisionAtN(results, gt, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtN(results, gt, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtN(results, gt, 4), 0.5);
+  // n larger than the list clamps.
+  EXPECT_DOUBLE_EQ(PrecisionAtN(results, gt, 100), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtN({}, gt, 5), 0.0);
+}
+
+}  // namespace
+}  // namespace qdcbir

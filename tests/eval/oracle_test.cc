@@ -1,0 +1,88 @@
+#include "qdcbir/eval/oracle.h"
+
+#include <gtest/gtest.h>
+
+namespace qdcbir {
+namespace {
+
+QueryGroundTruth SimpleGroundTruth() {
+  QueryGroundTruth gt;
+  gt.subconcept_images = {{0, 1, 2, 3, 4}};
+  for (ImageId i = 0; i < 5; ++i) {
+    gt.all_images.push_back(i);
+    gt.relevant.insert(i);
+  }
+  return gt;
+}
+
+TEST(OracleTest, NoiselessOracleMarksExactlyTheRelevant) {
+  const QueryGroundTruth gt = SimpleGroundTruth();
+  OracleUser oracle;
+  const std::vector<ImageId> display = {7, 0, 9, 1, 8};
+  const auto picks = oracle.SelectRelevant(display, gt, 10);
+  EXPECT_EQ(picks, (std::vector<ImageId>{0, 1}));
+}
+
+TEST(OracleTest, RespectsMaxPicks) {
+  const QueryGroundTruth gt = SimpleGroundTruth();
+  OracleUser oracle;
+  const std::vector<ImageId> display = {0, 1, 2, 3, 4};
+  EXPECT_EQ(oracle.SelectRelevant(display, gt, 2).size(), 2u);
+  EXPECT_TRUE(oracle.SelectRelevant(display, gt, 0).empty());
+}
+
+TEST(OracleTest, StaticRelevanceCheck) {
+  const QueryGroundTruth gt = SimpleGroundTruth();
+  EXPECT_TRUE(OracleUser::IsRelevant(3, gt));
+  EXPECT_FALSE(OracleUser::IsRelevant(42, gt));
+}
+
+TEST(OracleTest, MissRateDropsSomeRelevant) {
+  const QueryGroundTruth gt = SimpleGroundTruth();
+  OracleOptions options;
+  options.miss_rate = 0.5;
+  options.seed = 3;
+  OracleUser oracle(options);
+  int total = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    total += static_cast<int>(
+        oracle.SelectRelevant({0, 1, 2, 3, 4}, gt, 10).size());
+  }
+  // Expect about half of 1000 marks.
+  EXPECT_GT(total, 350);
+  EXPECT_LT(total, 650);
+}
+
+TEST(OracleTest, FalseMarkRateAddsIrrelevant) {
+  const QueryGroundTruth gt = SimpleGroundTruth();
+  OracleOptions options;
+  options.false_mark_rate = 0.5;
+  options.seed = 5;
+  OracleUser oracle(options);
+  int false_marks = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    for (const ImageId id :
+         oracle.SelectRelevant({90, 91, 92, 93}, gt, 10)) {
+      EXPECT_GE(id, 90u);
+      ++false_marks;
+    }
+  }
+  EXPECT_GT(false_marks, 250);
+  EXPECT_LT(false_marks, 550);
+}
+
+TEST(OracleTest, DeterministicPerSeed) {
+  const QueryGroundTruth gt = SimpleGroundTruth();
+  OracleOptions options;
+  options.miss_rate = 0.3;
+  options.seed = 11;
+  OracleUser a(options), b(options);
+  const std::vector<ImageId> display = {0, 1, 2, 3, 4, 90, 91};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.SelectRelevant(display, gt, 10),
+              b.SelectRelevant(display, gt, 10));
+  }
+}
+
+}  // namespace
+}  // namespace qdcbir

@@ -1,0 +1,60 @@
+#include "qdcbir/eval/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace qdcbir {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"Name", "Value"});
+  table.AddRow({"short", "1"});
+  table.AddRow({"a much longer name", "22"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  // Every line has equal width.
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TablePrinterTest, MissingCellsPrintEmpty) {
+  TablePrinter table({"A", "B", "C"});
+  table.AddRow({"1"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("| 1 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ExtraCellsAreDropped) {
+  TablePrinter table({"A"});
+  table.AddRow({"1", "dropped"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_EQ(out.str().find("dropped"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(3.14159, 0), "3");
+  EXPECT_EQ(TablePrinter::Num(-1.5, 1), "-1.5");
+  EXPECT_EQ(TablePrinter::Num(2.0), "2.00");
+}
+
+TEST(TablePrinterTest, HeaderSeparatorUsesDashes) {
+  TablePrinter table({"X"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("|---"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qdcbir

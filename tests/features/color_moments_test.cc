@@ -1,0 +1,80 @@
+#include "qdcbir/features/color_moments.h"
+
+#include <gtest/gtest.h>
+
+#include "qdcbir/core/rng.h"
+#include "qdcbir/image/color.h"
+#include "qdcbir/image/draw.h"
+
+namespace qdcbir {
+namespace {
+
+TEST(ColorMomentsTest, ConstantImageHasZeroSpread) {
+  Image img(16, 16, Rgb{200, 100, 50});
+  const auto f = ComputeColorMoments(img);
+  // stddev and skewness of each channel are zero on a constant image.
+  EXPECT_NEAR(f[1], 0.0, 1e-9);
+  EXPECT_NEAR(f[2], 0.0, 1e-9);
+  EXPECT_NEAR(f[4], 0.0, 1e-9);
+  EXPECT_NEAR(f[5], 0.0, 1e-9);
+  EXPECT_NEAR(f[7], 0.0, 1e-9);
+  EXPECT_NEAR(f[8], 0.0, 1e-9);
+}
+
+TEST(ColorMomentsTest, ConstantImageMeansMatchHsv) {
+  Image img(8, 8, Rgb{255, 0, 0});  // pure red
+  const auto f = ComputeColorMoments(img);
+  EXPECT_NEAR(f[0], 0.0, 1e-9);  // hue 0 normalized
+  EXPECT_NEAR(f[3], 1.0, 1e-9);  // full saturation
+  EXPECT_NEAR(f[6], 1.0, 1e-9);  // full value
+}
+
+TEST(ColorMomentsTest, ValueMeanTracksBrightness) {
+  Image dark(8, 8, Rgb{30, 30, 30});
+  Image bright(8, 8, Rgb{220, 220, 220});
+  EXPECT_LT(ComputeColorMoments(dark)[6], ComputeColorMoments(bright)[6]);
+}
+
+TEST(ColorMomentsTest, TwoToneImageHasPositiveValueSpread) {
+  Image img(8, 8, Rgb{0, 0, 0});
+  FillRect(img, 0, 0, 8, 4, Rgb{255, 255, 255});
+  const auto f = ComputeColorMoments(img);
+  EXPECT_GT(f[7], 0.4);  // value stddev near 0.5
+  // Symmetric split: skewness vanishes (cube root amplifies float noise,
+  // hence the loose tolerance).
+  EXPECT_NEAR(f[8], 0.0, 1e-5);
+}
+
+TEST(ColorMomentsTest, SkewnessReflectsValueAsymmetry) {
+  // Mostly dark with a small bright patch -> positive value skewness.
+  Image img(10, 10, Rgb{10, 10, 10});
+  FillRect(img, 0, 0, 2, 2, Rgb{250, 250, 250});
+  const auto f = ComputeColorMoments(img);
+  EXPECT_GT(f[8], 0.0);
+}
+
+TEST(ColorMomentsTest, AllFeaturesInReasonableRange) {
+  Rng rng(3);
+  Image img(24, 24);
+  for (Rgb& p : img.pixels()) {
+    p = Rgb{static_cast<std::uint8_t>(rng.UniformInt(256)),
+            static_cast<std::uint8_t>(rng.UniformInt(256)),
+            static_cast<std::uint8_t>(rng.UniformInt(256))};
+  }
+  const auto f = ComputeColorMoments(img);
+  for (const double v : f) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(ColorMomentsTest, DistinguishesHues) {
+  Image red(8, 8, Rgb{200, 30, 30});
+  Image blue(8, 8, Rgb{30, 30, 200});
+  const auto fr = ComputeColorMoments(red);
+  const auto fb = ComputeColorMoments(blue);
+  EXPECT_GT(std::abs(fr[0] - fb[0]), 0.3);  // hue means far apart
+}
+
+}  // namespace
+}  // namespace qdcbir

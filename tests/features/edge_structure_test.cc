@@ -1,0 +1,108 @@
+#include "qdcbir/features/edge_structure.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "qdcbir/image/draw.h"
+
+namespace qdcbir {
+namespace {
+
+TEST(GradientsTest, ConstantImageHasZeroGradient) {
+  Image img(16, 16, Rgb{77, 77, 77});
+  const GradientField field = ComputeGradients(img);
+  for (const double m : field.magnitude) EXPECT_NEAR(m, 0.0, 1e-12);
+}
+
+TEST(GradientsTest, VerticalEdgeHasHorizontalGradient) {
+  Image img(16, 16, Rgb{0, 0, 0});
+  FillRect(img, 8, 0, 16, 16, Rgb{255, 255, 255});
+  const GradientField field = ComputeGradients(img);
+  // At the edge column the gradient points along x -> orientation ~ 0.
+  const std::size_t i = 8 * 16 + 8;
+  EXPECT_GT(field.magnitude[i - 1], 0.5);
+  EXPECT_NEAR(field.orientation[i - 1], 0.0, 0.1);
+}
+
+TEST(GradientsTest, HorizontalEdgeHasVerticalGradient) {
+  Image img(16, 16, Rgb{0, 0, 0});
+  FillRect(img, 0, 8, 16, 16, Rgb{255, 255, 255});
+  const GradientField field = ComputeGradients(img);
+  const std::size_t i = 7 * 16 + 8;
+  EXPECT_GT(field.magnitude[i], 0.5);
+  EXPECT_NEAR(field.orientation[i], M_PI / 2.0, 0.1);
+}
+
+TEST(EdgeStructureTest, ConstantImageIsAllZero) {
+  Image img(16, 16, Rgb{128, 128, 128});
+  const auto f = ComputeEdgeStructure(img);
+  for (const double v : f) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(EdgeStructureTest, HistogramSumsToOneWhenEdgesExist) {
+  Image img(32, 32, Rgb{0, 0, 0});
+  FillCircle(img, 16, 16, 10, Rgb{255, 255, 255});
+  const auto f = ComputeEdgeStructure(img);
+  double hist_sum = 0.0;
+  for (int b = 0; b < 12; ++b) hist_sum += f[b];
+  EXPECT_NEAR(hist_sum, 1.0, 1e-9);
+}
+
+TEST(EdgeStructureTest, DensityReflectsEdgeContent) {
+  Image plain(32, 32, Rgb{0, 0, 0});
+  Image busy(32, 32, Rgb{0, 0, 0});
+  for (int i = 0; i < 8; ++i) {
+    FillRect(busy, i * 4, 0, i * 4 + 2, 32, Rgb{255, 255, 255});
+  }
+  EXPECT_GT(ComputeEdgeStructure(busy)[12], ComputeEdgeStructure(plain)[12]);
+}
+
+TEST(EdgeStructureTest, QuadrantFeaturesLocalizeEdges) {
+  // Edges only in the top-left quadrant.
+  Image img(32, 32, Rgb{0, 0, 0});
+  FillRect(img, 4, 4, 12, 12, Rgb{255, 255, 255});
+  const auto f = ComputeEdgeStructure(img);
+  EXPECT_GT(f[13], f[16]);  // q0 (top-left) > q3 (bottom-right)
+  EXPECT_GT(f[13], 0.0);
+  EXPECT_NEAR(f[16], 0.0, 1e-9);
+}
+
+TEST(EdgeStructureTest, OrientationHistogramDistinguishesDirections) {
+  Image vertical(32, 32, Rgb{0, 0, 0});
+  Image horizontal(32, 32, Rgb{0, 0, 0});
+  for (int i = 0; i < 4; ++i) {
+    FillRect(vertical, i * 8, 0, i * 8 + 4, 32, Rgb{255, 255, 255});
+    FillRect(horizontal, 0, i * 8, 32, i * 8 + 4, Rgb{255, 255, 255});
+  }
+  const auto fv = ComputeEdgeStructure(vertical);
+  const auto fh = ComputeEdgeStructure(horizontal);
+  double l1 = 0.0;
+  for (int b = 0; b < 12; ++b) l1 += std::fabs(fv[b] - fh[b]);
+  EXPECT_GT(l1, 0.8);  // nearly disjoint orientation mass
+}
+
+TEST(EdgeStructureTest, MeanStrengthBounded) {
+  Image img(32, 32, Rgb{0, 0, 0});
+  FillRect(img, 16, 0, 32, 32, Rgb{255, 255, 255});
+  const auto f = ComputeEdgeStructure(img);
+  EXPECT_GT(f[17], 0.0);
+  EXPECT_LT(f[17], 1.0);
+}
+
+TEST(EdgeStructureTest, ThresholdControlsEdgeCount) {
+  Image img(32, 32, Rgb{100, 100, 100});
+  FillRect(img, 16, 0, 32, 32, Rgb{115, 115, 115});  // weak edge
+  const auto strict = ComputeEdgeStructure(img, /*edge_threshold=*/0.5);
+  const auto lenient = ComputeEdgeStructure(img, /*edge_threshold=*/0.05);
+  EXPECT_GT(lenient[12], strict[12]);
+}
+
+TEST(EdgeStructureTest, EmptyImageIsAllZero) {
+  const auto f = ComputeEdgeStructure(Image());
+  for (const double v : f) EXPECT_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace qdcbir

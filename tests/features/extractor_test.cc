@@ -1,0 +1,104 @@
+#include "qdcbir/features/extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "qdcbir/core/distance.h"
+#include "qdcbir/core/rng.h"
+#include "qdcbir/image/color.h"
+#include "qdcbir/image/draw.h"
+
+namespace qdcbir {
+namespace {
+
+Image RandomImage(int w, int h, std::uint64_t seed) {
+  Rng rng(seed);
+  Image img(w, h);
+  for (Rgb& p : img.pixels()) {
+    p = Rgb{static_cast<std::uint8_t>(rng.UniformInt(256)),
+            static_cast<std::uint8_t>(rng.UniformInt(256)),
+            static_cast<std::uint8_t>(rng.UniformInt(256))};
+  }
+  return img;
+}
+
+TEST(ExtractorTest, Produces37Dimensions) {
+  FeatureExtractor extractor;
+  StatusOr<FeatureVector> f = extractor.Extract(RandomImage(32, 32, 1));
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->dim(), kPaperFeatureDim);
+  EXPECT_EQ(extractor.dim(), 37u);
+}
+
+TEST(ExtractorTest, LayoutConstantsAreConsistent) {
+  EXPECT_EQ(kPaperLayout.color_end - kPaperLayout.color_begin, 9u);
+  EXPECT_EQ(kPaperLayout.texture_end - kPaperLayout.texture_begin, 10u);
+  EXPECT_EQ(kPaperLayout.edge_end - kPaperLayout.edge_begin, 18u);
+  EXPECT_EQ(kPaperLayout.edge_end, kPaperFeatureDim);
+}
+
+TEST(ExtractorTest, RejectsEmptyImage) {
+  FeatureExtractor extractor;
+  StatusOr<FeatureVector> f = extractor.Extract(Image());
+  EXPECT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExtractorTest, DeterministicForSameImage) {
+  FeatureExtractor extractor;
+  const Image img = RandomImage(24, 24, 7);
+  const FeatureVector a = extractor.Extract(img).value();
+  const FeatureVector b = extractor.Extract(img).value();
+  EXPECT_EQ(a, b);
+}
+
+TEST(ExtractorTest, DifferentImagesDiffer) {
+  FeatureExtractor extractor;
+  const FeatureVector a = extractor.Extract(RandomImage(24, 24, 1)).value();
+  const FeatureVector b = extractor.Extract(RandomImage(24, 24, 2)).value();
+  EXPECT_GT(SquaredL2(a, b), 0.0);
+}
+
+TEST(ExtractorTest, ChannelNamesAreDistinct) {
+  EXPECT_STREQ(ViewpointChannelName(ViewpointChannel::kOriginal), "original");
+  EXPECT_STREQ(ViewpointChannelName(ViewpointChannel::kNegative), "negative");
+  EXPECT_STREQ(ViewpointChannelName(ViewpointChannel::kGray), "gray");
+  EXPECT_STREQ(ViewpointChannelName(ViewpointChannel::kGrayNegative),
+               "gray_negative");
+}
+
+TEST(ExtractorTest, ApplyViewpointChannelOriginalIsIdentity) {
+  const Image img = RandomImage(16, 16, 3);
+  EXPECT_TRUE(ApplyViewpointChannel(img, ViewpointChannel::kOriginal) == img);
+}
+
+TEST(ExtractorTest, ApplyViewpointChannelMatchesColorTransforms) {
+  const Image img = RandomImage(16, 16, 4);
+  EXPECT_TRUE(ApplyViewpointChannel(img, ViewpointChannel::kNegative) ==
+              ToNegative(img));
+  EXPECT_TRUE(ApplyViewpointChannel(img, ViewpointChannel::kGray) ==
+              ToGrayscale(img));
+  EXPECT_TRUE(ApplyViewpointChannel(img, ViewpointChannel::kGrayNegative) ==
+              ToGrayNegative(img));
+}
+
+TEST(ExtractorTest, ChannelFeaturesDifferFromOriginal) {
+  FeatureExtractor extractor;
+  Image img(24, 24, Rgb{30, 30, 30});
+  FillCircle(img, 12, 12, 7, Rgb{220, 40, 40});
+  const FeatureVector original = extractor.Extract(img).value();
+  const FeatureVector negative =
+      extractor.ExtractChannel(img, ViewpointChannel::kNegative).value();
+  EXPECT_GT(SquaredL2(original, negative), 0.01);
+}
+
+TEST(ExtractorTest, GrayChannelKillsSaturationMoments) {
+  FeatureExtractor extractor;
+  Image img(24, 24, Rgb{200, 30, 30});
+  const FeatureVector gray =
+      extractor.ExtractChannel(img, ViewpointChannel::kGray).value();
+  // Saturation mean (index 3) of a grayscale image is zero.
+  EXPECT_NEAR(gray[3], 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace qdcbir

@@ -1,0 +1,104 @@
+#include "qdcbir/image/color.h"
+
+#include <gtest/gtest.h>
+
+namespace qdcbir {
+namespace {
+
+TEST(ColorTest, RgbToHsvPrimaries) {
+  const Hsv red = RgbToHsv(Rgb{255, 0, 0});
+  EXPECT_NEAR(red.h, 0.0, 1e-9);
+  EXPECT_NEAR(red.s, 1.0, 1e-9);
+  EXPECT_NEAR(red.v, 1.0, 1e-9);
+
+  const Hsv green = RgbToHsv(Rgb{0, 255, 0});
+  EXPECT_NEAR(green.h, 120.0, 1e-9);
+
+  const Hsv blue = RgbToHsv(Rgb{0, 0, 255});
+  EXPECT_NEAR(blue.h, 240.0, 1e-9);
+}
+
+TEST(ColorTest, GraysHaveZeroSaturation) {
+  for (const std::uint8_t v : {0, 100, 255}) {
+    const Hsv hsv = RgbToHsv(Rgb{v, v, v});
+    EXPECT_EQ(hsv.s, 0.0);
+    EXPECT_NEAR(hsv.v, v / 255.0, 1e-9);
+  }
+}
+
+TEST(ColorTest, HsvRoundTrip) {
+  for (int r = 0; r < 256; r += 51) {
+    for (int g = 0; g < 256; g += 51) {
+      for (int b = 0; b < 256; b += 51) {
+        const Rgb in{static_cast<std::uint8_t>(r), static_cast<std::uint8_t>(g),
+                     static_cast<std::uint8_t>(b)};
+        const Rgb out = HsvToRgb(RgbToHsv(in));
+        EXPECT_NEAR(in.r, out.r, 1);
+        EXPECT_NEAR(in.g, out.g, 1);
+        EXPECT_NEAR(in.b, out.b, 1);
+      }
+    }
+  }
+}
+
+TEST(ColorTest, HsvToRgbWrapsHue) {
+  const Rgb a = HsvToRgb(Hsv{0.0, 1.0, 1.0});
+  const Rgb b = HsvToRgb(Hsv{360.0, 1.0, 1.0});
+  const Rgb c = HsvToRgb(Hsv{-360.0, 1.0, 1.0});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(ColorTest, LumaWeights) {
+  EXPECT_NEAR(Luma(Rgb{255, 255, 255}), 255.0, 1e-6);
+  EXPECT_NEAR(Luma(Rgb{0, 0, 0}), 0.0, 1e-6);
+  // Green dominates luma.
+  EXPECT_GT(Luma(Rgb{0, 255, 0}), Luma(Rgb{255, 0, 0}));
+  EXPECT_GT(Luma(Rgb{255, 0, 0}), Luma(Rgb{0, 0, 255}));
+}
+
+TEST(ColorTest, ToGrayscaleMakesChannelsEqual) {
+  Image img(2, 1);
+  img.Set(0, 0, Rgb{200, 50, 10});
+  img.Set(1, 0, Rgb{0, 100, 255});
+  const Image gray = ToGrayscale(img);
+  for (int x = 0; x < 2; ++x) {
+    const Rgb p = gray.At(x, 0);
+    EXPECT_EQ(p.r, p.g);
+    EXPECT_EQ(p.g, p.b);
+  }
+}
+
+TEST(ColorTest, ToNegativeInverts) {
+  Image img(1, 1, Rgb{10, 100, 250});
+  const Image neg = ToNegative(img);
+  EXPECT_EQ(neg.At(0, 0), (Rgb{245, 155, 5}));
+  // Double negative restores the original.
+  EXPECT_EQ(ToNegative(neg).At(0, 0), (Rgb{10, 100, 250}));
+}
+
+TEST(ColorTest, GrayNegativeIsNegativeOfGray) {
+  Image img(1, 1, Rgb{200, 50, 10});
+  const Image expected = ToNegative(ToGrayscale(img));
+  EXPECT_EQ(ToGrayNegative(img), expected);
+}
+
+TEST(ColorTest, LerpColorEndpointsAndMidpoint) {
+  const Rgb a{0, 0, 0};
+  const Rgb b{100, 200, 50};
+  EXPECT_EQ(LerpColor(a, b, 0.0), a);
+  EXPECT_EQ(LerpColor(a, b, 1.0), b);
+  const Rgb mid = LerpColor(a, b, 0.5);
+  EXPECT_EQ(mid, (Rgb{50, 100, 25}));
+  // t is clamped.
+  EXPECT_EQ(LerpColor(a, b, 2.0), b);
+}
+
+TEST(ColorTest, ScaleColorClamps) {
+  EXPECT_EQ(ScaleColor(Rgb{100, 100, 100}, 0.5), (Rgb{50, 50, 50}));
+  EXPECT_EQ(ScaleColor(Rgb{200, 200, 200}, 2.0), (Rgb{255, 255, 255}));
+  EXPECT_EQ(ScaleColor(Rgb{10, 10, 10}, -1.0), (Rgb{0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace qdcbir

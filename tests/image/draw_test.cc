@@ -1,0 +1,144 @@
+#include "qdcbir/image/draw.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace qdcbir {
+namespace {
+
+int CountPixels(const Image& img, Rgb color) {
+  int count = 0;
+  for (const Rgb& p : img.pixels()) {
+    if (p == color) ++count;
+  }
+  return count;
+}
+
+constexpr Rgb kInk{255, 0, 0};
+constexpr Rgb kBg{0, 0, 0};
+
+TEST(DrawTest, FillRectCoversExactArea) {
+  Image img(10, 10, kBg);
+  FillRect(img, 2, 3, 5, 7, kInk);
+  EXPECT_EQ(CountPixels(img, kInk), 3 * 4);
+  EXPECT_EQ(img.At(2, 3), kInk);
+  EXPECT_EQ(img.At(4, 6), kInk);
+  EXPECT_EQ(img.At(5, 7), kBg);  // half-open bounds
+}
+
+TEST(DrawTest, FillRectClipsAtBorders) {
+  Image img(4, 4, kBg);
+  FillRect(img, -5, -5, 100, 100, kInk);
+  EXPECT_EQ(CountPixels(img, kInk), 16);
+}
+
+TEST(DrawTest, FillCircleAreaApproximatesPiRSquared) {
+  Image img(100, 100, kBg);
+  FillCircle(img, 50.0, 50.0, 20.0, kInk);
+  const double area = CountPixels(img, kInk);
+  const double expected = M_PI * 20.0 * 20.0;
+  EXPECT_NEAR(area, expected, expected * 0.05);
+}
+
+TEST(DrawTest, FillCircleCenterIsInk) {
+  Image img(20, 20, kBg);
+  FillCircle(img, 10.0, 10.0, 5.0, kInk);
+  EXPECT_EQ(img.At(10, 10), kInk);
+  EXPECT_EQ(img.At(0, 0), kBg);
+}
+
+TEST(DrawTest, FillEllipseRespectsAspect) {
+  Image img(100, 100, kBg);
+  FillEllipse(img, 50.0, 50.0, 30.0, 10.0, kInk);
+  EXPECT_EQ(img.At(75, 50), kInk);   // inside along x
+  EXPECT_EQ(img.At(50, 75), kBg);    // outside along y
+}
+
+TEST(DrawTest, FillPolygonTriangleArea) {
+  Image img(100, 100, kBg);
+  FillPolygon(img, {{10.0, 10.0}, {90.0, 10.0}, {10.0, 90.0}}, kInk);
+  const double area = CountPixels(img, kInk);
+  EXPECT_NEAR(area, 0.5 * 80.0 * 80.0, 0.5 * 80.0 * 80.0 * 0.05);
+}
+
+TEST(DrawTest, FillPolygonIgnoresDegenerateInput) {
+  Image img(10, 10, kBg);
+  FillPolygon(img, {{1.0, 1.0}, {2.0, 2.0}}, kInk);
+  EXPECT_EQ(CountPixels(img, kInk), 0);
+}
+
+TEST(DrawTest, FillTriangleMatchesPolygon) {
+  Image a(50, 50, kBg), b(50, 50, kBg);
+  FillTriangle(a, {5, 5}, {45, 5}, {25, 45}, kInk);
+  FillPolygon(b, {{5, 5}, {45, 5}, {25, 45}}, kInk);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(DrawTest, DrawLineConnectsEndpoints) {
+  Image img(20, 20, kBg);
+  DrawLine(img, {2, 2}, {17, 17}, kInk, 1);
+  EXPECT_EQ(img.At(2, 2), kInk);
+  EXPECT_EQ(img.At(17, 17), kInk);
+  EXPECT_EQ(img.At(10, 10), kInk);  // on the diagonal
+  EXPECT_EQ(img.At(2, 17), kBg);
+}
+
+TEST(DrawTest, ThickLineCoversMorePixels) {
+  Image thin(30, 30, kBg), thick(30, 30, kBg);
+  DrawLine(thin, {5, 15}, {25, 15}, kInk, 1);
+  DrawLine(thick, {5, 15}, {25, 15}, kInk, 5);
+  EXPECT_GT(CountPixels(thick, kInk), 2 * CountPixels(thin, kInk));
+}
+
+TEST(DrawTest, VerticalGradientEndpoints) {
+  Image img(3, 10);
+  VerticalGradient(img, Rgb{0, 0, 0}, Rgb{200, 100, 50});
+  EXPECT_EQ(img.At(1, 0), (Rgb{0, 0, 0}));
+  EXPECT_EQ(img.At(1, 9), (Rgb{200, 100, 50}));
+  // Monotone in between.
+  EXPECT_LT(img.At(1, 2).r, img.At(1, 7).r);
+}
+
+TEST(DrawTest, HorizontalGradientEndpoints) {
+  Image img(10, 3);
+  HorizontalGradient(img, Rgb{10, 10, 10}, Rgb{250, 250, 250});
+  EXPECT_EQ(img.At(0, 1), (Rgb{10, 10, 10}));
+  EXPECT_EQ(img.At(9, 1), (Rgb{250, 250, 250}));
+}
+
+TEST(DrawTest, GaussianNoisePerturbsPixels) {
+  Image img(30, 30, Rgb{128, 128, 128});
+  Rng rng(5);
+  AddGaussianNoise(img, 10.0, rng);
+  int changed = 0;
+  for (const Rgb& p : img.pixels()) {
+    if (!(p == Rgb{128, 128, 128})) ++changed;
+  }
+  EXPECT_GT(changed, 700);  // nearly all pixels move
+}
+
+TEST(DrawTest, GaussianNoiseZeroStddevIsNoOp) {
+  Image img(5, 5, Rgb{99, 99, 99});
+  Rng rng(5);
+  AddGaussianNoise(img, 0.0, rng);
+  EXPECT_EQ(CountPixels(img, Rgb{99, 99, 99}), 25);
+}
+
+TEST(DrawTest, RotatePointsQuarterTurn) {
+  const std::vector<Point2> rotated =
+      RotatePoints({{1.0, 0.0}}, {0.0, 0.0}, M_PI / 2.0);
+  EXPECT_NEAR(rotated[0].x, 0.0, 1e-12);
+  EXPECT_NEAR(rotated[0].y, 1.0, 1e-12);
+}
+
+TEST(DrawTest, RegularPolygonHasRequestedVertices) {
+  const std::vector<Point2> hex = RegularPolygon({0.0, 0.0}, 2.0, 6);
+  ASSERT_EQ(hex.size(), 6u);
+  for (const Point2& p : hex) {
+    EXPECT_NEAR(std::hypot(p.x, p.y), 2.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace qdcbir

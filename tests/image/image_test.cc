@@ -1,0 +1,70 @@
+#include "qdcbir/image/image.h"
+
+#include <gtest/gtest.h>
+
+namespace qdcbir {
+namespace {
+
+TEST(ImageTest, DefaultIsEmpty) {
+  Image img;
+  EXPECT_TRUE(img.empty());
+  EXPECT_EQ(img.width(), 0);
+  EXPECT_EQ(img.height(), 0);
+  EXPECT_EQ(img.pixel_count(), 0u);
+}
+
+TEST(ImageTest, ConstructionWithFill) {
+  Image img(4, 3, Rgb{10, 20, 30});
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.pixel_count(), 12u);
+  EXPECT_EQ(img.At(3, 2), (Rgb{10, 20, 30}));
+}
+
+TEST(ImageTest, SetAndGet) {
+  Image img(2, 2);
+  img.Set(1, 0, Rgb{255, 0, 0});
+  EXPECT_EQ(img.At(1, 0), (Rgb{255, 0, 0}));
+  EXPECT_EQ(img.At(0, 0), (Rgb{0, 0, 0}));
+}
+
+TEST(ImageTest, SetClippedIgnoresOutOfBounds) {
+  Image img(2, 2, Rgb{1, 1, 1});
+  img.SetClipped(-1, 0, Rgb{9, 9, 9});
+  img.SetClipped(0, 5, Rgb{9, 9, 9});
+  img.SetClipped(1, 1, Rgb{9, 9, 9});
+  EXPECT_EQ(img.At(1, 1), (Rgb{9, 9, 9}));
+  EXPECT_EQ(img.At(0, 0), (Rgb{1, 1, 1}));
+}
+
+TEST(ImageTest, InBounds) {
+  Image img(3, 2);
+  EXPECT_TRUE(img.InBounds(0, 0));
+  EXPECT_TRUE(img.InBounds(2, 1));
+  EXPECT_FALSE(img.InBounds(3, 0));
+  EXPECT_FALSE(img.InBounds(0, 2));
+  EXPECT_FALSE(img.InBounds(-1, 0));
+}
+
+TEST(ImageTest, FillOverwritesEverything) {
+  Image img(3, 3, Rgb{1, 2, 3});
+  img.Fill(Rgb{7, 8, 9});
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 3; ++x) {
+      EXPECT_EQ(img.At(x, y), (Rgb{7, 8, 9}));
+    }
+  }
+}
+
+TEST(ImageTest, EqualityComparesDimensionsAndPixels) {
+  Image a(2, 2, Rgb{5, 5, 5});
+  Image b(2, 2, Rgb{5, 5, 5});
+  EXPECT_TRUE(a == b);
+  b.Set(0, 0, Rgb{6, 5, 5});
+  EXPECT_FALSE(a == b);
+  Image c(2, 3, Rgb{5, 5, 5});
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace qdcbir

@@ -1,0 +1,90 @@
+#include "qdcbir/image/ppm_io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace qdcbir {
+namespace {
+
+Image MakeTestImage() {
+  Image img(3, 2);
+  img.Set(0, 0, Rgb{255, 0, 0});
+  img.Set(1, 0, Rgb{0, 255, 0});
+  img.Set(2, 0, Rgb{0, 0, 255});
+  img.Set(0, 1, Rgb{1, 2, 3});
+  img.Set(1, 1, Rgb{250, 251, 252});
+  img.Set(2, 1, Rgb{128, 128, 128});
+  return img;
+}
+
+TEST(PpmIoTest, EncodeDecodeRoundTrip) {
+  const Image img = MakeTestImage();
+  const std::string bytes = EncodePpm(img);
+  StatusOr<Image> decoded = DecodePpm(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(*decoded == img);
+}
+
+TEST(PpmIoTest, EncodeProducesP6Header) {
+  const std::string bytes = EncodePpm(MakeTestImage());
+  EXPECT_EQ(bytes.substr(0, 2), "P6");
+  EXPECT_NE(bytes.find("3 2"), std::string::npos);
+  EXPECT_NE(bytes.find("255"), std::string::npos);
+}
+
+TEST(PpmIoTest, DecodeSupportsComments) {
+  const std::string bytes = "P6\n# a comment\n1 1\n# another\n255\n\x01\x02\x03";
+  StatusOr<Image> decoded = DecodePpm(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->At(0, 0), (Rgb{1, 2, 3}));
+}
+
+TEST(PpmIoTest, DecodeRejectsBadMagic) {
+  StatusOr<Image> decoded = DecodePpm("P5\n1 1\n255\nxyz");
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kIoError);
+}
+
+TEST(PpmIoTest, DecodeRejectsTruncatedPixelData) {
+  StatusOr<Image> decoded = DecodePpm("P6\n2 2\n255\n\x01\x02\x03");
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(PpmIoTest, DecodeRejectsNonStandardMaxval) {
+  StatusOr<Image> decoded = DecodePpm("P6\n1 1\n65535\n\x01\x02\x03");
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(PpmIoTest, DecodeRejectsGarbageHeader) {
+  StatusOr<Image> decoded = DecodePpm("P6\nabc def\n255\nxyz");
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(PpmIoTest, FileRoundTrip) {
+  const Image img = MakeTestImage();
+  const std::string path = ::testing::TempDir() + "/qdcbir_ppm_test.ppm";
+  ASSERT_TRUE(WritePpm(img, path).ok());
+  StatusOr<Image> loaded = ReadPpm(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(*loaded == img);
+  std::remove(path.c_str());
+}
+
+TEST(PpmIoTest, ReadMissingFileFails) {
+  StatusOr<Image> loaded = ReadPpm("/nonexistent/deeply/missing.ppm");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(PpmIoTest, EmptyImageRoundTrips) {
+  Image img(0, 0);
+  StatusOr<Image> decoded = DecodePpm(EncodePpm(img));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+}  // namespace
+}  // namespace qdcbir

@@ -1,0 +1,99 @@
+#include "qdcbir/image/texture.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qdcbir/image/color.h"
+
+namespace qdcbir {
+namespace {
+
+double MeanLuma(const Image& img) {
+  double sum = 0.0;
+  for (const Rgb& p : img.pixels()) sum += Luma(p);
+  return sum / static_cast<double>(img.pixel_count());
+}
+
+int DistinctColors(const Image& img) {
+  std::vector<int> packed;
+  for (const Rgb& p : img.pixels()) {
+    packed.push_back(p.r << 16 | p.g << 8 | p.b);
+  }
+  std::sort(packed.begin(), packed.end());
+  packed.erase(std::unique(packed.begin(), packed.end()), packed.end());
+  return static_cast<int>(packed.size());
+}
+
+TEST(TextureTest, CheckerboardAlternates) {
+  Image img(8, 8, Rgb{0, 0, 0});
+  Checkerboard(img, 2, Rgb{255, 255, 255}, 1.0);
+  EXPECT_EQ(img.At(0, 0), (Rgb{255, 255, 255}));
+  EXPECT_EQ(img.At(2, 0), (Rgb{0, 0, 0}));
+  EXPECT_EQ(img.At(2, 2), (Rgb{255, 255, 255}));
+}
+
+TEST(TextureTest, CheckerboardAlphaBlends) {
+  Image img(4, 4, Rgb{0, 0, 0});
+  Checkerboard(img, 2, Rgb{255, 255, 255}, 0.5);
+  // Blended cells are mid-gray, not white.
+  EXPECT_NEAR(img.At(0, 0).r, 128, 2);
+}
+
+TEST(TextureTest, CheckerboardZeroCellIsNoOp) {
+  Image img(4, 4, Rgb{7, 7, 7});
+  Checkerboard(img, 0, Rgb{255, 255, 255}, 1.0);
+  EXPECT_EQ(img.At(0, 0), (Rgb{7, 7, 7}));
+}
+
+TEST(TextureTest, StripesProduceTwoBands) {
+  Image img(16, 16, Rgb{0, 0, 0});
+  Stripes(img, 8.0, 0.0, Rgb{255, 255, 255}, 1.0);
+  EXPECT_GT(DistinctColors(img), 1);
+  // Horizontal-normal stripes at angle 0 vary along x.
+  bool varies = false;
+  for (int x = 1; x < 16; ++x) {
+    if (!(img.At(x, 0) == img.At(0, 0))) varies = true;
+  }
+  EXPECT_TRUE(varies);
+}
+
+TEST(TextureTest, ValueNoiseModulatesBrightness) {
+  Image img(32, 32, Rgb{128, 128, 128});
+  Rng rng(3);
+  ValueNoise(img, 8.0, 0.4, rng);
+  EXPECT_GT(DistinctColors(img), 10);
+  // Mean brightness stays near the base value.
+  EXPECT_NEAR(MeanLuma(img), 128.0, 20.0);
+}
+
+TEST(TextureTest, ValueNoiseZeroAmplitudeIsNoOp) {
+  Image img(8, 8, Rgb{50, 60, 70});
+  Rng rng(3);
+  ValueNoise(img, 4.0, 0.0, rng);
+  EXPECT_EQ(img.At(3, 3), (Rgb{50, 60, 70}));
+}
+
+TEST(TextureTest, SpeckleDotsAddInk) {
+  Image img(32, 32, Rgb{0, 0, 0});
+  Rng rng(5);
+  SpeckleDots(img, 20, 2.0, Rgb{255, 0, 0}, rng);
+  int red = 0;
+  for (const Rgb& p : img.pixels()) {
+    if (p == Rgb{255, 0, 0}) ++red;
+  }
+  EXPECT_GT(red, 20);  // at least one pixel per dot
+}
+
+TEST(TextureTest, SpeckleDeterministicPerSeed) {
+  Image a(16, 16, Rgb{0, 0, 0});
+  Image b(16, 16, Rgb{0, 0, 0});
+  Rng ra(9), rb(9);
+  SpeckleDots(a, 10, 1.5, Rgb{1, 2, 3}, ra);
+  SpeckleDots(b, 10, 1.5, Rgb{1, 2, 3}, rb);
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace qdcbir

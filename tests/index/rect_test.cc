@@ -1,0 +1,114 @@
+#include "qdcbir/index/rect.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace qdcbir {
+namespace {
+
+TEST(RectTest, PointRectIsDegenerate) {
+  const Rect r(FeatureVector{1.0, 2.0, 3.0});
+  EXPECT_EQ(r.dim(), 3u);
+  EXPECT_EQ(r.Area(), 0.0);
+  EXPECT_EQ(r.Margin(), 0.0);
+  EXPECT_EQ(r.Diagonal(), 0.0);
+  EXPECT_TRUE(r.ContainsPoint(FeatureVector{1.0, 2.0, 3.0}));
+}
+
+TEST(RectTest, AreaMarginDiagonal) {
+  const Rect r({0.0, 0.0}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(r.Area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 7.0);
+  EXPECT_DOUBLE_EQ(r.Diagonal(), 5.0);
+}
+
+TEST(RectTest, OverlapOfIntersectingRects) {
+  const Rect a({0.0, 0.0}, {4.0, 4.0});
+  const Rect b({2.0, 2.0}, {6.0, 6.0});
+  EXPECT_DOUBLE_EQ(a.Overlap(b), 4.0);
+  EXPECT_DOUBLE_EQ(b.Overlap(a), 4.0);
+}
+
+TEST(RectTest, OverlapOfDisjointRectsIsZero) {
+  const Rect a({0.0, 0.0}, {1.0, 1.0});
+  const Rect b({2.0, 2.0}, {3.0, 3.0});
+  EXPECT_EQ(a.Overlap(b), 0.0);
+  EXPECT_FALSE(a.Intersects(b));
+}
+
+TEST(RectTest, TouchingRectsIntersectWithZeroOverlap) {
+  const Rect a({0.0, 0.0}, {1.0, 1.0});
+  const Rect b({1.0, 0.0}, {2.0, 1.0});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_EQ(a.Overlap(b), 0.0);
+}
+
+TEST(RectTest, EnlargementComputesAreaGrowth) {
+  const Rect a({0.0, 0.0}, {2.0, 2.0});
+  const Rect b({3.0, 0.0}, {4.0, 1.0});
+  // Union is [0,4]x[0,2] with area 8; a's area is 4.
+  EXPECT_DOUBLE_EQ(a.Enlargement(b), 4.0);
+  EXPECT_DOUBLE_EQ(a.Enlargement(a), 0.0);
+}
+
+TEST(RectTest, ContainsAndContainsPoint) {
+  const Rect outer({0.0, 0.0}, {10.0, 10.0});
+  const Rect inner({2.0, 2.0}, {5.0, 5.0});
+  EXPECT_TRUE(outer.Contains(inner));
+  EXPECT_FALSE(inner.Contains(outer));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_TRUE(outer.ContainsPoint(FeatureVector{10.0, 0.0}));  // boundary
+  EXPECT_FALSE(outer.ContainsPoint(FeatureVector{10.1, 0.0}));
+}
+
+TEST(RectTest, ExtendGrowsToCover) {
+  Rect r({0.0, 0.0}, {1.0, 1.0});
+  r.Extend(Rect({-1.0, 2.0}, {0.5, 3.0}));
+  EXPECT_EQ(r, Rect({-1.0, 0.0}, {1.0, 3.0}));
+}
+
+TEST(RectTest, ExtendFromEmptyAdoptsOther) {
+  Rect r;
+  r.Extend(Rect({1.0, 2.0}, {3.0, 4.0}));
+  EXPECT_EQ(r, Rect({1.0, 2.0}, {3.0, 4.0}));
+}
+
+TEST(RectTest, UnionIsCommutative) {
+  const Rect a({0.0, 0.0}, {1.0, 1.0});
+  const Rect b({5.0, -2.0}, {6.0, 0.5});
+  EXPECT_EQ(Rect::Union(a, b), Rect::Union(b, a));
+}
+
+TEST(RectTest, CenterIsMidpoint) {
+  const Rect r({0.0, 2.0}, {4.0, 6.0});
+  const FeatureVector c = r.Center();
+  EXPECT_DOUBLE_EQ(c[0], 2.0);
+  EXPECT_DOUBLE_EQ(c[1], 4.0);
+}
+
+TEST(RectTest, MinDistZeroInside) {
+  const Rect r({0.0, 0.0}, {4.0, 4.0});
+  EXPECT_EQ(r.MinDistSquared(FeatureVector{2.0, 2.0}), 0.0);
+  EXPECT_EQ(r.MinDistSquared(FeatureVector{0.0, 4.0}), 0.0);  // boundary
+}
+
+TEST(RectTest, MinDistToOutsidePoint) {
+  const Rect r({0.0, 0.0}, {4.0, 4.0});
+  // Point (7, 8): dx = 3, dy = 4 -> squared distance 25.
+  EXPECT_DOUBLE_EQ(r.MinDistSquared(FeatureVector{7.0, 8.0}), 25.0);
+  // Point left of the rect: only x contributes.
+  EXPECT_DOUBLE_EQ(r.MinDistSquared(FeatureVector{-2.0, 2.0}), 4.0);
+}
+
+TEST(RectTest, HighDimensionalOperations) {
+  const std::size_t dim = 37;
+  std::vector<double> lo(dim, 0.0), hi(dim, 1.0);
+  const Rect r(lo, hi);
+  EXPECT_DOUBLE_EQ(r.Area(), 1.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 37.0);
+  EXPECT_NEAR(r.Diagonal(), std::sqrt(37.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace qdcbir

@@ -1,0 +1,139 @@
+#include "qdcbir/index/str_bulk_load.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "qdcbir/core/distance.h"
+#include "qdcbir/core/rng.h"
+
+namespace qdcbir {
+namespace {
+
+std::vector<FeatureVector> RandomPoints(std::size_t n, std::size_t dim,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FeatureVector> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    FeatureVector v(dim);
+    for (std::size_t d = 0; d < dim; ++d) v[d] = rng.UniformDouble(0.0, 100.0);
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::vector<ImageId> Iota(std::size_t n) {
+  std::vector<ImageId> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<ImageId>(i);
+  return ids;
+}
+
+TEST(BulkLoadTest, RejectsBadInputs) {
+  EXPECT_FALSE(BulkLoadRStarTree({}, {}, 2).ok());
+  const auto points = RandomPoints(5, 2, 1);
+  EXPECT_FALSE(BulkLoadRStarTree(points, Iota(4), 2).ok());
+  EXPECT_FALSE(BulkLoadRStarTree(points, Iota(5), 3).ok());
+  EXPECT_FALSE(
+      BulkLoadRStarTree(points, Iota(5), 2, RStarTreeOptions(), 0.0).ok());
+  EXPECT_FALSE(
+      BulkLoadRStarTree(points, Iota(5), 2, RStarTreeOptions(), 1.5).ok());
+}
+
+TEST(BulkLoadTest, SinglePoint) {
+  const std::vector<FeatureVector> points = {FeatureVector{1.0, 2.0}};
+  const RStarTree tree =
+      BulkLoadRStarTree(points, {42}, 2).value();
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  const auto matches = tree.KnnSearch(points[0], 1);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].id, 42u);
+}
+
+class BulkLoadSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BulkLoadSizeTest, InvariantsAndCompleteness) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  const auto points = RandomPoints(n, 5, 100 + n);
+  RStarTreeOptions options;
+  options.max_entries = 16;
+  options.min_entries = 6;
+  const RStarTree tree =
+      BulkLoadRStarTree(points, Iota(n), 5, options).value();
+  EXPECT_EQ(tree.size(), n);
+  EXPECT_TRUE(tree.CheckInvariants().ok())
+      << tree.CheckInvariants().ToString();
+  const auto all = tree.CollectSubtree(tree.root());
+  EXPECT_EQ(std::set<ImageId>(all.begin(), all.end()).size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BulkLoadSizeTest,
+                         ::testing::Values(1, 2, 15, 16, 17, 100, 257, 1000));
+
+TEST(BulkLoadTest, KnnMatchesBruteForce) {
+  const auto points = RandomPoints(600, 6, 31);
+  const RStarTree tree = BulkLoadRStarTree(points, Iota(600), 6).value();
+  Rng rng(5);
+  for (int q = 0; q < 10; ++q) {
+    FeatureVector query(6);
+    for (int d = 0; d < 6; ++d) query[d] = rng.UniformDouble(0.0, 100.0);
+    const auto actual = tree.KnnSearch(query, 15);
+    // Brute-force comparison.
+    std::vector<double> dists;
+    for (const auto& p : points) dists.push_back(SquaredL2(p, query));
+    std::sort(dists.begin(), dists.end());
+    ASSERT_EQ(actual.size(), 15u);
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_NEAR(actual[i].distance_squared, dists[i], 1e-9);
+    }
+  }
+}
+
+TEST(BulkLoadTest, ProducesHighOccupancy) {
+  const auto points = RandomPoints(2000, 4, 37);
+  RStarTreeOptions options;
+  options.max_entries = 50;
+  options.min_entries = 20;
+  const RStarTree tree =
+      BulkLoadRStarTree(points, Iota(2000), 4, options, 0.85).value();
+  const RStarTree::Stats stats = tree.ComputeStats();
+  EXPECT_GT(stats.avg_leaf_occupancy, 0.6);
+}
+
+TEST(BulkLoadTest, TreeSupportsSubsequentInsertsAndDeletes) {
+  auto points = RandomPoints(200, 3, 41);
+  RStarTreeOptions options;
+  options.max_entries = 10;
+  options.min_entries = 4;
+  RStarTree tree = BulkLoadRStarTree(points, Iota(200), 3, options).value();
+
+  // Mixed workload on top of the bulk-loaded structure.
+  const auto extra = RandomPoints(100, 3, 43);
+  for (std::size_t i = 0; i < extra.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(extra[i], static_cast<ImageId>(200 + i)).ok());
+  }
+  for (std::size_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(tree.Delete(points[i], static_cast<ImageId>(i)).ok());
+  }
+  EXPECT_EQ(tree.size(), 250u);
+  EXPECT_TRUE(tree.CheckInvariants().ok())
+      << tree.CheckInvariants().ToString();
+}
+
+TEST(BulkLoadTest, PaperScaleConfiguration) {
+  // 15k points with the paper's 70..100 node capacity builds a shallow tree
+  // (the paper reports 3 levels at this scale).
+  const auto points = RandomPoints(5000, 8, 47);
+  RStarTreeOptions options;
+  options.max_entries = 100;
+  options.min_entries = 70;
+  const RStarTree tree =
+      BulkLoadRStarTree(points, Iota(5000), 8, options).value();
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_LE(tree.height(), 3);
+}
+
+}  // namespace
+}  // namespace qdcbir

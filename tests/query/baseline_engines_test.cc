@@ -1,0 +1,221 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "qdcbir/dataset/synthesizer.h"
+#include "qdcbir/query/mars_engine.h"
+#include "qdcbir/query/mv_engine.h"
+#include "qdcbir/query/qcluster_engine.h"
+#include "qdcbir/query/qpm_engine.h"
+
+namespace qdcbir {
+namespace {
+
+class BaselineEnginesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CatalogOptions catalog_options;
+    catalog_options.num_categories = 30;
+    catalog_ = new Catalog(Catalog::Build(catalog_options).value());
+    SynthesizerOptions options;
+    options.total_images = 900;
+    options.image_width = 32;
+    options.image_height = 32;
+    db_ = new ImageDatabase(
+        DatabaseSynthesizer::Synthesize(*catalog_, options).value());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete catalog_;
+  }
+
+  /// Ids of one sub-concept, by name.
+  static std::vector<ImageId> SubConceptImages(const char* name) {
+    return db_->ImagesOfSubConcept(catalog_->FindSubConcept(name).value());
+  }
+
+  static const Catalog* catalog_;
+  static const ImageDatabase* db_;
+};
+
+const Catalog* BaselineEnginesTest::catalog_ = nullptr;
+const ImageDatabase* BaselineEnginesTest::db_ = nullptr;
+
+TEST_F(BaselineEnginesTest, StartReturnsDisplaySizedRandomSample) {
+  MvEngine engine(db_);
+  const auto display = engine.Start();
+  EXPECT_EQ(display.size(), 21u);
+  const std::set<ImageId> unique(display.begin(), display.end());
+  EXPECT_EQ(unique.size(), display.size());
+}
+
+TEST_F(BaselineEnginesTest, FinalizeWithoutFeedbackFails) {
+  for (FeedbackEngine* engine :
+       std::initializer_list<FeedbackEngine*>{
+           new MvEngine(db_), new QpmEngine(db_), new MarsEngine(db_),
+           new QclusterEngine(db_)}) {
+    engine->Start();
+    EXPECT_EQ(engine->Finalize(10).status().code(),
+              StatusCode::kFailedPrecondition)
+        << engine->Name();
+    delete engine;
+  }
+}
+
+TEST_F(BaselineEnginesTest, FeedbackRejectsOutOfRangeIds) {
+  MvEngine engine(db_);
+  engine.Start();
+  EXPECT_EQ(engine.Feedback({static_cast<ImageId>(db_->size())})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(BaselineEnginesTest, EmptyFeedbackKeepsBrowsing) {
+  MvEngine engine(db_);
+  engine.Start();
+  const auto display = engine.Feedback({});
+  ASSERT_TRUE(display.ok());
+  EXPECT_EQ(display->size(), 21u);
+}
+
+class EngineRetrievalTest
+    : public BaselineEnginesTest,
+      public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(EngineRetrievalTest, RelevantFeedbackImprovesRetrieval) {
+  std::unique_ptr<FeedbackEngine> engine;
+  const std::string name = GetParam();
+  if (name == "mv") engine = std::make_unique<MvEngine>(db_);
+  if (name == "qpm") engine = std::make_unique<QpmEngine>(db_);
+  if (name == "mars") engine = std::make_unique<MarsEngine>(db_);
+  if (name == "qcluster") engine = std::make_unique<QclusterEngine>(db_);
+  ASSERT_NE(engine, nullptr);
+
+  // Feed three eagle images as relevant; eagles should dominate the result.
+  const std::vector<ImageId> eagles = SubConceptImages("eagle");
+  ASSERT_GE(eagles.size(), 3u);
+  engine->Start();
+  ASSERT_TRUE(
+      engine->Feedback({eagles[0], eagles[1], eagles[2]}).ok());
+  const Ranking result = engine->Finalize(eagles.size()).value();
+
+  const std::set<ImageId> eagle_set(eagles.begin(), eagles.end());
+  std::size_t hits = 0;
+  for (const KnnMatch& m : result) {
+    if (eagle_set.count(m.id) > 0) ++hits;
+  }
+  // At least half of the retrieved set is the right sub-concept.
+  EXPECT_GT(hits * 2, result.size()) << engine->Name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, EngineRetrievalTest,
+                         ::testing::Values("mv", "qpm", "mars", "qcluster"));
+
+TEST_F(BaselineEnginesTest, MvCountsOneGlobalKnnPerChannelPerRound) {
+  MvEngine engine(db_);
+  engine.Start();
+  const std::vector<ImageId> eagles = SubConceptImages("eagle");
+  ASSERT_TRUE(engine.Feedback({eagles[0]}).ok());
+  EXPECT_EQ(engine.stats().feedback_rounds, 1u);
+  EXPECT_EQ(engine.stats().global_knn_computations, 4u);  // 4 channels
+  EXPECT_EQ(engine.stats().candidates_scanned, 4 * db_->size());
+}
+
+TEST_F(BaselineEnginesTest, MvSingleChannelFallsBackGracefully) {
+  MvOptions options;
+  options.num_channels = 1;
+  MvEngine engine(db_, options);
+  engine.Start();
+  const std::vector<ImageId> eagles = SubConceptImages("eagle");
+  ASSERT_TRUE(engine.Feedback({eagles[0]}).ok());
+  EXPECT_EQ(engine.stats().global_knn_computations, 1u);
+}
+
+TEST_F(BaselineEnginesTest, MvFinalizeHasNoDuplicates) {
+  MvEngine engine(db_);
+  engine.Start();
+  const std::vector<ImageId> eagles = SubConceptImages("eagle");
+  ASSERT_TRUE(engine.Feedback({eagles[0], eagles[1]}).ok());
+  const Ranking result = engine.Finalize(60).value();
+  std::set<ImageId> unique;
+  for (const KnnMatch& m : result) {
+    EXPECT_TRUE(unique.insert(m.id).second);
+  }
+  EXPECT_EQ(result.size(), 60u);
+}
+
+TEST_F(BaselineEnginesTest, QpmTightensMetricOnAgreeingDimensions) {
+  // All relevant images share a sub-concept; QPM should put nearly all of
+  // the sub-concept in the top ranks.
+  QpmEngine engine(db_);
+  engine.Start();
+  const std::vector<ImageId> sails = SubConceptImages("sailing");
+  ASSERT_GE(sails.size(), 4u);
+  ASSERT_TRUE(
+      engine.Feedback({sails[0], sails[1], sails[2], sails[3]}).ok());
+  const Ranking result = engine.Finalize(sails.size()).value();
+  const std::set<ImageId> sail_set(sails.begin(), sails.end());
+  std::size_t hits = 0;
+  for (const KnnMatch& m : result) {
+    if (sail_set.count(m.id) > 0) ++hits;
+  }
+  EXPECT_GT(static_cast<double>(hits) / result.size(), 0.6);
+}
+
+TEST_F(BaselineEnginesTest, QclusterBeatsCentroidOnScatteredRelevants) {
+  // Relevant images from two visually distant sub-concepts. The disjunctive
+  // Qcluster engine should retrieve from both clusters at least as well as
+  // query-point movement, whose centroid falls between them.
+  const std::vector<ImageId> eagles = SubConceptImages("eagle");
+  const std::vector<ImageId> owls = SubConceptImages("owl");
+  const std::vector<ImageId> relevant = {eagles[0], eagles[1], owls[0],
+                                         owls[1]};
+  const std::size_t k = eagles.size() + owls.size();
+
+  auto coverage = [&](FeedbackEngine& engine) {
+    engine.Start();
+    EXPECT_TRUE(engine.Feedback(relevant).ok());
+    const Ranking result = engine.Finalize(k).value();
+    const std::set<ImageId> eagle_set(eagles.begin(), eagles.end());
+    const std::set<ImageId> owl_set(owls.begin(), owls.end());
+    int covered = 0;
+    bool has_eagle = false, has_owl = false;
+    for (const KnnMatch& m : result) {
+      if (eagle_set.count(m.id) > 0) has_eagle = true;
+      if (owl_set.count(m.id) > 0) has_owl = true;
+    }
+    covered = (has_eagle ? 1 : 0) + (has_owl ? 1 : 0);
+    return covered;
+  };
+
+  QclusterEngine qcluster(db_);
+  QpmEngine qpm(db_);
+  EXPECT_GE(coverage(qcluster), coverage(qpm));
+  EXPECT_EQ(coverage(qcluster), 2);
+}
+
+TEST_F(BaselineEnginesTest, ResampleBeforeFeedbackIsRandom) {
+  MarsEngine engine(db_);
+  engine.Start();
+  const auto a = engine.Resample();
+  const auto b = engine.Resample();
+  EXPECT_EQ(a.size(), 21u);
+  EXPECT_NE(a, b);  // fresh random pages
+}
+
+TEST_F(BaselineEnginesTest, ResampleAfterFeedbackPagesThroughRanking) {
+  QpmEngine engine(db_);
+  engine.Start();
+  const std::vector<ImageId> eagles = SubConceptImages("eagle");
+  const auto first = engine.Feedback({eagles[0], eagles[1]});
+  ASSERT_TRUE(first.ok());
+  const auto page2 = engine.Resample();
+  // Pages are disjoint sections of one ranking.
+  for (const ImageId id : page2) {
+    EXPECT_EQ(std::find(first->begin(), first->end(), id), first->end());
+  }
+}
+
+}  // namespace
+}  // namespace qdcbir

@@ -1,0 +1,134 @@
+// Tests of the shared global-feedback-engine machinery (browsing, paging,
+// relevant-set accumulation, state reset) through a minimal concrete
+// engine.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "qdcbir/dataset/synthesizer.h"
+#include "qdcbir/query/feedback_engine.h"
+
+namespace qdcbir {
+namespace {
+
+/// Minimal engine: ranks by distance to the first relevant image.
+class ProbeEngine final : public GlobalFeedbackEngineBase {
+ public:
+  explicit ProbeEngine(const ImageDatabase* db)
+      : GlobalFeedbackEngineBase(db, /*display_size=*/10, /*seed=*/5) {}
+
+  const char* Name() const override { return "probe"; }
+  StatusOr<Ranking> Finalize(std::size_t k) override {
+    return ComputeRanking(k);
+  }
+  int compute_calls = 0;
+
+ protected:
+  StatusOr<Ranking> ComputeRanking(std::size_t k) override {
+    ++compute_calls;
+    if (relevant().empty()) {
+      return Status::FailedPrecondition("no feedback");
+    }
+    return BruteForceKnn(db_->features(), db_->feature(relevant().front()),
+                         k);
+  }
+};
+
+class FeedbackEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CatalogOptions catalog_options;
+    catalog_options.num_categories = 15;
+    Catalog catalog = Catalog::Build(catalog_options).value();
+    SynthesizerOptions options;
+    options.total_images = 200;
+    options.image_width = 16;
+    options.image_height = 16;
+    options.extract_viewpoint_channels = false;
+    db_ = new ImageDatabase(
+        DatabaseSynthesizer::Synthesize(catalog, options).value());
+  }
+  static void TearDownTestSuite() { delete db_; }
+  static const ImageDatabase* db_;
+};
+
+const ImageDatabase* FeedbackEngineTest::db_ = nullptr;
+
+TEST_F(FeedbackEngineTest, StartProducesDistinctRandomIds) {
+  ProbeEngine engine(db_);
+  const auto display = engine.Start();
+  EXPECT_EQ(display.size(), 10u);
+  EXPECT_EQ(std::set<ImageId>(display.begin(), display.end()).size(), 10u);
+  for (const ImageId id : display) EXPECT_LT(id, db_->size());
+}
+
+TEST_F(FeedbackEngineTest, ResampleBeforeFeedbackGivesFreshRandomPages) {
+  ProbeEngine engine(db_);
+  engine.Start();
+  const auto a = engine.Resample();
+  const auto b = engine.Resample();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(engine.compute_calls, 0);  // browsing costs no ranking work
+}
+
+TEST_F(FeedbackEngineTest, FeedbackAccumulatesAcrossRounds) {
+  ProbeEngine engine(db_);
+  engine.Start();
+  ASSERT_TRUE(engine.Feedback({1}).ok());
+  ASSERT_TRUE(engine.Feedback({2, 1}).ok());  // 1 deduplicates
+  EXPECT_EQ(engine.stats().feedback_rounds, 2u);
+  // Ranking is anchored at the first relevant image (id 1).
+  const Ranking r = engine.Finalize(1).value();
+  EXPECT_EQ(r[0].id, 1u);
+}
+
+TEST_F(FeedbackEngineTest, ResampleAfterFeedbackPagesWithoutRecompute) {
+  ProbeEngine engine(db_);
+  engine.Start();
+  ASSERT_TRUE(engine.Feedback({3}).ok());
+  const int calls_after_feedback = engine.compute_calls;
+  const auto page2 = engine.Resample();
+  const auto page3 = engine.Resample();
+  EXPECT_EQ(engine.compute_calls, calls_after_feedback);  // cached ranking
+  EXPECT_FALSE(page2.empty());
+  // Pages are disjoint.
+  for (const ImageId id : page3) {
+    EXPECT_EQ(std::find(page2.begin(), page2.end(), id), page2.end());
+  }
+}
+
+TEST_F(FeedbackEngineTest, PagingWrapsAround) {
+  ProbeEngine engine(db_);
+  engine.Start();
+  ASSERT_TRUE(engine.Feedback({3}).ok());
+  // The cached ranking holds 4 pages (display_size * 4); page through all
+  // of them and confirm the display never goes empty.
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_FALSE(engine.Resample().empty());
+  }
+}
+
+TEST_F(FeedbackEngineTest, StartResetsEverything) {
+  ProbeEngine engine(db_);
+  engine.Start();
+  ASSERT_TRUE(engine.Feedback({5}).ok());
+  EXPECT_TRUE(engine.Finalize(3).ok());
+  engine.Start();
+  EXPECT_EQ(engine.stats().feedback_rounds, 0u);
+  EXPECT_EQ(engine.Finalize(3).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FeedbackEngineTest, EmptyFeedbackRoundsCountButDoNotRank) {
+  ProbeEngine engine(db_);
+  engine.Start();
+  const auto display = engine.Feedback({});
+  ASSERT_TRUE(display.ok());
+  EXPECT_EQ(display->size(), 10u);
+  EXPECT_EQ(engine.stats().feedback_rounds, 1u);
+  EXPECT_EQ(engine.compute_calls, 0);
+}
+
+}  // namespace
+}  // namespace qdcbir

@@ -1,0 +1,100 @@
+#include "qdcbir/query/knn.h"
+
+#include <gtest/gtest.h>
+
+#include "qdcbir/core/rng.h"
+
+namespace qdcbir {
+namespace {
+
+std::vector<FeatureVector> LinePoints(std::size_t n) {
+  // Points at x = 0, 1, 2, ... on a line: distances are predictable.
+  std::vector<FeatureVector> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(FeatureVector{static_cast<double>(i), 0.0});
+  }
+  return out;
+}
+
+TEST(BruteForceKnnTest, FindsExactNeighbors) {
+  const auto table = LinePoints(10);
+  const Ranking r = BruteForceKnn(table, FeatureVector{3.2, 0.0}, 3);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].id, 3u);
+  EXPECT_EQ(r[1].id, 4u);
+  EXPECT_EQ(r[2].id, 2u);
+}
+
+TEST(BruteForceKnnTest, KZeroReturnsEmpty) {
+  EXPECT_TRUE(BruteForceKnn(LinePoints(5), FeatureVector{0.0, 0.0}, 0).empty());
+}
+
+TEST(BruteForceKnnTest, KLargerThanTableReturnsAll) {
+  const Ranking r = BruteForceKnn(LinePoints(4), FeatureVector{0.0, 0.0}, 10);
+  EXPECT_EQ(r.size(), 4u);
+}
+
+TEST(BruteForceKnnTest, ResultsSortedAscending) {
+  Rng rng(3);
+  std::vector<FeatureVector> table;
+  for (int i = 0; i < 200; ++i) {
+    table.push_back(
+        FeatureVector{rng.UniformDouble(-5, 5), rng.UniformDouble(-5, 5)});
+  }
+  const Ranking r = BruteForceKnn(table, FeatureVector{0.0, 0.0}, 50);
+  for (std::size_t i = 1; i < r.size(); ++i) {
+    EXPECT_LE(r[i - 1].distance_squared, r[i].distance_squared);
+  }
+}
+
+TEST(BruteForceKnnSubsetTest, OnlyConsidersCandidates) {
+  const auto table = LinePoints(10);
+  const std::vector<ImageId> candidates = {7, 8, 9};
+  const Ranking r =
+      BruteForceKnnSubset(table, candidates, FeatureVector{0.0, 0.0}, 2);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0].id, 7u);
+  EXPECT_EQ(r[1].id, 8u);
+}
+
+TEST(BruteForceKnnSubsetTest, EmptyCandidates) {
+  EXPECT_TRUE(
+      BruteForceKnnSubset(LinePoints(5), {}, FeatureVector{0.0, 0.0}, 3)
+          .empty());
+}
+
+TEST(BruteForceKnnWithMetricTest, WeightedMetricChangesRanking) {
+  // Two points: (2, 0) and (0, 3). Plain L2 prefers the first; weighting
+  // the x dimension heavily prefers the second.
+  const std::vector<FeatureVector> table = {FeatureVector{2.0, 0.0},
+                                            FeatureVector{0.0, 3.0}};
+  const FeatureVector query{0.0, 0.0};
+  L2Distance plain;
+  EXPECT_EQ(BruteForceKnnWithMetric(table, query, 1, plain)[0].id, 0u);
+  WeightedL2Distance weighted({100.0, 0.1});
+  EXPECT_EQ(BruteForceKnnWithMetric(table, query, 1, weighted)[0].id, 1u);
+}
+
+TEST(MergeRankingsTest, DeduplicatesKeepingBestDistance) {
+  const Ranking a = {{1, 4.0}, {2, 9.0}};
+  const Ranking b = {{2, 1.0}, {3, 16.0}};
+  const Ranking merged = MergeRankings({a, b}, 10);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].id, 2u);  // best distance 1.0 wins
+  EXPECT_DOUBLE_EQ(merged[0].distance_squared, 1.0);
+  EXPECT_EQ(merged[1].id, 1u);
+  EXPECT_EQ(merged[2].id, 3u);
+}
+
+TEST(MergeRankingsTest, TruncatesToK) {
+  const Ranking a = {{1, 1.0}, {2, 2.0}, {3, 3.0}};
+  EXPECT_EQ(MergeRankings({a}, 2).size(), 2u);
+}
+
+TEST(MergeRankingsTest, EmptyInputs) {
+  EXPECT_TRUE(MergeRankings({}, 5).empty());
+  EXPECT_TRUE(MergeRankings({Ranking{}, Ranking{}}, 5).empty());
+}
+
+}  // namespace
+}  // namespace qdcbir

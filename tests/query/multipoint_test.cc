@@ -1,0 +1,80 @@
+#include "qdcbir/query/multipoint.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace qdcbir {
+namespace {
+
+TEST(MultipointQueryTest, CentroidOfEqualWeights) {
+  const MultipointQuery q({FeatureVector{0.0, 0.0}, FeatureVector{4.0, 2.0}});
+  EXPECT_EQ(q.Centroid(), (FeatureVector{2.0, 1.0}));
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(MultipointQueryTest, WeightedCentroid) {
+  const MultipointQuery q({FeatureVector{0.0}, FeatureVector{10.0}},
+                          {3.0, 1.0});
+  EXPECT_DOUBLE_EQ(q.Centroid()[0], 2.5);
+}
+
+TEST(MultipointQueryTest, CentroidScoreIsSquaredDistanceToCentroid) {
+  const MultipointQuery q({FeatureVector{0.0, 0.0}, FeatureVector{2.0, 0.0}});
+  // Centroid is (1, 0).
+  EXPECT_DOUBLE_EQ(q.CentroidScore(FeatureVector{1.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(q.CentroidScore(FeatureVector{4.0, 4.0}), 9.0 + 16.0);
+}
+
+TEST(MultipointQueryTest, AggregateScoreIsWeightedMeanOfDistances) {
+  const MultipointQuery q({FeatureVector{0.0}, FeatureVector{10.0}},
+                          {1.0, 1.0});
+  // Point 4: distances 4 and 6 -> mean 5.
+  EXPECT_DOUBLE_EQ(q.AggregateScore(FeatureVector{4.0}), 5.0);
+}
+
+TEST(MultipointQueryTest, AggregateScoreRespectsWeights) {
+  const MultipointQuery q({FeatureVector{0.0}, FeatureVector{10.0}},
+                          {9.0, 1.0});
+  // Point 10 is far from the heavy representative.
+  EXPECT_GT(q.AggregateScore(FeatureVector{10.0}),
+            q.AggregateScore(FeatureVector{0.0}));
+}
+
+TEST(MultipointQueryTest, DisjunctiveScoreUsesNearestPoint) {
+  const MultipointQuery q({FeatureVector{0.0}, FeatureVector{100.0}});
+  // Near the second contour: distance to the nearest point only.
+  EXPECT_DOUBLE_EQ(q.DisjunctiveScore(FeatureVector{99.0}), 1.0);
+  EXPECT_DOUBLE_EQ(q.DisjunctiveScore(FeatureVector{1.0}), 1.0);
+  // The midpoint is equally far from both -> large disjunctive score.
+  EXPECT_DOUBLE_EQ(q.DisjunctiveScore(FeatureVector{50.0}), 2500.0);
+}
+
+TEST(MultipointQueryTest, DisjunctiveVersusCentroidOnScatteredClusters) {
+  // The key geometric fact behind Qcluster and QD: for two distant relevant
+  // clusters, the centroid lies in no-man's land. A point inside a cluster
+  // scores better disjunctively than the midpoint does; under the centroid
+  // score the midpoint (wrongly) wins.
+  const MultipointQuery q({FeatureVector{0.0}, FeatureVector{100.0}});
+  const FeatureVector in_cluster{2.0};
+  const FeatureVector no_mans_land{50.0};
+  EXPECT_LT(q.DisjunctiveScore(in_cluster), q.DisjunctiveScore(no_mans_land));
+  EXPECT_GT(q.CentroidScore(in_cluster), q.CentroidScore(no_mans_land));
+}
+
+TEST(MultipointQueryTest, EmptyQueryReportsEmpty) {
+  const MultipointQuery q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(MultipointQueryTest, SinglePointAllScoresAgree) {
+  const MultipointQuery q({FeatureVector{3.0, 4.0}});
+  const FeatureVector x{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(q.CentroidScore(x), 25.0);
+  EXPECT_DOUBLE_EQ(q.DisjunctiveScore(x), 25.0);
+  EXPECT_DOUBLE_EQ(q.AggregateScore(x), 5.0);  // plain distance
+}
+
+}  // namespace
+}  // namespace qdcbir

@@ -1,0 +1,123 @@
+// Tests of the feature-importance extension (paper §6 future work): the QD
+// session's localized subqueries can rank under per-dimension weights.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "qdcbir/core/rng.h"
+#include "qdcbir/features/extractor.h"
+#include "qdcbir/query/qd_engine.h"
+#include "qdcbir/rfs/rfs_builder.h"
+
+namespace qdcbir {
+namespace {
+
+/// One cluster pair distinguishable only in dimension 0, embedded with a
+/// confounder pair distinguishable only in dimension 1.
+RfsTree MakeTree(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FeatureVector> points;
+  // Cluster A (ids 0..39): d0 ~ 0.   Cluster B (ids 40..79): d0 ~ 10.
+  // Both clusters split in d1 between 0 and 10 at random.
+  for (int i = 0; i < 80; ++i) {
+    const double d0 = (i < 40 ? 0.0 : 10.0) + rng.Gaussian(0.0, 0.2);
+    const double d1 = (rng.Bernoulli(0.5) ? 0.0 : 10.0) + rng.Gaussian(0.0, 0.2);
+    points.push_back(FeatureVector{d0, d1, rng.Gaussian(0.0, 0.2)});
+  }
+  RfsBuildOptions options;
+  options.tree.max_entries = 100;  // one leaf: isolates the ranking metric
+  options.tree.min_entries = 40;
+  options.representatives.fraction = 0.2;
+  return RfsBuilder::Build(std::move(points), options).value();
+}
+
+std::vector<ImageId> MarkFirstDisplayed(QdSession& session, ImageId lo,
+                                        ImageId hi, std::size_t count) {
+  auto display = session.Start();
+  std::vector<ImageId> picks;
+  for (int browse = 0; browse < 100 && picks.size() < count; ++browse) {
+    for (const DisplayGroup& g : display) {
+      for (const ImageId id : g.images) {
+        if (id >= lo && id < hi && picks.size() < count &&
+            std::find(picks.begin(), picks.end(), id) == picks.end()) {
+          picks.push_back(id);
+        }
+      }
+    }
+    if (picks.size() < count) display = session.Resample();
+  }
+  return picks;
+}
+
+TEST(QdFeatureWeightsTest, UniformWeightsMatchUnweighted) {
+  const RfsTree tree = MakeTree(3);
+  QdOptions unweighted;
+  unweighted.seed = 9;
+  QdOptions uniform = unweighted;
+  uniform.feature_weights = std::vector<double>(3, 1.0);
+
+  QdSession a(&tree, unweighted);
+  QdSession b(&tree, uniform);
+  const auto picks_a = MarkFirstDisplayed(a, 0, 40, 3);
+  const auto picks_b = MarkFirstDisplayed(b, 0, 40, 3);
+  ASSERT_EQ(picks_a, picks_b);  // same seed, same displays
+  ASSERT_FALSE(picks_a.empty());
+  ASSERT_TRUE(a.Feedback(picks_a).ok());
+  ASSERT_TRUE(b.Feedback(picks_b).ok());
+  const QdResult ra = a.Finalize(20).value();
+  const QdResult rb = b.Finalize(20).value();
+  EXPECT_EQ(ra.Flatten(), rb.Flatten());
+}
+
+TEST(QdFeatureWeightsTest, ZeroingADimensionIgnoresIt) {
+  // With d1 zero-weighted, ranking around cluster-A marks must return
+  // cluster-A members regardless of their d1 value; with d1 heavily
+  // weighted, the d1 confounder dominates and members of cluster B with
+  // matching d1 can outrank cluster-A members.
+  const RfsTree tree = MakeTree(5);
+  QdOptions ignore_d1;
+  ignore_d1.seed = 11;
+  ignore_d1.feature_weights = {1.0, 0.0, 1.0};
+
+  QdSession session(&tree, ignore_d1);
+  const auto picks = MarkFirstDisplayed(session, 0, 40, 3);
+  ASSERT_GE(picks.size(), 1u);
+  ASSERT_TRUE(session.Feedback(picks).ok());
+  const QdResult result = session.Finalize(30).value();
+  // All 30 results under the d1-blind metric lie in cluster A (d0 ~ 0),
+  // because d0 separates the clusters by 10 >> noise.
+  int from_a = 0;
+  for (const ImageId id : result.Flatten()) {
+    if (id < 40) ++from_a;
+  }
+  EXPECT_EQ(from_a, 30);
+}
+
+TEST(QdFeatureWeightsTest, GroupWeightsLayout) {
+  const std::vector<double> w = MakeGroupWeights(2.0, 3.0, 4.0);
+  ASSERT_EQ(w.size(), kPaperFeatureDim);
+  EXPECT_EQ(w[0], 2.0);
+  EXPECT_EQ(w[8], 2.0);
+  EXPECT_EQ(w[9], 3.0);
+  EXPECT_EQ(w[18], 3.0);
+  EXPECT_EQ(w[19], 4.0);
+  EXPECT_EQ(w[36], 4.0);
+}
+
+TEST(QdFeatureWeightsTest, WeightedSessionStatsStillTracked) {
+  const RfsTree tree = MakeTree(7);
+  QdOptions options;
+  options.seed = 13;
+  options.feature_weights = {1.0, 1.0, 1.0};
+  QdSession session(&tree, options);
+  const auto picks = MarkFirstDisplayed(session, 0, 80, 3);
+  ASSERT_FALSE(picks.empty());
+  ASSERT_TRUE(session.Feedback(picks).ok());
+  const QdResult result = session.Finalize(10).value();
+  EXPECT_EQ(result.TotalImages(), 10u);
+  EXPECT_EQ(session.stats().localized_subqueries, result.groups.size());
+}
+
+}  // namespace
+}  // namespace qdcbir

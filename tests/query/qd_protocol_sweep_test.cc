@@ -1,0 +1,136 @@
+// Parameterized property tests of a full QD session across result sizes and
+// seeds: structural invariants that must hold for every configuration.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "qdcbir/core/rng.h"
+#include "qdcbir/query/qd_engine.h"
+#include "qdcbir/rfs/rfs_builder.h"
+
+namespace qdcbir {
+namespace {
+
+/// A shared tree: 12 tight clusters of 25 points; cluster c owns ids
+/// [25c, 25c+25).
+const RfsTree& SharedTree() {
+  static const RfsTree* tree = [] {
+    Rng rng(77);
+    std::vector<FeatureVector> points;
+    for (int c = 0; c < 12; ++c) {
+      const double cx = (c % 4) * 30.0;
+      const double cy = (c / 4) * 30.0;
+      for (int i = 0; i < 25; ++i) {
+        points.push_back(FeatureVector{cx + rng.Gaussian(0.0, 0.3),
+                                       cy + rng.Gaussian(0.0, 0.3)});
+      }
+    }
+    RfsBuildOptions options;
+    options.tree.max_entries = 16;
+    options.tree.min_entries = 6;
+    options.representatives.fraction = 0.15;
+    return new RfsTree(RfsBuilder::Build(std::move(points), options).value());
+  }();
+  return *tree;
+}
+
+struct SweepConfig {
+  std::uint64_t seed;
+  std::size_t k;
+  int rounds;
+};
+
+class QdSweepTest : public ::testing::TestWithParam<SweepConfig> {};
+
+TEST_P(QdSweepTest, SessionInvariantsHoldForEveryConfiguration) {
+  const SweepConfig config = GetParam();
+  const RfsTree& tree = SharedTree();
+
+  QdOptions options;
+  options.seed = config.seed;
+  QdSession session(&tree, options);
+  Rng user_rng(config.seed * 31 + 7);
+
+  auto display = session.Start();
+  for (int round = 0; round < config.rounds; ++round) {
+    // A random-ish user: marks up to 4 displayed representatives from the
+    // first two clusters (ids < 50), browsing a few screens if needed.
+    std::vector<ImageId> picks;
+    for (int browse = 0; browse < 40 && picks.size() < 4; ++browse) {
+      for (const DisplayGroup& g : display) {
+        for (const ImageId id : g.images) {
+          if (id < 50 && picks.size() < 4 &&
+              std::find(picks.begin(), picks.end(), id) == picks.end()) {
+            picks.push_back(id);
+          }
+        }
+      }
+      if (picks.size() >= 4) break;
+      display = session.Resample();
+    }
+    auto next = session.Feedback(picks);
+    ASSERT_TRUE(next.ok()) << next.status().ToString();
+    display = std::move(next).value();
+  }
+
+  const StatusOr<QdResult> result = session.Finalize(config.k);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Invariant: exactly k results whenever the searched subtrees can supply
+  // them (each cluster has 25 images; marks come from 2 clusters).
+  EXPECT_LE(result->TotalImages(), config.k);
+  EXPECT_GE(result->TotalImages(), std::min<std::size_t>(config.k, 25));
+
+  // Invariant: no duplicate images across groups.
+  const auto flat = result->Flatten();
+  const std::set<ImageId> unique(flat.begin(), flat.end());
+  EXPECT_EQ(unique.size(), flat.size());
+
+  // Invariant: group ordering by ranking score, image ordering by distance.
+  for (std::size_t g = 1; g < result->groups.size(); ++g) {
+    EXPECT_LE(result->groups[g - 1].ranking_score,
+              result->groups[g].ranking_score);
+  }
+  for (const ResultGroup& group : result->groups) {
+    for (std::size_t i = 1; i < group.images.size(); ++i) {
+      EXPECT_LE(group.images[i - 1].distance_squared,
+                group.images[i].distance_squared);
+    }
+    // Every result lies inside the group's searched subtree.
+    const auto members = tree.index().CollectSubtree(group.search_node);
+    const std::set<ImageId> member_set(members.begin(), members.end());
+    for (const KnnMatch& m : group.images) {
+      EXPECT_TRUE(member_set.count(m.id) > 0);
+    }
+    // The ranking score equals the sum of the member distances.
+    double score = 0.0;
+    for (const KnnMatch& m : group.images) {
+      score += std::sqrt(m.distance_squared);
+    }
+    EXPECT_NEAR(score, group.ranking_score, 1e-9);
+  }
+
+  // Invariant: stats are consistent with the outcome.
+  EXPECT_EQ(session.stats().feedback_rounds,
+            static_cast<std::size_t>(config.rounds));
+  EXPECT_EQ(session.stats().localized_subqueries, result->groups.size());
+  EXPECT_GE(session.stats().nodes_touched,
+            session.stats().distinct_nodes_sampled);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QdSweepTest,
+    ::testing::Values(SweepConfig{1, 5, 1}, SweepConfig{2, 10, 2},
+                      SweepConfig{3, 25, 3}, SweepConfig{4, 40, 2},
+                      SweepConfig{5, 50, 3}, SweepConfig{6, 1, 2},
+                      SweepConfig{7, 13, 4}, SweepConfig{8, 33, 1}),
+    [](const ::testing::TestParamInfo<SweepConfig>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_k" +
+             std::to_string(info.param.k) + "_r" +
+             std::to_string(info.param.rounds);
+    });
+
+}  // namespace
+}  // namespace qdcbir

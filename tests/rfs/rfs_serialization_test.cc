@@ -1,0 +1,113 @@
+#include "qdcbir/rfs/rfs_serialization.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "qdcbir/core/rng.h"
+#include "qdcbir/rfs/rfs_builder.h"
+
+namespace qdcbir {
+namespace {
+
+RfsTree MakeTree(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FeatureVector> points;
+  for (int i = 0; i < 400; ++i) {
+    points.push_back(FeatureVector{rng.UniformDouble(-10, 10),
+                                   rng.UniformDouble(-10, 10),
+                                   rng.UniformDouble(-10, 10)});
+  }
+  RfsBuildOptions options;
+  options.tree.max_entries = 12;
+  options.tree.min_entries = 5;
+  return RfsBuilder::Build(std::move(points), options).value();
+}
+
+TEST(RfsSerializationTest, RoundTripPreservesEverything) {
+  const RfsTree original = MakeTree(3);
+  const std::string blob = RfsSerializer::Serialize(original);
+  StatusOr<RfsTree> restored = RfsSerializer::Deserialize(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  EXPECT_EQ(restored->num_images(), original.num_images());
+  EXPECT_EQ(restored->height(), original.height());
+  EXPECT_EQ(restored->root(), original.root());
+  EXPECT_TRUE(restored->CheckInvariants().ok())
+      << restored->CheckInvariants().ToString();
+
+  // Features identical.
+  for (ImageId i = 0; i < original.num_images(); ++i) {
+    EXPECT_EQ(restored->feature(i), original.feature(i));
+    EXPECT_EQ(restored->LeafOf(i), original.LeafOf(i));
+  }
+
+  // Node annotations identical.
+  const auto levels = original.index().NodesByLevel();
+  for (const auto& level_nodes : levels) {
+    for (const NodeId id : level_nodes) {
+      const RfsTree::NodeInfo& a = original.info(id);
+      const RfsTree::NodeInfo& b = restored->info(id);
+      EXPECT_EQ(a.level, b.level);
+      EXPECT_EQ(a.parent, b.parent);
+      EXPECT_EQ(a.children, b.children);
+      EXPECT_EQ(a.representatives, b.representatives);
+      EXPECT_EQ(a.rep_origin, b.rep_origin);
+      EXPECT_EQ(a.subtree_size, b.subtree_size);
+      EXPECT_EQ(a.center, b.center);
+      EXPECT_DOUBLE_EQ(a.diagonal, b.diagonal);
+    }
+  }
+}
+
+TEST(RfsSerializationTest, RestoredTreeAnswersIdenticalKnnQueries) {
+  const RfsTree original = MakeTree(5);
+  StatusOr<RfsTree> restored =
+      RfsSerializer::Deserialize(RfsSerializer::Serialize(original));
+  ASSERT_TRUE(restored.ok());
+  Rng rng(9);
+  for (int q = 0; q < 5; ++q) {
+    FeatureVector query{rng.UniformDouble(-10, 10), rng.UniformDouble(-10, 10),
+                        rng.UniformDouble(-10, 10)};
+    const auto a = original.index().KnnSearch(query, 10);
+    const auto b = restored->index().KnnSearch(query, 10);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_DOUBLE_EQ(a[i].distance_squared, b[i].distance_squared);
+    }
+  }
+}
+
+TEST(RfsSerializationTest, RejectsBadMagic) {
+  EXPECT_FALSE(RfsSerializer::Deserialize("").ok());
+  EXPECT_FALSE(RfsSerializer::Deserialize("BADMAGIC rest").ok());
+}
+
+TEST(RfsSerializationTest, RejectsTruncatedBlob) {
+  const RfsTree tree = MakeTree(7);
+  std::string blob = RfsSerializer::Serialize(tree);
+  blob.resize(blob.size() / 2);
+  EXPECT_FALSE(RfsSerializer::Deserialize(blob).ok());
+}
+
+TEST(RfsSerializationTest, FileRoundTrip) {
+  const RfsTree tree = MakeTree(11);
+  const std::string path = ::testing::TempDir() + "/qdcbir_rfs_test.bin";
+  ASSERT_TRUE(RfsSerializer::SaveToFile(tree, path).ok());
+  StatusOr<RfsTree> loaded = RfsSerializer::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_images(), tree.num_images());
+  EXPECT_TRUE(loaded->CheckInvariants().ok());
+  std::remove(path.c_str());
+}
+
+TEST(RfsSerializationTest, SaveToUnwritablePathFails) {
+  const RfsTree tree = MakeTree(13);
+  EXPECT_FALSE(
+      RfsSerializer::SaveToFile(tree, "/nonexistent/dir/file.bin").ok());
+  EXPECT_FALSE(RfsSerializer::LoadFromFile("/nonexistent/file.bin").ok());
+}
+
+}  // namespace
+}  // namespace qdcbir

@@ -1,0 +1,327 @@
+// Command-line workbench for the qdcbir library.
+//
+//   qdcbir_tool synth  --images=15000 --out=db.bin [--channels=1]
+//       Synthesize the Corel-like database and save it.
+//   qdcbir_tool rfs    --db=db.bin --out=rfs.bin [--max=100 --min=70
+//                      --fraction=0.05 --strategy=clustered|tgs|insertion]
+//       Build the RFS structure over a saved database.
+//   qdcbir_tool info   [--db=db.bin] [--rfs=rfs.bin]
+//       Print database / RFS statistics.
+//   qdcbir_tool query  --db=db.bin --rfs=rfs.bin --query=bird
+//                      [--engine=qd|mv|qpm|mars|qcluster|fagin]
+//                      [--k=0] [--seed=1]
+//       Run one simulated-user retrieval session and print the results.
+//   qdcbir_tool render --db=db.bin --id=123 --out=image.ppm
+//       Re-render one database image to a PPM file.
+//   qdcbir_tool catalog --db=db.bin
+//       List the evaluation queries and their ground-truth sub-concepts.
+//   qdcbir_tool export-reps --db=db.bin --rfs=rfs.bin --out-dir=reps
+//                          [--node=root]
+//       Render a node's representative images to PPM files (what the
+//       prototype's GUI would show the user).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "qdcbir/qdcbir.h"
+
+namespace qdcbir {
+namespace {
+
+/// `--name=value` flag lookup.
+std::string Flag(int argc, char** argv, const std::string& name,
+                 const std::string& fallback) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+std::int64_t IntFlag(int argc, char** argv, const std::string& name,
+                     std::int64_t fallback) {
+  const std::string v = Flag(argc, argv, name, "");
+  return v.empty() ? fallback : std::strtoll(v.c_str(), nullptr, 10);
+}
+
+double DoubleFlag(int argc, char** argv, const std::string& name,
+                  double fallback) {
+  const std::string v = Flag(argc, argv, name, "");
+  return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdSynth(int argc, char** argv) {
+  const std::size_t images =
+      static_cast<std::size_t>(IntFlag(argc, argv, "images", 15000));
+  const std::string out = Flag(argc, argv, "out", "db.bin");
+
+  StatusOr<Catalog> catalog = Catalog::Build();
+  if (!catalog.ok()) return Fail(catalog.status());
+  SynthesizerOptions options;
+  options.total_images = images;
+  options.extract_viewpoint_channels = IntFlag(argc, argv, "channels", 1) != 0;
+  options.seed = static_cast<std::uint64_t>(IntFlag(argc, argv, "seed", 7));
+  std::printf("synthesizing %zu images...\n", images);
+  WallTimer timer;
+  StatusOr<ImageDatabase> db =
+      DatabaseSynthesizer::Synthesize(*catalog, options);
+  if (!db.ok()) return Fail(db.status());
+  std::printf("done in %.1f s\n", timer.Seconds());
+  const Status save = DatabaseIo::SaveDatabase(*db, out);
+  if (!save.ok()) return Fail(save);
+  std::printf("saved %zu images to %s\n", db->size(), out.c_str());
+  return 0;
+}
+
+int CmdRfs(int argc, char** argv) {
+  const std::string db_path = Flag(argc, argv, "db", "db.bin");
+  const std::string out = Flag(argc, argv, "out", "rfs.bin");
+  StatusOr<ImageDatabase> db = DatabaseIo::LoadDatabase(db_path);
+  if (!db.ok()) return Fail(db.status());
+
+  RfsBuildOptions options;
+  options.tree.max_entries =
+      static_cast<std::size_t>(IntFlag(argc, argv, "max", 100));
+  options.tree.min_entries =
+      static_cast<std::size_t>(IntFlag(argc, argv, "min", 70));
+  options.representatives.fraction =
+      DoubleFlag(argc, argv, "fraction", 0.05);
+  const std::string strategy = Flag(argc, argv, "strategy", "clustered");
+  if (strategy == "tgs") {
+    options.strategy = RfsBuildStrategy::kTgsBulkLoad;
+  } else if (strategy == "insertion") {
+    options.strategy = RfsBuildStrategy::kInsertion;
+  } else if (strategy != "clustered") {
+    std::fprintf(stderr, "unknown --strategy=%s\n", strategy.c_str());
+    return 1;
+  }
+
+  WallTimer timer;
+  StatusOr<RfsTree> rfs = RfsBuilder::Build(db->features(), options);
+  if (!rfs.ok()) return Fail(rfs.status());
+  std::printf("built RFS in %.1f s\n", timer.Seconds());
+  const Status save = RfsSerializer::SaveToFile(*rfs, out);
+  if (!save.ok()) return Fail(save);
+  const RfsTree::Stats stats = rfs->ComputeStats();
+  std::printf("saved to %s: height %d, %zu nodes, %zu representatives "
+              "(%.1f%%)\n",
+              out.c_str(), stats.height, stats.node_count,
+              stats.leaf_representatives,
+              100.0 * stats.representative_fraction);
+  return 0;
+}
+
+int CmdInfo(int argc, char** argv) {
+  const std::string db_path = Flag(argc, argv, "db", "");
+  const std::string rfs_path = Flag(argc, argv, "rfs", "");
+  if (!db_path.empty()) {
+    StatusOr<ImageDatabase> db = DatabaseIo::LoadDatabase(db_path);
+    if (!db.ok()) return Fail(db.status());
+    std::printf(
+        "database %s:\n  %zu images (%dx%d), %zu-D features, channels: %s\n"
+        "  %zu categories, %zu sub-concepts, %zu evaluation queries\n",
+        db_path.c_str(), db->size(), db->image_width(), db->image_height(),
+        db->feature_dim(), db->has_channel_features() ? "yes" : "no",
+        db->catalog().categories().size(), db->catalog().subconcepts().size(),
+        db->catalog().queries().size());
+  }
+  if (!rfs_path.empty()) {
+    StatusOr<RfsTree> rfs = RfsSerializer::LoadFromFile(rfs_path);
+    if (!rfs.ok()) return Fail(rfs.status());
+    const RfsTree::Stats stats = rfs->ComputeStats();
+    const Status invariants = rfs->CheckInvariants();
+    std::printf(
+        "rfs %s:\n  %zu images, height %d, %zu nodes (%zu leaves)\n"
+        "  %zu representatives (%.1f%%), invariants: %s\n",
+        rfs_path.c_str(), stats.total_images, stats.height, stats.node_count,
+        stats.leaf_count, stats.leaf_representatives,
+        100.0 * stats.representative_fraction,
+        invariants.ok() ? "OK" : invariants.ToString().c_str());
+  }
+  if (db_path.empty() && rfs_path.empty()) {
+    std::fprintf(stderr, "info: pass --db=... and/or --rfs=...\n");
+    return 1;
+  }
+  return 0;
+}
+
+int CmdQuery(int argc, char** argv) {
+  const std::string db_path = Flag(argc, argv, "db", "db.bin");
+  const std::string rfs_path = Flag(argc, argv, "rfs", "rfs.bin");
+  const std::string query = Flag(argc, argv, "query", "bird");
+  const std::string engine_name = Flag(argc, argv, "engine", "qd");
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(IntFlag(argc, argv, "seed", 1));
+
+  StatusOr<ImageDatabase> db = DatabaseIo::LoadDatabase(db_path);
+  if (!db.ok()) return Fail(db.status());
+  StatusOr<QueryConceptSpec> spec = db->catalog().FindQuery(query);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "unknown query '%s'; available:", query.c_str());
+    for (const QueryConceptSpec& q : db->catalog().queries()) {
+      std::fprintf(stderr, " %s", q.name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+  StatusOr<QueryGroundTruth> gt = BuildGroundTruth(*db, *spec);
+  if (!gt.ok()) return Fail(gt.status());
+
+  ProtocolOptions protocol;
+  protocol.seed = seed;
+  protocol.retrieval_size =
+      static_cast<std::size_t>(IntFlag(argc, argv, "k", 0));
+
+  StatusOr<RunOutcome> outcome = Status::Internal("unset");
+  if (engine_name == "qd") {
+    StatusOr<RfsTree> rfs = RfsSerializer::LoadFromFile(rfs_path);
+    if (!rfs.ok()) return Fail(rfs.status());
+    outcome = SessionRunner::RunQd(*rfs, *gt, QdOptions{}, protocol);
+  } else {
+    std::unique_ptr<FeedbackEngine> engine;
+    if (engine_name == "mv") engine = std::make_unique<MvEngine>(&*db);
+    if (engine_name == "qpm") engine = std::make_unique<QpmEngine>(&*db);
+    if (engine_name == "mars") engine = std::make_unique<MarsEngine>(&*db);
+    if (engine_name == "qcluster") {
+      engine = std::make_unique<QclusterEngine>(&*db);
+    }
+    if (engine_name == "fagin") engine = std::make_unique<FaginEngine>(&*db);
+    if (engine == nullptr) {
+      std::fprintf(stderr,
+                   "unknown --engine=%s (qd|mv|qpm|mars|qcluster|fagin)\n",
+                   engine_name.c_str());
+      return 1;
+    }
+    outcome = SessionRunner::RunEngine(*engine, *gt, protocol);
+  }
+  if (!outcome.ok()) return Fail(outcome.status());
+
+  std::printf("%s on \"%s\" (%zu relevant): precision %.2f, recall %.2f, "
+              "GTIR %.2f, %.1f ms engine time\n",
+              engine_name.c_str(), query.c_str(), gt->size(),
+              outcome->final_precision, outcome->final_recall,
+              outcome->final_gtir, outcome->total_seconds * 1e3);
+  std::printf("top results:\n");
+  const std::size_t show = std::min<std::size_t>(20, outcome->final_results.size());
+  for (std::size_t i = 0; i < show; ++i) {
+    const ImageId id = outcome->final_results[i];
+    std::printf("  #%2zu %-40s %s\n", i + 1, db->LabelOf(id).c_str(),
+                gt->IsRelevant(id) ? "[relevant]" : "");
+  }
+  return 0;
+}
+
+int CmdRender(int argc, char** argv) {
+  const std::string db_path = Flag(argc, argv, "db", "db.bin");
+  const std::string out = Flag(argc, argv, "out", "image.ppm");
+  const std::int64_t id = IntFlag(argc, argv, "id", 0);
+  StatusOr<ImageDatabase> db = DatabaseIo::LoadDatabase(db_path);
+  if (!db.ok()) return Fail(db.status());
+  if (id < 0 || static_cast<std::size_t>(id) >= db->size()) {
+    std::fprintf(stderr, "--id out of range (database has %zu images)\n",
+                 db->size());
+    return 1;
+  }
+  const Status save =
+      WritePpm(db->Render(static_cast<ImageId>(id)), out);
+  if (!save.ok()) return Fail(save);
+  std::printf("rendered image %lld (%s) to %s\n",
+              static_cast<long long>(id),
+              db->LabelOf(static_cast<ImageId>(id)).c_str(), out.c_str());
+  return 0;
+}
+
+int CmdCatalog(int argc, char** argv) {
+  const std::string db_path = Flag(argc, argv, "db", "db.bin");
+  StatusOr<ImageDatabase> db = DatabaseIo::LoadDatabase(db_path);
+  if (!db.ok()) return Fail(db.status());
+  std::printf("evaluation queries:\n");
+  for (const QueryConceptSpec& q : db->catalog().queries()) {
+    StatusOr<QueryGroundTruth> gt = BuildGroundTruth(*db, q);
+    std::printf("  %-18s %zu sub-concepts, %zu relevant images:",
+                q.name.c_str(), q.subconcepts.size(),
+                gt.ok() ? gt->size() : 0);
+    for (const QuerySubConcept& qs : q.subconcepts) {
+      std::printf(" %s", qs.name.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n%zu categories, %zu sub-concepts in total\n",
+              db->catalog().categories().size(),
+              db->catalog().subconcepts().size());
+  return 0;
+}
+
+int CmdExportReps(int argc, char** argv) {
+  const std::string db_path = Flag(argc, argv, "db", "db.bin");
+  const std::string rfs_path = Flag(argc, argv, "rfs", "rfs.bin");
+  const std::string out_dir = Flag(argc, argv, "out-dir", "reps");
+  const std::string node_flag = Flag(argc, argv, "node", "root");
+
+  StatusOr<ImageDatabase> db = DatabaseIo::LoadDatabase(db_path);
+  if (!db.ok()) return Fail(db.status());
+  StatusOr<RfsTree> rfs = RfsSerializer::LoadFromFile(rfs_path);
+  if (!rfs.ok()) return Fail(rfs.status());
+
+  const NodeId node = node_flag == "root"
+                          ? rfs->root()
+                          : static_cast<NodeId>(std::atoll(node_flag.c_str()));
+  if (!rfs->has_info(node)) {
+    std::fprintf(stderr, "no such node %s\n", node_flag.c_str());
+    return 1;
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  const RfsTree::NodeInfo& info = rfs->info(node);
+  for (std::size_t i = 0; i < info.representatives.size(); ++i) {
+    const ImageId id = info.representatives[i];
+    if (id >= db->size()) continue;
+    const std::string path = out_dir + "/node" + std::to_string(node) +
+                             "_rep" + std::to_string(i) + "_" +
+                             std::to_string(id) + ".ppm";
+    const Status save = WritePpm(db->Render(id), path);
+    if (!save.ok()) return Fail(save);
+  }
+  std::printf("wrote %zu representative images of node %u (level %d, "
+              "subtree %zu images) to %s/\n",
+              info.representatives.size(), node, info.level,
+              info.subtree_size, out_dir.c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: qdcbir_tool <synth|rfs|info|query|render> [--flags]\n"
+               "run with a command and no flags to see its defaults\n");
+  return 1;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "synth") return CmdSynth(argc, argv);
+  if (command == "rfs") return CmdRfs(argc, argv);
+  if (command == "info") return CmdInfo(argc, argv);
+  if (command == "query") return CmdQuery(argc, argv);
+  if (command == "render") return CmdRender(argc, argv);
+  if (command == "catalog") return CmdCatalog(argc, argv);
+  if (command == "export-reps") return CmdExportReps(argc, argv);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace qdcbir
+
+int main(int argc, char** argv) { return qdcbir::Run(argc, argv); }
