@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "qdcbir/dataset/database_io.h"
 #include "qdcbir/dataset/synthesizer.h"
@@ -43,6 +44,65 @@ double Flags::Double(const std::string& name, double fallback) const {
   const std::string v = Str(name, "");
   if (v.empty()) return fallback;
   return std::strtod(v.c_str(), nullptr);
+}
+
+std::vector<std::int64_t> Flags::IntList(
+    const std::string& name, const std::vector<std::int64_t>& fallback) const {
+  const std::string v = Str(name, "");
+  if (v.empty()) return fallback;
+  std::vector<std::int64_t> values;
+  std::size_t start = 0;
+  while (start <= v.size()) {
+    std::size_t comma = v.find(',', start);
+    if (comma == std::string::npos) comma = v.size();
+    const std::string token = v.substr(start, comma - start);
+    if (!token.empty()) {
+      values.push_back(std::strtoll(token.c_str(), nullptr, 10));
+    }
+    start = comma + 1;
+  }
+  return values.empty() ? fallback : values;
+}
+
+namespace {
+
+/// Escapes the characters that may plausibly appear in a bench label; the
+/// writer is for machine-diffable result files, not arbitrary text.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c == '\n' ? ' ' : c);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status AppendBenchJson(const std::string& path,
+                       const std::vector<BenchRecord>& records) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    return Status::Internal("cannot open bench results file: " + path);
+  }
+  for (const BenchRecord& r : records) {
+    out << "{\"bench\":\"" << JsonEscape(r.bench) << "\""
+        << ",\"config\":\"" << JsonEscape(r.config) << "\""
+        << ",\"threads\":" << r.threads;
+    char wall[64];
+    std::snprintf(wall, sizeof(wall), "%.9g", r.wall_seconds);
+    out << ",\"wall_seconds\":" << wall;
+    for (const auto& [key, value] : r.metrics) {
+      char num[64];
+      std::snprintf(num, sizeof(num), "%.9g", value);
+      out << ",\"" << JsonEscape(key) << "\":" << num;
+    }
+    out << "}\n";
+  }
+  out.flush();
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
 }
 
 RfsBuildOptions PaperRfsOptions() {

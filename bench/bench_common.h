@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "qdcbir/core/status.h"
@@ -23,10 +24,30 @@ class Flags {
   std::int64_t Int(const std::string& name, std::int64_t fallback) const;
   double Double(const std::string& name, double fallback) const;
   std::string Str(const std::string& name, const std::string& fallback) const;
+  /// Comma-separated integer list, e.g. `--threads=1,2,4,8`.
+  std::vector<std::int64_t> IntList(
+      const std::string& name, const std::vector<std::int64_t>& fallback) const;
 
  private:
   std::vector<std::pair<std::string, std::string>> values_;
 };
+
+/// One entry of a `BENCH_*.json` results file. Every record reports the
+/// wall-clock seconds of its measured section and the thread count it ran
+/// with, so entries stay comparable across thread-count sweeps.
+struct BenchRecord {
+  std::string bench;   ///< benchmark id, e.g. "fig10_query_time"
+  std::string config;  ///< free-form data-point label, e.g. "db=15000"
+  std::size_t threads = 1;     ///< pool lanes the measured section used
+  double wall_seconds = 0.0;   ///< wall-clock of the measured section
+  /// Additional named measurements (medians, ratios, counters).
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Appends `records` to `path` as JSON lines (one object per record, so
+/// sweep runs from several invocations accumulate into one file).
+Status AppendBenchJson(const std::string& path,
+                       const std::vector<BenchRecord>& records);
 
 /// The paper prototype's configuration: R*-tree nodes with 70..100 entries,
 /// 5% representative images, boundary-expansion threshold 0.4.

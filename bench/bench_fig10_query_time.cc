@@ -7,7 +7,13 @@
 // rounds never touch the whole database. A traditional global-kNN pipeline
 // (MV) is timed alongside for reference.
 //
+// A thread-count sweep re-times the QD pipeline at the largest database
+// size with pools of 1/2/4/8 lanes (override with --threads=...), so the
+// speedup of the parallel localized-subquery stage is visible next to the
+// paper's scaling claim.
+//
 // Flags: --max_images=15000 --steps=5 --queries=100 --cache=bench_cache
+//        --threads=1,2,4,8 --json=BENCH_fig10_query_time.json
 
 #include <cstdio>
 #include <fstream>
@@ -16,6 +22,7 @@
 #include "bench_common.h"
 #include "qdcbir/core/rng.h"
 #include "qdcbir/core/stats.h"
+#include "qdcbir/core/thread_pool.h"
 #include "qdcbir/dataset/synthesizer.h"
 #include "qdcbir/eval/table_printer.h"
 #include "qdcbir/eval/timer.h"
@@ -34,9 +41,10 @@ struct TimingSample {
 /// One simulated QD query: 2 feedback rounds of random representative picks
 /// plus the final localized k-NN (the paper's Figure 10/11 protocol).
 TimingSample RunRandomQdQuery(const RfsTree& rfs, std::uint64_t seed,
-                              std::size_t k) {
+                              std::size_t k, ThreadPool* pool = nullptr) {
   QdOptions options;
   options.seed = seed;
+  options.pool = pool;
   QdSession session(&rfs, options);
   Rng rng(seed ^ 0xabcdef);
 
@@ -108,6 +116,9 @@ int Run(int argc, char** argv) {
   const int queries = static_cast<int>(flags.Int("queries", 100));
   const std::string cache = flags.Str("cache", "bench_cache");
   const std::string csv = flags.Str("csv", "");
+  const std::string json = flags.Str("json", "BENCH_fig10_query_time.json");
+  const std::vector<std::int64_t> sweep_threads =
+      flags.IntList("threads", {1, 2, 4, 8});
 
   PrintHeader("Figure 10 — Overall query processing time vs database size",
               std::to_string(queries) +
@@ -126,6 +137,9 @@ int Run(int argc, char** argv) {
   TablePrinter table({"DB size", "QD total (ms/query)", "MV total (ms/query)",
                       "QD / MV"});
   std::vector<double> sizes, qd_times, mv_times;
+  std::vector<BenchRecord> records;
+  StatusOr<RfsTree> last_rfs = Status::Internal("no step ran");
+  StatusOr<ImageDatabase> last_db = Status::Internal("no step ran");
   for (int step = 1; step <= steps; ++step) {
     const std::size_t size = max_images * step / steps;
     StatusOr<ImageDatabase> db =
@@ -153,8 +167,56 @@ int Run(int argc, char** argv) {
     sizes.push_back(static_cast<double>(size));
     qd_times.push_back(qd_ms);
     mv_times.push_back(mv_ms);
+
+    BenchRecord record;
+    record.bench = "fig10_query_time";
+    record.config = "db=" + std::to_string(size);
+    record.threads = ThreadPool::Global().size();
+    record.wall_seconds = qd_ms / 1e3;
+    record.metrics = {{"qd_total_ms", qd_ms},
+                      {"mv_total_ms", mv_ms},
+                      {"queries", static_cast<double>(queries)}};
+    records.push_back(std::move(record));
+
+    last_rfs = std::move(rfs);
+    last_db = std::move(db);
   }
   table.Print(std::cout);
+
+  // Thread-count sweep at the largest size: the final localized-subquery
+  // round of each QD query fans out across the pool; everything before it
+  // is per-neighborhood work that does not depend on the pool width.
+  if (last_rfs.ok() && !sweep_threads.empty()) {
+    TablePrinter sweep({"Threads", "QD total (ms/query)", "Speedup vs 1"});
+    double base_ms = 0.0;
+    for (const std::int64_t t : sweep_threads) {
+      if (t <= 0) continue;
+      ThreadPool pool(static_cast<std::size_t>(t));
+      std::vector<double> samples;
+      for (int q = 0; q < queries; ++q) {
+        samples.push_back(RunRandomQdQuery(*last_rfs,
+                                           static_cast<std::uint64_t>(q) + 1,
+                                           50, &pool)
+                              .total_seconds);
+      }
+      const double ms = Median(samples) * 1e3;
+      if (base_ms == 0.0) base_ms = ms;
+      sweep.AddRow({std::to_string(t), TablePrinter::Num(ms, 3),
+                    TablePrinter::Num(base_ms / ms, 2)});
+
+      BenchRecord record;
+      record.bench = "fig10_query_time_thread_sweep";
+      record.config = "db=" + std::to_string(last_rfs->num_images());
+      record.threads = static_cast<std::size_t>(t);
+      record.wall_seconds = ms / 1e3;
+      record.metrics = {{"qd_total_ms", ms},
+                        {"speedup_vs_1", base_ms / ms},
+                        {"queries", static_cast<double>(queries)}};
+      records.push_back(std::move(record));
+    }
+    std::printf("\nThread sweep at %zu images:\n", last_rfs->num_images());
+    sweep.Print(std::cout);
+  }
 
   if (!csv.empty()) {
     std::ofstream out(csv);
@@ -163,6 +225,15 @@ int Run(int argc, char** argv) {
       out << sizes[i] << "," << qd_times[i] << "," << mv_times[i] << "\n";
     }
     std::printf("series written to %s\n", csv.c_str());
+  }
+
+  if (!json.empty()) {
+    const Status append = AppendBenchJson(json, records);
+    if (append.ok()) {
+      std::printf("results appended to %s\n", json.c_str());
+    } else {
+      std::fprintf(stderr, "warning: %s\n", append.ToString().c_str());
+    }
   }
 
   const double r = LinearCorrelation(sizes, qd_times);

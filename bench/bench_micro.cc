@@ -1,18 +1,26 @@
 // Micro-benchmarks (google-benchmark) of the library's hot paths: distance
 // kernels, brute-force vs R*-tree k-NN, k-means, feature extraction, and
 // the Haar transform. These quantify the primitives behind Figures 10-11.
+// The *_Threads benchmarks sweep the thread pool across 1/2/4/8 lanes to
+// show the scaling of the parallel execution layer.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
 
 #include "qdcbir/cluster/kmeans.h"
 #include "qdcbir/core/distance.h"
 #include "qdcbir/core/rng.h"
+#include "qdcbir/core/thread_pool.h"
 #include "qdcbir/dataset/recipe.h"
 #include "qdcbir/features/extractor.h"
 #include "qdcbir/features/wavelet_texture.h"
 #include "qdcbir/index/rstar_tree.h"
 #include "qdcbir/index/str_bulk_load.h"
 #include "qdcbir/query/knn.h"
+#include "qdcbir/query/qd_engine.h"
+#include "qdcbir/rfs/rfs_builder.h"
 
 namespace qdcbir {
 namespace {
@@ -114,6 +122,131 @@ void BM_RenderRecipe(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RenderRecipe);
+
+/// Multimodal points (well-separated Gaussian modes) so relevance feedback
+/// decomposes into many neighborhoods; unimodal data would collapse the QD
+/// session into a single localized subquery and leave nothing to fan out.
+std::vector<FeatureVector> ClusteredPoints(std::size_t n, std::size_t dim,
+                                           std::size_t modes,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FeatureVector> centers;
+  for (std::size_t m = 0; m < modes; ++m) {
+    FeatureVector c(dim);
+    for (std::size_t d = 0; d < dim; ++d) c[d] = 6.0 * rng.Gaussian();
+    centers.push_back(std::move(c));
+  }
+  std::vector<FeatureVector> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const FeatureVector& c = centers[i % modes];
+    FeatureVector v(dim);
+    for (std::size_t d = 0; d < dim; ++d) v[d] = c[d] + rng.Gaussian();
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+/// Shared RFS over multimodal random points for the thread-sweep
+/// benchmarks; built once so every pool width measures the same structure.
+const RfsTree& SweepRfs() {
+  static const RfsTree* tree = [] {
+    const auto points = ClusteredPoints(20000, kPaperFeatureDim, 24, 11);
+    RfsBuildOptions options;
+    options.tree.max_entries = 100;
+    options.tree.min_entries = 40;
+    options.representatives.fraction = 0.05;
+    options.representatives.min_per_node = 3;
+    return new RfsTree(RfsBuilder::Build(points, options).value());
+  }();
+  return *tree;
+}
+
+/// The localized-subquery stage: `QdSession::Finalize` fans one multipoint
+/// k-NN per frontier leaf across the pool (~70 subqueries after the
+/// scripted rounds below). The feedback rounds run once during setup —
+/// `Finalize` is deterministic and repeatable, so only the final round is
+/// inside the timed region.
+void BM_QdLocalizedSubqueries_Threads(benchmark::State& state) {
+  const RfsTree& rfs = SweepRfs();
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  QdOptions options;
+  options.seed = 42;
+  options.display_size = 40;
+  options.pool = &pool;
+  QdSession session(&rfs, options);
+  auto display = session.Start();
+  for (int round = 0; round < 3; ++round) {
+    std::vector<ImageId> picks;
+    for (const DisplayGroup& group : display) {
+      picks.insert(picks.end(), group.images.begin(), group.images.end());
+    }
+    auto next = session.Feedback(picks);
+    if (!next.ok()) break;
+    display = std::move(next).value();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.Finalize(200));
+  }
+  state.counters["subqueries"] = static_cast<double>(
+      session.stats().localized_subqueries / state.iterations());
+}
+BENCHMARK(BM_QdLocalizedSubqueries_Threads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// The chunked distance scan behind `QclusterEngine`: per-chunk top-k heaps
+/// over a flat feature table, merged once at the end.
+void BM_DistanceScanTopK_Threads(benchmark::State& state) {
+  static const auto& table = *new auto(RandomPoints(40000, kPaperFeatureDim,
+                                                    12));
+  const auto query = RandomPoints(1, kPaperFeatureDim, 13)[0];
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  constexpr std::size_t kTopK = 64;
+  const auto better = [](const KnnMatch& a, const KnnMatch& b) {
+    if (a.distance_squared != b.distance_squared) {
+      return a.distance_squared < b.distance_squared;
+    }
+    return a.id < b.id;
+  };
+  for (auto _ : state) {
+    const std::size_t chunks = std::min(table.size(), pool.size() * 4);
+    std::vector<std::vector<KnnMatch>> partial(chunks);
+    pool.ParallelForChunks(
+        0, table.size(), chunks,
+        [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+          std::vector<KnnMatch>& top = partial[chunk];
+          for (std::size_t i = lo; i < hi; ++i) {
+            KnnMatch n{static_cast<ImageId>(i), SquaredL2(table[i], query)};
+            if (top.size() >= kTopK && !better(n, top.front())) continue;
+            top.push_back(n);
+            std::push_heap(top.begin(), top.end(), better);
+            if (top.size() > kTopK) {
+              std::pop_heap(top.begin(), top.end(), better);
+              top.pop_back();
+            }
+          }
+        });
+    std::vector<KnnMatch> merged;
+    for (const auto& p : partial) merged.insert(merged.end(), p.begin(),
+                                                p.end());
+    std::sort(merged.begin(), merged.end(), better);
+    if (merged.size() > kTopK) merged.resize(kTopK);
+    benchmark::DoNotOptimize(merged);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(table.size()));
+}
+BENCHMARK(BM_DistanceScanTopK_Threads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 void BM_HaarTransform(benchmark::State& state) {
   Rng rng(10);

@@ -1,0 +1,100 @@
+#include "qdcbir/core/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace qdcbir {
+
+std::size_t ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("QDCBIR_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(DefaultThreadCount());
+  return pool;
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : threads_(threads > 0 ? threads : DefaultThreadCount()) {
+  workers_.reserve(threads_ - 1);
+  for (std::size_t i = 0; i + 1 < threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop_ set and nothing left to run
+    RunOneTask(lock);
+  }
+}
+
+bool ThreadPool::RunOneTask(std::unique_lock<std::mutex>& lock) {
+  if (queue_.empty()) return false;
+  // LIFO: nested batches enqueue last and complete first, which bounds the
+  // queue depth under recursive ParallelFor use.
+  Task task = std::move(queue_.back());
+  queue_.pop_back();
+  lock.unlock();
+
+  std::exception_ptr error;
+  try {
+    task.fn();
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  lock.lock();
+  if (error && !task.batch->error) task.batch->error = error;
+  if (--task.batch->pending == 0) done_cv_.notify_all();
+  return true;
+}
+
+void ThreadPool::Run(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (threads_ <= 1 || tasks.size() == 1) {
+    for (std::function<void()>& task : tasks) task();
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->pending = tasks.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::function<void()>& task : tasks) {
+      queue_.push_back(Task{std::move(task), batch});
+    }
+  }
+  work_cv_.notify_all();
+  // New tasks may be stolen by waiting submitters of outer batches.
+  done_cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  while (batch->pending > 0) {
+    if (RunOneTask(lock)) continue;  // help: run any queued task
+    done_cv_.wait(lock,
+                  [&] { return batch->pending == 0 || !queue_.empty(); });
+  }
+  const std::exception_ptr error = batch->error;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace qdcbir

@@ -1,8 +1,11 @@
 #include "qdcbir/eval/session_runner.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_set>
+#include <utility>
 
+#include "qdcbir/core/thread_pool.h"
 #include "qdcbir/eval/metrics.h"
 #include "qdcbir/eval/timer.h"
 
@@ -200,6 +203,55 @@ StatusOr<RunOutcome> SessionRunner::RunEngine(FeedbackEngine& engine,
   for (const double t : outcome.iteration_seconds) engine_total += t;
   outcome.total_seconds = engine_total;
   return outcome;
+}
+
+namespace {
+
+/// Shared batching shape of RunQdBatch / RunEngineBatch: one pool task per
+/// job, each writing its own slot — outcomes are position-stable and
+/// independent of scheduling.
+std::vector<StatusOr<RunOutcome>> RunJobs(
+    std::size_t count, ThreadPool* pool,
+    const std::function<StatusOr<RunOutcome>(std::size_t job)>& run) {
+  std::vector<std::optional<StatusOr<RunOutcome>>> slots(count);
+  ThreadPool& executor = pool != nullptr ? *pool : ThreadPool::Global();
+  executor.ParallelFor(0, count,
+                       [&](std::size_t job) { slots[job].emplace(run(job)); });
+  std::vector<StatusOr<RunOutcome>> out;
+  out.reserve(count);
+  for (std::optional<StatusOr<RunOutcome>>& slot : slots) {
+    out.push_back(std::move(slot).value());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<StatusOr<RunOutcome>> SessionRunner::RunQdBatch(
+    const RfsTree& rfs, const std::vector<const QueryGroundTruth*>& gts,
+    const QdOptions& qd_options, const ProtocolOptions& protocol,
+    ThreadPool* pool) {
+  return RunJobs(gts.size(), pool, [&](std::size_t job) {
+    ProtocolOptions job_protocol = protocol;
+    job_protocol.seed = protocol.seed + job;
+    return RunQd(rfs, *gts[job], qd_options, job_protocol);
+  });
+}
+
+std::vector<StatusOr<RunOutcome>> SessionRunner::RunEngineBatch(
+    const EngineFactory& factory,
+    const std::vector<const QueryGroundTruth*>& gts,
+    const ProtocolOptions& protocol, ThreadPool* pool) {
+  return RunJobs(gts.size(), pool, [&](std::size_t job) {
+    ProtocolOptions job_protocol = protocol;
+    job_protocol.seed = protocol.seed + job;
+    std::unique_ptr<FeedbackEngine> engine = factory(job);
+    if (engine == nullptr) {
+      return StatusOr<RunOutcome>(
+          Status::InvalidArgument("engine factory returned null"));
+    }
+    return RunEngine(*engine, *gts[job], job_protocol);
+  });
 }
 
 }  // namespace qdcbir

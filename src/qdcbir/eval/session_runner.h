@@ -2,6 +2,8 @@
 #define QDCBIR_EVAL_SESSION_RUNNER_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "qdcbir/core/status.h"
@@ -12,6 +14,8 @@
 #include "qdcbir/rfs/rfs_tree.h"
 
 namespace qdcbir {
+
+class ThreadPool;
 
 /// Options of the paper's 3-round interactive evaluation protocol.
 struct ProtocolOptions {
@@ -71,6 +75,31 @@ class SessionRunner {
   static StatusOr<RunOutcome> RunEngine(FeedbackEngine& engine,
                                         const QueryGroundTruth& gt,
                                         const ProtocolOptions& protocol);
+
+  /// One batched QD job: a ground-truth query run under the protocol.
+  /// `RunQdBatch` executes one independent session per entry of `gts` —
+  /// the multi-user load model: every simulated user shares the (read-only)
+  /// RFS tree but owns a private session, oracle, and RNG stream. Job `i`
+  /// runs with `protocol.seed + i`, so outcome `i` is byte-identical to a
+  /// sequential `RunQd` call with that seed at any pool size.
+  /// `pool == nullptr` means `ThreadPool::Global()`; sessions may share
+  /// that pool with their own subqueries (the pool nests safely).
+  static std::vector<StatusOr<RunOutcome>> RunQdBatch(
+      const RfsTree& rfs, const std::vector<const QueryGroundTruth*>& gts,
+      const QdOptions& qd_options, const ProtocolOptions& protocol,
+      ThreadPool* pool = nullptr);
+
+  /// Builds the per-job engine of a batched baseline run (engines are
+  /// stateful, so every session needs a fresh one).
+  using EngineFactory =
+      std::function<std::unique_ptr<FeedbackEngine>(std::size_t job)>;
+
+  /// Batched counterpart of `RunEngine`, with the same per-job seeding
+  /// contract as `RunQdBatch`.
+  static std::vector<StatusOr<RunOutcome>> RunEngineBatch(
+      const EngineFactory& factory,
+      const std::vector<const QueryGroundTruth*>& gts,
+      const ProtocolOptions& protocol, ThreadPool* pool = nullptr);
 };
 
 }  // namespace qdcbir

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <unordered_map>
+
+#include "qdcbir/core/thread_pool.h"
 
 namespace qdcbir {
 
@@ -44,24 +47,39 @@ StatusOr<Ranking> FaginEngine::ComputeRanking(std::size_t k) {
   centroid *= 1.0 / static_cast<double>(relevant().size());
 
   // Each subsystem produces a ranking by its subspace distance (sorted
-  // access lists of the Threshold Algorithm).
+  // access lists of the Threshold Algorithm). The distance scans partition
+  // the flattened (subsystem, image) index space across the pool — every
+  // slot is written exactly once, so the lists are identical at any thread
+  // count — and the per-subsystem sorts then run as one pool task each.
   struct Scored {
     ImageId id;
     double score;
   };
+  ThreadPool& pool = options_.pool != nullptr ? *options_.pool
+                                              : ThreadPool::Global();
   std::vector<std::vector<Scored>> lists(subsystems_.size());
   for (std::size_t s = 0; s < subsystems_.size(); ++s) {
-    lists[s].reserve(table.size());
-    for (std::size_t i = 0; i < table.size(); ++i) {
-      lists[s].push_back(Scored{
-          static_cast<ImageId>(i),
-          SubspaceDistance(table[i], centroid, subsystems_[s])});
+    lists[s].resize(table.size());
+  }
+  pool.ParallelFor(0, subsystems_.size() * table.size(), [&](std::size_t f) {
+    const std::size_t s = f / table.size();
+    const std::size_t i = f % table.size();
+    lists[s][i] = Scored{static_cast<ImageId>(i),
+                         SubspaceDistance(table[i], centroid, subsystems_[s])};
+  });
+  {
+    std::vector<std::function<void()>> sort_tasks;
+    sort_tasks.reserve(subsystems_.size());
+    for (std::size_t s = 0; s < subsystems_.size(); ++s) {
+      sort_tasks.push_back([&lists, s] {
+        std::sort(lists[s].begin(), lists[s].end(),
+                  [](const Scored& a, const Scored& b) {
+                    if (a.score != b.score) return a.score < b.score;
+                    return a.id < b.id;
+                  });
+      });
     }
-    std::sort(lists[s].begin(), lists[s].end(),
-              [](const Scored& a, const Scored& b) {
-                if (a.score != b.score) return a.score < b.score;
-                return a.id < b.id;
-              });
+    pool.Run(std::move(sort_tasks));
   }
 
   // Threshold Algorithm: advance all lists in lock-step; random-access the

@@ -6,10 +6,15 @@
 
 namespace qdcbir {
 
+class ThreadPool;
+
 /// Options of the Fagin-style merge engine.
 struct FaginOptions {
   std::size_t display_size = 21;
   std::uint64_t seed = 113;
+  /// Worker pool for the subsystem distance scans and sorts; nullptr means
+  /// `ThreadPool::Global()`. Rankings are identical across pool sizes.
+  ThreadPool* pool = nullptr;
 };
 
 /// A top-k "merge information from multiple systems" baseline (Fagin,

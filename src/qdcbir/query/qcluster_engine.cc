@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "qdcbir/cluster/kmeans.h"
+#include "qdcbir/core/thread_pool.h"
 #include "qdcbir/query/multipoint.h"
 
 namespace qdcbir {
@@ -23,19 +24,32 @@ StatusOr<Ranking> QclusterEngine::ComputeRanking(std::size_t k) {
   for (const ImageId id : relevant()) relevant_points.push_back(table[id]);
 
   // Adaptive cluster count: run k-means for k = 1..max and keep the k with
-  // the largest relative inertia improvement (elbow heuristic).
+  // the largest relative inertia improvement (elbow heuristic). The runs
+  // are independent (per-c seeds), so they fan out across the pool.
+  ThreadPool& pool = options_.pool != nullptr ? *options_.pool
+                                              : ThreadPool::Global();
   const int upper = std::min<int>(options_.max_clusters,
                                   static_cast<int>(relevant_points.size()));
   std::vector<double> inertia(static_cast<std::size_t>(upper) + 1, 0.0);
   std::vector<KMeansResult> runs(static_cast<std::size_t>(upper) + 1);
-  for (int c = 1; c <= upper; ++c) {
+  std::vector<Status> run_status(static_cast<std::size_t>(upper) + 1,
+                                 Status::Ok());
+  pool.ParallelFor(1, static_cast<std::size_t>(upper) + 1, [&](std::size_t c) {
     KMeansOptions km;
-    km.k = c;
+    km.k = static_cast<int>(c);
     km.seed = options_.kmeans_seed + static_cast<std::uint64_t>(c);
     StatusOr<KMeansResult> r = RunKMeans(relevant_points, km);
-    if (!r.ok()) return r.status();
+    if (!r.ok()) {
+      run_status[c] = r.status();
+      return;
+    }
     inertia[c] = r->inertia;
     runs[c] = std::move(r).value();
+  });
+  for (int c = 1; c <= upper; ++c) {
+    if (!run_status[static_cast<std::size_t>(c)].ok()) {
+      return run_status[static_cast<std::size_t>(c)];
+    }
   }
   int best_c = 1;
   double best_gain = 0.0;
@@ -48,22 +62,41 @@ StatusOr<Ranking> QclusterEngine::ComputeRanking(std::size_t k) {
     }
   }
 
+  // Disjunctive scan: each chunk keeps its own top-k heap; the partial
+  // top-k lists merge at the end. The (distance, id) comparator is a total
+  // order, so the global top k is unique regardless of partitioning.
   const MultipointQuery query(runs[best_c].centroids);
-  Ranking ranking;
-  ranking.reserve(table.size());
-  for (std::size_t i = 0; i < table.size(); ++i) {
-    ranking.push_back(
-        KnnMatch{static_cast<ImageId>(i), query.DisjunctiveScore(table[i])});
-  }
+  auto better = [](const KnnMatch& a, const KnnMatch& b) {
+    if (a.distance_squared != b.distance_squared) {
+      return a.distance_squared < b.distance_squared;
+    }
+    return a.id < b.id;
+  };
+  const std::size_t chunks =
+      std::min(table.size(), pool.size() * 4 > 0 ? pool.size() * 4 : 1);
+  std::vector<Ranking> partial(chunks);
+  pool.ParallelForChunks(
+      0, table.size(), chunks,
+      [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+        Ranking& top = partial[chunk];
+        for (std::size_t i = lo; i < hi; ++i) {
+          KnnMatch m{static_cast<ImageId>(i), query.DisjunctiveScore(table[i])};
+          if (top.size() >= k && !better(m, top.front())) continue;
+          top.push_back(m);
+          std::push_heap(top.begin(), top.end(), better);
+          if (top.size() > k) {
+            std::pop_heap(top.begin(), top.end(), better);
+            top.pop_back();
+          }
+        }
+      });
   stats_.global_knn_computations += 1;
   stats_.candidates_scanned += table.size();
-  std::sort(ranking.begin(), ranking.end(),
-            [](const KnnMatch& a, const KnnMatch& b) {
-              if (a.distance_squared != b.distance_squared) {
-                return a.distance_squared < b.distance_squared;
-              }
-              return a.id < b.id;
-            });
+  Ranking ranking;
+  for (Ranking& top : partial) {
+    ranking.insert(ranking.end(), top.begin(), top.end());
+  }
+  std::sort(ranking.begin(), ranking.end(), better);
   if (ranking.size() > k) ranking.resize(k);
   return ranking;
 }

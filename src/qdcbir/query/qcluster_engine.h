@@ -5,6 +5,8 @@
 
 namespace qdcbir {
 
+class ThreadPool;
+
 /// Options of the Qcluster-style engine.
 struct QclusterOptions {
   std::size_t display_size = 21;
@@ -12,6 +14,12 @@ struct QclusterOptions {
   /// Maximum number of adaptive clusters.
   int max_clusters = 4;
   std::uint64_t kmeans_seed = 17;
+  /// Worker pool for the elbow k-means runs and the disjunctive distance
+  /// scan (partitioned with per-thread top-k heaps merged at the end);
+  /// nullptr means `ThreadPool::Global()`. Rankings are identical across
+  /// pool sizes: the (distance, id) order is total, so the global top k is
+  /// unique however the scan is partitioned.
+  ThreadPool* pool = nullptr;
 };
 
 /// A Qcluster-style baseline (Kim & Chung, SIGMOD'03; the paper's §2

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "qdcbir/core/distance.h"
+#include "qdcbir/core/thread_pool.h"
 #include "qdcbir/query/multipoint.h"
 
 namespace qdcbir {
@@ -142,12 +143,13 @@ StatusOr<std::vector<DisplayGroup>> QdSession::Feedback(
 
 Ranking QdSession::LocalizedSearch(NodeId node,
                                    const FeatureVector& query_point,
-                                   std::size_t fetch) {
+                                   std::size_t fetch,
+                                   QdSessionStats* stats) const {
   if (options_.feature_weights.empty()) {
     SearchStats search_stats;
     Ranking ranking = rfs_->index().KnnSearchInSubtree(node, query_point,
                                                        fetch, &search_stats);
-    stats_.knn_nodes_visited += search_stats.nodes_visited;
+    stats->knn_nodes_visited += search_stats.nodes_visited;
     return ranking;
   }
   // Weighted ranking: scan the (small) localized subtree under the
@@ -158,7 +160,7 @@ Ranking QdSession::LocalizedSearch(NodeId node,
     while (!stack.empty()) {
       const NodeId nid = stack.back();
       stack.pop_back();
-      stats_.knn_nodes_visited += 1;
+      stats->knn_nodes_visited += 1;
       const RStarTree::Node& n = rfs_->index().node(nid);
       if (!n.IsLeaf()) {
         for (const RStarTree::Entry& e : n.entries) stack.push_back(e.child);
@@ -185,7 +187,8 @@ Ranking QdSession::LocalizedSearch(NodeId node,
 }
 
 NodeId QdSession::ExpandSearchNode(NodeId leaf,
-                                   const std::vector<ImageId>& query_images) {
+                                   const std::vector<ImageId>& query_images,
+                                   QdSessionStats* stats) const {
   NodeId node = leaf;
   for (;;) {
     const RfsTree::NodeInfo& info = rfs_->info(node);
@@ -200,7 +203,7 @@ NodeId QdSession::ExpandSearchNode(NodeId leaf,
     }
     if (!near_boundary || info.parent == kInvalidNodeId) return node;
     node = info.parent;
-    ++stats_.boundary_expansions;
+    ++stats->boundary_expansions;
   }
 }
 
@@ -278,15 +281,23 @@ StatusOr<QdResult> QdSession::Finalize(std::size_t k) {
     return a.leaf < b.leaf;
   });
 
-  QdResult result;
-  std::unordered_set<ImageId> taken;
-  std::vector<Ranking> spare_candidates(locals.size());
-  for (std::size_t li2 = 0; li2 < locals.size(); ++li2) {
+  // Phase 1 (parallel): one task per relevant subcluster runs the boundary
+  // expansion and the localized multipoint k-NN. Tasks only read the RFS
+  // tree and write into their own slot, so the outcome is identical for
+  // every pool size; cost counters accumulate task-locally and merge below
+  // (sums are order-independent).
+  ThreadPool& pool = options_.pool != nullptr ? *options_.pool
+                                              : ThreadPool::Global();
+  std::vector<ResultGroup> groups(locals.size());
+  std::vector<Ranking> local_candidates(locals.size());
+  std::vector<QdSessionStats> task_stats(locals.size());
+  pool.ParallelFor(0, locals.size(), [&](std::size_t li2) {
     const Local& local = locals[li2];
-    ResultGroup group;
+    ResultGroup& group = groups[li2];
     group.leaf = local.leaf;
     group.relevant_count = local.relevant->size();
-    group.search_node = ExpandSearchNode(local.leaf, *local.relevant);
+    group.search_node =
+        ExpandSearchNode(local.leaf, *local.relevant, &task_stats[li2]);
 
     std::vector<FeatureVector> points;
     points.reserve(local.relevant->size());
@@ -298,8 +309,24 @@ StatusOr<QdResult> QdSession::Finalize(std::size_t k) {
     // Over-fetch to survive cross-group dedup and to provide spare
     // candidates if another subquery's subtree runs dry.
     const std::size_t fetch = 2 * local.quota + locals.size() + 8;
-    Ranking candidates =
-        LocalizedSearch(group.search_node, query.Centroid(), fetch);
+    local_candidates[li2] = LocalizedSearch(group.search_node,
+                                            query.Centroid(), fetch,
+                                            &task_stats[li2]);
+  });
+  for (const QdSessionStats& ts : task_stats) {
+    stats_.boundary_expansions += ts.boundary_expansions;
+    stats_.knn_nodes_visited += ts.knn_nodes_visited;
+  }
+
+  // Phase 2 (sequential): cross-group dedup and quota consumption, in the
+  // same subquery order as before — the determinism-critical merge.
+  QdResult result;
+  std::unordered_set<ImageId> taken;
+  std::vector<Ranking> spare_candidates(locals.size());
+  for (std::size_t li2 = 0; li2 < locals.size(); ++li2) {
+    const Local& local = locals[li2];
+    ResultGroup group = std::move(groups[li2]);
+    Ranking candidates = std::move(local_candidates[li2]);
     stats_.localized_subqueries += 1;
     stats_.knn_candidates += rfs_->info(group.search_node).subtree_size;
 

@@ -14,6 +14,8 @@
 
 namespace qdcbir {
 
+class ThreadPool;
+
 /// Options of a Query Decomposition session.
 struct QdOptions {
   /// Representative images shown per feedback round (the prototype's result
@@ -32,6 +34,11 @@ struct QdOptions {
   /// localized subqueries rank candidates by weighted Euclidean distance.
   /// Must be empty or match the tree's feature dimensionality.
   std::vector<double> feature_weights;
+  /// Worker pool for the final-round localized subqueries (one task per
+  /// frontier leaf). nullptr means `ThreadPool::Global()`. Results are
+  /// byte-identical across pool sizes: subqueries write per-task slots and
+  /// the cross-group merge runs sequentially in deterministic order.
+  ThreadPool* pool = nullptr;
 };
 
 /// A group of images displayed for feedback, tagged with the subquery
@@ -126,14 +133,16 @@ class QdSession {
   /// Ranks the `fetch` best candidates of the subtree under `node` against
   /// `query_point`: best-first tree search when unweighted, a weighted scan
   /// of the subtree under the user's feature weights otherwise. Accumulates
-  /// node-access counts into `stats_`.
+  /// node-access counts into `stats` (task-local when subqueries run on the
+  /// pool; merged into `stats_` afterwards).
   Ranking LocalizedSearch(NodeId node, const FeatureVector& query_point,
-                          std::size_t fetch);
+                          std::size_t fetch, QdSessionStats* stats) const;
 
   /// §3.3: expands `leaf` upward while any of `query_images` lies too close
   /// to the boundary of the current node.
   NodeId ExpandSearchNode(NodeId leaf,
-                          const std::vector<ImageId>& query_images);
+                          const std::vector<ImageId>& query_images,
+                          QdSessionStats* stats) const;
 
   const RfsTree* rfs_;
   QdOptions options_;

@@ -7,6 +7,7 @@
 
 #include "qdcbir/cluster/kmeans.h"
 #include "qdcbir/core/distance.h"
+#include "qdcbir/core/thread_pool.h"
 
 namespace qdcbir {
 
@@ -131,8 +132,17 @@ StatusOr<std::vector<Group>> GroupLevel(
   }
 
   // Split oversized groups (a split piece is still >= max/2 >= min_fill).
-  for (Group& g : raw) {
-    MedianSplit(std::move(g.members), points, max_size, groups);
+  // Splits are independent per group: each task writes its own output list
+  // and the lists concatenate in group order, so the resulting tree is the
+  // same at any pool size.
+  ThreadPool& pool = options.pool != nullptr ? *options.pool
+                                             : ThreadPool::Global();
+  std::vector<std::vector<Group>> split_groups(raw.size());
+  pool.ParallelFor(0, raw.size(), [&](std::size_t g) {
+    MedianSplit(std::move(raw[g].members), points, max_size, split_groups[g]);
+  });
+  for (std::vector<Group>& split : split_groups) {
+    for (Group& g : split) groups.push_back(std::move(g));
   }
   return groups;
 }

@@ -11,6 +11,8 @@
 
 namespace qdcbir {
 
+class ThreadPool;
+
 /// Options of the clustered bulk loader.
 struct ClusteredBulkLoadOptions {
   /// Target leaf occupancy relative to `RStarTreeOptions::max_entries`.
@@ -18,6 +20,9 @@ struct ClusteredBulkLoadOptions {
   /// k-means effort per level (the grouping does not need a tight optimum).
   int kmeans_iterations = 12;
   std::uint64_t seed = 97;
+  /// Worker pool for the per-group median splits; nullptr means
+  /// `ThreadPool::Global()`. Group order (and so the tree) is preserved.
+  ThreadPool* pool = nullptr;
 };
 
 /// Builds an R*-tree whose *leaves are visual clusters*: the paper's RFS

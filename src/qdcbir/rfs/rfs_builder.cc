@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "qdcbir/core/thread_pool.h"
 #include "qdcbir/index/str_bulk_load.h"
 
 namespace qdcbir {
@@ -29,12 +30,17 @@ StatusOr<RfsTree> RfsBuilder::Build(std::vector<FeatureVector> features,
   std::vector<ImageId> ids(features.size());
   std::iota(ids.begin(), ids.end(), 0u);
 
+  ThreadPool& pool = options.pool != nullptr ? *options.pool
+                                             : ThreadPool::Global();
+
   // Stage 1: data clustering via the R*-tree.
   RStarTree index(dim, options.tree);
   switch (options.strategy) {
     case RfsBuildStrategy::kClustered: {
+      ClusteredBulkLoadOptions clustering = options.clustering;
+      if (clustering.pool == nullptr) clustering.pool = &pool;
       StatusOr<RStarTree> loaded = ClusteredTreeBuilder::Build(
-          features, ids, dim, options.tree, options.clustering);
+          features, ids, dim, options.tree, clustering);
       if (!loaded.ok()) return loaded.status();
       index = std::move(loaded).value();
       break;
@@ -60,27 +66,36 @@ StatusOr<RfsTree> RfsBuilder::Build(std::vector<FeatureVector> features,
 
   // Stage 2: bottom-up representative selection.
   QDCBIR_RETURN_IF_ERROR(
-      SelectAllRepresentatives(rfs, options.representatives));
+      SelectAllRepresentatives(rfs, options.representatives, pool));
   return rfs;
 }
 
 Status RfsBuilder::SelectAllRepresentatives(
-    RfsTree& rfs, const RepresentativeOptions& options) {
+    RfsTree& rfs, const RepresentativeOptions& options, ThreadPool& pool) {
   const RStarTree& index = rfs.index_;
   const auto levels = index.NodesByLevel();
 
   // Leaves first, then each upper level in order, so children's
-  // representatives exist before their parent aggregates them.
+  // representatives exist before their parent aggregates them. Within a
+  // level, the sibling nodes' k-means selections are independent and fan
+  // out across the pool; the cheap info bookkeeping stays sequential so
+  // the `info_` map is never mutated concurrently. Each node derives its
+  // own k-means seed, so the selection is identical at any pool size.
   for (std::size_t level = 0; level < levels.size(); ++level) {
-    for (const NodeId nid : levels[level]) {
+    const std::vector<NodeId>& nodes = levels[level];
+
+    // Phase A (sequential): candidate gathering and structural annotation.
+    std::vector<RfsTree::NodeInfo> infos(nodes.size());
+    std::vector<std::vector<RepresentativeCandidate>> candidates(nodes.size());
+    for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+      const NodeId nid = nodes[ni];
       const RStarTree::Node& node = index.node(nid);
-      RfsTree::NodeInfo info;
+      RfsTree::NodeInfo& info = infos[ni];
       info.level = node.level;
 
-      std::vector<RepresentativeCandidate> candidates;
       if (node.IsLeaf()) {
         for (const RStarTree::Entry& e : node.entries) {
-          candidates.push_back(RepresentativeCandidate{e.data, nid});
+          candidates[ni].push_back(RepresentativeCandidate{e.data, nid});
         }
         info.subtree_size = node.entries.size();
       } else {
@@ -89,7 +104,7 @@ Status RfsBuilder::SelectAllRepresentatives(
           const RfsTree::NodeInfo& child_info = rfs.info_.at(e.child);
           info.subtree_size += child_info.subtree_size;
           for (const ImageId rep : child_info.representatives) {
-            candidates.push_back(RepresentativeCandidate{rep, e.child});
+            candidates[ni].push_back(RepresentativeCandidate{rep, e.child});
           }
           rfs.info_.at(e.child).parent = nid;
         }
@@ -98,21 +113,34 @@ Status RfsBuilder::SelectAllRepresentatives(
       const Rect rect = index.NodeRect(nid);
       info.center = rect.Center();
       info.diagonal = rect.Diagonal();
+    }
 
+    // Phase B (parallel): per-node k-means representative selection.
+    std::vector<Status> node_status(nodes.size(), Status::Ok());
+    pool.ParallelFor(0, nodes.size(), [&](std::size_t ni) {
+      const NodeId nid = nodes[ni];
+      RfsTree::NodeInfo& info = infos[ni];
       const std::size_t target = RepresentativeCount(
-          info.subtree_size, candidates.size(), options);
+          info.subtree_size, candidates[ni].size(), options);
       // Vary the k-means seed per node so sibling nodes do not share
       // degenerate seedings.
       RepresentativeOptions node_options = options;
       node_options.seed = options.seed ^ (0x9e3779b97f4a7c15ULL * (nid + 1));
       StatusOr<SelectedRepresentatives> selected =
-          SelectRepresentatives(candidates, rfs.features_, target,
+          SelectRepresentatives(candidates[ni], rfs.features_, target,
                                 node_options);
-      if (!selected.ok()) return selected.status();
+      if (!selected.ok()) {
+        node_status[ni] = selected.status();
+        return;
+      }
       info.representatives = std::move(selected->images);
       info.rep_origin = std::move(selected->origins);
+    });
 
-      rfs.info_[nid] = std::move(info);
+    // Phase C (sequential): commit into the node map.
+    for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+      QDCBIR_RETURN_IF_ERROR(node_status[ni]);
+      rfs.info_[nodes[ni]] = std::move(infos[ni]);
     }
   }
   return Status::Ok();

@@ -12,6 +12,8 @@
 
 namespace qdcbir {
 
+class ThreadPool;
+
 /// How the RFS "data clustering" stage builds the index.
 enum class RfsBuildStrategy {
   /// Hierarchical k-means bulk load (default): leaves hold whole visual
@@ -33,6 +35,11 @@ struct RfsBuildOptions {
   RfsBuildStrategy strategy = RfsBuildStrategy::kClustered;
   ClusteredBulkLoadOptions clustering;
   double bulk_fill_factor = 0.85;  ///< for kTgsBulkLoad
+  /// Worker pool for the per-node k-means of representative selection
+  /// (siblings of a level run concurrently) and the clustered bulk load's
+  /// group splits; nullptr means `ThreadPool::Global()`. The built tree is
+  /// identical across pool sizes — every node keeps its own derived seed.
+  ThreadPool* pool = nullptr;
 };
 
 /// Builds RFS trees (paper §3.1): index construction ("data clustering")
@@ -49,7 +56,8 @@ class RfsBuilder {
 
  private:
   static Status SelectAllRepresentatives(RfsTree& rfs,
-                                         const RepresentativeOptions& options);
+                                         const RepresentativeOptions& options,
+                                         ThreadPool& pool);
 };
 
 }  // namespace qdcbir

@@ -1,0 +1,184 @@
+// The determinism contract of the parallel execution layer: every engine
+// must produce byte-identical results at any thread count. Each case runs
+// the same work on a sequential pool (1 lane) and a wide pool (8 lanes)
+// and compares the outputs exactly — no tolerances.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "qdcbir/core/thread_pool.h"
+#include "qdcbir/dataset/synthesizer.h"
+#include "qdcbir/features/extractor.h"
+#include "qdcbir/query/fagin_engine.h"
+#include "qdcbir/query/qcluster_engine.h"
+#include "qdcbir/query/qd_engine.h"
+#include "qdcbir/rfs/rfs_builder.h"
+#include "qdcbir/rfs/rfs_serialization.h"
+
+namespace qdcbir {
+namespace {
+
+class QdDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CatalogOptions catalog_options;
+    catalog_options.num_categories = 24;
+    Catalog catalog = Catalog::Build(catalog_options).value();
+    SynthesizerOptions options;
+    options.total_images = 600;
+    options.image_width = 32;
+    options.image_height = 32;
+    db_ = new ImageDatabase(
+        DatabaseSynthesizer::Synthesize(catalog, options).value());
+
+    RfsBuildOptions build;
+    build.tree.max_entries = 40;
+    build.tree.min_entries = 16;
+    rfs_ = new RfsTree(RfsBuilder::Build(db_->features(), build).value());
+  }
+  static void TearDownTestSuite() {
+    delete rfs_;
+    delete db_;
+  }
+
+  /// Drives one scripted QD session: 2 feedback rounds marking the first
+  /// two representatives of every display group, then Finalize(k).
+  static QdResult RunScriptedSession(ThreadPool* pool, QdSessionStats* stats) {
+    QdOptions options;
+    options.seed = 4242;
+    options.pool = pool;
+    QdSession session(rfs_, options);
+    std::vector<DisplayGroup> display = session.Start();
+    for (int round = 0; round < 2; ++round) {
+      std::vector<ImageId> picks;
+      for (const DisplayGroup& group : display) {
+        for (std::size_t i = 0; i < group.images.size() && i < 2; ++i) {
+          picks.push_back(group.images[i]);
+        }
+      }
+      display = session.Feedback(picks).value();
+    }
+    QdResult result = session.Finalize(60).value();
+    *stats = session.stats();
+    return result;
+  }
+
+  static const ImageDatabase* db_;
+  static const RfsTree* rfs_;
+};
+
+const ImageDatabase* QdDeterminismTest::db_ = nullptr;
+const RfsTree* QdDeterminismTest::rfs_ = nullptr;
+
+void ExpectIdenticalResults(const QdResult& a, const QdResult& b) {
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (std::size_t g = 0; g < a.groups.size(); ++g) {
+    const ResultGroup& ga = a.groups[g];
+    const ResultGroup& gb = b.groups[g];
+    EXPECT_EQ(ga.leaf, gb.leaf);
+    EXPECT_EQ(ga.search_node, gb.search_node);
+    EXPECT_EQ(ga.relevant_count, gb.relevant_count);
+    EXPECT_EQ(ga.ranking_score, gb.ranking_score);  // bit-exact
+    ASSERT_EQ(ga.images.size(), gb.images.size());
+    for (std::size_t i = 0; i < ga.images.size(); ++i) {
+      EXPECT_EQ(ga.images[i].id, gb.images[i].id);
+      EXPECT_EQ(ga.images[i].distance_squared, gb.images[i].distance_squared);
+    }
+  }
+}
+
+TEST_F(QdDeterminismTest, QdSessionIdenticalAtOneAndEightThreads) {
+  ThreadPool sequential(1);
+  ThreadPool wide(8);
+  QdSessionStats stats1, stats8;
+  const QdResult r1 = RunScriptedSession(&sequential, &stats1);
+  const QdResult r8 = RunScriptedSession(&wide, &stats8);
+
+  ExpectIdenticalResults(r1, r8);
+  // Cost counters are sums over task-local counters — also invariant.
+  EXPECT_EQ(stats1.boundary_expansions, stats8.boundary_expansions);
+  EXPECT_EQ(stats1.localized_subqueries, stats8.localized_subqueries);
+  EXPECT_EQ(stats1.knn_candidates, stats8.knn_candidates);
+  EXPECT_EQ(stats1.knn_nodes_visited, stats8.knn_nodes_visited);
+}
+
+TEST_F(QdDeterminismTest, WeightedQdSessionIdenticalAcrossThreadCounts) {
+  ThreadPool sequential(1);
+  ThreadPool wide(8);
+  auto run = [&](ThreadPool* pool) {
+    QdOptions options;
+    options.seed = 77;
+    options.pool = pool;
+    options.feature_weights = MakeGroupWeights(2.0, 1.0, 0.5);
+    QdSession session(rfs_, options);
+    std::vector<DisplayGroup> display = session.Start();
+    std::vector<ImageId> picks;
+    for (const DisplayGroup& group : display) {
+      if (!group.images.empty()) picks.push_back(group.images.front());
+    }
+    display = session.Feedback(picks).value();
+    return session.Finalize(40).value();
+  };
+  ExpectIdenticalResults(run(&sequential), run(&wide));
+}
+
+TEST_F(QdDeterminismTest, RfsBuildIsByteIdenticalAcrossThreadCounts) {
+  ThreadPool sequential(1);
+  ThreadPool wide(8);
+  RfsBuildOptions build;
+  build.tree.max_entries = 40;
+  build.tree.min_entries = 16;
+
+  build.pool = &sequential;
+  const RfsTree tree1 = RfsBuilder::Build(db_->features(), build).value();
+  build.pool = &wide;
+  const RfsTree tree8 = RfsBuilder::Build(db_->features(), build).value();
+
+  EXPECT_EQ(RfsSerializer::Serialize(tree1), RfsSerializer::Serialize(tree8));
+}
+
+TEST_F(QdDeterminismTest, FaginRankingIdenticalAcrossThreadCounts) {
+  ThreadPool sequential(1);
+  ThreadPool wide(8);
+  auto run = [&](ThreadPool* pool) {
+    FaginOptions options;
+    options.seed = 5;
+    options.pool = pool;
+    FaginEngine engine(db_, options);
+    engine.Start();
+    engine.Feedback({3, 59, 204, 477}).value();
+    return engine.Finalize(50).value();
+  };
+  const Ranking r1 = run(&sequential);
+  const Ranking r8 = run(&wide);
+  ASSERT_EQ(r1.size(), r8.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].id, r8[i].id);
+    EXPECT_EQ(r1[i].distance_squared, r8[i].distance_squared);
+  }
+}
+
+TEST_F(QdDeterminismTest, QclusterRankingIdenticalAcrossThreadCounts) {
+  ThreadPool sequential(1);
+  ThreadPool wide(8);
+  auto run = [&](ThreadPool* pool) {
+    QclusterOptions options;
+    options.seed = 9;
+    options.pool = pool;
+    QclusterEngine engine(db_, options);
+    engine.Start();
+    engine.Feedback({10, 11, 250, 251, 500, 501}).value();
+    return engine.Finalize(64).value();
+  };
+  const Ranking r1 = run(&sequential);
+  const Ranking r8 = run(&wide);
+  ASSERT_EQ(r1.size(), r8.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].id, r8[i].id);
+    EXPECT_EQ(r1[i].distance_squared, r8[i].distance_squared);
+  }
+}
+
+}  // namespace
+}  // namespace qdcbir
