@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_representatives.dir/bench_ablation_representatives.cc.o"
+  "CMakeFiles/bench_ablation_representatives.dir/bench_ablation_representatives.cc.o.d"
+  "bench_ablation_representatives"
+  "bench_ablation_representatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_representatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_user_noise.dir/bench_ablation_user_noise.cc.o"
+  "CMakeFiles/bench_ablation_user_noise.dir/bench_ablation_user_noise.cc.o.d"
+  "bench_ablation_user_noise"
+  "bench_ablation_user_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_user_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

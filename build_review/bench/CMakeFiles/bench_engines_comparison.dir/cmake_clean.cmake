@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engines_comparison.dir/bench_engines_comparison.cc.o"
+  "CMakeFiles/bench_engines_comparison.dir/bench_engines_comparison.cc.o.d"
+  "bench_engines_comparison"
+  "bench_engines_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engines_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_pca.dir/bench_fig1_pca.cc.o"
+  "CMakeFiles/bench_fig1_pca.dir/bench_fig1_pca.cc.o.d"
+  "bench_fig1_pca"
+  "bench_fig1_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_9_qualitative.dir/bench_fig4_9_qualitative.cc.o"
+  "CMakeFiles/bench_fig4_9_qualitative.dir/bench_fig4_9_qualitative.cc.o.d"
+  "bench_fig4_9_qualitative"
+  "bench_fig4_9_qualitative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_9_qualitative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

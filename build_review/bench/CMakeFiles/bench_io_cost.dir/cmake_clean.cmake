@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_io_cost.dir/bench_io_cost.cc.o"
+  "CMakeFiles/bench_io_cost.dir/bench_io_cost.cc.o.d"
+  "bench_io_cost"
+  "bench_io_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_io_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

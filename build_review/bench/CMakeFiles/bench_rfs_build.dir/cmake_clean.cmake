@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rfs_build.dir/bench_rfs_build.cc.o"
+  "CMakeFiles/bench_rfs_build.dir/bench_rfs_build.cc.o.d"
+  "bench_rfs_build"
+  "bench_rfs_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rfs_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bird_search.dir/bird_search.cpp.o"
+  "CMakeFiles/bird_search.dir/bird_search.cpp.o.d"
+  "bird_search"
+  "bird_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bird_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_importance.dir/feature_importance.cpp.o"
+  "CMakeFiles/feature_importance.dir/feature_importance.cpp.o.d"
+  "feature_importance"
+  "feature_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

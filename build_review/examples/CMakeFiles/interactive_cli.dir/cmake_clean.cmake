@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_cli.dir/interactive_cli.cpp.o"
+  "CMakeFiles/interactive_cli.dir/interactive_cli.cpp.o.d"
+  "interactive_cli"
+  "interactive_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdcbir_cluster.dir/qdcbir/cluster/cluster_stats.cc.o"
+  "CMakeFiles/qdcbir_cluster.dir/qdcbir/cluster/cluster_stats.cc.o.d"
+  "CMakeFiles/qdcbir_cluster.dir/qdcbir/cluster/kmeans.cc.o"
+  "CMakeFiles/qdcbir_cluster.dir/qdcbir/cluster/kmeans.cc.o.d"
+  "CMakeFiles/qdcbir_cluster.dir/qdcbir/cluster/pca.cc.o"
+  "CMakeFiles/qdcbir_cluster.dir/qdcbir/cluster/pca.cc.o.d"
+  "libqdcbir_cluster.a"
+  "libqdcbir_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdcbir_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qdcbir/core/distance.cc" "src/CMakeFiles/qdcbir_core.dir/qdcbir/core/distance.cc.o" "gcc" "src/CMakeFiles/qdcbir_core.dir/qdcbir/core/distance.cc.o.d"
+  "/root/repo/src/qdcbir/core/feature_vector.cc" "src/CMakeFiles/qdcbir_core.dir/qdcbir/core/feature_vector.cc.o" "gcc" "src/CMakeFiles/qdcbir_core.dir/qdcbir/core/feature_vector.cc.o.d"
+  "/root/repo/src/qdcbir/core/rng.cc" "src/CMakeFiles/qdcbir_core.dir/qdcbir/core/rng.cc.o" "gcc" "src/CMakeFiles/qdcbir_core.dir/qdcbir/core/rng.cc.o.d"
+  "/root/repo/src/qdcbir/core/stats.cc" "src/CMakeFiles/qdcbir_core.dir/qdcbir/core/stats.cc.o" "gcc" "src/CMakeFiles/qdcbir_core.dir/qdcbir/core/stats.cc.o.d"
+  "/root/repo/src/qdcbir/core/status.cc" "src/CMakeFiles/qdcbir_core.dir/qdcbir/core/status.cc.o" "gcc" "src/CMakeFiles/qdcbir_core.dir/qdcbir/core/status.cc.o.d"
+  "/root/repo/src/qdcbir/core/thread_pool.cc" "src/CMakeFiles/qdcbir_core.dir/qdcbir/core/thread_pool.cc.o" "gcc" "src/CMakeFiles/qdcbir_core.dir/qdcbir/core/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdcbir_core.dir/qdcbir/core/distance.cc.o"
+  "CMakeFiles/qdcbir_core.dir/qdcbir/core/distance.cc.o.d"
+  "CMakeFiles/qdcbir_core.dir/qdcbir/core/feature_vector.cc.o"
+  "CMakeFiles/qdcbir_core.dir/qdcbir/core/feature_vector.cc.o.d"
+  "CMakeFiles/qdcbir_core.dir/qdcbir/core/rng.cc.o"
+  "CMakeFiles/qdcbir_core.dir/qdcbir/core/rng.cc.o.d"
+  "CMakeFiles/qdcbir_core.dir/qdcbir/core/stats.cc.o"
+  "CMakeFiles/qdcbir_core.dir/qdcbir/core/stats.cc.o.d"
+  "CMakeFiles/qdcbir_core.dir/qdcbir/core/status.cc.o"
+  "CMakeFiles/qdcbir_core.dir/qdcbir/core/status.cc.o.d"
+  "CMakeFiles/qdcbir_core.dir/qdcbir/core/thread_pool.cc.o"
+  "CMakeFiles/qdcbir_core.dir/qdcbir/core/thread_pool.cc.o.d"
+  "libqdcbir_core.a"
+  "libqdcbir_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdcbir_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdcbir_dataset.dir/qdcbir/dataset/catalog.cc.o"
+  "CMakeFiles/qdcbir_dataset.dir/qdcbir/dataset/catalog.cc.o.d"
+  "CMakeFiles/qdcbir_dataset.dir/qdcbir/dataset/database.cc.o"
+  "CMakeFiles/qdcbir_dataset.dir/qdcbir/dataset/database.cc.o.d"
+  "CMakeFiles/qdcbir_dataset.dir/qdcbir/dataset/database_io.cc.o"
+  "CMakeFiles/qdcbir_dataset.dir/qdcbir/dataset/database_io.cc.o.d"
+  "CMakeFiles/qdcbir_dataset.dir/qdcbir/dataset/recipe.cc.o"
+  "CMakeFiles/qdcbir_dataset.dir/qdcbir/dataset/recipe.cc.o.d"
+  "CMakeFiles/qdcbir_dataset.dir/qdcbir/dataset/synthesizer.cc.o"
+  "CMakeFiles/qdcbir_dataset.dir/qdcbir/dataset/synthesizer.cc.o.d"
+  "libqdcbir_dataset.a"
+  "libqdcbir_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdcbir_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qdcbir/eval/ground_truth.cc" "src/CMakeFiles/qdcbir_eval.dir/qdcbir/eval/ground_truth.cc.o" "gcc" "src/CMakeFiles/qdcbir_eval.dir/qdcbir/eval/ground_truth.cc.o.d"
+  "/root/repo/src/qdcbir/eval/metrics.cc" "src/CMakeFiles/qdcbir_eval.dir/qdcbir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/qdcbir_eval.dir/qdcbir/eval/metrics.cc.o.d"
+  "/root/repo/src/qdcbir/eval/oracle.cc" "src/CMakeFiles/qdcbir_eval.dir/qdcbir/eval/oracle.cc.o" "gcc" "src/CMakeFiles/qdcbir_eval.dir/qdcbir/eval/oracle.cc.o.d"
+  "/root/repo/src/qdcbir/eval/session_runner.cc" "src/CMakeFiles/qdcbir_eval.dir/qdcbir/eval/session_runner.cc.o" "gcc" "src/CMakeFiles/qdcbir_eval.dir/qdcbir/eval/session_runner.cc.o.d"
+  "/root/repo/src/qdcbir/eval/table_printer.cc" "src/CMakeFiles/qdcbir_eval.dir/qdcbir/eval/table_printer.cc.o" "gcc" "src/CMakeFiles/qdcbir_eval.dir/qdcbir/eval/table_printer.cc.o.d"
+  "/root/repo/src/qdcbir/eval/timer.cc" "src/CMakeFiles/qdcbir_eval.dir/qdcbir/eval/timer.cc.o" "gcc" "src/CMakeFiles/qdcbir_eval.dir/qdcbir/eval/timer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_review/src/CMakeFiles/qdcbir_query.dir/DependInfo.cmake"
+  "/root/repo/build_review/src/CMakeFiles/qdcbir_dataset.dir/DependInfo.cmake"
+  "/root/repo/build_review/src/CMakeFiles/qdcbir_core.dir/DependInfo.cmake"
+  "/root/repo/build_review/src/CMakeFiles/qdcbir_features.dir/DependInfo.cmake"
+  "/root/repo/build_review/src/CMakeFiles/qdcbir_image.dir/DependInfo.cmake"
+  "/root/repo/build_review/src/CMakeFiles/qdcbir_rfs.dir/DependInfo.cmake"
+  "/root/repo/build_review/src/CMakeFiles/qdcbir_index.dir/DependInfo.cmake"
+  "/root/repo/build_review/src/CMakeFiles/qdcbir_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdcbir_eval.dir/qdcbir/eval/ground_truth.cc.o"
+  "CMakeFiles/qdcbir_eval.dir/qdcbir/eval/ground_truth.cc.o.d"
+  "CMakeFiles/qdcbir_eval.dir/qdcbir/eval/metrics.cc.o"
+  "CMakeFiles/qdcbir_eval.dir/qdcbir/eval/metrics.cc.o.d"
+  "CMakeFiles/qdcbir_eval.dir/qdcbir/eval/oracle.cc.o"
+  "CMakeFiles/qdcbir_eval.dir/qdcbir/eval/oracle.cc.o.d"
+  "CMakeFiles/qdcbir_eval.dir/qdcbir/eval/session_runner.cc.o"
+  "CMakeFiles/qdcbir_eval.dir/qdcbir/eval/session_runner.cc.o.d"
+  "CMakeFiles/qdcbir_eval.dir/qdcbir/eval/table_printer.cc.o"
+  "CMakeFiles/qdcbir_eval.dir/qdcbir/eval/table_printer.cc.o.d"
+  "CMakeFiles/qdcbir_eval.dir/qdcbir/eval/timer.cc.o"
+  "CMakeFiles/qdcbir_eval.dir/qdcbir/eval/timer.cc.o.d"
+  "libqdcbir_eval.a"
+  "libqdcbir_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdcbir_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qdcbir/features/color_moments.cc" "src/CMakeFiles/qdcbir_features.dir/qdcbir/features/color_moments.cc.o" "gcc" "src/CMakeFiles/qdcbir_features.dir/qdcbir/features/color_moments.cc.o.d"
+  "/root/repo/src/qdcbir/features/edge_structure.cc" "src/CMakeFiles/qdcbir_features.dir/qdcbir/features/edge_structure.cc.o" "gcc" "src/CMakeFiles/qdcbir_features.dir/qdcbir/features/edge_structure.cc.o.d"
+  "/root/repo/src/qdcbir/features/extractor.cc" "src/CMakeFiles/qdcbir_features.dir/qdcbir/features/extractor.cc.o" "gcc" "src/CMakeFiles/qdcbir_features.dir/qdcbir/features/extractor.cc.o.d"
+  "/root/repo/src/qdcbir/features/normalizer.cc" "src/CMakeFiles/qdcbir_features.dir/qdcbir/features/normalizer.cc.o" "gcc" "src/CMakeFiles/qdcbir_features.dir/qdcbir/features/normalizer.cc.o.d"
+  "/root/repo/src/qdcbir/features/wavelet_texture.cc" "src/CMakeFiles/qdcbir_features.dir/qdcbir/features/wavelet_texture.cc.o" "gcc" "src/CMakeFiles/qdcbir_features.dir/qdcbir/features/wavelet_texture.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_review/src/CMakeFiles/qdcbir_image.dir/DependInfo.cmake"
+  "/root/repo/build_review/src/CMakeFiles/qdcbir_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdcbir_features.dir/qdcbir/features/color_moments.cc.o"
+  "CMakeFiles/qdcbir_features.dir/qdcbir/features/color_moments.cc.o.d"
+  "CMakeFiles/qdcbir_features.dir/qdcbir/features/edge_structure.cc.o"
+  "CMakeFiles/qdcbir_features.dir/qdcbir/features/edge_structure.cc.o.d"
+  "CMakeFiles/qdcbir_features.dir/qdcbir/features/extractor.cc.o"
+  "CMakeFiles/qdcbir_features.dir/qdcbir/features/extractor.cc.o.d"
+  "CMakeFiles/qdcbir_features.dir/qdcbir/features/normalizer.cc.o"
+  "CMakeFiles/qdcbir_features.dir/qdcbir/features/normalizer.cc.o.d"
+  "CMakeFiles/qdcbir_features.dir/qdcbir/features/wavelet_texture.cc.o"
+  "CMakeFiles/qdcbir_features.dir/qdcbir/features/wavelet_texture.cc.o.d"
+  "libqdcbir_features.a"
+  "libqdcbir_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdcbir_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

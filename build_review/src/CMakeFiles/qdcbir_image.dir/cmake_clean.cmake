@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdcbir_image.dir/qdcbir/image/color.cc.o"
+  "CMakeFiles/qdcbir_image.dir/qdcbir/image/color.cc.o.d"
+  "CMakeFiles/qdcbir_image.dir/qdcbir/image/draw.cc.o"
+  "CMakeFiles/qdcbir_image.dir/qdcbir/image/draw.cc.o.d"
+  "CMakeFiles/qdcbir_image.dir/qdcbir/image/image.cc.o"
+  "CMakeFiles/qdcbir_image.dir/qdcbir/image/image.cc.o.d"
+  "CMakeFiles/qdcbir_image.dir/qdcbir/image/ppm_io.cc.o"
+  "CMakeFiles/qdcbir_image.dir/qdcbir/image/ppm_io.cc.o.d"
+  "CMakeFiles/qdcbir_image.dir/qdcbir/image/texture.cc.o"
+  "CMakeFiles/qdcbir_image.dir/qdcbir/image/texture.cc.o.d"
+  "libqdcbir_image.a"
+  "libqdcbir_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdcbir_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdcbir_index.dir/qdcbir/index/rect.cc.o"
+  "CMakeFiles/qdcbir_index.dir/qdcbir/index/rect.cc.o.d"
+  "CMakeFiles/qdcbir_index.dir/qdcbir/index/rstar_tree.cc.o"
+  "CMakeFiles/qdcbir_index.dir/qdcbir/index/rstar_tree.cc.o.d"
+  "CMakeFiles/qdcbir_index.dir/qdcbir/index/str_bulk_load.cc.o"
+  "CMakeFiles/qdcbir_index.dir/qdcbir/index/str_bulk_load.cc.o.d"
+  "libqdcbir_index.a"
+  "libqdcbir_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdcbir_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdcbir_query.dir/qdcbir/query/fagin_engine.cc.o"
+  "CMakeFiles/qdcbir_query.dir/qdcbir/query/fagin_engine.cc.o.d"
+  "CMakeFiles/qdcbir_query.dir/qdcbir/query/feedback_engine.cc.o"
+  "CMakeFiles/qdcbir_query.dir/qdcbir/query/feedback_engine.cc.o.d"
+  "CMakeFiles/qdcbir_query.dir/qdcbir/query/knn.cc.o"
+  "CMakeFiles/qdcbir_query.dir/qdcbir/query/knn.cc.o.d"
+  "CMakeFiles/qdcbir_query.dir/qdcbir/query/mars_engine.cc.o"
+  "CMakeFiles/qdcbir_query.dir/qdcbir/query/mars_engine.cc.o.d"
+  "CMakeFiles/qdcbir_query.dir/qdcbir/query/multipoint.cc.o"
+  "CMakeFiles/qdcbir_query.dir/qdcbir/query/multipoint.cc.o.d"
+  "CMakeFiles/qdcbir_query.dir/qdcbir/query/mv_engine.cc.o"
+  "CMakeFiles/qdcbir_query.dir/qdcbir/query/mv_engine.cc.o.d"
+  "CMakeFiles/qdcbir_query.dir/qdcbir/query/qcluster_engine.cc.o"
+  "CMakeFiles/qdcbir_query.dir/qdcbir/query/qcluster_engine.cc.o.d"
+  "CMakeFiles/qdcbir_query.dir/qdcbir/query/qd_engine.cc.o"
+  "CMakeFiles/qdcbir_query.dir/qdcbir/query/qd_engine.cc.o.d"
+  "CMakeFiles/qdcbir_query.dir/qdcbir/query/qpm_engine.cc.o"
+  "CMakeFiles/qdcbir_query.dir/qdcbir/query/qpm_engine.cc.o.d"
+  "libqdcbir_query.a"
+  "libqdcbir_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdcbir_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

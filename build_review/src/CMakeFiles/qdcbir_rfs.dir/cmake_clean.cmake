@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdcbir_rfs.dir/qdcbir/rfs/clustered_bulk_load.cc.o"
+  "CMakeFiles/qdcbir_rfs.dir/qdcbir/rfs/clustered_bulk_load.cc.o.d"
+  "CMakeFiles/qdcbir_rfs.dir/qdcbir/rfs/representative_selector.cc.o"
+  "CMakeFiles/qdcbir_rfs.dir/qdcbir/rfs/representative_selector.cc.o.d"
+  "CMakeFiles/qdcbir_rfs.dir/qdcbir/rfs/rfs_builder.cc.o"
+  "CMakeFiles/qdcbir_rfs.dir/qdcbir/rfs/rfs_builder.cc.o.d"
+  "CMakeFiles/qdcbir_rfs.dir/qdcbir/rfs/rfs_serialization.cc.o"
+  "CMakeFiles/qdcbir_rfs.dir/qdcbir/rfs/rfs_serialization.cc.o.d"
+  "CMakeFiles/qdcbir_rfs.dir/qdcbir/rfs/rfs_tree.cc.o"
+  "CMakeFiles/qdcbir_rfs.dir/qdcbir/rfs/rfs_tree.cc.o.d"
+  "libqdcbir_rfs.a"
+  "libqdcbir_rfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdcbir_rfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

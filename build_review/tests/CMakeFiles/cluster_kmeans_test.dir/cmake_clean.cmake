@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_kmeans_test.dir/cluster/kmeans_test.cc.o"
+  "CMakeFiles/cluster_kmeans_test.dir/cluster/kmeans_test.cc.o.d"
+  "cluster_kmeans_test"
+  "cluster_kmeans_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_kmeans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_pca_test.dir/cluster/pca_test.cc.o"
+  "CMakeFiles/cluster_pca_test.dir/cluster/pca_test.cc.o.d"
+  "cluster_pca_test"
+  "cluster_pca_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_pca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

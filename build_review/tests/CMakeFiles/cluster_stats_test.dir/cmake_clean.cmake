@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_stats_test.dir/cluster/cluster_stats_test.cc.o"
+  "CMakeFiles/cluster_stats_test.dir/cluster/cluster_stats_test.cc.o.d"
+  "cluster_stats_test"
+  "cluster_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

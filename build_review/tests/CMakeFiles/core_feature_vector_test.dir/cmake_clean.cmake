@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_feature_vector_test.dir/core/feature_vector_test.cc.o"
+  "CMakeFiles/core_feature_vector_test.dir/core/feature_vector_test.cc.o.d"
+  "core_feature_vector_test"
+  "core_feature_vector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_feature_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_thread_pool_test.dir/core/thread_pool_test.cc.o"
+  "CMakeFiles/core_thread_pool_test.dir/core/thread_pool_test.cc.o.d"
+  "core_thread_pool_test"
+  "core_thread_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_thread_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

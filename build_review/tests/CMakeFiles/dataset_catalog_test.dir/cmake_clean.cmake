@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_catalog_test.dir/dataset/catalog_test.cc.o"
+  "CMakeFiles/dataset_catalog_test.dir/dataset/catalog_test.cc.o.d"
+  "dataset_catalog_test"
+  "dataset_catalog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_eval_recipes_test.dir/dataset/eval_recipes_test.cc.o"
+  "CMakeFiles/dataset_eval_recipes_test.dir/dataset/eval_recipes_test.cc.o.d"
+  "dataset_eval_recipes_test"
+  "dataset_eval_recipes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_eval_recipes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

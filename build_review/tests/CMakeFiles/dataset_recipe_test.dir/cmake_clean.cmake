@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_recipe_test.dir/dataset/recipe_test.cc.o"
+  "CMakeFiles/dataset_recipe_test.dir/dataset/recipe_test.cc.o.d"
+  "dataset_recipe_test"
+  "dataset_recipe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_recipe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

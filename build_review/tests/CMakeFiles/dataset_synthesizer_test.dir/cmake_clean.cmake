@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_synthesizer_test.dir/dataset/synthesizer_test.cc.o"
+  "CMakeFiles/dataset_synthesizer_test.dir/dataset/synthesizer_test.cc.o.d"
+  "dataset_synthesizer_test"
+  "dataset_synthesizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_synthesizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

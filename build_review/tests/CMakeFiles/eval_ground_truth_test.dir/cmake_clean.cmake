@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_ground_truth_test.dir/eval/ground_truth_test.cc.o"
+  "CMakeFiles/eval_ground_truth_test.dir/eval/ground_truth_test.cc.o.d"
+  "eval_ground_truth_test"
+  "eval_ground_truth_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_ground_truth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_oracle_test.dir/eval/oracle_test.cc.o"
+  "CMakeFiles/eval_oracle_test.dir/eval/oracle_test.cc.o.d"
+  "eval_oracle_test"
+  "eval_oracle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_run_batch_test.dir/eval/run_batch_test.cc.o"
+  "CMakeFiles/eval_run_batch_test.dir/eval/run_batch_test.cc.o.d"
+  "eval_run_batch_test"
+  "eval_run_batch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_run_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

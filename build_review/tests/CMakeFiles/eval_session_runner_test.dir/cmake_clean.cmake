@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_session_runner_test.dir/eval/session_runner_test.cc.o"
+  "CMakeFiles/eval_session_runner_test.dir/eval/session_runner_test.cc.o.d"
+  "eval_session_runner_test"
+  "eval_session_runner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_session_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

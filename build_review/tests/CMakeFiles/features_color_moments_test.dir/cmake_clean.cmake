@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/features_color_moments_test.dir/features/color_moments_test.cc.o"
+  "CMakeFiles/features_color_moments_test.dir/features/color_moments_test.cc.o.d"
+  "features_color_moments_test"
+  "features_color_moments_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/features_color_moments_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

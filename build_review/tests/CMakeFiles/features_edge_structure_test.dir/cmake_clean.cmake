@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/features_edge_structure_test.dir/features/edge_structure_test.cc.o"
+  "CMakeFiles/features_edge_structure_test.dir/features/edge_structure_test.cc.o.d"
+  "features_edge_structure_test"
+  "features_edge_structure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/features_edge_structure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

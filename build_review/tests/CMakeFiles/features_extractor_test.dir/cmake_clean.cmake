@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/features_extractor_test.dir/features/extractor_test.cc.o"
+  "CMakeFiles/features_extractor_test.dir/features/extractor_test.cc.o.d"
+  "features_extractor_test"
+  "features_extractor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/features_extractor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

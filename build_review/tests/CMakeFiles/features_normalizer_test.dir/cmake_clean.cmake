@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/features_normalizer_test.dir/features/normalizer_test.cc.o"
+  "CMakeFiles/features_normalizer_test.dir/features/normalizer_test.cc.o.d"
+  "features_normalizer_test"
+  "features_normalizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/features_normalizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

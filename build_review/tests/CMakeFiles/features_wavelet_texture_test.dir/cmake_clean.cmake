@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/features_wavelet_texture_test.dir/features/wavelet_texture_test.cc.o"
+  "CMakeFiles/features_wavelet_texture_test.dir/features/wavelet_texture_test.cc.o.d"
+  "features_wavelet_texture_test"
+  "features_wavelet_texture_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/features_wavelet_texture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_color_test.dir/image/color_test.cc.o"
+  "CMakeFiles/image_color_test.dir/image/color_test.cc.o.d"
+  "image_color_test"
+  "image_color_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_color_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

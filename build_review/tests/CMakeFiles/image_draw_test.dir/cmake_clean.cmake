@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_draw_test.dir/image/draw_test.cc.o"
+  "CMakeFiles/image_draw_test.dir/image/draw_test.cc.o.d"
+  "image_draw_test"
+  "image_draw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_draw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

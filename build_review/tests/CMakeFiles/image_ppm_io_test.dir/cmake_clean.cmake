@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_ppm_io_test.dir/image/ppm_io_test.cc.o"
+  "CMakeFiles/image_ppm_io_test.dir/image/ppm_io_test.cc.o.d"
+  "image_ppm_io_test"
+  "image_ppm_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_ppm_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_texture_test.dir/image/texture_test.cc.o"
+  "CMakeFiles/image_texture_test.dir/image/texture_test.cc.o.d"
+  "image_texture_test"
+  "image_texture_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_texture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_rect_test.dir/index/rect_test.cc.o"
+  "CMakeFiles/index_rect_test.dir/index/rect_test.cc.o.d"
+  "index_rect_test"
+  "index_rect_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_rect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

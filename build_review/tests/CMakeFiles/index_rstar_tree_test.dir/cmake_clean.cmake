@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_rstar_tree_test.dir/index/rstar_tree_test.cc.o"
+  "CMakeFiles/index_rstar_tree_test.dir/index/rstar_tree_test.cc.o.d"
+  "index_rstar_tree_test"
+  "index_rstar_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_rstar_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

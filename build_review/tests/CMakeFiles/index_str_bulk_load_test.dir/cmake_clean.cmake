@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_str_bulk_load_test.dir/index/str_bulk_load_test.cc.o"
+  "CMakeFiles/index_str_bulk_load_test.dir/index/str_bulk_load_test.cc.o.d"
+  "index_str_bulk_load_test"
+  "index_str_bulk_load_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_str_bulk_load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

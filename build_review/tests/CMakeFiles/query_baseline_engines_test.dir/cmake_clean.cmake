@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_baseline_engines_test.dir/query/baseline_engines_test.cc.o"
+  "CMakeFiles/query_baseline_engines_test.dir/query/baseline_engines_test.cc.o.d"
+  "query_baseline_engines_test"
+  "query_baseline_engines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_baseline_engines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

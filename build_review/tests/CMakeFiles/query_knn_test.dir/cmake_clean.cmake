@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_knn_test.dir/query/knn_test.cc.o"
+  "CMakeFiles/query_knn_test.dir/query/knn_test.cc.o.d"
+  "query_knn_test"
+  "query_knn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_knn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

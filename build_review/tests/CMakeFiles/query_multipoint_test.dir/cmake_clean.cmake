@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_multipoint_test.dir/query/multipoint_test.cc.o"
+  "CMakeFiles/query_multipoint_test.dir/query/multipoint_test.cc.o.d"
+  "query_multipoint_test"
+  "query_multipoint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_multipoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_qd_feature_weights_test.dir/query/qd_feature_weights_test.cc.o"
+  "CMakeFiles/query_qd_feature_weights_test.dir/query/qd_feature_weights_test.cc.o.d"
+  "query_qd_feature_weights_test"
+  "query_qd_feature_weights_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_qd_feature_weights_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

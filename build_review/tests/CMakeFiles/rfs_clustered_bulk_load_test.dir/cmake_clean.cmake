@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfs_clustered_bulk_load_test.dir/rfs/clustered_bulk_load_test.cc.o"
+  "CMakeFiles/rfs_clustered_bulk_load_test.dir/rfs/clustered_bulk_load_test.cc.o.d"
+  "rfs_clustered_bulk_load_test"
+  "rfs_clustered_bulk_load_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfs_clustered_bulk_load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfs_representative_selector_test.dir/rfs/representative_selector_test.cc.o"
+  "CMakeFiles/rfs_representative_selector_test.dir/rfs/representative_selector_test.cc.o.d"
+  "rfs_representative_selector_test"
+  "rfs_representative_selector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfs_representative_selector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfs_serialization_test.dir/rfs/rfs_serialization_test.cc.o"
+  "CMakeFiles/rfs_serialization_test.dir/rfs/rfs_serialization_test.cc.o.d"
+  "rfs_serialization_test"
+  "rfs_serialization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfs_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfs_tree_test.dir/rfs/rfs_tree_test.cc.o"
+  "CMakeFiles/rfs_tree_test.dir/rfs/rfs_tree_test.cc.o.d"
+  "rfs_tree_test"
+  "rfs_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfs_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

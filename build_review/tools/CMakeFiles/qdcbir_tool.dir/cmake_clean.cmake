@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qdcbir_tool.dir/qdcbir_tool.cc.o"
+  "CMakeFiles/qdcbir_tool.dir/qdcbir_tool.cc.o.d"
+  "qdcbir_tool"
+  "qdcbir_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qdcbir_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qdcbir/cluster/cluster_stats.cc" "src/CMakeFiles/qdcbir_cluster.dir/qdcbir/cluster/cluster_stats.cc.o" "gcc" "src/CMakeFiles/qdcbir_cluster.dir/qdcbir/cluster/cluster_stats.cc.o.d"
+  "/root/repo/src/qdcbir/cluster/kmeans.cc" "src/CMakeFiles/qdcbir_cluster.dir/qdcbir/cluster/kmeans.cc.o" "gcc" "src/CMakeFiles/qdcbir_cluster.dir/qdcbir/cluster/kmeans.cc.o.d"
+  "/root/repo/src/qdcbir/cluster/pca.cc" "src/CMakeFiles/qdcbir_cluster.dir/qdcbir/cluster/pca.cc.o" "gcc" "src/CMakeFiles/qdcbir_cluster.dir/qdcbir/cluster/pca.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_tsan/src/CMakeFiles/qdcbir_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

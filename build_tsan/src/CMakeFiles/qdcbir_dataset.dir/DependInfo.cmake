@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qdcbir/dataset/catalog.cc" "src/CMakeFiles/qdcbir_dataset.dir/qdcbir/dataset/catalog.cc.o" "gcc" "src/CMakeFiles/qdcbir_dataset.dir/qdcbir/dataset/catalog.cc.o.d"
+  "/root/repo/src/qdcbir/dataset/database.cc" "src/CMakeFiles/qdcbir_dataset.dir/qdcbir/dataset/database.cc.o" "gcc" "src/CMakeFiles/qdcbir_dataset.dir/qdcbir/dataset/database.cc.o.d"
+  "/root/repo/src/qdcbir/dataset/database_io.cc" "src/CMakeFiles/qdcbir_dataset.dir/qdcbir/dataset/database_io.cc.o" "gcc" "src/CMakeFiles/qdcbir_dataset.dir/qdcbir/dataset/database_io.cc.o.d"
+  "/root/repo/src/qdcbir/dataset/recipe.cc" "src/CMakeFiles/qdcbir_dataset.dir/qdcbir/dataset/recipe.cc.o" "gcc" "src/CMakeFiles/qdcbir_dataset.dir/qdcbir/dataset/recipe.cc.o.d"
+  "/root/repo/src/qdcbir/dataset/synthesizer.cc" "src/CMakeFiles/qdcbir_dataset.dir/qdcbir/dataset/synthesizer.cc.o" "gcc" "src/CMakeFiles/qdcbir_dataset.dir/qdcbir/dataset/synthesizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_tsan/src/CMakeFiles/qdcbir_features.dir/DependInfo.cmake"
+  "/root/repo/build_tsan/src/CMakeFiles/qdcbir_image.dir/DependInfo.cmake"
+  "/root/repo/build_tsan/src/CMakeFiles/qdcbir_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

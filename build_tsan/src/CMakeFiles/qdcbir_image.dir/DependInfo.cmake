@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qdcbir/image/color.cc" "src/CMakeFiles/qdcbir_image.dir/qdcbir/image/color.cc.o" "gcc" "src/CMakeFiles/qdcbir_image.dir/qdcbir/image/color.cc.o.d"
+  "/root/repo/src/qdcbir/image/draw.cc" "src/CMakeFiles/qdcbir_image.dir/qdcbir/image/draw.cc.o" "gcc" "src/CMakeFiles/qdcbir_image.dir/qdcbir/image/draw.cc.o.d"
+  "/root/repo/src/qdcbir/image/image.cc" "src/CMakeFiles/qdcbir_image.dir/qdcbir/image/image.cc.o" "gcc" "src/CMakeFiles/qdcbir_image.dir/qdcbir/image/image.cc.o.d"
+  "/root/repo/src/qdcbir/image/ppm_io.cc" "src/CMakeFiles/qdcbir_image.dir/qdcbir/image/ppm_io.cc.o" "gcc" "src/CMakeFiles/qdcbir_image.dir/qdcbir/image/ppm_io.cc.o.d"
+  "/root/repo/src/qdcbir/image/texture.cc" "src/CMakeFiles/qdcbir_image.dir/qdcbir/image/texture.cc.o" "gcc" "src/CMakeFiles/qdcbir_image.dir/qdcbir/image/texture.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_tsan/src/CMakeFiles/qdcbir_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

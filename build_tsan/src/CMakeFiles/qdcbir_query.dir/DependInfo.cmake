@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qdcbir/query/fagin_engine.cc" "src/CMakeFiles/qdcbir_query.dir/qdcbir/query/fagin_engine.cc.o" "gcc" "src/CMakeFiles/qdcbir_query.dir/qdcbir/query/fagin_engine.cc.o.d"
+  "/root/repo/src/qdcbir/query/feedback_engine.cc" "src/CMakeFiles/qdcbir_query.dir/qdcbir/query/feedback_engine.cc.o" "gcc" "src/CMakeFiles/qdcbir_query.dir/qdcbir/query/feedback_engine.cc.o.d"
+  "/root/repo/src/qdcbir/query/knn.cc" "src/CMakeFiles/qdcbir_query.dir/qdcbir/query/knn.cc.o" "gcc" "src/CMakeFiles/qdcbir_query.dir/qdcbir/query/knn.cc.o.d"
+  "/root/repo/src/qdcbir/query/mars_engine.cc" "src/CMakeFiles/qdcbir_query.dir/qdcbir/query/mars_engine.cc.o" "gcc" "src/CMakeFiles/qdcbir_query.dir/qdcbir/query/mars_engine.cc.o.d"
+  "/root/repo/src/qdcbir/query/multipoint.cc" "src/CMakeFiles/qdcbir_query.dir/qdcbir/query/multipoint.cc.o" "gcc" "src/CMakeFiles/qdcbir_query.dir/qdcbir/query/multipoint.cc.o.d"
+  "/root/repo/src/qdcbir/query/mv_engine.cc" "src/CMakeFiles/qdcbir_query.dir/qdcbir/query/mv_engine.cc.o" "gcc" "src/CMakeFiles/qdcbir_query.dir/qdcbir/query/mv_engine.cc.o.d"
+  "/root/repo/src/qdcbir/query/qcluster_engine.cc" "src/CMakeFiles/qdcbir_query.dir/qdcbir/query/qcluster_engine.cc.o" "gcc" "src/CMakeFiles/qdcbir_query.dir/qdcbir/query/qcluster_engine.cc.o.d"
+  "/root/repo/src/qdcbir/query/qd_engine.cc" "src/CMakeFiles/qdcbir_query.dir/qdcbir/query/qd_engine.cc.o" "gcc" "src/CMakeFiles/qdcbir_query.dir/qdcbir/query/qd_engine.cc.o.d"
+  "/root/repo/src/qdcbir/query/qpm_engine.cc" "src/CMakeFiles/qdcbir_query.dir/qdcbir/query/qpm_engine.cc.o" "gcc" "src/CMakeFiles/qdcbir_query.dir/qdcbir/query/qpm_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_tsan/src/CMakeFiles/qdcbir_rfs.dir/DependInfo.cmake"
+  "/root/repo/build_tsan/src/CMakeFiles/qdcbir_dataset.dir/DependInfo.cmake"
+  "/root/repo/build_tsan/src/CMakeFiles/qdcbir_cluster.dir/DependInfo.cmake"
+  "/root/repo/build_tsan/src/CMakeFiles/qdcbir_core.dir/DependInfo.cmake"
+  "/root/repo/build_tsan/src/CMakeFiles/qdcbir_index.dir/DependInfo.cmake"
+  "/root/repo/build_tsan/src/CMakeFiles/qdcbir_features.dir/DependInfo.cmake"
+  "/root/repo/build_tsan/src/CMakeFiles/qdcbir_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qdcbir/rfs/clustered_bulk_load.cc" "src/CMakeFiles/qdcbir_rfs.dir/qdcbir/rfs/clustered_bulk_load.cc.o" "gcc" "src/CMakeFiles/qdcbir_rfs.dir/qdcbir/rfs/clustered_bulk_load.cc.o.d"
+  "/root/repo/src/qdcbir/rfs/representative_selector.cc" "src/CMakeFiles/qdcbir_rfs.dir/qdcbir/rfs/representative_selector.cc.o" "gcc" "src/CMakeFiles/qdcbir_rfs.dir/qdcbir/rfs/representative_selector.cc.o.d"
+  "/root/repo/src/qdcbir/rfs/rfs_builder.cc" "src/CMakeFiles/qdcbir_rfs.dir/qdcbir/rfs/rfs_builder.cc.o" "gcc" "src/CMakeFiles/qdcbir_rfs.dir/qdcbir/rfs/rfs_builder.cc.o.d"
+  "/root/repo/src/qdcbir/rfs/rfs_serialization.cc" "src/CMakeFiles/qdcbir_rfs.dir/qdcbir/rfs/rfs_serialization.cc.o" "gcc" "src/CMakeFiles/qdcbir_rfs.dir/qdcbir/rfs/rfs_serialization.cc.o.d"
+  "/root/repo/src/qdcbir/rfs/rfs_tree.cc" "src/CMakeFiles/qdcbir_rfs.dir/qdcbir/rfs/rfs_tree.cc.o" "gcc" "src/CMakeFiles/qdcbir_rfs.dir/qdcbir/rfs/rfs_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_tsan/src/CMakeFiles/qdcbir_index.dir/DependInfo.cmake"
+  "/root/repo/build_tsan/src/CMakeFiles/qdcbir_cluster.dir/DependInfo.cmake"
+  "/root/repo/build_tsan/src/CMakeFiles/qdcbir_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/query/multipoint_test.cc" "tests/CMakeFiles/query_multipoint_test.dir/query/multipoint_test.cc.o" "gcc" "tests/CMakeFiles/query_multipoint_test.dir/query/multipoint_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_tsan/src/CMakeFiles/qdcbir_eval.dir/DependInfo.cmake"
+  "/root/repo/build_tsan/src/CMakeFiles/qdcbir_query.dir/DependInfo.cmake"
+  "/root/repo/build_tsan/src/CMakeFiles/qdcbir_rfs.dir/DependInfo.cmake"
+  "/root/repo/build_tsan/src/CMakeFiles/qdcbir_dataset.dir/DependInfo.cmake"
+  "/root/repo/build_tsan/src/CMakeFiles/qdcbir_index.dir/DependInfo.cmake"
+  "/root/repo/build_tsan/src/CMakeFiles/qdcbir_cluster.dir/DependInfo.cmake"
+  "/root/repo/build_tsan/src/CMakeFiles/qdcbir_features.dir/DependInfo.cmake"
+  "/root/repo/build_tsan/src/CMakeFiles/qdcbir_image.dir/DependInfo.cmake"
+  "/root/repo/build_tsan/src/CMakeFiles/qdcbir_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
