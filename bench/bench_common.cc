@@ -7,7 +7,8 @@
 
 #include "qdcbir/dataset/database_io.h"
 #include "qdcbir/dataset/synthesizer.h"
-#include "qdcbir/eval/timer.h"
+#include "qdcbir/obs/clock.h"
+#include "qdcbir/obs/metrics.h"
 #include "qdcbir/rfs/rfs_serialization.h"
 
 namespace qdcbir {
@@ -86,6 +87,10 @@ Status AppendBenchJson(const std::string& path,
   if (!out) {
     return Status::Internal("cannot open bench results file: " + path);
   }
+  // One registry snapshot per append keeps all records of a sweep
+  // invocation comparable (counters are cumulative across the process).
+  const std::string obs_snapshot =
+      obs::MetricsRegistry::Global().SnapshotJson();
   for (const BenchRecord& r : records) {
     out << "{\"bench\":\"" << JsonEscape(r.bench) << "\""
         << ",\"config\":\"" << JsonEscape(r.config) << "\""
@@ -98,7 +103,7 @@ Status AppendBenchJson(const std::string& path,
       std::snprintf(num, sizeof(num), "%.9g", value);
       out << ",\"" << JsonEscape(key) << "\":" << num;
     }
-    out << "}\n";
+    out << ",\"obs\":" << obs_snapshot << "}\n";
   }
   out.flush();
   if (!out) return Status::Internal("write failed: " + path);

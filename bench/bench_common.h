@@ -45,7 +45,9 @@ struct BenchRecord {
 };
 
 /// Appends `records` to `path` as JSON lines (one object per record, so
-/// sweep runs from several invocations accumulate into one file).
+/// sweep runs from several invocations accumulate into one file). Each
+/// record carries an `obs` field with the process-wide metrics registry
+/// snapshot at append time (counters, gauges, span histograms).
 Status AppendBenchJson(const std::string& path,
                        const std::vector<BenchRecord>& records);
 

@@ -25,7 +25,7 @@
 #include "qdcbir/core/thread_pool.h"
 #include "qdcbir/dataset/synthesizer.h"
 #include "qdcbir/eval/table_printer.h"
-#include "qdcbir/eval/timer.h"
+#include "qdcbir/obs/clock.h"
 #include "qdcbir/query/mv_engine.h"
 #include "qdcbir/query/qd_engine.h"
 

@@ -18,7 +18,7 @@
 #include "qdcbir/core/stats.h"
 #include "qdcbir/dataset/synthesizer.h"
 #include "qdcbir/eval/table_printer.h"
-#include "qdcbir/eval/timer.h"
+#include "qdcbir/obs/clock.h"
 #include "qdcbir/query/mv_engine.h"
 #include "qdcbir/query/qd_engine.h"
 

@@ -7,7 +7,14 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 #include <vector>
+
+#include "qdcbir/obs/metrics.h"
+#include "qdcbir/obs/trace.h"
 
 #include "qdcbir/cluster/kmeans.h"
 #include "qdcbir/core/distance.h"
@@ -261,4 +268,31 @@ BENCHMARK(BM_HaarTransform);
 }  // namespace
 }  // namespace qdcbir
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the run can export its
+// observability state deterministically: the metrics registry snapshot goes
+// to $QDCBIR_METRICS_JSON if set, and an active $QDCBIR_TRACE tracer is
+// flushed before exit rather than relying on atexit ordering.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (const char* path = std::getenv("QDCBIR_METRICS_JSON")) {
+    std::ofstream out(path);
+    out << qdcbir::obs::MetricsRegistry::Global().SnapshotJson() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "[bench_micro] cannot write metrics to %s\n", path);
+      return 1;
+    }
+  }
+  if (qdcbir::obs::Tracer::Global().enabled()) {
+    std::string error;
+    if (!qdcbir::obs::Tracer::Global().Stop(&error)) {
+      std::fprintf(stderr, "[bench_micro] trace flush failed: %s\n",
+                   error.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -9,7 +9,7 @@
 
 #include "bench_common.h"
 #include "qdcbir/eval/table_printer.h"
-#include "qdcbir/eval/timer.h"
+#include "qdcbir/obs/clock.h"
 
 namespace qdcbir {
 namespace bench {

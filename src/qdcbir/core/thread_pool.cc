@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "qdcbir/obs/clock.h"
+
 namespace qdcbir {
 
 std::size_t ThreadPool::DefaultThreadCount() {
@@ -21,7 +23,17 @@ ThreadPool& ThreadPool::Global() {
 }
 
 ThreadPool::ThreadPool(std::size_t threads)
-    : threads_(threads > 0 ? threads : DefaultThreadCount()) {
+    : threads_(threads > 0 ? threads : DefaultThreadCount()),
+      queue_depth_(obs::MetricsRegistry::Global().GetGauge(
+          "pool.queue_depth")),
+      task_wait_ns_(obs::MetricsRegistry::Global().GetHistogram(
+          "pool.task.wait_ns")),
+      task_run_ns_(obs::MetricsRegistry::Global().GetHistogram(
+          "pool.task.run_ns")),
+      tasks_executed_(obs::MetricsRegistry::Global().GetCounter(
+          "pool.tasks.executed")),
+      busy_ns_(obs::MetricsRegistry::Global().GetCounter(
+          "pool.worker.busy_ns")) {
   workers_.reserve(threads_ - 1);
   for (std::size_t i = 0; i + 1 < threads_; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -54,12 +66,21 @@ bool ThreadPool::RunOneTask(std::unique_lock<std::mutex>& lock) {
   queue_.pop_back();
   lock.unlock();
 
+  const std::uint64_t start_ns = obs::MonotonicNanos();
+  queue_depth_.Add(-1);
+  task_wait_ns_.Record(start_ns - task.enqueue_ns);
+
   std::exception_ptr error;
   try {
     task.fn();
   } catch (...) {
     error = std::current_exception();
   }
+
+  const std::uint64_t run_ns = obs::MonotonicNanos() - start_ns;
+  task_run_ns_.Record(run_ns);
+  busy_ns_.Add(run_ns);
+  tasks_executed_.Add(1);
 
   lock.lock();
   if (error && !task.batch->error) task.batch->error = error;
@@ -70,18 +91,29 @@ bool ThreadPool::RunOneTask(std::unique_lock<std::mutex>& lock) {
 void ThreadPool::Run(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
   if (threads_ <= 1 || tasks.size() == 1) {
-    for (std::function<void()>& task : tasks) task();
+    // Inline path: no queue, but the run-time telemetry stays comparable
+    // with the queued path so thread-count sweeps line up.
+    for (std::function<void()>& task : tasks) {
+      const std::uint64_t start_ns = obs::MonotonicNanos();
+      task();
+      const std::uint64_t run_ns = obs::MonotonicNanos() - start_ns;
+      task_run_ns_.Record(run_ns);
+      busy_ns_.Add(run_ns);
+      tasks_executed_.Add(1);
+    }
     return;
   }
 
   auto batch = std::make_shared<Batch>();
   batch->pending = tasks.size();
+  const std::uint64_t enqueue_ns = obs::MonotonicNanos();
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (std::function<void()>& task : tasks) {
-      queue_.push_back(Task{std::move(task), batch});
+      queue_.push_back(Task{std::move(task), batch, enqueue_ns});
     }
   }
+  queue_depth_.Add(static_cast<std::int64_t>(tasks.size()));
   work_cv_.notify_all();
   // New tasks may be stolen by waiting submitters of outer batches.
   done_cv_.notify_all();

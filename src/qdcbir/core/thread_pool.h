@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -10,6 +11,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "qdcbir/obs/metrics.h"
 
 namespace qdcbir {
 
@@ -112,6 +115,7 @@ class ThreadPool {
   struct Task {
     std::function<void()> fn;
     std::shared_ptr<Batch> batch;
+    std::uint64_t enqueue_ns = 0;  ///< queue-wait measurement origin
   };
 
   void WorkerLoop();
@@ -121,6 +125,17 @@ class ThreadPool {
   bool RunOneTask(std::unique_lock<std::mutex>& lock);
 
   std::size_t threads_;
+
+  /// Shared pool telemetry (see docs/observability.md): queue depth gauge,
+  /// task wait/run latency histograms, executed-task and busy-time
+  /// counters. All pools record into the same named metrics; the counters
+  /// are per-thread sharded, so recording never contends on the hot path.
+  obs::Gauge& queue_depth_;
+  obs::Histogram& task_wait_ns_;
+  obs::Histogram& task_run_ns_;
+  obs::Counter& tasks_executed_;
+  obs::Counter& busy_ns_;
+
   std::vector<std::thread> workers_;
   std::deque<Task> queue_;
   std::mutex mu_;

@@ -7,7 +7,8 @@
 
 #include "qdcbir/core/thread_pool.h"
 #include "qdcbir/eval/metrics.h"
-#include "qdcbir/eval/timer.h"
+#include "qdcbir/obs/clock.h"
+#include "qdcbir/obs/span.h"
 
 namespace qdcbir {
 
@@ -37,6 +38,7 @@ StatusOr<RunOutcome> SessionRunner::RunQd(const RfsTree& rfs,
                                           const QueryGroundTruth& gt,
                                           const QdOptions& qd_options,
                                           const ProtocolOptions& protocol) {
+  QDCBIR_SPAN("eval.session.qd");
   const std::size_t k =
       protocol.retrieval_size > 0 ? protocol.retrieval_size : gt.size();
 
@@ -120,6 +122,7 @@ StatusOr<RunOutcome> SessionRunner::RunQd(const RfsTree& rfs,
 StatusOr<RunOutcome> SessionRunner::RunEngine(FeedbackEngine& engine,
                                               const QueryGroundTruth& gt,
                                               const ProtocolOptions& protocol) {
+  QDCBIR_SPAN("eval.session.engine");
   const std::size_t k =
       protocol.retrieval_size > 0 ? protocol.retrieval_size : gt.size();
 
@@ -213,6 +216,7 @@ namespace {
 std::vector<StatusOr<RunOutcome>> RunJobs(
     std::size_t count, ThreadPool* pool,
     const std::function<StatusOr<RunOutcome>(std::size_t job)>& run) {
+  QDCBIR_SPAN("eval.batch");
   std::vector<std::optional<StatusOr<RunOutcome>>> slots(count);
   ThreadPool& executor = pool != nullptr ? *pool : ThreadPool::Global();
   executor.ParallelFor(0, count,

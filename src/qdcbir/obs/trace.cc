@@ -1,0 +1,330 @@
+#include "qdcbir/obs/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "qdcbir/obs/clock.h"
+
+namespace qdcbir {
+namespace obs {
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = [] {
+    Tracer* t = new Tracer();
+    if (const char* path = std::getenv("QDCBIR_TRACE")) {
+      if (path[0] != '\0') {
+        std::string error;
+        if (t->Start(path, &error)) {
+          // Flush whatever was recorded when the process exits. Spans that
+          // fire during static teardown after the flush see enabled()
+          // false and are dropped, never lost mid-file.
+          std::atexit([] {
+            // Tools that flush explicitly (tests, bench_micro) already
+            // stopped the tracer; only flush what is still armed.
+            if (!Tracer::Global().enabled()) return;
+            std::string stop_error;
+            if (!Tracer::Global().Stop(&stop_error)) {
+              std::fprintf(stderr, "[qdcbir] trace flush failed: %s\n",
+                           stop_error.c_str());
+            }
+          });
+        } else {
+          std::fprintf(stderr, "[qdcbir] QDCBIR_TRACE ignored: %s\n",
+                       error.c_str());
+        }
+      }
+    }
+    return t;
+  }();
+  return *tracer;
+}
+
+bool Tracer::Start(const std::string& path, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (enabled_.load(std::memory_order_relaxed)) {
+    if (error != nullptr) *error = "tracer already started (" + path_ + ")";
+    return false;
+  }
+  path_ = path;
+  start_ns_ = MonotonicNanos();
+  events_.clear();
+  events_.reserve(4096);
+  enabled_.store(true, std::memory_order_release);
+  return true;
+}
+
+void Tracer::Append(const char* name, char ph) {
+  const std::uint64_t now = MonotonicNanos();
+  const std::uint32_t tid = ThreadTid();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  events_.push_back(Event{name, now, tid, ph});
+}
+
+void Tracer::Begin(const char* name) { Append(name, 'B'); }
+void Tracer::End(const char* name) { Append(name, 'E'); }
+
+std::size_t Tracer::buffered_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+bool Tracer::Stop(std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_.load(std::memory_order_relaxed)) {
+    if (error != nullptr) *error = "tracer is not started";
+    return false;
+  }
+  enabled_.store(false, std::memory_order_release);
+
+  std::ofstream out(path_);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open trace file: " + path_;
+    events_.clear();
+    return false;
+  }
+  // Spans that straddle Start()/Stop() leave a lone "E" (begin recorded
+  // before arming) or a lone "B" (still open at flush). Drop those so the
+  // emitted file always has balanced, well-nested pairs per thread.
+  std::vector<bool> skip(events_.size(), false);
+  std::map<std::uint32_t, std::vector<std::size_t>> open;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (e.ph == 'B') {
+      open[e.tid].push_back(i);
+    } else {
+      std::vector<std::size_t>& stack = open[e.tid];
+      if (stack.empty() || events_[stack.back()].name != e.name) {
+        skip[i] = true;
+      } else {
+        stack.pop_back();
+      }
+    }
+  }
+  for (const auto& [tid, stack] : open) {
+    for (const std::size_t i : stack) skip[i] = true;
+  }
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (skip[i]) continue;
+    const Event& e = events_[i];
+    // Timestamps are microseconds (Chrome's unit) relative to Start(),
+    // with nanosecond resolution kept in the fraction.
+    const double ts_us =
+        static_cast<double>(e.ts_ns - start_ns_) / 1e3;
+    char ts[48];
+    std::snprintf(ts, sizeof(ts), "%.3f", ts_us);
+    out << (first ? "" : ",\n") << "{\"name\":\"" << e.name
+        << "\",\"cat\":\"qdcbir\",\"ph\":\"" << e.ph << "\",\"ts\":" << ts
+        << ",\"pid\":1,\"tid\":" << e.tid << "}";
+    first = false;
+  }
+  out << "\n]}\n";
+  out.flush();
+  events_.clear();
+  if (!out) {
+    if (error != nullptr) *error = "trace write failed: " + path_;
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Minimal JSON scanner for the validator: walks the document, yielding
+/// the flat key/primitive pairs of each object inside `traceEvents`.
+/// Tolerates any whitespace and extra top-level keys; rejects structural
+/// garbage (unterminated strings/arrays).
+class EventScanner {
+ public:
+  explicit EventScanner(const std::string& text) : text_(text) {}
+
+  bool FindEventsArray(std::string* error) {
+    const std::size_t key = text_.find("\"traceEvents\"");
+    if (key == std::string::npos) {
+      *error = "no \"traceEvents\" key";
+      return false;
+    }
+    pos_ = text_.find('[', key);
+    if (pos_ == std::string::npos) {
+      *error = "\"traceEvents\" is not an array";
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  /// Parses the next event object into `fields`; returns false at the end
+  /// of the array (`done` true) or on malformed input (`done` false).
+  bool NextEvent(std::map<std::string, std::string>* fields, bool* done,
+                 std::string* error) {
+    *done = false;
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      *error = "unterminated traceEvents array";
+      return false;
+    }
+    if (text_[pos_] == ',') {
+      ++pos_;
+      SkipWs();
+    }
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      *done = true;
+      return false;
+    }
+    if (pos_ >= text_.size() || text_[pos_] != '{') {
+      *error = "expected event object at offset " + std::to_string(pos_);
+      return false;
+    }
+    ++pos_;
+    fields->clear();
+    for (;;) {
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      std::string key, value;
+      if (!ParseString(&key, error)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        *error = "expected ':' after key \"" + key + "\"";
+        return false;
+      }
+      ++pos_;
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == '"') {
+        if (!ParseString(&value, error)) return false;
+      } else {
+        while (pos_ < text_.size() && text_[pos_] != ',' &&
+               text_[pos_] != '}') {
+          value.push_back(text_[pos_++]);
+        }
+        while (!value.empty() &&
+               (value.back() == ' ' || value.back() == '\n')) {
+          value.pop_back();
+        }
+      }
+      (*fields)[key] = value;
+    }
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  bool ParseString(std::string* out, std::string* error) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      *error = "expected string at offset " + std::to_string(pos_);
+      return false;
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      out->push_back(text_[pos_++]);
+    }
+    if (pos_ >= text_.size()) {
+      *error = "unterminated string";
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool ValidateChromeTrace(const std::string& json, std::string* error,
+                         std::map<std::string, std::size_t>* begin_counts) {
+  std::string local_error;
+  if (error == nullptr) error = &local_error;
+
+  EventScanner scanner(json);
+  if (!scanner.FindEventsArray(error)) return false;
+
+  std::map<std::string, std::vector<std::string>> stacks;  // tid → B names
+  std::map<std::string, double> last_ts;                   // tid → last ts
+  std::map<std::string, std::size_t> counts;
+  std::map<std::string, std::string> fields;
+  std::size_t index = 0;
+  for (;;) {
+    bool done = false;
+    if (!scanner.NextEvent(&fields, &done, error)) {
+      if (done) break;
+      return false;
+    }
+    const std::string at = " (event " + std::to_string(index) + ")";
+    ++index;
+    for (const char* required : {"name", "ph", "ts", "tid"}) {
+      if (fields.count(required) == 0) {
+        *error = std::string("event missing \"") + required + "\"" + at;
+        return false;
+      }
+    }
+    const std::string& ph = fields["ph"];
+    const std::string& name = fields["name"];
+    const std::string& tid = fields["tid"];
+    char* end = nullptr;
+    const double ts = std::strtod(fields["ts"].c_str(), &end);
+    if (end == fields["ts"].c_str() || ts < 0.0) {
+      *error = "bad ts \"" + fields["ts"] + "\"" + at;
+      return false;
+    }
+    const auto it = last_ts.find(tid);
+    if (it != last_ts.end() && ts < it->second) {
+      *error = "timestamps regress on tid " + tid + at;
+      return false;
+    }
+    last_ts[tid] = ts;
+
+    if (ph == "B") {
+      stacks[tid].push_back(name);
+      ++counts[name];
+    } else if (ph == "E") {
+      std::vector<std::string>& stack = stacks[tid];
+      if (stack.empty()) {
+        *error = "\"E\" event without matching \"B\" on tid " + tid + at;
+        return false;
+      }
+      if (stack.back() != name) {
+        *error = "mismatched span nesting on tid " + tid + ": \"" +
+                 stack.back() + "\" closed by \"" + name + "\"" + at;
+        return false;
+      }
+      stack.pop_back();
+    } else if (ph != "I" && ph != "X" && ph != "M") {
+      *error = "unsupported ph \"" + ph + "\"" + at;
+      return false;
+    }
+  }
+  for (const auto& [tid, stack] : stacks) {
+    if (!stack.empty()) {
+      *error = "unbalanced trace: " + std::to_string(stack.size()) +
+               " open span(s) on tid " + tid + " (top: \"" + stack.back() +
+               "\")";
+      return false;
+    }
+  }
+  if (begin_counts != nullptr) *begin_counts = std::move(counts);
+  return true;
+}
+
+}  // namespace obs
+}  // namespace qdcbir

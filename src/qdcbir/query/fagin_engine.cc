@@ -7,6 +7,8 @@
 
 #include "qdcbir/core/thread_pool.h"
 
+#include "qdcbir/obs/span.h"
+
 namespace qdcbir {
 
 FaginEngine::FaginEngine(const ImageDatabase* db, const FaginOptions& options)
@@ -36,6 +38,7 @@ double FaginEngine::SubspaceDistance(const FeatureVector& a,
 }
 
 StatusOr<Ranking> FaginEngine::ComputeRanking(std::size_t k) {
+  QDCBIR_SPAN("engine.fagin.rank");
   if (relevant().empty()) {
     return Status::FailedPrecondition("Fagin has no relevant feedback yet");
   }

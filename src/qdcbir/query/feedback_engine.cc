@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "qdcbir/obs/span.h"
+
 namespace qdcbir {
 
 GlobalFeedbackEngineBase::GlobalFeedbackEngineBase(const ImageDatabase* db,
@@ -41,6 +43,7 @@ std::vector<ImageId> GlobalFeedbackEngineBase::Resample() {
 
 StatusOr<std::vector<ImageId>> GlobalFeedbackEngineBase::Feedback(
     const std::vector<ImageId>& relevant) {
+  QDCBIR_SPAN("engine.feedback");
   for (const ImageId id : relevant) {
     if (id >= db_->size()) {
       return Status::InvalidArgument("relevant image id out of range");

@@ -5,6 +5,8 @@
 #include "qdcbir/cluster/kmeans.h"
 #include "qdcbir/query/multipoint.h"
 
+#include "qdcbir/obs/span.h"
+
 namespace qdcbir {
 
 MarsEngine::MarsEngine(const ImageDatabase* db, const MarsOptions& options)
@@ -12,6 +14,7 @@ MarsEngine::MarsEngine(const ImageDatabase* db, const MarsOptions& options)
       options_(options) {}
 
 StatusOr<Ranking> MarsEngine::ComputeRanking(std::size_t k) {
+  QDCBIR_SPAN("engine.mars.rank");
   if (relevant().empty()) {
     return Status::FailedPrecondition("MARS has no relevant feedback yet");
   }

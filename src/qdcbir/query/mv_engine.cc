@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "qdcbir/obs/span.h"
+
 namespace qdcbir {
 
 MvEngine::MvEngine(const ImageDatabase* db, const MvOptions& options)
@@ -55,6 +57,7 @@ Ranking MvEngine::InterleaveByRank(const std::vector<Ranking>& rankings,
 }
 
 StatusOr<Ranking> MvEngine::ComputeRanking(std::size_t k) {
+  QDCBIR_SPAN("engine.mv.rank");
   StatusOr<std::vector<Ranking>> rankings = PerChannelRankings(k);
   if (!rankings.ok()) return rankings.status();
   return InterleaveByRank(*rankings, k);

@@ -6,6 +6,8 @@
 #include "qdcbir/core/thread_pool.h"
 #include "qdcbir/query/multipoint.h"
 
+#include "qdcbir/obs/span.h"
+
 namespace qdcbir {
 
 QclusterEngine::QclusterEngine(const ImageDatabase* db,
@@ -14,6 +16,7 @@ QclusterEngine::QclusterEngine(const ImageDatabase* db,
       options_(options) {}
 
 StatusOr<Ranking> QclusterEngine::ComputeRanking(std::size_t k) {
+  QDCBIR_SPAN("engine.qcluster.rank");
   if (relevant().empty()) {
     return Status::FailedPrecondition("Qcluster has no relevant feedback yet");
   }

@@ -8,9 +8,43 @@
 
 #include "qdcbir/core/distance.h"
 #include "qdcbir/core/thread_pool.h"
+#include "qdcbir/obs/metrics.h"
+#include "qdcbir/obs/span.h"
 #include "qdcbir/query/multipoint.h"
 
 namespace qdcbir {
+
+namespace {
+
+/// The session cost model (`QdSessionStats`) routed through the metrics
+/// registry: the struct keeps its per-session semantics for the paper's
+/// efficiency experiments, while these process-wide counters aggregate the
+/// same events across every session for profiling and regression tracking.
+struct QdCounters {
+  obs::Counter& feedback_rounds;
+  obs::Counter& nodes_touched;
+  obs::Counter& boundary_expansions;
+  obs::Counter& localized_subqueries;
+  obs::Counter& knn_candidates;
+  obs::Counter& knn_nodes_visited;
+
+  static QdCounters& Get() {
+    static QdCounters* counters = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return new QdCounters{
+          registry.GetCounter("qd.feedback.rounds"),
+          registry.GetCounter("qd.display.nodes_touched"),
+          registry.GetCounter("qd.finalize.boundary_expansions"),
+          registry.GetCounter("qd.finalize.subqueries"),
+          registry.GetCounter("qd.finalize.knn_candidates"),
+          registry.GetCounter("qd.finalize.knn_nodes_visited"),
+      };
+    }();
+    return *counters;
+  }
+};
+
+}  // namespace
 
 std::vector<ImageId> QdResult::Flatten() const {
   std::vector<ImageId> out;
@@ -64,9 +98,11 @@ std::vector<DisplayGroup> QdSession::Resample() {
 }
 
 std::vector<DisplayGroup> QdSession::MakeDisplay() {
+  QDCBIR_SPAN("qd.round.sampling");
   std::vector<DisplayGroup> display;
   if (frontier_.empty()) return display;
   stats_.nodes_touched += frontier_.size();
+  QdCounters::Get().nodes_touched.Add(frontier_.size());
   for (const NodeId node : frontier_) sampled_nodes_.insert(node);
   stats_.distinct_nodes_sampled = sampled_nodes_.size();
 
@@ -105,6 +141,7 @@ StatusOr<std::vector<DisplayGroup>> QdSession::Feedback(
   if (!started_) {
     return Status::FailedPrecondition("call Start() before Feedback()");
   }
+  QDCBIR_SPAN("qd.round.descent");
 
   // Locate each pick among the images displayed since the last feedback.
   std::set<NodeId> next_frontier;
@@ -137,6 +174,7 @@ StatusOr<std::vector<DisplayGroup>> QdSession::Feedback(
   display_origin_.clear();
   ++round_;
   stats_.feedback_rounds = static_cast<std::size_t>(round_);
+  QdCounters::Get().feedback_rounds.Add(1);
   current_display_ = MakeDisplay();
   return current_display_;
 }
@@ -213,6 +251,7 @@ StatusOr<QdResult> QdSession::Finalize(std::size_t k) {
         "no relevant feedback was provided; nothing to decompose");
   }
   if (k == 0) return Status::InvalidArgument("k must be positive");
+  QDCBIR_SPAN("qd.finalize");
 
   std::size_t total_relevant = 0;
   for (const auto& [leaf, images] : relevant_by_leaf_) {
@@ -292,6 +331,7 @@ StatusOr<QdResult> QdSession::Finalize(std::size_t k) {
   std::vector<Ranking> local_candidates(locals.size());
   std::vector<QdSessionStats> task_stats(locals.size());
   pool.ParallelFor(0, locals.size(), [&](std::size_t li2) {
+    QDCBIR_SPAN("qd.finalize.subquery");
     const Local& local = locals[li2];
     ResultGroup& group = groups[li2];
     group.leaf = local.leaf;
@@ -313,13 +353,22 @@ StatusOr<QdResult> QdSession::Finalize(std::size_t k) {
                                             query.Centroid(), fetch,
                                             &task_stats[li2]);
   });
+  std::size_t expansions = 0;
+  std::size_t nodes_visited = 0;
   for (const QdSessionStats& ts : task_stats) {
-    stats_.boundary_expansions += ts.boundary_expansions;
-    stats_.knn_nodes_visited += ts.knn_nodes_visited;
+    expansions += ts.boundary_expansions;
+    nodes_visited += ts.knn_nodes_visited;
   }
+  stats_.boundary_expansions += expansions;
+  stats_.knn_nodes_visited += nodes_visited;
+  QdCounters& counters = QdCounters::Get();
+  counters.boundary_expansions.Add(expansions);
+  counters.knn_nodes_visited.Add(nodes_visited);
+  counters.localized_subqueries.Add(locals.size());
 
   // Phase 2 (sequential): cross-group dedup and quota consumption, in the
   // same subquery order as before — the determinism-critical merge.
+  QDCBIR_SPAN("qd.finalize.merge");
   QdResult result;
   std::unordered_set<ImageId> taken;
   std::vector<Ranking> spare_candidates(locals.size());
@@ -329,6 +378,7 @@ StatusOr<QdResult> QdSession::Finalize(std::size_t k) {
     Ranking candidates = std::move(local_candidates[li2]);
     stats_.localized_subqueries += 1;
     stats_.knn_candidates += rfs_->info(group.search_node).subtree_size;
+    counters.knn_candidates.Add(rfs_->info(group.search_node).subtree_size);
 
     std::size_t consumed = 0;
     for (const KnnMatch& m : candidates) {

@@ -4,6 +4,8 @@
 
 #include "qdcbir/core/stats.h"
 
+#include "qdcbir/obs/span.h"
+
 namespace qdcbir {
 
 QpmEngine::QpmEngine(const ImageDatabase* db, const QpmOptions& options)
@@ -11,6 +13,7 @@ QpmEngine::QpmEngine(const ImageDatabase* db, const QpmOptions& options)
       options_(options) {}
 
 StatusOr<Ranking> QpmEngine::ComputeRanking(std::size_t k) {
+  QDCBIR_SPAN("engine.qpm.rank");
   if (relevant().empty()) {
     return Status::FailedPrecondition("QPM has no relevant feedback yet");
   }

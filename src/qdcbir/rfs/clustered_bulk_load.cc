@@ -8,6 +8,7 @@
 #include "qdcbir/cluster/kmeans.h"
 #include "qdcbir/core/distance.h"
 #include "qdcbir/core/thread_pool.h"
+#include "qdcbir/obs/span.h"
 
 namespace qdcbir {
 
@@ -166,6 +167,7 @@ StatusOr<RStarTree> ClusteredTreeBuilder::Build(
   if (options.fill_factor <= 0.0 || options.fill_factor > 1.0) {
     return Status::InvalidArgument("fill_factor must be in (0, 1]");
   }
+  QDCBIR_SPAN("rfs.build.kmeans_partition");
 
   const std::size_t capacity = std::max<std::size_t>(
       2, static_cast<std::size_t>(std::floor(

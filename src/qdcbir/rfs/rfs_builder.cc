@@ -4,6 +4,7 @@
 
 #include "qdcbir/core/thread_pool.h"
 #include "qdcbir/index/str_bulk_load.h"
+#include "qdcbir/obs/span.h"
 
 namespace qdcbir {
 
@@ -26,6 +27,7 @@ StatusOr<RfsTree> RfsBuilder::Build(std::vector<FeatureVector> features,
   }
   const std::size_t dim = features.front().dim();
   QDCBIR_RETURN_IF_ERROR(options.tree.Validate());
+  QDCBIR_SPAN("rfs.build");
 
   std::vector<ImageId> ids(features.size());
   std::iota(ids.begin(), ids.end(), 0u);
@@ -35,7 +37,9 @@ StatusOr<RfsTree> RfsBuilder::Build(std::vector<FeatureVector> features,
 
   // Stage 1: data clustering via the R*-tree.
   RStarTree index(dim, options.tree);
-  switch (options.strategy) {
+  {
+    QDCBIR_SPAN("rfs.build.cluster");
+    switch (options.strategy) {
     case RfsBuildStrategy::kClustered: {
       ClusteredBulkLoadOptions clustering = options.clustering;
       if (clustering.pool == nullptr) clustering.pool = &pool;
@@ -58,6 +62,7 @@ StatusOr<RfsTree> RfsBuilder::Build(std::vector<FeatureVector> features,
       }
       break;
     }
+    }
   }
 
   RfsTree rfs(std::move(index), std::move(features));
@@ -72,6 +77,7 @@ StatusOr<RfsTree> RfsBuilder::Build(std::vector<FeatureVector> features,
 
 Status RfsBuilder::SelectAllRepresentatives(
     RfsTree& rfs, const RepresentativeOptions& options, ThreadPool& pool) {
+  QDCBIR_SPAN("rfs.build.representatives");
   const RStarTree& index = rfs.index_;
   const auto levels = index.NodesByLevel();
 

@@ -1,0 +1,125 @@
+// Observability must not disturb the engine's determinism contract: the
+// same scripted QD session must return byte-identical results at 1/2/4/8
+// pool lanes, with the tracer disarmed AND with it armed (tracing adds
+// mutex-serialized event appends on every span — none of that may leak
+// into result ordering or scoring).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "qdcbir/core/thread_pool.h"
+#include "qdcbir/dataset/synthesizer.h"
+#include "qdcbir/obs/trace.h"
+#include "qdcbir/query/qd_engine.h"
+#include "qdcbir/rfs/rfs_builder.h"
+
+namespace qdcbir {
+namespace {
+
+class InstrumentedDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CatalogOptions catalog_options;
+    catalog_options.num_categories = 20;
+    Catalog catalog = Catalog::Build(catalog_options).value();
+    SynthesizerOptions options;
+    options.total_images = 500;
+    options.image_width = 32;
+    options.image_height = 32;
+    db_ = new ImageDatabase(
+        DatabaseSynthesizer::Synthesize(catalog, options).value());
+
+    RfsBuildOptions build;
+    build.tree.max_entries = 40;
+    build.tree.min_entries = 16;
+    rfs_ = new RfsTree(RfsBuilder::Build(db_->features(), build).value());
+  }
+  static void TearDownTestSuite() {
+    delete rfs_;
+    delete db_;
+  }
+
+  static QdResult RunScriptedSession(ThreadPool* pool) {
+    QdOptions options;
+    options.seed = 1234;
+    options.pool = pool;
+    QdSession session(rfs_, options);
+    std::vector<DisplayGroup> display = session.Start();
+    for (int round = 0; round < 2; ++round) {
+      std::vector<ImageId> picks;
+      for (const DisplayGroup& group : display) {
+        for (std::size_t i = 0; i < group.images.size() && i < 2; ++i) {
+          picks.push_back(group.images[i]);
+        }
+      }
+      display = session.Feedback(picks).value();
+    }
+    return session.Finalize(60).value();
+  }
+
+  static const ImageDatabase* db_;
+  static const RfsTree* rfs_;
+};
+
+const ImageDatabase* InstrumentedDeterminismTest::db_ = nullptr;
+const RfsTree* InstrumentedDeterminismTest::rfs_ = nullptr;
+
+void ExpectIdenticalResults(const QdResult& a, const QdResult& b) {
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (std::size_t g = 0; g < a.groups.size(); ++g) {
+    const ResultGroup& ga = a.groups[g];
+    const ResultGroup& gb = b.groups[g];
+    EXPECT_EQ(ga.leaf, gb.leaf);
+    EXPECT_EQ(ga.search_node, gb.search_node);
+    EXPECT_EQ(ga.relevant_count, gb.relevant_count);
+    EXPECT_EQ(ga.ranking_score, gb.ranking_score);  // bit-exact
+    ASSERT_EQ(ga.images.size(), gb.images.size());
+    for (std::size_t i = 0; i < ga.images.size(); ++i) {
+      EXPECT_EQ(ga.images[i].id, gb.images[i].id);
+      EXPECT_EQ(ga.images[i].distance_squared, gb.images[i].distance_squared);
+    }
+  }
+}
+
+TEST_F(InstrumentedDeterminismTest, IdenticalAcrossThreadCountsTracingOff) {
+  ASSERT_FALSE(obs::Tracer::Global().enabled());
+  ThreadPool pool1(1);
+  const QdResult baseline = RunScriptedSession(&pool1);
+  for (const std::size_t lanes : {2u, 4u, 8u}) {
+    ThreadPool pool(lanes);
+    const QdResult result = RunScriptedSession(&pool);
+    ExpectIdenticalResults(baseline, result);
+  }
+}
+
+TEST_F(InstrumentedDeterminismTest, IdenticalAcrossThreadCountsTracingOn) {
+  // Untraced baseline first, then every traced run must match it exactly:
+  // arming the tracer may change timing, never results.
+  ThreadPool pool1(1);
+  const QdResult baseline = RunScriptedSession(&pool1);
+
+  const std::string path =
+      ::testing::TempDir() + "/instrumented_determinism_trace.json";
+  std::string error;
+  ASSERT_TRUE(obs::Tracer::Global().Start(path, &error)) << error;
+  for (const std::size_t lanes : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(lanes);
+    const QdResult result = RunScriptedSession(&pool);
+    ExpectIdenticalResults(baseline, result);
+  }
+  ASSERT_TRUE(obs::Tracer::Global().Stop(&error)) << error;
+
+  // The traced runs also must have produced a structurally valid file.
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(obs::ValidateChromeTrace(buffer.str(), &error, nullptr))
+      << error;
+}
+
+}  // namespace
+}  // namespace qdcbir

@@ -24,6 +24,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -304,13 +305,15 @@ int CmdExportReps(int argc, char** argv) {
 int Usage() {
   std::fprintf(stderr,
                "usage: qdcbir_tool <synth|rfs|info|query|render> [--flags]\n"
-               "run with a command and no flags to see its defaults\n");
+               "run with a command and no flags to see its defaults\n"
+               "global flags: --metrics-json=<path>  dump the metrics "
+               "registry snapshot after the command\n"
+               "              --trace-out=<path>     record a Chrome trace "
+               "of the command\n");
   return 1;
 }
 
-int Run(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string command = argv[1];
+int Dispatch(int argc, char** argv, const std::string& command) {
   if (command == "synth") return CmdSynth(argc, argv);
   if (command == "rfs") return CmdRfs(argc, argv);
   if (command == "info") return CmdInfo(argc, argv);
@@ -319,6 +322,41 @@ int Run(int argc, char** argv) {
   if (command == "catalog") return CmdCatalog(argc, argv);
   if (command == "export-reps") return CmdExportReps(argc, argv);
   return Usage();
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const std::string trace_out = Flag(argc, argv, "trace-out", "");
+  const std::string metrics_json = Flag(argc, argv, "metrics-json", "");
+
+  if (!trace_out.empty()) {
+    std::string error;
+    if (!obs::Tracer::Global().Start(trace_out, &error)) {
+      std::fprintf(stderr, "cannot start trace: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
+  const int code = Dispatch(argc, argv, command);
+
+  if (!metrics_json.empty()) {
+    std::ofstream out(metrics_json);
+    out << obs::MetricsRegistry::Global().SnapshotJson() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   metrics_json.c_str());
+      return 1;
+    }
+  }
+  if (!trace_out.empty()) {
+    std::string error;
+    if (!obs::Tracer::Global().Stop(&error)) {
+      std::fprintf(stderr, "trace flush failed: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  return code;
 }
 
 }  // namespace

@@ -1,0 +1,123 @@
+// Validates observability artifacts produced by an instrumented run:
+//
+//   trace_check --trace=<chrome_trace.json> [--require-span=<name>]...
+//               [--metrics=<metrics.json>]
+//
+// The trace file must be valid Chrome trace_event JSON with balanced,
+// properly nested B/E pairs per thread (the same contract enforced by the
+// obs unit tests). Each --require-span name must appear at least once as a
+// begin event. The metrics file, when given, must be a non-empty JSON
+// object with the registry's three top-level sections. Exit code 0 means
+// all checks passed; diagnostics go to stderr. CI runs this against the
+// bench_micro artifacts so a silently-broken exporter fails the build.
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "qdcbir/obs/trace.h"
+
+namespace {
+
+std::string Flag(int argc, char** argv, const std::string& name) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return "";
+}
+
+std::vector<std::string> FlagList(int argc, char** argv,
+                                  const std::string& name) {
+  const std::string prefix = "--" + name + "=";
+  std::vector<std::string> out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) out.push_back(arg.substr(prefix.size()));
+  }
+  return out;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string trace_path = Flag(argc, argv, "trace");
+  const std::string metrics_path = Flag(argc, argv, "metrics");
+  const std::vector<std::string> required = FlagList(argc, argv,
+                                                     "require-span");
+  if (trace_path.empty() && metrics_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: trace_check --trace=<file> [--require-span=<name>]"
+                 " [--metrics=<file>]\n");
+    return 1;
+  }
+
+  if (!trace_path.empty()) {
+    std::string json;
+    if (!ReadFile(trace_path, &json)) {
+      std::fprintf(stderr, "cannot read trace file: %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::string error;
+    std::map<std::string, std::size_t> begin_counts;
+    if (!qdcbir::obs::ValidateChromeTrace(json, &error, &begin_counts)) {
+      std::fprintf(stderr, "invalid trace %s: %s\n", trace_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    std::size_t total = 0;
+    for (const auto& [name, count] : begin_counts) total += count;
+    std::printf("trace ok: %zu spans across %zu distinct names\n", total,
+                begin_counts.size());
+    for (const std::string& name : required) {
+      const auto it = begin_counts.find(name);
+      if (it == begin_counts.end() || it->second == 0) {
+        std::fprintf(stderr, "required span missing from trace: %s\n",
+                     name.c_str());
+        return 1;
+      }
+      std::printf("  span %-32s x%zu\n", name.c_str(), it->second);
+    }
+  }
+
+  if (!metrics_path.empty()) {
+    std::string json;
+    if (!ReadFile(metrics_path, &json)) {
+      std::fprintf(stderr, "cannot read metrics file: %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    // Structural sanity only; the exporter's format is covered by unit
+    // tests, this guards against empty/truncated artifacts.
+    for (const char* section : {"\"counters\"", "\"gauges\"",
+                                "\"histograms\""}) {
+      if (json.find(section) == std::string::npos) {
+        std::fprintf(stderr, "metrics file %s missing section %s\n",
+                     metrics_path.c_str(), section);
+        return 1;
+      }
+    }
+    if (json.find('{') == std::string::npos ||
+        json.rfind('}') == std::string::npos) {
+      std::fprintf(stderr, "metrics file %s is not a JSON object\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    std::printf("metrics ok: %s (%zu bytes)\n", metrics_path.c_str(),
+                json.size());
+  }
+  return 0;
+}
