@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "qdcbir/core/thread_pool.h"
 #include "qdcbir/dataset/database_io.h"
 #include "qdcbir/dataset/synthesizer.h"
 #include "qdcbir/obs/clock.h"
@@ -136,10 +137,22 @@ StatusOr<ImageDatabase> GetDatabase(std::size_t total_images,
   const std::string path = cache_dir + "/db_" + std::to_string(total_images) +
                            (with_channels ? "_ch" : "_nc") + ".bin";
   if (std::filesystem::exists(path)) {
-    StatusOr<ImageDatabase> cached = DatabaseIo::LoadDatabase(path);
+    // Overlapped chunk load; falls back to re-synthesis below on any typed
+    // failure (kCorrupt / kTruncated / kVersionMismatch), so a damaged or
+    // legacy cache file can never poison a benchmark run.
+    ThreadPool pool;
+    SnapshotLoadOptions load_options;
+    load_options.pool = &pool;
+    StatusOr<ImageDatabase> cached = DatabaseIo::LoadDatabase(path, load_options);
     if (cached.ok() && cached->size() == total_images) return cached;
-    std::fprintf(stderr, "[bench] stale cache at %s; rebuilding\n",
-                 path.c_str());
+    if (!cached.ok()) {
+      std::fprintf(stderr, "[bench] snapshot cache at %s unusable (%s); "
+                   "re-synthesizing\n",
+                   path.c_str(), cached.status().ToString().c_str());
+    } else {
+      std::fprintf(stderr, "[bench] stale cache at %s; rebuilding\n",
+                   path.c_str());
+    }
   }
 
   WallTimer timer;

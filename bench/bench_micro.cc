@@ -20,7 +20,9 @@
 #include "qdcbir/core/distance.h"
 #include "qdcbir/core/rng.h"
 #include "qdcbir/core/thread_pool.h"
+#include "qdcbir/dataset/database_io.h"
 #include "qdcbir/dataset/recipe.h"
+#include "qdcbir/dataset/synthesizer.h"
 #include "qdcbir/features/extractor.h"
 #include "qdcbir/features/wavelet_texture.h"
 #include "qdcbir/index/rstar_tree.h"
@@ -254,6 +256,44 @@ BENCHMARK(BM_DistanceScanTopK_Threads)
     ->Arg(4)
     ->Arg(8)
     ->UseRealTime();
+
+/// The overlapped snapshot loader: positioned chunk reads + CRC + decode
+/// fanned across the pool, against the sequential reference at Arg(1).
+/// Feeds the span.io.load.* histograms that back the async-I/O acceptance
+/// numbers in docs/snapshot_format.md.
+void BM_SnapshotLoad_Threads(benchmark::State& state) {
+  static const std::string* path = [] {
+    CatalogOptions catalog_options;
+    catalog_options.num_categories = 30;
+    const Catalog catalog = Catalog::Build(catalog_options).value();
+    SynthesizerOptions options;
+    options.total_images = 2000;
+    options.image_width = 32;
+    options.image_height = 32;
+    const ImageDatabase db =
+        DatabaseSynthesizer::Synthesize(catalog, options).value();
+    const char* tmp = std::getenv("TMPDIR");
+    auto* p = new std::string(std::string(tmp ? tmp : "/tmp") +
+                              "/qdcbir_bench_snapshot.bin");
+    if (!DatabaseIo::SaveDatabase(db, *p).ok()) std::abort();
+    return p;
+  }();
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  SnapshotLoadOptions options;
+  options.pool = &pool;
+  for (auto _ : state) {
+    auto db = DatabaseIo::LoadDatabase(*path, options);
+    if (!db.ok()) std::abort();
+    benchmark::DoNotOptimize(db);
+  }
+}
+BENCHMARK(BM_SnapshotLoad_Threads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_HaarTransform(benchmark::State& state) {
   Rng rng(10);

@@ -22,6 +22,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kCorrupt:
+      return "Corrupt";
+    case StatusCode::kTruncated:
+      return "Truncated";
+    case StatusCode::kVersionMismatch:
+      return "VersionMismatch";
   }
   return "Unknown";
 }

@@ -22,6 +22,13 @@ enum class StatusCode {
   kInternal = 6,
   kUnimplemented = 7,
   kIoError = 8,
+  /// Stored bytes are structurally invalid or fail an integrity check
+  /// (bad magic, checksum mismatch, impossible embedded length).
+  kCorrupt = 9,
+  /// Stored bytes end before the declared extent (partial write, cut file).
+  kTruncated = 10,
+  /// The format is recognized but its version is not supported.
+  kVersionMismatch = 11,
 };
 
 /// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -69,6 +76,15 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corrupt(std::string msg) {
+    return Status(StatusCode::kCorrupt, std::move(msg));
+  }
+  static Status Truncated(std::string msg) {
+    return Status(StatusCode::kTruncated, std::move(msg));
+  }
+  static Status VersionMismatch(std::string msg) {
+    return Status(StatusCode::kVersionMismatch, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

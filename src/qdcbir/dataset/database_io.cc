@@ -2,15 +2,59 @@
 
 #include <cstring>
 #include <fstream>
-#include <sstream>
+#include <functional>
+#include <utility>
+
+#include "qdcbir/core/crc32c.h"
+#include "qdcbir/core/thread_pool.h"
+#include "qdcbir/obs/span.h"
 
 namespace qdcbir {
 
 namespace {
 
 constexpr char kCatalogMagic[] = "QDCAT001";
-constexpr char kDatabaseMagic[] = "QDDB0001";
+constexpr char kDatabaseMagicV1[] = "QDDB0001";
+constexpr char kSnapshotMagic[] = "QDSNAP02";
 constexpr std::size_t kMagicLen = 8;
+constexpr std::uint32_t kSnapshotVersion = 2;
+
+/// Directory geometry: magic + version + chunk count, then one fixed-size
+/// entry per chunk, then the directory's own CRC32C.
+constexpr std::size_t kDirFixedBytes = kMagicLen + 4 + 4;
+constexpr std::size_t kDirEntryBytes = 4 + 4 + 8 + 8 + 4;
+/// Upper bound on the chunk count a reader will accept. The writer emits at
+/// most 11 chunks; the slack leaves room for future sections while keeping
+/// a hostile count from driving a large directory allocation.
+constexpr std::uint32_t kMaxChunks = 64;
+
+constexpr std::uint32_t FourCc(char a, char b, char c, char d) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(b)) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(c)) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(d)) << 24;
+}
+
+constexpr std::uint32_t kChunkCatalog = FourCc('C', 'A', 'T', 'L');
+constexpr std::uint32_t kChunkMeta = FourCc('M', 'E', 'T', 'A');
+constexpr std::uint32_t kChunkRecords = FourCc('R', 'E', 'C', 'S');
+constexpr std::uint32_t kChunkRfs = FourCc('R', 'F', 'S', '0');
+
+std::uint32_t FeatureChunkId(int channel) {
+  return FourCc('F', 'T', 'B', static_cast<char>('0' + channel));
+}
+std::uint32_t NormalizerChunkId(int channel) {
+  return FourCc('N', 'R', 'M', static_cast<char>('0' + channel));
+}
+
+std::string ChunkIdToString(std::uint32_t id) {
+  std::string s(4, '?');
+  for (int i = 0; i < 4; ++i) {
+    const char c = static_cast<char>((id >> (8 * i)) & 0xffu);
+    s[i] = (c >= 32 && c < 127) ? c : '?';
+  }
+  return s;
+}
 
 class Writer {
  public:
@@ -35,12 +79,19 @@ class Writer {
   std::string out_;
 };
 
+/// Bounds-checked cursor over a byte string. Every accessor fails (returns
+/// false) instead of reading past the end, and every length/count it
+/// consumes is validated against the bytes actually remaining *before* any
+/// allocation — a hostile embedded length can neither overflow the cursor
+/// arithmetic nor drive an outsized `resize`.
 class Reader {
  public:
   explicit Reader(const std::string& bytes) : bytes_(bytes) {}
 
+  std::size_t Remaining() const { return bytes_.size() - pos_; }
+
   bool Raw(void* data, std::size_t n) {
-    if (pos_ + n > bytes_.size()) return false;
+    if (n > Remaining()) return false;
     std::memcpy(data, bytes_.data() + pos_, n);
     pos_ += n;
     return true;
@@ -49,16 +100,22 @@ class Reader {
   bool Pod(T* v) {
     return Raw(v, sizeof(T));
   }
+  /// Reads an element count; rejects counts that could not possibly fit in
+  /// the remaining bytes given `min_bytes_per_elem` per element.
+  bool Count(std::uint64_t* n, std::size_t min_bytes_per_elem) {
+    if (!Pod(n)) return false;
+    return *n <= Remaining() / (min_bytes_per_elem ? min_bytes_per_elem : 1);
+  }
   bool Str(std::string* s) {
     std::uint64_t n = 0;
-    if (!Pod(&n) || pos_ + n > bytes_.size()) return false;
+    if (!Pod(&n) || n > Remaining()) return false;
     s->assign(bytes_.data() + pos_, n);
     pos_ += n;
     return true;
   }
   bool Doubles(std::vector<double>* v) {
     std::uint64_t n = 0;
-    if (!Pod(&n) || pos_ + n * sizeof(double) > bytes_.size()) return false;
+    if (!Pod(&n) || n > Remaining() / sizeof(double)) return false;
     v->resize(n);
     return Raw(v->data(), n * sizeof(double));
   }
@@ -144,51 +201,57 @@ void WriteCatalogBody(Writer& w, const Catalog& catalog) {
   }
 }
 
-Status ReadCatalogBody(Reader& r, std::vector<CategorySpec>* categories,
-                       std::vector<SubConceptSpec>* subconcepts,
-                       std::vector<QueryConceptSpec>* queries) {
-  const auto corrupt = [] { return Status::IoError("truncated catalog blob"); };
+bool ReadCatalogBody(Reader& r, std::vector<CategorySpec>* categories,
+                     std::vector<SubConceptSpec>* subconcepts,
+                     std::vector<QueryConceptSpec>* queries) {
   std::uint64_t num_categories = 0;
-  if (!r.Pod(&num_categories)) return corrupt();
+  // Minimum on-disk footprints: a category is a name length plus a
+  // sub-concept count (16 bytes), a sub-concept id is 4 bytes, and so on —
+  // the `Count` bounds below keep hostile counts from over-allocating.
+  if (!r.Count(&num_categories, 16)) return false;
   categories->resize(num_categories);
   for (std::uint64_t c = 0; c < num_categories; ++c) {
     CategorySpec& cat = (*categories)[c];
     cat.id = static_cast<CategoryId>(c);
     std::uint64_t subs = 0;
-    if (!r.Str(&cat.name) || !r.Pod(&subs)) return corrupt();
+    if (!r.Str(&cat.name) || !r.Count(&subs, sizeof(SubConceptId))) {
+      return false;
+    }
     cat.subconcepts.resize(subs);
     for (auto& id : cat.subconcepts) {
-      if (!r.Pod(&id)) return corrupt();
+      if (!r.Pod(&id)) return false;
     }
   }
   std::uint64_t num_subs = 0;
-  if (!r.Pod(&num_subs)) return corrupt();
+  if (!r.Count(&num_subs, 16)) return false;
   subconcepts->resize(num_subs);
   for (std::uint64_t s = 0; s < num_subs; ++s) {
     SubConceptSpec& sub = (*subconcepts)[s];
     sub.id = static_cast<SubConceptId>(s);
     if (!r.Pod(&sub.category) || !r.Str(&sub.name) || !r.Pod(&sub.weight) ||
         !ReadRecipe(r, &sub.recipe)) {
-      return corrupt();
+      return false;
     }
   }
   std::uint64_t num_queries = 0;
-  if (!r.Pod(&num_queries)) return corrupt();
+  if (!r.Count(&num_queries, 16)) return false;
   queries->resize(num_queries);
   for (auto& q : *queries) {
     std::uint64_t subs = 0;
-    if (!r.Str(&q.name) || !r.Pod(&subs)) return corrupt();
+    if (!r.Str(&q.name) || !r.Count(&subs, 16)) return false;
     q.subconcepts.resize(subs);
     for (auto& qs : q.subconcepts) {
       std::uint64_t members = 0;
-      if (!r.Str(&qs.name) || !r.Pod(&members)) return corrupt();
+      if (!r.Str(&qs.name) || !r.Count(&members, sizeof(SubConceptId))) {
+        return false;
+      }
       qs.members.resize(members);
       for (auto& id : qs.members) {
-        if (!r.Pod(&id)) return corrupt();
+        if (!r.Pod(&id)) return false;
       }
     }
   }
-  return Status::Ok();
+  return true;
 }
 
 void WriteFeatureTable(Writer& w, const std::vector<FeatureVector>& table) {
@@ -198,7 +261,7 @@ void WriteFeatureTable(Writer& w, const std::vector<FeatureVector>& table) {
 
 bool ReadFeatureTable(Reader& r, std::vector<FeatureVector>* table) {
   std::uint64_t n = 0;
-  if (!r.Pod(&n)) return false;
+  if (!r.Count(&n, sizeof(std::uint64_t))) return false;
   table->clear();
   table->reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -207,6 +270,314 @@ bool ReadFeatureTable(Reader& r, std::vector<FeatureVector>* table) {
     table->emplace_back(std::move(values));
   }
   return true;
+}
+
+void WriteRecords(Writer& w, const std::vector<ImageRecord>& records) {
+  w.Pod<std::uint64_t>(records.size());
+  for (const ImageRecord& rec : records) {
+    w.Pod(rec.subconcept);
+    w.Pod(rec.category);
+    w.Pod(rec.render_seed);
+  }
+}
+
+bool ReadRecords(Reader& r, std::vector<ImageRecord>* records) {
+  std::uint64_t n = 0;
+  if (!r.Count(&n, 16)) return false;  // 4 + 4 + 8 bytes per record
+  records->resize(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ImageRecord& rec = (*records)[i];
+    rec.id = static_cast<ImageId>(i);
+    if (!r.Pod(&rec.subconcept) || !r.Pod(&rec.category) ||
+        !r.Pod(&rec.render_seed)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// One parsed v2 chunk-directory entry.
+struct DirEntry {
+  std::uint32_t id = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::uint32_t crc = 0;
+};
+
+struct Directory {
+  int version = 0;  ///< 1 = legacy blob (no entries), 2 = chunked
+  std::vector<DirEntry> entries;
+};
+
+template <typename T>
+T LoadPod(const std::string& buf, std::size_t offset) {
+  T v;
+  std::memcpy(&v, buf.data() + offset, sizeof(T));
+  return v;
+}
+
+/// Reads and validates the snapshot header + chunk directory: magic,
+/// version, directory CRC, and every entry's bounds against the source
+/// size. Distinguishes the three failure classes the loaders promise.
+StatusOr<Directory> ReadDirectory(const ByteSource& src) {
+  char magic[kMagicLen];
+  if (src.Size() < kMagicLen) {
+    return Status::Truncated("snapshot shorter than its magic");
+  }
+  QDCBIR_RETURN_IF_ERROR(src.ReadAt(0, kMagicLen, magic));
+  if (std::memcmp(magic, kDatabaseMagicV1, kMagicLen) == 0) {
+    Directory dir;
+    dir.version = 1;
+    return dir;
+  }
+  if (std::memcmp(magic, kSnapshotMagic, 6) != 0) {
+    return Status::Corrupt("not a qdcbir snapshot (bad magic)");
+  }
+  if (src.Size() < kDirFixedBytes) {
+    return Status::Truncated("snapshot directory cut short");
+  }
+  char fixed[8];
+  QDCBIR_RETURN_IF_ERROR(src.ReadAt(kMagicLen, 8, fixed));
+  std::uint32_t version, count;
+  std::memcpy(&version, fixed, 4);
+  std::memcpy(&count, fixed + 4, 4);
+  if (version != kSnapshotVersion) {
+    return Status::VersionMismatch("snapshot version " +
+                                   std::to_string(version) +
+                                   " (this build reads versions 1 and 2)");
+  }
+  if (count > kMaxChunks) {
+    return Status::Corrupt("implausible chunk count " + std::to_string(count));
+  }
+  const std::uint64_t dir_bytes =
+      kDirFixedBytes + std::uint64_t{count} * kDirEntryBytes + 4;
+  if (src.Size() < dir_bytes) {
+    return Status::Truncated("snapshot directory cut short");
+  }
+  std::string dir_buf(dir_bytes, '\0');
+  QDCBIR_RETURN_IF_ERROR(src.ReadAt(0, dir_bytes, dir_buf.data()));
+  const std::uint32_t stored_crc =
+      LoadPod<std::uint32_t>(dir_buf, dir_bytes - 4);
+  if (Crc32c::Compute(dir_buf.data(), dir_bytes - 4) != stored_crc) {
+    return Status::Corrupt("snapshot directory checksum mismatch");
+  }
+
+  Directory dir;
+  dir.version = 2;
+  dir.entries.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t base = kDirFixedBytes + i * kDirEntryBytes;
+    DirEntry& e = dir.entries[i];
+    e.id = LoadPod<std::uint32_t>(dir_buf, base);
+    e.offset = LoadPod<std::uint64_t>(dir_buf, base + 8);
+    e.length = LoadPod<std::uint64_t>(dir_buf, base + 16);
+    e.crc = LoadPod<std::uint32_t>(dir_buf, base + 24);
+    if (e.offset < dir_bytes) {
+      return Status::Corrupt("chunk " + ChunkIdToString(e.id) +
+                             " overlaps the directory");
+    }
+    if (e.offset > src.Size() || e.length > src.Size() - e.offset) {
+      return Status::Truncated("chunk " + ChunkIdToString(e.id) +
+                               " extends past the end of the snapshot");
+    }
+    for (std::uint32_t j = 0; j < i; ++j) {
+      if (dir.entries[j].id == e.id) {
+        return Status::Corrupt("duplicate chunk " + ChunkIdToString(e.id));
+      }
+    }
+  }
+  return dir;
+}
+
+/// Decoded-but-unassembled chunk contents. Each chunk decodes into its own
+/// slot, so the async loader's tasks never share mutable state.
+struct Staging {
+  bool has_meta = false;
+  std::int32_t width = 0, height = 0;
+  std::uint64_t record_count = 0;
+  std::uint8_t channels_flag = 0;
+
+  bool has_catalog = false;
+  std::vector<CategorySpec> categories;
+  std::vector<SubConceptSpec> subconcepts;
+  std::vector<QueryConceptSpec> queries;
+
+  bool has_records = false;
+  std::vector<ImageRecord> records;
+
+  bool has_table[kNumViewpointChannels] = {};
+  std::vector<FeatureVector> tables[kNumViewpointChannels];
+
+  bool has_norm[kNumViewpointChannels] = {};
+  FeatureNormalizer norms[kNumViewpointChannels];
+
+  bool has_rfs = false;
+  std::string rfs_blob;
+};
+
+struct IoLoadMetrics {
+  obs::Counter& bytes;
+  obs::Counter& chunks;
+  obs::Counter& chunks_skipped;
+  obs::Counter& crc_failures;
+
+  static IoLoadMetrics& Get() {
+    static IoLoadMetrics* m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      return new IoLoadMetrics{reg.GetCounter("io.load.bytes"),
+                               reg.GetCounter("io.load.chunks"),
+                               reg.GetCounter("io.load.chunks_skipped"),
+                               reg.GetCounter("io.load.crc_failures")};
+    }();
+    return *m;
+  }
+};
+
+/// Reads one chunk's payload from `src`, verifies its CRC32C and decodes it
+/// into `st`. Runs on a pool lane during async loads; touches only this
+/// chunk's staging slot.
+Status ReadAndDecodeChunk(const ByteSource& src, const DirEntry& e,
+                          bool verify, Staging* st) {
+  IoLoadMetrics& metrics = IoLoadMetrics::Get();
+  std::string payload;
+  payload.resize(e.length);
+  {
+    QDCBIR_SPAN("io.load.read");
+    QDCBIR_RETURN_IF_ERROR(src.ReadAt(e.offset, e.length, payload.data()));
+  }
+  metrics.bytes.Add(e.length);
+  if (verify) {
+    QDCBIR_SPAN("io.load.crc");
+    if (Crc32c::Compute(payload) != e.crc) {
+      metrics.crc_failures.Add(1);
+      return Status::Corrupt("chunk " + ChunkIdToString(e.id) +
+                             " checksum mismatch");
+    }
+  }
+
+  QDCBIR_SPAN("io.load.decode");
+  Reader r(payload);
+  const auto malformed = [&e] {
+    return Status::Corrupt("chunk " + ChunkIdToString(e.id) + " malformed");
+  };
+  bool known = true;
+  if (e.id == kChunkCatalog) {
+    if (!ReadCatalogBody(r, &st->categories, &st->subconcepts,
+                         &st->queries) ||
+        r.Remaining() != 0) {
+      return malformed();
+    }
+    st->has_catalog = true;
+  } else if (e.id == kChunkMeta) {
+    if (!r.Pod(&st->width) || !r.Pod(&st->height) ||
+        !r.Pod(&st->record_count) || !r.Pod(&st->channels_flag) ||
+        r.Remaining() != 0) {
+      return malformed();
+    }
+    st->has_meta = true;
+  } else if (e.id == kChunkRecords) {
+    if (!ReadRecords(r, &st->records) || r.Remaining() != 0) {
+      return malformed();
+    }
+    st->has_records = true;
+  } else if (e.id == kChunkRfs) {
+    st->rfs_blob = std::move(payload);
+    st->has_rfs = true;
+  } else {
+    known = false;
+    for (int c = 0; c < kNumViewpointChannels; ++c) {
+      if (e.id == FeatureChunkId(c)) {
+        if (!ReadFeatureTable(r, &st->tables[c]) || r.Remaining() != 0) {
+          return malformed();
+        }
+        st->has_table[c] = true;
+        known = true;
+      } else if (e.id == NormalizerChunkId(c)) {
+        StatusOr<FeatureNormalizer> n = FeatureNormalizer::Deserialize(payload);
+        if (!n.ok()) {
+          return Status::Corrupt("chunk " + ChunkIdToString(e.id) + ": " +
+                                 n.status().message());
+        }
+        st->norms[c] = std::move(n).value();
+        st->has_norm[c] = true;
+        known = true;
+      }
+    }
+  }
+  if (known) {
+    metrics.chunks.Add(1);
+  } else {
+    // Unknown chunk kinds are tolerated (forward compatibility): their
+    // checksum was still verified above.
+    metrics.chunks_skipped.Add(1);
+  }
+  return Status::Ok();
+}
+
+/// Legacy v1 monolithic-blob reader (format of the original
+/// `SerializeDatabase`), with the same hardened bounds checks as v2.
+/// Decodes into `Staging`; the shared assembly in `LoadDatabaseFrom`
+/// performs the cross-section validation for both versions.
+Status DecodeV1(const std::string& bytes, Staging* st) {
+  QDCBIR_SPAN("io.load.v1");
+  const auto truncated = [] {
+    return Status::Truncated("truncated v1 database blob");
+  };
+  Reader r(bytes);
+  char magic[kMagicLen];
+  if (!r.Raw(magic, kMagicLen) ||
+      std::memcmp(magic, kDatabaseMagicV1, kMagicLen) != 0) {
+    return Status::Corrupt("not a v1 database blob (bad magic)");
+  }
+  if (!ReadCatalogBody(r, &st->categories, &st->subconcepts, &st->queries)) {
+    return truncated();
+  }
+  st->has_catalog = true;
+  std::uint64_t num_records = 0;
+  if (!r.Pod(&st->width) || !r.Pod(&st->height) ||
+      !r.Count(&num_records, 16)) {
+    return truncated();
+  }
+  st->records.resize(num_records);
+  for (std::uint64_t i = 0; i < num_records; ++i) {
+    ImageRecord& rec = st->records[i];
+    rec.id = static_cast<ImageId>(i);
+    if (!r.Pod(&rec.subconcept) || !r.Pod(&rec.category) ||
+        !r.Pod(&rec.render_seed)) {
+      return truncated();
+    }
+  }
+  st->has_records = true;
+  st->record_count = num_records;
+  if (!ReadFeatureTable(r, &st->tables[0])) return truncated();
+  st->has_table[0] = true;
+
+  if (!r.Pod(&st->channels_flag)) return truncated();
+  if (st->channels_flag) {
+    for (int c = 1; c < kNumViewpointChannels; ++c) {
+      if (!ReadFeatureTable(r, &st->tables[c])) return truncated();
+      st->has_table[c] = true;
+    }
+  }
+  std::string normalizer_blob;
+  const int num_norms = st->channels_flag ? kNumViewpointChannels : 1;
+  for (int c = 0; c < num_norms; ++c) {
+    if (!r.Str(&normalizer_blob)) return truncated();
+    StatusOr<FeatureNormalizer> n =
+        FeatureNormalizer::Deserialize(normalizer_blob);
+    if (!n.ok()) {
+      return Status::Corrupt("v1 normalizer: " + n.status().message());
+    }
+    st->norms[c] = std::move(n).value();
+    st->has_norm[c] = true;
+  }
+  st->has_meta = true;
+  return Status::Ok();
+}
+
+Status ReadAll(const ByteSource& src, std::string* out) {
+  out->resize(src.Size());
+  return src.ReadAt(0, out->size(), out->data());
 }
 
 }  // namespace
@@ -223,18 +594,88 @@ StatusOr<Catalog> DatabaseIo::DeserializeCatalog(const std::string& bytes) {
   char magic[kMagicLen];
   if (!r.Raw(magic, kMagicLen) ||
       std::memcmp(magic, kCatalogMagic, kMagicLen) != 0) {
-    return Status::IoError("not a catalog blob (bad magic)");
+    return Status::Corrupt("not a catalog blob (bad magic)");
   }
   Catalog catalog;
-  QDCBIR_RETURN_IF_ERROR(ReadCatalogBody(r, &catalog.categories_,
-                                         &catalog.subconcepts_,
-                                         &catalog.queries_));
+  if (!ReadCatalogBody(r, &catalog.categories_, &catalog.subconcepts_,
+                       &catalog.queries_)) {
+    return Status::Truncated("truncated catalog blob");
+  }
   return catalog;
 }
 
-std::string DatabaseIo::SerializeDatabase(const ImageDatabase& db) {
+std::string DatabaseIo::SerializeDatabase(const ImageDatabase& db,
+                                          const std::string* rfs_blob) {
+  QDCBIR_SPAN("io.save.serialize");
+  const bool channels = db.has_channel_features();
+
+  std::vector<std::pair<std::uint32_t, std::string>> chunks;
+  {
+    Writer w;
+    WriteCatalogBody(w, db.catalog_);
+    chunks.emplace_back(kChunkCatalog, w.Take());
+  }
+  {
+    Writer w;
+    w.Pod(db.image_width_);
+    w.Pod(db.image_height_);
+    w.Pod<std::uint64_t>(db.records_.size());
+    w.Pod<std::uint8_t>(channels ? 1 : 0);
+    chunks.emplace_back(kChunkMeta, w.Take());
+  }
+  {
+    Writer w;
+    WriteRecords(w, db.records_);
+    chunks.emplace_back(kChunkRecords, w.Take());
+  }
+  {
+    Writer w;
+    WriteFeatureTable(w, db.features_);
+    chunks.emplace_back(FeatureChunkId(0), w.Take());
+  }
+  if (channels) {
+    for (int c = 1; c < kNumViewpointChannels; ++c) {
+      Writer w;
+      WriteFeatureTable(w, db.channel_features_[c]);
+      chunks.emplace_back(FeatureChunkId(c), w.Take());
+    }
+  }
+  chunks.emplace_back(NormalizerChunkId(0), db.normalizer_.Serialize());
+  if (channels) {
+    for (int c = 1; c < kNumViewpointChannels; ++c) {
+      chunks.emplace_back(NormalizerChunkId(c),
+                          db.channel_normalizers_[c].Serialize());
+    }
+  }
+  if (rfs_blob != nullptr) chunks.emplace_back(kChunkRfs, *rfs_blob);
+
+  Writer dir;
+  dir.Raw(kSnapshotMagic, kMagicLen);
+  dir.Pod<std::uint32_t>(kSnapshotVersion);
+  dir.Pod<std::uint32_t>(static_cast<std::uint32_t>(chunks.size()));
+  std::uint64_t offset =
+      kDirFixedBytes + chunks.size() * kDirEntryBytes + 4;
+  std::uint64_t payload_bytes = 0;
+  for (const auto& [id, payload] : chunks) {
+    dir.Pod<std::uint32_t>(id);
+    dir.Pod<std::uint32_t>(0);  // reserved
+    dir.Pod<std::uint64_t>(offset);
+    dir.Pod<std::uint64_t>(payload.size());
+    dir.Pod<std::uint32_t>(Crc32c::Compute(payload));
+    offset += payload.size();
+    payload_bytes += payload.size();
+  }
+  std::string out = dir.Take();
+  const std::uint32_t dir_crc = Crc32c::Compute(out);
+  out.append(reinterpret_cast<const char*>(&dir_crc), 4);
+  out.reserve(out.size() + payload_bytes);
+  for (const auto& [id, payload] : chunks) out.append(payload);
+  return out;
+}
+
+std::string DatabaseIo::SerializeDatabaseV1(const ImageDatabase& db) {
   Writer w;
-  w.Raw(kDatabaseMagic, kMagicLen);
+  w.Raw(kDatabaseMagicV1, kMagicLen);
   WriteCatalogBody(w, db.catalog_);
 
   w.Pod<std::int32_t>(db.image_width_);
@@ -264,84 +705,177 @@ std::string DatabaseIo::SerializeDatabase(const ImageDatabase& db) {
 
 StatusOr<ImageDatabase> DatabaseIo::DeserializeDatabase(
     const std::string& bytes) {
-  const auto corrupt = [] { return Status::IoError("truncated database blob"); };
-  Reader r(bytes);
-  char magic[kMagicLen];
-  if (!r.Raw(magic, kMagicLen) ||
-      std::memcmp(magic, kDatabaseMagic, kMagicLen) != 0) {
-    return Status::IoError("not a database blob (bad magic)");
+  MemoryByteSource source(bytes);
+  return LoadDatabaseFrom(source, SnapshotLoadOptions{});
+}
+
+StatusOr<ImageDatabase> DatabaseIo::LoadDatabaseFrom(
+    const ByteSource& source, const SnapshotLoadOptions& options) {
+  QDCBIR_SPAN("io.load.total");
+  StatusOr<Directory> dir = ReadDirectory(source);
+  if (!dir.ok()) return dir.status();
+
+  Staging st;
+  if (dir->version == 1) {
+    std::string bytes;
+    QDCBIR_RETURN_IF_ERROR(ReadAll(source, &bytes));
+    QDCBIR_RETURN_IF_ERROR(DecodeV1(bytes, &st));
+  } else {
+    const std::vector<DirEntry>& entries = dir->entries;
+    std::vector<Status> statuses(entries.size());
+    const bool parallel = options.pool != nullptr &&
+                          options.pool->size() > 1 && entries.size() > 1;
+    if (parallel) {
+      // Each task reads its own byte range (positioned I/O) and decodes
+      // into its own staging slot: file reads overlap with decoding and
+      // with each other, and the assembled database is byte-identical to a
+      // sequential load because assembly below is order-independent.
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(entries.size());
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        tasks.push_back([&source, &entries, &options, &st, &statuses, i] {
+          statuses[i] = ReadAndDecodeChunk(source, entries[i],
+                                           options.verify_checksums, &st);
+        });
+      }
+      options.pool->Run(std::move(tasks));
+    } else {
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        statuses[i] = ReadAndDecodeChunk(source, entries[i],
+                                         options.verify_checksums, &st);
+      }
+    }
+    // Report the first failure in directory order so the error is
+    // deterministic across pool widths.
+    for (const Status& s : statuses) {
+      if (!s.ok()) return s;
+    }
+  }
+
+  QDCBIR_SPAN("io.load.assemble");
+  if (!st.has_catalog || !st.has_meta || !st.has_records || !st.has_table[0] ||
+      !st.has_norm[0]) {
+    return Status::Corrupt("snapshot is missing a required chunk");
   }
   ImageDatabase db;
-  QDCBIR_RETURN_IF_ERROR(ReadCatalogBody(r, &db.catalog_.categories_,
-                                         &db.catalog_.subconcepts_,
-                                         &db.catalog_.queries_));
-  std::uint64_t num_records = 0;
-  if (!r.Pod(&db.image_width_) || !r.Pod(&db.image_height_) ||
-      !r.Pod(&num_records)) {
-    return corrupt();
+  db.catalog_.categories_ = std::move(st.categories);
+  db.catalog_.subconcepts_ = std::move(st.subconcepts);
+  db.catalog_.queries_ = std::move(st.queries);
+  db.image_width_ = st.width;
+  db.image_height_ = st.height;
+
+  if (st.records.size() != st.record_count) {
+    return Status::Corrupt("record count disagrees with snapshot meta");
   }
-  db.records_.resize(num_records);
+  db.records_ = std::move(st.records);
   db.subconcept_images_.assign(db.catalog_.subconcepts().size(), {});
-  for (std::uint64_t i = 0; i < num_records; ++i) {
-    ImageRecord& rec = db.records_[i];
-    rec.id = static_cast<ImageId>(i);
-    if (!r.Pod(&rec.subconcept) || !r.Pod(&rec.category) ||
-        !r.Pod(&rec.render_seed)) {
-      return corrupt();
-    }
+  for (const ImageRecord& rec : db.records_) {
     if (rec.subconcept >= db.subconcept_images_.size()) {
-      return Status::IoError("record references unknown sub-concept");
+      return Status::Corrupt("record references unknown sub-concept");
     }
     db.subconcept_images_[rec.subconcept].push_back(rec.id);
   }
-  if (!ReadFeatureTable(r, &db.features_)) return corrupt();
-  if (db.features_.size() != num_records) {
-    return Status::IoError("feature table size mismatch");
-  }
-  db.channel_features_[0] = db.features_;
 
-  std::uint8_t has_channels = 0;
-  if (!r.Pod(&has_channels)) return corrupt();
-  if (has_channels) {
-    for (int c = 1; c < kNumViewpointChannels; ++c) {
-      if (!ReadFeatureTable(r, &db.channel_features_[c])) return corrupt();
-    }
+  if (st.tables[0].size() != db.records_.size()) {
+    return Status::Corrupt("feature table size mismatch");
   }
-  std::string normalizer_blob;
-  if (!r.Str(&normalizer_blob)) return corrupt();
-  StatusOr<FeatureNormalizer> normalizer =
-      FeatureNormalizer::Deserialize(normalizer_blob);
-  if (!normalizer.ok()) return normalizer.status();
-  db.normalizer_ = std::move(normalizer).value();
+  db.features_ = std::move(st.tables[0]);
+  db.channel_features_[0] = db.features_;
+  db.normalizer_ = std::move(st.norms[0]);
   db.channel_normalizers_[0] = db.normalizer_;
-  if (has_channels) {
-    for (int c = 1; c < kNumViewpointChannels; ++c) {
-      if (!r.Str(&normalizer_blob)) return corrupt();
-      StatusOr<FeatureNormalizer> n =
-          FeatureNormalizer::Deserialize(normalizer_blob);
-      if (!n.ok()) return n.status();
-      db.channel_normalizers_[c] = std::move(n).value();
+
+  const bool channels = st.channels_flag != 0;
+  for (int c = 1; c < kNumViewpointChannels; ++c) {
+    if (channels != st.has_table[c] || channels != st.has_norm[c]) {
+      return Status::Corrupt("channel chunks disagree with snapshot meta");
+    }
+    if (channels) {
+      if (st.tables[c].size() != db.records_.size()) {
+        return Status::Corrupt("channel feature table size mismatch");
+      }
+      db.channel_features_[c] = std::move(st.tables[c]);
+      db.channel_normalizers_[c] = std::move(st.norms[c]);
     }
   }
   return db;
 }
 
 Status DatabaseIo::SaveDatabase(const ImageDatabase& db,
-                                const std::string& path) {
+                                const std::string& path,
+                                const std::string* rfs_blob) {
+  QDCBIR_SPAN("io.save.total");
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open for writing: " + path);
-  const std::string bytes = SerializeDatabase(db);
+  const std::string bytes = SerializeDatabase(db, rfs_blob);
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   if (!out) return Status::IoError("write failed: " + path);
+  obs::MetricsRegistry::Global().GetCounter("io.save.bytes").Add(bytes.size());
   return Status::Ok();
 }
 
 StatusOr<ImageDatabase> DatabaseIo::LoadDatabase(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for reading: " + path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return DeserializeDatabase(ss.str());
+  return LoadDatabase(path, SnapshotLoadOptions{});
+}
+
+StatusOr<ImageDatabase> DatabaseIo::LoadDatabase(
+    const std::string& path, const SnapshotLoadOptions& options) {
+  StatusOr<std::unique_ptr<FileByteSource>> source =
+      FileByteSource::Open(path);
+  if (!source.ok()) return source.status();
+  return LoadDatabaseFrom(**source, options);
+}
+
+StatusOr<std::string> DatabaseIo::LoadEmbeddedRfsBlob(const std::string& path) {
+  StatusOr<std::unique_ptr<FileByteSource>> source =
+      FileByteSource::Open(path);
+  if (!source.ok()) return source.status();
+  return LoadEmbeddedRfsBlobFrom(**source);
+}
+
+StatusOr<std::string> DatabaseIo::LoadEmbeddedRfsBlobFrom(
+    const ByteSource& source) {
+  StatusOr<Directory> dir = ReadDirectory(source);
+  if (!dir.ok()) return dir.status();
+  if (dir->version == 1) {
+    return Status::NotFound("v1 snapshots carry no embedded RFS section");
+  }
+  for (const DirEntry& e : dir->entries) {
+    if (e.id != kChunkRfs) continue;
+    std::string payload(e.length, '\0');
+    QDCBIR_RETURN_IF_ERROR(source.ReadAt(e.offset, e.length, payload.data()));
+    if (Crc32c::Compute(payload) != e.crc) {
+      return Status::Corrupt("chunk RFS0 checksum mismatch");
+    }
+    return payload;
+  }
+  return Status::NotFound("snapshot has no embedded RFS section");
+}
+
+StatusOr<SnapshotInfo> DatabaseIo::InspectSnapshot(const ByteSource& source) {
+  StatusOr<Directory> dir = ReadDirectory(source);
+  if (!dir.ok()) return dir.status();
+  SnapshotInfo info;
+  info.version = dir->version;
+  info.file_size = source.Size();
+  for (const DirEntry& e : dir->entries) {
+    SnapshotChunkInfo chunk;
+    chunk.id = ChunkIdToString(e.id);
+    chunk.offset = e.offset;
+    chunk.length = e.length;
+    chunk.crc32c = e.crc;
+    std::string payload(e.length, '\0');
+    const Status read = source.ReadAt(e.offset, e.length, payload.data());
+    chunk.crc_ok = read.ok() && Crc32c::Compute(payload) == e.crc;
+    info.chunks.push_back(std::move(chunk));
+  }
+  return info;
+}
+
+StatusOr<SnapshotInfo> DatabaseIo::InspectSnapshot(const std::string& path) {
+  StatusOr<std::unique_ptr<FileByteSource>> source =
+      FileByteSource::Open(path);
+  if (!source.ok()) return source.status();
+  return InspectSnapshot(**source);
 }
 
 }  // namespace qdcbir

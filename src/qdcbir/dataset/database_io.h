@@ -1,35 +1,109 @@
 #ifndef QDCBIR_DATASET_DATABASE_IO_H_
 #define QDCBIR_DATASET_DATABASE_IO_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
+#include "qdcbir/core/byte_source.h"
 #include "qdcbir/core/status.h"
 #include "qdcbir/dataset/catalog.h"
 #include "qdcbir/dataset/database.h"
 
 namespace qdcbir {
 
+class ThreadPool;
+
+/// How a snapshot is loaded. The defaults reproduce the sequential path;
+/// handing the loader a pool overlaps chunk file reads with per-chunk
+/// decoding (feature tables decode in parallel with the catalog and
+/// records), which is the startup hot path for paper-scale databases.
+/// The resulting database is byte-identical regardless of pool width.
+struct SnapshotLoadOptions {
+  /// Pool for overlapped chunk read+decode; `nullptr` (or a 1-lane pool)
+  /// loads strictly sequentially.
+  ThreadPool* pool = nullptr;
+  /// Verify every chunk's CRC32C before decoding it. Disabling skips the
+  /// integrity pass (trusted in-process round trips only).
+  bool verify_checksums = true;
+};
+
+/// One entry of a v2 snapshot's chunk directory, as reported by
+/// `DatabaseIo::InspectSnapshot`.
+struct SnapshotChunkInfo {
+  std::string id;        ///< four-character chunk tag, e.g. "FTB0"
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::uint32_t crc32c = 0;  ///< stored checksum
+  bool crc_ok = false;       ///< stored checksum matches the payload bytes
+};
+
+/// Snapshot directory summary (`DatabaseIo::InspectSnapshot`).
+struct SnapshotInfo {
+  int version = 0;  ///< 1 = legacy monolithic blob, 2 = chunked
+  std::uint64_t file_size = 0;
+  std::vector<SnapshotChunkInfo> chunks;  ///< empty for v1 blobs
+};
+
 /// Binary (de)serialization of catalogs and image databases.
 ///
-/// Synthesizing and feature-extracting a paper-scale database (15,000 images
-/// x 4 viewpoint channels) takes on the order of a minute; the benchmark
-/// binaries serialize the result once and reload it afterwards. The format
-/// is host-endian and versioned by magic strings (a cache format, not an
-/// interchange format).
+/// Synthesizing and feature-extracting a paper-scale database (15,000
+/// images x 4 viewpoint channels) takes on the order of a minute; the
+/// benchmark binaries serialize the result once and reload it afterwards,
+/// which makes snapshot load the startup hot path.
+///
+/// Databases are written in the **chunked snapshot format v2**
+/// (docs/snapshot_format.md): a checksummed directory of per-section chunks
+/// (catalog, records, one chunk per feature table, normalizers, an optional
+/// embedded RFS blob), each carrying its byte length and a CRC32C. Loads
+/// return typed errors — `kTruncated` when bytes end early, `kCorrupt` on
+/// checksum/structure violations, `kVersionMismatch` for unknown versions —
+/// and never trust embedded counts beyond the bytes actually present. The
+/// legacy v1 monolithic format is still read transparently. The format is
+/// little-endian; it is a cache format, not an interchange format.
 class DatabaseIo {
  public:
   /// Serializes a catalog (categories, sub-concept recipes, queries).
   static std::string SerializeCatalog(const Catalog& catalog);
   static StatusOr<Catalog> DeserializeCatalog(const std::string& bytes);
 
-  /// Serializes a database (catalog, records, normalizers, all feature
-  /// tables). Pixels are not stored; `Render` reproduces them on demand.
-  static std::string SerializeDatabase(const ImageDatabase& db);
+  /// Serializes a database to snapshot format v2 (catalog, records,
+  /// normalizers, all feature tables). Pixels are not stored; `Render`
+  /// reproduces them on demand. When `rfs_blob` is non-null, the opaque
+  /// pre-serialized RFS bytes (see `RfsSerializer`) ride along in their own
+  /// chunk and can be recovered with `LoadEmbeddedRfsBlob`.
+  static std::string SerializeDatabase(const ImageDatabase& db,
+                                       const std::string* rfs_blob = nullptr);
+
+  /// Decodes a v2 or legacy v1 blob (sequential, checksums verified).
   static StatusOr<ImageDatabase> DeserializeDatabase(const std::string& bytes);
 
+  /// Legacy v1 writer, kept so the v1 compatibility reader stays testable
+  /// without fixture files. New code should not call this.
+  static std::string SerializeDatabaseV1(const ImageDatabase& db);
+
   /// File convenience wrappers.
-  static Status SaveDatabase(const ImageDatabase& db, const std::string& path);
+  static Status SaveDatabase(const ImageDatabase& db, const std::string& path,
+                             const std::string* rfs_blob = nullptr);
   static StatusOr<ImageDatabase> LoadDatabase(const std::string& path);
+  static StatusOr<ImageDatabase> LoadDatabase(
+      const std::string& path, const SnapshotLoadOptions& options);
+
+  /// Core loader over any random-access source; `options.pool` overlaps
+  /// per-chunk reads and decodes across the pool's lanes.
+  static StatusOr<ImageDatabase> LoadDatabaseFrom(
+      const ByteSource& source, const SnapshotLoadOptions& options);
+
+  /// Extracts the embedded RFS chunk (checksum-verified) from a v2
+  /// snapshot. `kNotFound` when the snapshot carries none.
+  static StatusOr<std::string> LoadEmbeddedRfsBlob(const std::string& path);
+  static StatusOr<std::string> LoadEmbeddedRfsBlobFrom(
+      const ByteSource& source);
+
+  /// Walks the chunk directory and recomputes every chunk's checksum
+  /// without decoding payloads — the `qdcbir_tool snapshot` inspector.
+  static StatusOr<SnapshotInfo> InspectSnapshot(const ByteSource& source);
+  static StatusOr<SnapshotInfo> InspectSnapshot(const std::string& path);
 };
 
 }  // namespace qdcbir

@@ -40,11 +40,20 @@ StatusOr<ImageDatabase> DatabaseSynthesizer::Synthesize(
     ++allocated;
     ++cursor;
   }
+  // Keep at least one image per sub-concept while the budget allows; when
+  // total_images < #sub-concepts that floor is unsatisfiable, so after one
+  // full fruitless cycle drop it and let starved sub-concepts go empty
+  // (otherwise this loop never terminates).
+  std::size_t fruitless = 0;
   while (allocated > options.total_images) {
     const std::size_t i = cursor % counts.size();
-    if (counts[i] > 1) {
+    const std::size_t keep = fruitless >= counts.size() ? 0 : 1;
+    if (counts[i] > keep) {
       counts[i] -= 1;
       --allocated;
+      fruitless = 0;
+    } else {
+      ++fruitless;
     }
     ++cursor;
   }

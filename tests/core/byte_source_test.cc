@@ -1,0 +1,59 @@
+#include "qdcbir/core/byte_source.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace qdcbir {
+namespace {
+
+TEST(MemoryByteSourceTest, ReadsExactWindows) {
+  const std::string bytes = "0123456789";
+  MemoryByteSource src(bytes);
+  EXPECT_EQ(src.Size(), 10u);
+  std::string out(4, '\0');
+  ASSERT_TRUE(src.ReadAt(3, 4, out.data()).ok());
+  EXPECT_EQ(out, "3456");
+  ASSERT_TRUE(src.ReadAt(0, 0, out.data()).ok());
+  ASSERT_TRUE(src.ReadAt(10, 0, out.data()).ok()) << "empty read at the end";
+}
+
+TEST(MemoryByteSourceTest, ReadsPastEndAreTruncated) {
+  const std::string bytes = "0123456789";
+  MemoryByteSource src(bytes);
+  char buf[16];
+  EXPECT_EQ(src.ReadAt(8, 4, buf).code(), StatusCode::kTruncated);
+  EXPECT_EQ(src.ReadAt(11, 1, buf).code(), StatusCode::kTruncated);
+  // All-or-nothing: a failed read is not a partial read.
+  EXPECT_EQ(src.ReadAt(20, 1, buf).code(), StatusCode::kTruncated);
+}
+
+TEST(FileByteSourceTest, ReadsARealFile) {
+  const std::string path = ::testing::TempDir() + "/qdcbir_byte_source.bin";
+  const std::string payload = "the bytes on disk";
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << payload;
+  }
+  StatusOr<std::unique_ptr<FileByteSource>> src = FileByteSource::Open(path);
+  ASSERT_TRUE(src.ok()) << src.status().ToString();
+  EXPECT_EQ((*src)->Size(), payload.size());
+  std::string out(5, '\0');
+  ASSERT_TRUE((*src)->ReadAt(4, 5, out.data()).ok());
+  EXPECT_EQ(out, "bytes");
+  char c;
+  EXPECT_EQ((*src)->ReadAt(payload.size(), 1, &c).code(),
+            StatusCode::kTruncated);
+  std::remove(path.c_str());
+}
+
+TEST(FileByteSourceTest, MissingFileIsNotFoundAndDirsAreRejected) {
+  EXPECT_FALSE(FileByteSource::Open("/nonexistent/snapshot.bin").ok());
+  EXPECT_FALSE(FileByteSource::Open(::testing::TempDir()).ok())
+      << "directories are not byte sources";
+}
+
+}  // namespace
+}  // namespace qdcbir

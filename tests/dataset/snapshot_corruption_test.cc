@@ -1,0 +1,204 @@
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qdcbir/core/rng.h"
+#include "qdcbir/dataset/database_io.h"
+#include "qdcbir/dataset/synthesizer.h"
+#include "support/fault_stream.h"
+
+namespace qdcbir {
+namespace {
+
+using testsupport::FaultInjectingSource;
+using testsupport::FaultSpec;
+using testsupport::FlipBit;
+using testsupport::SampleOffsets;
+using testsupport::TruncateAt;
+
+/// The corruption contract: a damaged snapshot must always yield a typed
+/// I/O error — never a crash, never an OOM, and never a silently wrong
+/// database. Each sweep below damages a snapshot in a different way at
+/// offsets covering every chunk boundary plus seeded interior points, and
+/// asserts the exact Status family that class of damage must produce.
+class SnapshotCorruptionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CatalogOptions catalog_options;
+    catalog_options.num_categories = 12;
+    const Catalog catalog = Catalog::Build(catalog_options).value();
+    SynthesizerOptions options;
+    options.total_images = 60;
+    options.image_width = 12;
+    options.image_height = 12;
+    const ImageDatabase db =
+        DatabaseSynthesizer::Synthesize(catalog, options).value();
+    const std::string rfs = "embedded-rfs-payload";
+    blob_ = new std::string(DatabaseIo::SerializeDatabase(db, &rfs));
+    info_ = new SnapshotInfo(
+        DatabaseIo::InspectSnapshot(MemoryByteSource(*blob_)).value());
+  }
+  static void TearDownTestSuite() {
+    delete blob_;
+    delete info_;
+  }
+
+  /// Every structurally interesting offset: chunk starts and ends, the
+  /// directory header, plus `interior` seeded probe points. Deduplicated
+  /// and sorted so failures name a reproducible offset.
+  static std::vector<std::size_t> ProbeOffsets(std::size_t interior) {
+    std::set<std::size_t> probes;
+    probes.insert(0);           // inside the magic
+    probes.insert(8);           // version field
+    probes.insert(12);          // chunk count field
+    for (const SnapshotChunkInfo& chunk : info_->chunks) {
+      probes.insert(chunk.offset);
+      probes.insert(chunk.offset + chunk.length - 1);
+      probes.insert(chunk.offset + chunk.length);  // first byte of the next
+    }
+    Rng rng(2026);
+    for (const std::size_t off : SampleOffsets(rng, blob_->size(), interior)) {
+      probes.insert(off);
+    }
+    std::vector<std::size_t> out(probes.begin(), probes.end());
+    while (!out.empty() && out.back() >= blob_->size()) out.pop_back();
+    return out;
+  }
+
+  static const std::string* blob_;
+  static const SnapshotInfo* info_;
+};
+
+const std::string* SnapshotCorruptionTest::blob_ = nullptr;
+const SnapshotInfo* SnapshotCorruptionTest::info_ = nullptr;
+
+TEST_F(SnapshotCorruptionTest, TruncationAnywhereIsExactlyTruncated) {
+  // Cutting the file at any point — a chunk boundary or mid-payload — is a
+  // distinct condition from bit rot and must be reported as such.
+  for (const std::size_t cut : ProbeOffsets(/*interior=*/48)) {
+    SCOPED_TRACE("cut at " + std::to_string(cut));
+    const StatusOr<ImageDatabase> db =
+        DatabaseIo::DeserializeDatabase(TruncateAt(*blob_, cut));
+    ASSERT_FALSE(db.ok()) << "truncated snapshot loaded successfully";
+    EXPECT_EQ(db.status().code(), StatusCode::kTruncated)
+        << db.status().ToString();
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, BitFlipAnywhereIsDetectedAndTyped) {
+  // Single-bit damage is always caught (CRC32C detects all 1-bit errors)
+  // and maps to one of the three snapshot error codes. Flips inside the
+  // version field legitimately read as a different version — that is what
+  // kVersionMismatch is for — and everything else is kCorrupt. kTruncated
+  // can surface only from flips in the chunk-count field, which the
+  // directory bounds checks hit before the directory checksum.
+  for (const std::size_t offset : ProbeOffsets(/*interior=*/24)) {
+    for (const int bit : {0, 5, 7}) {
+      SCOPED_TRACE("flip bit " + std::to_string(bit) + " of byte " +
+                   std::to_string(offset));
+      const StatusOr<ImageDatabase> db =
+          DatabaseIo::DeserializeDatabase(FlipBit(*blob_, offset, bit));
+      ASSERT_FALSE(db.ok()) << "bit flip went undetected";
+      const StatusCode code = db.status().code();
+      EXPECT_TRUE(code == StatusCode::kCorrupt ||
+                  code == StatusCode::kTruncated ||
+                  code == StatusCode::kVersionMismatch)
+          << db.status().ToString();
+      if (offset >= 8 && offset < 12) {
+        EXPECT_EQ(code, StatusCode::kVersionMismatch) << db.status().ToString();
+      } else if (offset < 8 || offset >= 16) {
+        EXPECT_EQ(code, StatusCode::kCorrupt) << db.status().ToString();
+      }
+    }
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, EveryFailedReadOperationPropagatesIoError) {
+  // First count how many positioned reads a clean load issues, then replay
+  // the load failing each one in turn. Whichever read dies, the loader must
+  // surface the device error — a load can never quietly succeed with a
+  // chunk it did not read.
+  MemoryByteSource base(*blob_);
+  FaultInjectingSource clean(base, FaultSpec{});
+  ASSERT_TRUE(DatabaseIo::LoadDatabaseFrom(clean, SnapshotLoadOptions{}).ok());
+  const std::uint64_t total_ops = clean.ops();
+  ASSERT_GT(total_ops, 3u);
+
+  for (std::uint64_t op = 0; op < total_ops; ++op) {
+    SCOPED_TRACE("failing read operation " + std::to_string(op));
+    FaultSpec spec;
+    spec.fail_op = static_cast<std::int64_t>(op);
+    FaultInjectingSource source(base, spec);
+    const StatusOr<ImageDatabase> db =
+        DatabaseIo::LoadDatabaseFrom(source, SnapshotLoadOptions{});
+    ASSERT_FALSE(db.ok());
+    EXPECT_EQ(db.status().code(), StatusCode::kIoError)
+        << db.status().ToString();
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, ShortReadsSurfaceAsTruncated) {
+  MemoryByteSource base(*blob_);
+  FaultInjectingSource clean(base, FaultSpec{});
+  ASSERT_TRUE(DatabaseIo::LoadDatabaseFrom(clean, SnapshotLoadOptions{}).ok());
+  const std::uint64_t total_ops = clean.ops();
+
+  for (std::uint64_t op = 0; op < total_ops; ++op) {
+    SCOPED_TRACE("short read at operation " + std::to_string(op));
+    FaultSpec spec;
+    spec.short_read_op = static_cast<std::int64_t>(op);
+    FaultInjectingSource source(base, spec);
+    const StatusOr<ImageDatabase> db =
+        DatabaseIo::LoadDatabaseFrom(source, SnapshotLoadOptions{});
+    ASSERT_FALSE(db.ok());
+    EXPECT_EQ(db.status().code(), StatusCode::kTruncated)
+        << db.status().ToString();
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, V1BlobsGetTypedErrorsToo) {
+  // The compat path predates checksums, so it cannot distinguish bit rot
+  // from hostility — but it must still never crash and must type whatever
+  // it reports. Truncations are exact; flips either fail typed or decode to
+  // a structurally valid database (no checksum ⇒ no detection guarantee),
+  // which is precisely the weakness the v2 format exists to close.
+  CatalogOptions catalog_options;
+  catalog_options.num_categories = 11;
+  const Catalog catalog = Catalog::Build(catalog_options).value();
+  SynthesizerOptions options;
+  options.total_images = 30;
+  options.image_width = 8;
+  options.image_height = 8;
+  options.extract_viewpoint_channels = false;
+  const ImageDatabase db =
+      DatabaseSynthesizer::Synthesize(catalog, options).value();
+  const std::string v1 = DatabaseIo::SerializeDatabaseV1(db);
+
+  Rng rng(77);
+  for (const std::size_t cut : SampleOffsets(rng, v1.size(), 32)) {
+    SCOPED_TRACE("v1 cut at " + std::to_string(cut));
+    const StatusOr<ImageDatabase> loaded =
+        DatabaseIo::DeserializeDatabase(TruncateAt(v1, cut));
+    ASSERT_FALSE(loaded.ok());
+    const StatusCode code = loaded.status().code();
+    EXPECT_TRUE(code == StatusCode::kTruncated || code == StatusCode::kCorrupt)
+        << loaded.status().ToString();
+  }
+  for (const std::size_t offset : SampleOffsets(rng, v1.size(), 32)) {
+    SCOPED_TRACE("v1 flip at " + std::to_string(offset));
+    const StatusOr<ImageDatabase> loaded =
+        DatabaseIo::DeserializeDatabase(FlipBit(v1, offset, 3));
+    if (!loaded.ok()) {
+      const StatusCode code = loaded.status().code();
+      EXPECT_TRUE(code == StatusCode::kTruncated ||
+                  code == StatusCode::kCorrupt)
+          << loaded.status().ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qdcbir

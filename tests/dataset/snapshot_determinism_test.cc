@@ -1,0 +1,136 @@
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qdcbir/core/thread_pool.h"
+#include "qdcbir/dataset/database_io.h"
+#include "qdcbir/dataset/synthesizer.h"
+#include "support/fault_stream.h"
+
+namespace qdcbir {
+namespace {
+
+using testsupport::FaultInjectingSource;
+using testsupport::FaultSpec;
+using testsupport::FlipBit;
+
+/// The async loader's determinism contract: loading a snapshot through a
+/// thread pool of any width produces a database byte-identical to the
+/// sequential reference load, and a damaged snapshot produces the same
+/// typed error regardless of how chunk reads were scheduled. This test is
+/// part of the TSan CI job (its name matches the `determinism` filter), so
+/// the overlapped read/decode path is also exercised under the race
+/// detector here.
+class SnapshotDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CatalogOptions catalog_options;
+    catalog_options.num_categories = 12;
+    const Catalog catalog = Catalog::Build(catalog_options).value();
+    SynthesizerOptions options;
+    options.total_images = 90;
+    options.image_width = 12;
+    options.image_height = 12;
+    const ImageDatabase db =
+        DatabaseSynthesizer::Synthesize(catalog, options).value();
+    const std::string rfs = "rfs state for determinism checks";
+    blob_ = new std::string(DatabaseIo::SerializeDatabase(db, &rfs));
+  }
+  static void TearDownTestSuite() { delete blob_; }
+  static const std::string* blob_;
+};
+
+const std::string* SnapshotDeterminismTest::blob_ = nullptr;
+
+TEST_F(SnapshotDeterminismTest, LoadIsByteIdenticalAcrossPoolWidths) {
+  MemoryByteSource source(*blob_);
+  const StatusOr<ImageDatabase> reference =
+      DatabaseIo::LoadDatabaseFrom(source, SnapshotLoadOptions{});
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  const std::string canonical = DatabaseIo::SerializeDatabase(*reference);
+
+  for (const std::size_t width : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("pool width " + std::to_string(width));
+    ThreadPool pool(width);
+    SnapshotLoadOptions options;
+    options.pool = &pool;
+    const StatusOr<ImageDatabase> loaded =
+        DatabaseIo::LoadDatabaseFrom(source, options);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(DatabaseIo::SerializeDatabase(*loaded), canonical);
+  }
+}
+
+TEST_F(SnapshotDeterminismTest, RepeatedParallelLoadsAgree) {
+  // Same pool, many loads: chunk scheduling varies run to run, the result
+  // must not.
+  ThreadPool pool(4);
+  SnapshotLoadOptions options;
+  options.pool = &pool;
+  MemoryByteSource source(*blob_);
+  std::string first;
+  for (int round = 0; round < 8; ++round) {
+    const StatusOr<ImageDatabase> loaded =
+        DatabaseIo::LoadDatabaseFrom(source, options);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    const std::string bytes = DatabaseIo::SerializeDatabase(*loaded);
+    if (round == 0) {
+      first = bytes;
+    } else {
+      ASSERT_EQ(bytes, first) << "round " << round;
+    }
+  }
+}
+
+TEST_F(SnapshotDeterminismTest, CorruptChunkFailsIdenticallyAtEveryWidth) {
+  // Flip one payload bit per chunk; whichever worker finds it, the load
+  // must report the same typed error as the sequential reference load
+  // (first failure in directory order).
+  const StatusOr<SnapshotInfo> info =
+      DatabaseIo::InspectSnapshot(MemoryByteSource(*blob_));
+  ASSERT_TRUE(info.ok());
+  for (const SnapshotChunkInfo& chunk : info->chunks) {
+    const std::string damaged =
+        FlipBit(*blob_, chunk.offset + chunk.length / 2, 2);
+    MemoryByteSource source(damaged);
+    const Status reference =
+        DatabaseIo::LoadDatabaseFrom(source, SnapshotLoadOptions{}).status();
+    ASSERT_FALSE(reference.ok()) << chunk.id;
+    for (const std::size_t width : {2u, 4u, 8u}) {
+      SCOPED_TRACE(chunk.id + " at pool width " + std::to_string(width));
+      ThreadPool pool(width);
+      SnapshotLoadOptions options;
+      options.pool = &pool;
+      const Status parallel =
+          DatabaseIo::LoadDatabaseFrom(source, options).status();
+      EXPECT_EQ(parallel.code(), reference.code());
+      EXPECT_EQ(parallel.message(), reference.message());
+    }
+  }
+}
+
+TEST_F(SnapshotDeterminismTest, InjectedDeviceFaultUnderParallelLoadIsTyped) {
+  // A transient read failure during an overlapped load: the op the fault
+  // lands on is scheduling-dependent, but the outcome must always be the
+  // typed device error — never a crash, partial database, or hang.
+  MemoryByteSource base(*blob_);
+  ThreadPool pool(4);
+  SnapshotLoadOptions options;
+  options.pool = &pool;
+  for (std::int64_t op = 0; op < 8; ++op) {
+    SCOPED_TRACE("fault at operation " + std::to_string(op));
+    FaultSpec spec;
+    spec.fail_op = op;
+    FaultInjectingSource source(base, spec);
+    const StatusOr<ImageDatabase> loaded =
+        DatabaseIo::LoadDatabaseFrom(source, options);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kIoError)
+        << loaded.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace qdcbir

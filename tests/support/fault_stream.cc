@@ -1,0 +1,68 @@
+#include "support/fault_stream.h"
+
+#include <algorithm>
+
+namespace qdcbir {
+namespace testsupport {
+
+std::uint64_t FaultInjectingSource::Size() const {
+  const std::uint64_t base = base_.Size();
+  if (spec_.truncate_at < 0) return base;
+  return std::min<std::uint64_t>(
+      base, static_cast<std::uint64_t>(spec_.truncate_at));
+}
+
+Status FaultInjectingSource::ReadAt(std::uint64_t offset, std::size_t n,
+                                    char* out) const {
+  const std::uint64_t op = ops_.fetch_add(1, std::memory_order_relaxed);
+  if (spec_.fail_op >= 0 &&
+      op == static_cast<std::uint64_t>(spec_.fail_op)) {
+    return Status::IoError("injected fault: operation " + std::to_string(op) +
+                           " failed");
+  }
+  const std::uint64_t size = Size();
+  if (offset > size || n > size - offset) {
+    return Status::Truncated("read past end of (truncated) source");
+  }
+  if (spec_.short_read_op >= 0 &&
+      op == static_cast<std::uint64_t>(spec_.short_read_op) && n > 0) {
+    // Deliver half the window, then report the stream ending early — what a
+    // positioned read against a concurrently shrinking file produces.
+    const Status partial = base_.ReadAt(offset, n / 2, out);
+    if (!partial.ok()) return partial;
+    return Status::Truncated("injected short read at operation " +
+                             std::to_string(op));
+  }
+  QDCBIR_RETURN_IF_ERROR(base_.ReadAt(offset, n, out));
+  if (spec_.flip_offset >= 0) {
+    const std::uint64_t flip = static_cast<std::uint64_t>(spec_.flip_offset);
+    if (flip >= offset && flip - offset < n) {
+      out[flip - offset] = static_cast<char>(
+          static_cast<unsigned char>(out[flip - offset]) ^ spec_.flip_mask);
+    }
+  }
+  return Status::Ok();
+}
+
+std::string TruncateAt(const std::string& bytes, std::size_t n) {
+  return bytes.substr(0, std::min(n, bytes.size()));
+}
+
+std::string FlipBit(const std::string& bytes, std::size_t offset, int bit) {
+  std::string out = bytes;
+  out.at(offset) = static_cast<char>(static_cast<unsigned char>(out[offset]) ^
+                                     (1u << (bit & 7)));
+  return out;
+}
+
+std::vector<std::size_t> SampleOffsets(Rng& rng, std::size_t size,
+                                       std::size_t count) {
+  std::vector<std::size_t> offsets;
+  if (size == 0) return offsets;
+  offsets = rng.SampleWithoutReplacement(size, std::min(count, size));
+  std::sort(offsets.begin(), offsets.end());
+  return offsets;
+}
+
+}  // namespace testsupport
+}  // namespace qdcbir

@@ -1,0 +1,73 @@
+#ifndef QDCBIR_TESTS_SUPPORT_FAULT_STREAM_H_
+#define QDCBIR_TESTS_SUPPORT_FAULT_STREAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qdcbir/core/byte_source.h"
+#include "qdcbir/core/rng.h"
+
+namespace qdcbir {
+namespace testsupport {
+
+/// One deterministic fault to inject into a byte stream. Every field is a
+/// precise, reproducible event — no hidden randomness; tests that want
+/// randomized placement draw offsets from a seeded `Rng` (see
+/// `SampleOffsets`) and record the seed, so any failure replays exactly.
+struct FaultSpec {
+  /// When >= 0, the stream reports `min(base size, truncate_at)` as its
+  /// size and refuses reads past it — a file cut at byte N.
+  std::int64_t truncate_at = -1;
+  /// When >= 0, the byte at this offset reads back XOR'd with `flip_mask` —
+  /// a bit flip at rest (storage rot, bad cable).
+  std::int64_t flip_offset = -1;
+  std::uint8_t flip_mask = 0x01;
+  /// When >= 0, the Nth `ReadAt` call (0-based, in arrival order) fails
+  /// with `kIoError` — a transient device error.
+  std::int64_t fail_op = -1;
+  /// When >= 0, the Nth `ReadAt` call delivers only half the requested
+  /// window and reports `kTruncated` — a short read at stream end.
+  std::int64_t short_read_op = -1;
+};
+
+/// A `ByteSource` decorator that injects the faults described by a
+/// `FaultSpec` into an otherwise well-behaved source. Thread-safe like the
+/// `ByteSource` contract requires: the operation counter is atomic, so
+/// op-indexed faults fire exactly once even under the async loader (which
+/// op they hit is scheduling-dependent there; with a sequential loader the
+/// arrival order — and therefore the victim operation — is deterministic).
+class FaultInjectingSource : public ByteSource {
+ public:
+  FaultInjectingSource(const ByteSource& base, const FaultSpec& spec)
+      : base_(base), spec_(spec) {}
+
+  std::uint64_t Size() const override;
+  Status ReadAt(std::uint64_t offset, std::size_t n,
+                char* out) const override;
+
+  /// Number of `ReadAt` calls observed so far (for sizing op sweeps).
+  std::uint64_t ops() const { return ops_.load(std::memory_order_relaxed); }
+
+ private:
+  const ByteSource& base_;
+  FaultSpec spec_;
+  mutable std::atomic<std::uint64_t> ops_{0};
+};
+
+/// Copy of `bytes` cut at byte `n` (clamped to the size).
+std::string TruncateAt(const std::string& bytes, std::size_t n);
+
+/// Copy of `bytes` with bit `bit` (0..7) of byte `offset` flipped.
+std::string FlipBit(const std::string& bytes, std::size_t offset, int bit);
+
+/// `count` distinct offsets in `[0, size)`, drawn from `rng` and sorted —
+/// the corruption sweep's seeded interior probe points.
+std::vector<std::size_t> SampleOffsets(Rng& rng, std::size_t size,
+                                       std::size_t count);
+
+}  // namespace testsupport
+}  // namespace qdcbir
+
+#endif  // QDCBIR_TESTS_SUPPORT_FAULT_STREAM_H_

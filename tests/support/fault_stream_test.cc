@@ -1,0 +1,104 @@
+#include "support/fault_stream.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace qdcbir {
+namespace {
+
+using testsupport::FaultInjectingSource;
+using testsupport::FaultSpec;
+
+std::string ReadWindow(const ByteSource& src, std::uint64_t offset,
+                       std::size_t n, Status* status) {
+  std::string out(n, '\0');
+  *status = src.ReadAt(offset, n, out.data());
+  return out;
+}
+
+TEST(FaultStreamTest, PassesThroughWithoutFaults) {
+  const std::string bytes = "abcdefghij";
+  MemoryByteSource base(bytes);
+  FaultInjectingSource src(base, FaultSpec{});
+  EXPECT_EQ(src.Size(), bytes.size());
+  Status status;
+  EXPECT_EQ(ReadWindow(src, 2, 5, &status), "cdefg");
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(src.ops(), 1u);
+}
+
+TEST(FaultStreamTest, TruncationShrinksSizeAndFailsReadsPastIt) {
+  const std::string bytes = "abcdefghij";
+  MemoryByteSource base(bytes);
+  FaultSpec spec;
+  spec.truncate_at = 4;
+  FaultInjectingSource src(base, spec);
+  EXPECT_EQ(src.Size(), 4u);
+  Status status;
+  EXPECT_EQ(ReadWindow(src, 0, 4, &status), "abcd");
+  EXPECT_TRUE(status.ok());
+  ReadWindow(src, 2, 3, &status);
+  EXPECT_EQ(status.code(), StatusCode::kTruncated);
+}
+
+TEST(FaultStreamTest, FlipsExactlyTheRequestedBit) {
+  const std::string bytes = "abcdefghij";
+  MemoryByteSource base(bytes);
+  FaultSpec spec;
+  spec.flip_offset = 3;  // 'd'
+  spec.flip_mask = 0x01;
+  FaultInjectingSource src(base, spec);
+  Status status;
+  EXPECT_EQ(ReadWindow(src, 0, 10, &status), "abceefghij");  // 'd'^1 = 'e'
+  EXPECT_TRUE(status.ok());
+  // A window not covering the flip offset is untouched.
+  EXPECT_EQ(ReadWindow(src, 4, 3, &status), "efg");
+  // A window starting exactly at the flip offset is hit at index 0.
+  EXPECT_EQ(ReadWindow(src, 3, 2, &status), "ee");
+}
+
+TEST(FaultStreamTest, FailsExactlyTheNthOperation) {
+  const std::string bytes = "abcdefghij";
+  MemoryByteSource base(bytes);
+  FaultSpec spec;
+  spec.fail_op = 2;
+  FaultInjectingSource src(base, spec);
+  Status status;
+  ReadWindow(src, 0, 1, &status);
+  EXPECT_TRUE(status.ok());
+  ReadWindow(src, 0, 1, &status);
+  EXPECT_TRUE(status.ok());
+  ReadWindow(src, 0, 1, &status);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  ReadWindow(src, 0, 1, &status);
+  EXPECT_TRUE(status.ok()) << "fault must fire exactly once";
+  EXPECT_EQ(src.ops(), 4u);
+}
+
+TEST(FaultStreamTest, ShortReadDeliversHalfThenReportsTruncated) {
+  const std::string bytes = "abcdefghij";
+  MemoryByteSource base(bytes);
+  FaultSpec spec;
+  spec.short_read_op = 0;
+  FaultInjectingSource src(base, spec);
+  Status status;
+  const std::string got = ReadWindow(src, 0, 8, &status);
+  EXPECT_EQ(status.code(), StatusCode::kTruncated);
+  EXPECT_EQ(got.substr(0, 4), "abcd");
+}
+
+TEST(FaultStreamTest, SampleOffsetsIsSeededAndInRange) {
+  Rng a(42), b(42), c(43);
+  const auto s1 = testsupport::SampleOffsets(a, 1000, 20);
+  const auto s2 = testsupport::SampleOffsets(b, 1000, 20);
+  const auto s3 = testsupport::SampleOffsets(c, 1000, 20);
+  EXPECT_EQ(s1, s2) << "equal seeds must give equal probe points";
+  EXPECT_NE(s1, s3);
+  ASSERT_EQ(s1.size(), 20u);
+  for (const std::size_t off : s1) EXPECT_LT(off, 1000u);
+  for (std::size_t i = 1; i < s1.size(); ++i) EXPECT_LT(s1[i - 1], s1[i]);
+}
+
+}  // namespace
+}  // namespace qdcbir

@@ -19,6 +19,11 @@
 //                          [--node=root]
 //       Render a node's representative images to PPM files (what the
 //       prototype's GUI would show the user).
+//   qdcbir_tool snapshot --db=db.bin [--verify=1 --threads=N]
+//                        [--flip-bit=OFFSET] [--truncate=BYTES]
+//       Inspect a snapshot's chunk table and checksums; --verify=1 fully
+//       loads it (non-zero exit on any corruption). The chaos flags damage
+//       the file in place so CI can prove corruption cannot pass --verify.
 
 #include <cstdio>
 #include <cstdlib>
@@ -302,9 +307,103 @@ int CmdExportReps(int argc, char** argv) {
   return 0;
 }
 
+int CmdSnapshot(int argc, char** argv) {
+  const std::string db_path = Flag(argc, argv, "db", "db.bin");
+  const std::int64_t flip = IntFlag(argc, argv, "flip-bit", -1);
+  const std::int64_t truncate = IntFlag(argc, argv, "truncate", -1);
+  const bool verify = Flag(argc, argv, "verify", "0") != "0";
+
+  // Chaos helpers first: corrupt the file in place, then (optionally)
+  // verify — CI uses this to prove a damaged snapshot cannot pass.
+  if (flip >= 0 || truncate >= 0) {
+    std::fstream f(db_path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s for corruption\n", db_path.c_str());
+      return 1;
+    }
+    if (flip >= 0) {
+      f.seekg(flip);
+      char byte = 0;
+      if (!f.get(byte)) {
+        std::fprintf(stderr, "--flip-bit=%lld past end of file\n",
+                     static_cast<long long>(flip));
+        return 1;
+      }
+      byte = static_cast<char>(static_cast<unsigned char>(byte) ^ 0x01);
+      f.seekp(flip);
+      f.put(byte);
+      std::printf("flipped bit 0 of byte %lld in %s\n",
+                  static_cast<long long>(flip), db_path.c_str());
+    }
+    f.close();
+    if (truncate >= 0) {
+      std::error_code ec;
+      std::filesystem::resize_file(db_path,
+                                   static_cast<std::uintmax_t>(truncate), ec);
+      if (ec) {
+        std::fprintf(stderr, "truncate failed: %s\n", ec.message().c_str());
+        return 1;
+      }
+      std::printf("truncated %s to %lld bytes\n", db_path.c_str(),
+                  static_cast<long long>(truncate));
+    }
+    // Deliberate damage is the whole point here — only fall through when
+    // the caller also asked to verify the (now damaged) snapshot.
+    if (!verify) return 0;
+  }
+
+  if (verify) {
+    const std::size_t threads =
+        static_cast<std::size_t>(IntFlag(argc, argv, "threads", 0));
+    ThreadPool pool(threads);
+    SnapshotLoadOptions options;
+    options.pool = &pool;
+    WallTimer timer;
+    StatusOr<ImageDatabase> db = DatabaseIo::LoadDatabase(db_path, options);
+    if (!db.ok()) return Fail(db.status());
+    std::printf("verify OK: %zu images, every chunk checksum valid "
+                "(%.2f s, %zu threads)\n",
+                db->size(), timer.Seconds(), pool.size());
+    return 0;
+  }
+
+  StatusOr<SnapshotInfo> info = DatabaseIo::InspectSnapshot(db_path);
+  if (!info.ok()) return Fail(info.status());
+  std::printf("snapshot %s: format v%d, %llu bytes, %zu chunks\n",
+              db_path.c_str(), info->version,
+              static_cast<unsigned long long>(info->file_size),
+              info->chunks.size());
+  if (info->version == 1) {
+    std::printf("  legacy monolithic blob (no per-chunk checksums); "
+                "re-save to upgrade\n");
+    return 0;
+  }
+  std::printf("  %-6s %12s %12s %10s  %s\n", "chunk", "offset", "length",
+              "crc32c", "ok");
+  bool all_ok = true;
+  for (const SnapshotChunkInfo& chunk : info->chunks) {
+    std::printf("  %-6s %12llu %12llu   %08x  %s\n", chunk.id.c_str(),
+                static_cast<unsigned long long>(chunk.offset),
+                static_cast<unsigned long long>(chunk.length), chunk.crc32c,
+                chunk.crc_ok ? "yes" : "NO");
+    all_ok = all_ok && chunk.crc_ok;
+  }
+  if (!all_ok) {
+    std::fprintf(stderr, "snapshot has corrupt chunks\n");
+    return 1;
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: qdcbir_tool <synth|rfs|info|query|render> [--flags]\n"
+               "usage: qdcbir_tool "
+               "<synth|rfs|info|query|render|catalog|export-reps|snapshot> "
+               "[--flags]\n"
+               "snapshot flags: --db=<path> [--verify=1] [--threads=N]\n"
+               "                [--flip-bit=OFFSET] [--truncate=BYTES]  "
+               "(chaos helpers: corrupt in place)\n"
                "run with a command and no flags to see its defaults\n"
                "global flags: --metrics-json=<path>  dump the metrics "
                "registry snapshot after the command\n"
@@ -321,6 +420,7 @@ int Dispatch(int argc, char** argv, const std::string& command) {
   if (command == "render") return CmdRender(argc, argv);
   if (command == "catalog") return CmdCatalog(argc, argv);
   if (command == "export-reps") return CmdExportReps(argc, argv);
+  if (command == "snapshot") return CmdSnapshot(argc, argv);
   return Usage();
 }
 
