@@ -7,6 +7,19 @@
 
 namespace qdcbir {
 
+namespace {
+
+/// Single source of truth behind the `pool.queue_depth` gauge, shared by
+/// every pool. The gauge is published with `Set()` (an absolute
+/// single-shard store) instead of sharded `Add()` deltas: with deltas, a
+/// scrape can sum a worker's decrement shard before the submitter's
+/// increment shard and report a negative depth. Each increment happens
+/// before its task is visible to workers, so this counter never goes
+/// below zero.
+std::atomic<std::int64_t> g_queued_tasks{0};
+
+}  // namespace
+
 std::size_t ThreadPool::DefaultThreadCount() {
   if (const char* env = std::getenv("QDCBIR_THREADS")) {
     char* end = nullptr;
@@ -25,15 +38,18 @@ ThreadPool& ThreadPool::Global() {
 ThreadPool::ThreadPool(std::size_t threads)
     : threads_(threads > 0 ? threads : DefaultThreadCount()),
       queue_depth_(obs::MetricsRegistry::Global().GetGauge(
-          "pool.queue_depth")),
+          "pool.queue_depth",
+          "Tasks enqueued on any thread pool but not yet started")),
       task_wait_ns_(obs::MetricsRegistry::Global().GetHistogram(
-          "pool.task.wait_ns")),
+          "pool.task.wait_ns",
+          "Queue wait of a pool task from enqueue to first run")),
       task_run_ns_(obs::MetricsRegistry::Global().GetHistogram(
-          "pool.task.run_ns")),
+          "pool.task.run_ns", "Execution wall time of one pool task")),
       tasks_executed_(obs::MetricsRegistry::Global().GetCounter(
-          "pool.tasks.executed")),
+          "pool.tasks.executed", "Pool tasks run to completion")),
       busy_ns_(obs::MetricsRegistry::Global().GetCounter(
-          "pool.worker.busy_ns")) {
+          "pool.worker.busy_ns",
+          "Total wall time pool lanes spent executing tasks")) {
   workers_.reserve(threads_ - 1);
   for (std::size_t i = 0; i + 1 < threads_; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -64,10 +80,12 @@ bool ThreadPool::RunOneTask(std::unique_lock<std::mutex>& lock) {
   // queue depth under recursive ParallelFor use.
   Task task = std::move(queue_.back());
   queue_.pop_back();
+  // Published under mu_ so this pool's depth history is exact.
+  queue_depth_.Set(g_queued_tasks.fetch_sub(1, std::memory_order_relaxed) -
+                   1);
   lock.unlock();
 
   const std::uint64_t start_ns = obs::MonotonicNanos();
-  queue_depth_.Add(-1);
   task_wait_ns_.Record(start_ns - task.enqueue_ns);
 
   std::exception_ptr error;
@@ -86,6 +104,32 @@ bool ThreadPool::RunOneTask(std::unique_lock<std::mutex>& lock) {
   if (error && !task.batch->error) task.batch->error = error;
   if (--task.batch->pending == 0) done_cv_.notify_all();
   return true;
+}
+
+void ThreadPool::Post(std::function<void()> task) {
+  if (threads_ <= 1) {
+    const std::uint64_t start_ns = obs::MonotonicNanos();
+    try {
+      task();
+    } catch (...) {
+      // Same contract as the queued path: posted tasks own their failures.
+    }
+    const std::uint64_t run_ns = obs::MonotonicNanos() - start_ns;
+    task_run_ns_.Record(run_ns);
+    busy_ns_.Add(run_ns);
+    tasks_executed_.Add(1);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->pending = 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_depth_.Set(g_queued_tasks.fetch_add(1, std::memory_order_relaxed) +
+                     1);
+    queue_.push_back(Task{std::move(task), std::move(batch),
+                          obs::MonotonicNanos()});
+  }
+  work_cv_.notify_one();
 }
 
 void ThreadPool::Run(std::vector<std::function<void()>> tasks) {
@@ -109,11 +153,17 @@ void ThreadPool::Run(std::vector<std::function<void()>> tasks) {
   const std::uint64_t enqueue_ns = obs::MonotonicNanos();
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // The gauge goes up before any worker can pop a task (the pop needs
+    // this same lock): a concurrent scrape must never observe more
+    // decrements than increments (a transiently negative queue depth).
+    queue_depth_.Set(
+        g_queued_tasks.fetch_add(static_cast<std::int64_t>(tasks.size()),
+                                 std::memory_order_relaxed) +
+        static_cast<std::int64_t>(tasks.size()));
     for (std::function<void()>& task : tasks) {
       queue_.push_back(Task{std::move(task), batch, enqueue_ns});
     }
   }
-  queue_depth_.Add(static_cast<std::int64_t>(tasks.size()));
   work_cv_.notify_all();
   // New tasks may be stolen by waiting submitters of outer batches.
   done_cv_.notify_all();

@@ -56,6 +56,13 @@ class ThreadPool {
   /// first exception raised by a task after the whole batch has finished.
   void Run(std::vector<std::function<void()>> tasks);
 
+  /// Fire-and-forget dispatch: enqueues `task` and returns immediately
+  /// (runs inline on a sequential pool). The destructor drains the queue,
+  /// so every posted task finishes before the pool is destroyed. Posted
+  /// work has no submitter to rethrow on; an exception from a posted task
+  /// is discarded, so tasks should handle their own failures.
+  void Post(std::function<void()> task);
+
   /// Calls `body(i)` for every `i` in `[begin, end)`, partitioned into
   /// chunks across the pool. `body` must be safe to invoke concurrently
   /// for distinct indices.

@@ -424,10 +424,13 @@ struct IoLoadMetrics {
   static IoLoadMetrics& Get() {
     static IoLoadMetrics* m = [] {
       obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
-      return new IoLoadMetrics{reg.GetCounter("io.load.bytes"),
-                               reg.GetCounter("io.load.chunks"),
-                               reg.GetCounter("io.load.chunks_skipped"),
-                               reg.GetCounter("io.load.crc_failures")};
+      return new IoLoadMetrics{
+          reg.GetCounter("io.load.bytes", "Snapshot bytes read and decoded"),
+          reg.GetCounter("io.load.chunks", "Snapshot chunks decoded"),
+          reg.GetCounter("io.load.chunks_skipped",
+                         "Snapshot chunks skipped (unknown id or disabled)"),
+          reg.GetCounter("io.load.crc_failures",
+                         "Snapshot chunks rejected by checksum")};
     }();
     return *m;
   }
@@ -809,7 +812,9 @@ Status DatabaseIo::SaveDatabase(const ImageDatabase& db,
   const std::string bytes = SerializeDatabase(db, rfs_blob);
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   if (!out) return Status::IoError("write failed: " + path);
-  obs::MetricsRegistry::Global().GetCounter("io.save.bytes").Add(bytes.size());
+  obs::MetricsRegistry::Global()
+      .GetCounter("io.save.bytes", "Snapshot bytes serialized to disk")
+      .Add(bytes.size());
   return Status::Ok();
 }
 

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <optional>
+#include <string_view>
 #include <unordered_set>
 #include <utility>
 
 #include "qdcbir/core/thread_pool.h"
 #include "qdcbir/eval/metrics.h"
 #include "qdcbir/obs/clock.h"
+#include "qdcbir/obs/query_log.h"
 #include "qdcbir/obs/span.h"
 
 namespace qdcbir {
@@ -30,6 +32,44 @@ std::vector<ImageId> FilterNew(const std::vector<ImageId>& picks,
     if (marked.insert(id).second) out.push_back(id);
   }
   return out;
+}
+
+std::uint64_t SecondsToNanos(double seconds) {
+  return seconds > 0.0 ? static_cast<std::uint64_t>(seconds * 1e9) : 0;
+}
+
+/// Publishes one completed session into the `/queryz` audit ring. Pure
+/// observation after the run finished — touches nothing the protocol or
+/// rankings depend on.
+void RecordAudit(std::string_view engine, const QueryGroundTruth& gt,
+                 const ProtocolOptions& protocol, const RunOutcome& outcome,
+                 std::size_t picks) {
+  obs::QueryAuditRecord record;
+  record.set_engine(engine);
+  record.set_label(gt.spec.name);
+  record.seed = protocol.seed;
+  record.rounds = outcome.iteration_seconds.size();
+  record.picks = picks;
+  record.results = outcome.final_results.size();
+  record.subqueries = outcome.qd_stats.localized_subqueries;
+  record.boundary_expansions = outcome.qd_stats.boundary_expansions;
+  record.nodes_touched = outcome.qd_stats.nodes_touched;
+  record.distinct_nodes_sampled = outcome.qd_stats.distinct_nodes_sampled;
+  if (engine == "qd") {
+    record.nodes_visited = outcome.qd_stats.knn_nodes_visited;
+    record.candidates_scored = outcome.qd_stats.knn_candidates;
+  } else {
+    record.nodes_visited = outcome.global_stats.global_knn_computations;
+    record.candidates_scored = outcome.global_stats.candidates_scanned;
+  }
+  std::uint64_t rounds_ns = 0;
+  for (const double t : outcome.iteration_seconds) {
+    rounds_ns += SecondsToNanos(t);
+  }
+  record.rounds_ns = rounds_ns;
+  record.finalize_ns = SecondsToNanos(outcome.finalize_seconds);
+  record.total_ns = SecondsToNanos(outcome.total_seconds);
+  obs::QueryLog::Global().Record(record);
 }
 
 }  // namespace
@@ -116,6 +156,7 @@ StatusOr<RunOutcome> SessionRunner::RunQd(const RfsTree& rfs,
   double engine_total = outcome.finalize_seconds;
   for (const double t : outcome.iteration_seconds) engine_total += t;
   outcome.total_seconds = engine_total;
+  RecordAudit("qd", gt, protocol, outcome, all_marked.size());
   return outcome;
 }
 
@@ -137,6 +178,7 @@ StatusOr<RunOutcome> SessionRunner::RunEngine(FeedbackEngine& engine,
   std::vector<ImageId> display = engine.Start();
   double engine_time = step.Seconds();
   bool any_marked = false;
+  std::size_t total_picks = 0;
 
   for (int round = 1; round <= protocol.feedback_rounds; ++round) {
     double round_time = engine_time;
@@ -155,6 +197,7 @@ StatusOr<RunOutcome> SessionRunner::RunEngine(FeedbackEngine& engine,
       round_time += step.Seconds();
     }
     if (!picks.empty()) any_marked = true;
+    total_picks += picks.size();
 
     step.Restart();
     StatusOr<std::vector<ImageId>> next = engine.Feedback(picks);
@@ -205,6 +248,7 @@ StatusOr<RunOutcome> SessionRunner::RunEngine(FeedbackEngine& engine,
   double engine_total = outcome.finalize_seconds;
   for (const double t : outcome.iteration_seconds) engine_total += t;
   outcome.total_seconds = engine_total;
+  RecordAudit(engine.Name(), gt, protocol, outcome, total_picks);
   return outcome;
 }
 

@@ -1,0 +1,140 @@
+#ifndef QDCBIR_OBS_HTTP_SERVER_H_
+#define QDCBIR_OBS_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace qdcbir {
+namespace obs {
+
+/// A small dependency-free HTTP/1.1 server for the engine's introspection
+/// and serving endpoints (`/metrics`, `/healthz`, `/queryz`, `/api/*`).
+/// One blocking accept loop; each accepted connection is handed to the
+/// configured executor (the serve layer passes `ThreadPool::Post`) or, with
+/// no executor, handled inline on the accept thread. Connections are
+/// keep-alive and support pipelined requests; request parsing enforces
+/// hard header/body limits. This is an operational surface for trusted
+/// networks, not an internet-facing web server.
+
+struct HttpLimits {
+  std::size_t max_header_bytes = 8 * 1024;
+  std::size_t max_body_bytes = 1024 * 1024;
+};
+
+struct HttpRequest {
+  std::string method;
+  std::string target;   ///< path only; the query string is split off
+  std::string query;    ///< raw query string (no leading '?')
+  std::string version;  ///< "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* FindHeader(const std::string& name) const;
+};
+
+enum class HttpParseStatus {
+  kOk,             ///< one complete request parsed; `*consumed` bytes used
+  kIncomplete,     ///< need more bytes
+  kBadRequest,     ///< malformed request line / headers / body framing
+  kHeaderTooLarge, ///< header block exceeds `limits.max_header_bytes`
+  kBodyTooLarge,   ///< declared body exceeds `limits.max_body_bytes`
+};
+
+/// Parses the first complete request out of `buffer`. On `kOk`, `*out` is
+/// filled and `*consumed` is the byte count of the parsed request —
+/// callers loop to drain pipelined requests. Exposed for unit tests.
+HttpParseStatus ParseHttpRequest(std::string_view buffer, HttpRequest* out,
+                                 std::size_t* consumed,
+                                 const HttpLimits& limits = HttpLimits());
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Serializes a response with Content-Length and the requested connection
+/// disposition. Exposed for unit tests.
+std::string SerializeHttpResponse(const HttpResponse& response,
+                                  bool keep_alive);
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+  /// Runs the given closure, possibly asynchronously (e.g.
+  /// `ThreadPool::Post`). The closure must eventually run exactly once.
+  using Executor = std::function<void(std::function<void()>)>;
+
+  struct Options {
+    std::string address = "127.0.0.1";
+    int port = 0;  ///< 0 binds an ephemeral port; see `port()` after Start
+    int backlog = 64;
+    /// Idle-connection read timeout. A keep-alive connection with no
+    /// request within this window is closed.
+    int recv_timeout_ms = 5000;
+    HttpLimits limits;
+    /// Connection dispatcher; empty → connections are handled one at a
+    /// time on the accept thread (deterministic, used by tests).
+    Executor executor;
+  };
+
+  HttpServer();
+  explicit HttpServer(Options options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for exact path `path`. Must be called before
+  /// `Start`. Paths not registered answer 404; `GET /` answers with a
+  /// plain-text index of the registered paths.
+  void Handle(const std::string& path, Handler handler);
+
+  /// Binds, listens, and starts the accept loop. Returns false (with
+  /// `*error` set) when the socket cannot be bound.
+  bool Start(std::string* error);
+
+  /// Stops accepting, shuts down open connections, and joins; idempotent.
+  void Stop();
+
+  /// The bound port (valid after a successful `Start`).
+  int port() const { return port_; }
+  bool serving() const { return serving_.load(std::memory_order_acquire); }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  HttpResponse Route(const HttpRequest& request) const;
+
+  Options options_;
+  std::map<std::string, Handler> handlers_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> serving_{false};
+  std::atomic<bool> stopping_{false};
+
+  /// Open connection fds and in-flight handler count, so Stop can force
+  /// sockets shut and then wait for every dispatched handler to finish.
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  std::set<int> open_fds_;
+  std::size_t active_connections_ = 0;
+};
+
+}  // namespace obs
+}  // namespace qdcbir
+
+#endif  // QDCBIR_OBS_HTTP_SERVER_H_

@@ -27,6 +27,35 @@ double Histogram::BucketMidpoint(std::size_t bucket) {
   return lower + width / 2.0;
 }
 
+std::uint64_t Histogram::BucketUpperBound(std::size_t bucket) {
+  if (bucket < kSubBuckets) return static_cast<std::uint64_t>(bucket);
+  const std::size_t octave = bucket / kSubBuckets;  // >= 1
+  const std::size_t sub = bucket % kSubBuckets;
+  const std::size_t shift = octave - 1;
+  const std::uint64_t lower = (kSubBuckets + sub) << shift;
+  const std::uint64_t width = std::uint64_t{1} << shift;
+  return lower + width - 1;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+Histogram::CumulativeBuckets() const {
+  std::uint64_t merged[kNumBuckets] = {};
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const Shard& shard = shards_[s];
+    for (std::size_t b = 0; b < kNumBuckets; ++b) {
+      merged[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    if (merged[b] == 0) continue;
+    cumulative += merged[b];
+    out.emplace_back(BucketUpperBound(b), cumulative);
+  }
+  return out;
+}
+
 void Histogram::Record(std::uint64_t value) {
   Shard& shard = shards_[internal::ShardIndex(kShards)];
   shard.buckets[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
@@ -110,29 +139,55 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *registry;
 }
 
-Counter& MetricsRegistry::GetCounter(const std::string& name) {
+namespace {
+
+/// Unit inference from the repo's metric-naming convention
+/// (docs/observability.md): `_ns` measures nanoseconds, `bytes` bytes.
+std::string UnitOfName(const std::string& name) {
+  if (name.size() >= 3 && name.compare(name.size() - 3, 3, "_ns") == 0) {
+    return "nanoseconds";
+  }
+  if (name.find("bytes") != std::string::npos) return "bytes";
+  return "";
+}
+
+}  // namespace
+
+void MetricsRegistry::RecordMeta(const std::string& name, const char* help) {
+  MetricMeta& meta = meta_[name];
+  if (meta.unit.empty()) meta.unit = UnitOfName(name);
+  if (meta.help.empty() && help != nullptr) meta.help = help;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const char* help) {
   std::lock_guard<std::mutex> lock(mu_);
+  RecordMeta(name, help);
   std::unique_ptr<Counter>& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
-Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+Gauge& MetricsRegistry::GetGauge(const std::string& name, const char* help) {
   std::lock_guard<std::mutex> lock(mu_);
+  RecordMeta(name, help);
   std::unique_ptr<Gauge>& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
-Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const char* help) {
   std::lock_guard<std::mutex> lock(mu_);
+  RecordMeta(name, help);
   std::unique_ptr<Histogram>& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::SpanHistogram(const char* span_name) {
-  return GetHistogram(std::string("span.") + span_name);
+  return GetHistogram(std::string("span.") + span_name,
+                      "Wall time of the identically-named engine phase span");
 }
 
 MetricsRegistry::RegistrySnapshot MetricsRegistry::Snapshot() const {
@@ -147,7 +202,9 @@ MetricsRegistry::RegistrySnapshot MetricsRegistry::Snapshot() const {
   }
   for (const auto& [name, histogram] : histograms_) {
     snap.histograms.emplace_back(name, histogram->Snap());
+    snap.histogram_buckets.emplace_back(name, histogram->CumulativeBuckets());
   }
+  snap.meta = meta_;
   return snap;
 }
 

@@ -141,6 +141,16 @@ class Histogram {
 
   void Record(std::uint64_t value);
 
+  /// Largest value that maps into `bucket` — the Prometheus-style `le`
+  /// upper bound of the bucket's value range.
+  static std::uint64_t BucketUpperBound(std::size_t bucket);
+
+  /// Merged non-empty buckets as (upper_bound, cumulative_count) pairs with
+  /// strictly increasing bounds — the cumulative-bucket form Prometheus
+  /// histogram exposition needs. Safe to call while writers are active.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> CumulativeBuckets()
+      const;
+
   struct Snapshot {
     std::uint64_t count = 0;
     std::uint64_t sum = 0;
@@ -180,6 +190,16 @@ class Histogram {
   std::unique_ptr<Shard[]> shards_ = std::make_unique<Shard[]>(kShards);
 };
 
+/// What a metric *is*, beyond its merged value: the exposition metadata
+/// Prometheus rendering needs. The kind is implied by the primitive; the
+/// unit is inferred from the metric name's suffix at registration time
+/// (`_ns` → nanoseconds, `bytes` → bytes); the help string is supplied by
+/// the registration site.
+struct MetricMeta {
+  std::string help;
+  std::string unit;
+};
+
 /// Name → metric directory. Lookup takes a mutex (registration is cold);
 /// call sites cache the returned reference — metrics are never deleted, so
 /// references stay valid for the process lifetime.
@@ -188,9 +208,12 @@ class MetricsRegistry {
   /// The process-wide registry every in-tree call site records into.
   static MetricsRegistry& Global();
 
-  Counter& GetCounter(const std::string& name);
-  Gauge& GetGauge(const std::string& name);
-  Histogram& GetHistogram(const std::string& name);
+  /// `help`, when given at the registration site, becomes the metric's
+  /// `# HELP` line in Prometheus exposition (first non-empty help wins).
+  Counter& GetCounter(const std::string& name, const char* help = nullptr);
+  Gauge& GetGauge(const std::string& name, const char* help = nullptr);
+  Histogram& GetHistogram(const std::string& name,
+                          const char* help = nullptr);
   /// The latency histogram behind a `QDCBIR_SPAN(name)` call site:
   /// `span.<name>`, recording nanoseconds.
   Histogram& SpanHistogram(const char* span_name);
@@ -202,6 +225,13 @@ class MetricsRegistry {
     std::vector<std::pair<std::string, std::pair<std::int64_t, std::int64_t>>>
         gauges;
     std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+    /// name → (upper_bound, cumulative_count) list, parallel to
+    /// `histograms` — the exposition-ready cumulative bucket form.
+    std::vector<std::pair<
+        std::string, std::vector<std::pair<std::uint64_t, std::uint64_t>>>>
+        histogram_buckets;
+    /// Exposition metadata for every name above (possibly empty help).
+    std::map<std::string, MetricMeta> meta;
   };
   RegistrySnapshot Snapshot() const;
 
@@ -216,10 +246,13 @@ class MetricsRegistry {
   void Reset();
 
  private:
+  void RecordMeta(const std::string& name, const char* help);
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, MetricMeta> meta_;
 };
 
 }  // namespace obs

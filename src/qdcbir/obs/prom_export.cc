@@ -1,0 +1,324 @@
+#include "qdcbir/obs/prom_export.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace qdcbir {
+namespace obs {
+
+namespace {
+
+constexpr char kPrefix[] = "qdcbir_";
+
+bool LegalFirstChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool LegalChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+void AppendHelp(std::string& out, const std::string& family,
+                const MetricMeta& meta) {
+  if (meta.help.empty() && meta.unit.empty()) return;
+  out += "# HELP ";
+  out += family;
+  out.push_back(' ');
+  for (const char c : meta.help) {
+    // The exposition format escapes newlines and backslashes in help text.
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out.push_back(c);
+  }
+  if (!meta.unit.empty()) {
+    if (!meta.help.empty()) out.push_back(' ');
+    out += "(unit: " + meta.unit + ")";
+  }
+  out.push_back('\n');
+}
+
+void AppendType(std::string& out, const std::string& family,
+                const char* type) {
+  out += "# TYPE ";
+  out += family;
+  out.push_back(' ');
+  out += type;
+  out.push_back('\n');
+}
+
+const MetricMeta& MetaOf(const MetricsRegistry::RegistrySnapshot& snap,
+                         const std::string& name) {
+  static const MetricMeta kEmpty;
+  const auto it = snap.meta.find(name);
+  return it == snap.meta.end() ? kEmpty : it->second;
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = kPrefix;
+  for (const char c : name) {
+    out.push_back(LegalChar(c) ? c : '_');
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(const MetricsRegistry& registry) {
+  const MetricsRegistry::RegistrySnapshot snap = registry.Snapshot();
+  std::string out;
+  out.reserve(4096);
+
+  for (const auto& [name, value] : snap.counters) {
+    const std::string family = PrometheusName(name);
+    AppendHelp(out, family, MetaOf(snap, name));
+    AppendType(out, family, "counter");
+    out += family + " " + std::to_string(value) + "\n";
+  }
+
+  for (const auto& [name, value_max] : snap.gauges) {
+    const std::string family = PrometheusName(name);
+    AppendHelp(out, family, MetaOf(snap, name));
+    AppendType(out, family, "gauge");
+    out += family + " " + std::to_string(value_max.first) + "\n";
+    // The high-water mark is its own family (a gauge cannot carry two
+    // unlabeled samples).
+    const std::string high = family + "_highwater";
+    AppendType(out, high, "gauge");
+    out += high + " " + std::to_string(value_max.second) + "\n";
+  }
+
+  for (std::size_t h = 0; h < snap.histograms.size(); ++h) {
+    const std::string& name = snap.histograms[h].first;
+    const Histogram::Snapshot& hs = snap.histograms[h].second;
+    const auto& buckets = snap.histogram_buckets[h].second;
+    const std::string family = PrometheusName(name);
+    AppendHelp(out, family, MetaOf(snap, name));
+    AppendType(out, family, "histogram");
+    std::uint64_t cumulative = 0;
+    for (const auto& [upper, cum] : buckets) {
+      cumulative = cum;
+      out += family + "_bucket{le=\"" + std::to_string(upper) + "\"} " +
+             std::to_string(cum) + "\n";
+    }
+    // Derive count from the same bucket merge so +Inf always equals
+    // _count, even if writers recorded between the two shard merges.
+    out += family + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+           "\n";
+    out += family + "_sum " + std::to_string(hs.sum) + "\n";
+    out += family + "_count " + std::to_string(cumulative) + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+struct FamilyState {
+  std::string type;
+  bool samples_seen = false;
+  bool closed = false;
+  // Histogram bookkeeping.
+  double last_le = -std::numeric_limits<double>::infinity();
+  double last_bucket_value = 0.0;
+  bool saw_inf_bucket = false;
+  double inf_bucket_value = 0.0;
+  bool saw_count = false;
+  double count_value = 0.0;
+};
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+/// Splits `line` ("name{labels} value" or "name value") into parts.
+bool ParseSample(const std::string& line, std::string* name,
+                 std::string* labels, double* value) {
+  std::size_t i = 0;
+  if (i >= line.size() || !LegalFirstChar(line[i])) return false;
+  while (i < line.size() && LegalChar(line[i])) ++i;
+  *name = line.substr(0, i);
+  if (i < line.size() && line[i] == '{') {
+    const std::size_t close = line.find('}', i);
+    if (close == std::string::npos) return false;
+    *labels = line.substr(i + 1, close - i - 1);
+    i = close + 1;
+  } else {
+    labels->clear();
+  }
+  if (i >= line.size() || (line[i] != ' ' && line[i] != '\t')) return false;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  const std::string value_text = line.substr(i);
+  if (value_text.empty()) return false;
+  if (value_text == "+Inf") {
+    *value = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  char* end = nullptr;
+  *value = std::strtod(value_text.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+/// `le` label value of a `_bucket` sample; NaN when absent/garbled.
+double ParseLe(const std::string& labels) {
+  const std::size_t pos = labels.find("le=\"");
+  if (pos == std::string::npos) return std::nan("");
+  const std::size_t start = pos + 4;
+  const std::size_t end = labels.find('"', start);
+  if (end == std::string::npos) return std::nan("");
+  const std::string text = labels.substr(start, end - start);
+  if (text == "+Inf") return std::numeric_limits<double>::infinity();
+  char* parse_end = nullptr;
+  const double v = std::strtod(text.c_str(), &parse_end);
+  if (parse_end == nullptr || *parse_end != '\0') return std::nan("");
+  return v;
+}
+
+}  // namespace
+
+bool ValidatePrometheusText(const std::string& text, std::string* error,
+                            std::map<std::string, double>* samples) {
+  std::map<std::string, FamilyState> families;
+  std::string open_family;  // family whose sample block is in progress
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+
+  const auto close_family = [&](const std::string& family) -> bool {
+    FamilyState& state = families[family];
+    state.closed = true;
+    if (state.type == "histogram") {
+      if (!state.saw_inf_bucket) {
+        return Fail(error, "histogram " + family + " has no +Inf bucket");
+      }
+      if (state.saw_count && state.inf_bucket_value != state.count_value) {
+        return Fail(error, "histogram " + family +
+                               ": +Inf bucket disagrees with _count");
+      }
+    }
+    return true;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::string at = " (line " + std::to_string(line_no) + ")";
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      std::istringstream meta(line);
+      std::string hash, keyword, family;
+      meta >> hash >> keyword >> family;
+      if (keyword != "TYPE") continue;  // HELP and comments are free-form
+      std::string type;
+      meta >> type;
+      if (family.empty() || type.empty()) {
+        return Fail(error, "malformed TYPE line" + at);
+      }
+      if (type != "counter" && type != "gauge" && type != "histogram" &&
+          type != "summary" && type != "untyped") {
+        return Fail(error, "unknown metric type '" + type + "'" + at);
+      }
+      // A TYPE line ends the open sample block: samples after it can only
+      // belong to the newly declared family.
+      if (!open_family.empty()) {
+        if (!close_family(open_family)) return false;
+        open_family.clear();
+      }
+      // Any earlier family that never produced samples can no longer
+      // legally produce them — its block would not be adjacent to its
+      // TYPE line.
+      for (auto& [declared, state] : families) {
+        if (!state.samples_seen) state.closed = true;
+      }
+      auto [it, inserted] = families.emplace(family, FamilyState{});
+      if (!inserted) {
+        return Fail(error, "duplicate family " + family + at);
+      }
+      it->second.type = type;
+      continue;
+    }
+
+    std::string name, labels;
+    double value = 0.0;
+    if (!ParseSample(line, &name, &labels, &value)) {
+      return Fail(error, "malformed sample line" + at);
+    }
+
+    // Resolve the sample's family: histogram/summary series carry
+    // _bucket/_sum/_count suffixes on top of the family name.
+    std::string family = name;
+    std::string suffix;
+    for (const char* candidate : {"_bucket", "_sum", "_count"}) {
+      const std::string cand(candidate);
+      if (name.size() > cand.size() &&
+          name.compare(name.size() - cand.size(), cand.size(), cand) == 0) {
+        const std::string base = name.substr(0, name.size() - cand.size());
+        const auto it = families.find(base);
+        if (it != families.end() &&
+            (it->second.type == "histogram" || it->second.type == "summary")) {
+          family = base;
+          suffix = cand;
+          break;
+        }
+      }
+    }
+
+    const auto it = families.find(family);
+    if (it == families.end()) {
+      return Fail(error, "sample " + name + " has no preceding TYPE line" + at);
+    }
+    FamilyState& state = it->second;
+    if (state.closed) {
+      return Fail(error, "family " + family + " is interleaved" + at);
+    }
+    if (!open_family.empty() && open_family != family) {
+      if (!close_family(open_family)) return false;
+    }
+    open_family = family;
+    state.samples_seen = true;
+
+    if (state.type == "histogram" && suffix == "_bucket") {
+      const double le = ParseLe(labels);
+      if (std::isnan(le)) {
+        return Fail(error, "bucket of " + family + " lacks a le label" + at);
+      }
+      if (le <= state.last_le) {
+        return Fail(error, "bucket le values of " + family +
+                               " are not strictly increasing" + at);
+      }
+      if (value < state.last_bucket_value) {
+        return Fail(error, "cumulative bucket counts of " + family +
+                               " decreased" + at);
+      }
+      state.last_le = le;
+      state.last_bucket_value = value;
+      if (std::isinf(le)) {
+        state.saw_inf_bucket = true;
+        state.inf_bucket_value = value;
+      }
+    } else if (state.type == "histogram" && suffix == "_count") {
+      state.saw_count = true;
+      state.count_value = value;
+    }
+
+    if (samples != nullptr) {
+      const auto [sit, inserted] = samples->emplace(name, value);
+      if (!inserted && value > sit->second) sit->second = value;
+    }
+  }
+  if (!open_family.empty() && !close_family(open_family)) return false;
+
+  for (const auto& [family, state] : families) {
+    if (!state.samples_seen && state.type != "untyped") {
+      return Fail(error, "family " + family + " declared but has no samples");
+    }
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace qdcbir

@@ -1,0 +1,45 @@
+#ifndef QDCBIR_OBS_PROM_EXPORT_H_
+#define QDCBIR_OBS_PROM_EXPORT_H_
+
+#include <map>
+#include <string>
+
+#include "qdcbir/obs/metrics.h"
+
+namespace qdcbir {
+namespace obs {
+
+/// Prometheus text exposition (version 0.0.4) of a metrics registry:
+///  - counters render as one `qdcbir_<name>` sample with `# TYPE ... counter`,
+///  - gauges render their merged value plus a `<name>_highwater` gauge,
+///  - histograms render cumulative `_bucket{le="..."}` samples (log-linear
+///    upper bounds, `+Inf` last) with `_sum` and `_count`.
+/// Metric names are sanitized (`.` → `_`, prefix `qdcbir_`); `# HELP` lines
+/// come from the help string supplied at the registration site and carry
+/// the inferred unit. The output is internally consistent even while
+/// writers are recording: `_count` is derived from the same bucket merge
+/// that produced the `_bucket` samples.
+
+/// `pool.task.wait_ns` → `qdcbir_pool_task_wait_ns`.
+std::string PrometheusName(const std::string& name);
+
+/// Renders the full exposition page for `registry`.
+std::string RenderPrometheusText(const MetricsRegistry& registry);
+
+/// Structural validator for exposition text (used by `trace_check --prom=`
+/// and the CI scrape gate). Enforces:
+///  - every sample belongs to a family with exactly one preceding `# TYPE`
+///    line of a known type, and families are not interleaved or repeated;
+///  - histogram `_bucket` samples have strictly increasing `le` bounds,
+///    non-decreasing cumulative counts, end with `le="+Inf"`, and the +Inf
+///    value equals the family's `_count`;
+///  - sample names are legal and values parse as numbers.
+/// On success, `samples` (when non-null) receives every sample name mapped
+/// to its value (labels stripped; duplicates keep the largest value).
+bool ValidatePrometheusText(const std::string& text, std::string* error,
+                            std::map<std::string, double>* samples = nullptr);
+
+}  // namespace obs
+}  // namespace qdcbir
+
+#endif  // QDCBIR_OBS_PROM_EXPORT_H_

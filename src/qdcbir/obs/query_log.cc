@@ -1,0 +1,171 @@
+#include "qdcbir/obs/query_log.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace qdcbir {
+namespace obs {
+
+namespace {
+
+void CopyTruncated(char* dst, std::size_t dst_size, std::string_view src) {
+  const std::size_t n = src.size() < dst_size ? src.size() : dst_size;
+  std::memset(dst, 0, dst_size);
+  std::memcpy(dst, src.data(), n);
+}
+
+std::string_view ViewOf(const char* data, std::size_t max) {
+  std::size_t len = 0;
+  while (len < max && data[len] != '\0') ++len;
+  return std::string_view(data, len);
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendField(std::string* out, const char* name, std::uint64_t value,
+                 bool* first) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  *out += '"';
+  *out += name;
+  *out += "\":";
+  *out += std::to_string(value);
+}
+
+}  // namespace
+
+void QueryAuditRecord::set_engine(std::string_view name) {
+  CopyTruncated(engine, sizeof(engine), name);
+}
+
+void QueryAuditRecord::set_label(std::string_view name) {
+  CopyTruncated(label, sizeof(label), name);
+}
+
+std::string_view QueryAuditRecord::engine_view() const {
+  return ViewOf(engine, sizeof(engine));
+}
+
+std::string_view QueryAuditRecord::label_view() const {
+  return ViewOf(label, sizeof(label));
+}
+
+void QueryLog::Record(QueryAuditRecord record) {
+  const std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+  record.sequence = seq;
+  Slot& slot = slots_[seq % kCapacity];
+
+  std::uint32_t version = slot.version.load(std::memory_order_relaxed);
+  if ((version & 1u) != 0 ||
+      !slot.version.compare_exchange_strong(version, version + 1,
+                                            std::memory_order_acquire,
+                                            std::memory_order_relaxed)) {
+    // Another writer holds this slot (sequences kCapacity apart racing).
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  std::uint64_t words[kWords];
+  std::memcpy(words, &record, sizeof(record));
+  for (std::size_t w = 0; w < kWords; ++w) {
+    slot.words[w].store(words[w], std::memory_order_relaxed);
+  }
+  slot.version.store(version + 2, std::memory_order_release);
+}
+
+std::vector<QueryAuditRecord> QueryLog::Snapshot() const {
+  std::vector<QueryAuditRecord> records;
+  records.reserve(kCapacity);
+  for (const Slot& slot : slots_) {
+    // Bounded retries: a slot rewritten in a tight loop is skipped rather
+    // than stalling the reader.
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const std::uint32_t v1 = slot.version.load(std::memory_order_acquire);
+      if (v1 == 0) break;             // never written
+      if ((v1 & 1u) != 0) continue;   // write in progress
+      std::uint64_t words[kWords];
+      for (std::size_t w = 0; w < kWords; ++w) {
+        words[w] = slot.words[w].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.version.load(std::memory_order_relaxed) != v1) continue;
+      QueryAuditRecord record;
+      std::memcpy(&record, words, sizeof(record));
+      records.push_back(record);
+      break;
+    }
+  }
+  std::sort(records.begin(), records.end(),
+            [](const QueryAuditRecord& a, const QueryAuditRecord& b) {
+              return a.sequence < b.sequence;
+            });
+  return records;
+}
+
+std::string QueryLog::RenderJson() const {
+  const std::vector<QueryAuditRecord> records = Snapshot();
+  std::string out = "{\"capacity\":" + std::to_string(kCapacity);
+  out += ",\"total_recorded\":" + std::to_string(total_recorded());
+  out += ",\"dropped\":" + std::to_string(dropped());
+  out += ",\"records\":[";
+  bool first_record = true;
+  for (const QueryAuditRecord& record : records) {
+    if (!first_record) out.push_back(',');
+    first_record = false;
+    out.push_back('{');
+    bool first = true;
+    AppendField(&out, "sequence", record.sequence, &first);
+    out += ",\"engine\":";
+    AppendJsonString(&out, record.engine_view());
+    out += ",\"label\":";
+    AppendJsonString(&out, record.label_view());
+    AppendField(&out, "seed", record.seed, &first);
+    AppendField(&out, "rounds", record.rounds, &first);
+    AppendField(&out, "picks", record.picks, &first);
+    AppendField(&out, "results", record.results, &first);
+    AppendField(&out, "subqueries", record.subqueries, &first);
+    AppendField(&out, "boundary_expansions", record.boundary_expansions,
+                &first);
+    AppendField(&out, "nodes_visited", record.nodes_visited, &first);
+    AppendField(&out, "candidates_scored", record.candidates_scored, &first);
+    AppendField(&out, "nodes_touched", record.nodes_touched, &first);
+    AppendField(&out, "distinct_nodes_sampled",
+                record.distinct_nodes_sampled, &first);
+    AppendField(&out, "rounds_ns", record.rounds_ns, &first);
+    AppendField(&out, "finalize_ns", record.finalize_ns, &first);
+    AppendField(&out, "total_ns", record.total_ns, &first);
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+QueryLog& QueryLog::Global() {
+  static QueryLog* log = new QueryLog();
+  return *log;
+}
+
+}  // namespace obs
+}  // namespace qdcbir

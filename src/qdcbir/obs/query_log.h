@@ -1,0 +1,105 @@
+#ifndef QDCBIR_OBS_QUERY_LOG_H_
+#define QDCBIR_OBS_QUERY_LOG_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qdcbir {
+namespace obs {
+
+/// One completed retrieval session, as shown on `/queryz`. Fixed-size and
+/// trivially copyable so records can live in the lock-free audit ring:
+/// the struct is copied word-by-word through `std::atomic<uint64_t>`
+/// slots, which keeps concurrent record/snapshot TSan-clean.
+struct QueryAuditRecord {
+  std::uint64_t sequence = 0;  ///< assigned by QueryLog::Record, 0-based
+  char engine[12] = {};        ///< "qd" or "global"
+  char label[28] = {};         ///< query/session name, truncated
+  std::uint64_t seed = 0;
+
+  std::uint64_t rounds = 0;       ///< relevance-feedback rounds run
+  std::uint64_t picks = 0;        ///< relevant images marked across rounds
+  std::uint64_t results = 0;      ///< final ranked results returned
+
+  std::uint64_t subqueries = 0;             ///< localized subqueries issued
+  std::uint64_t boundary_expansions = 0;
+  std::uint64_t nodes_visited = 0;          ///< k-NN nodes visited
+  std::uint64_t candidates_scored = 0;      ///< k-NN candidates scored
+  std::uint64_t nodes_touched = 0;          ///< display-set nodes touched
+  std::uint64_t distinct_nodes_sampled = 0;
+
+  std::uint64_t rounds_ns = 0;    ///< wall time of the feedback rounds
+  std::uint64_t finalize_ns = 0;  ///< wall time of Finalize / final rank
+  std::uint64_t total_ns = 0;
+
+  void set_engine(std::string_view name);
+  void set_label(std::string_view name);
+  std::string_view engine_view() const;
+  std::string_view label_view() const;
+};
+
+static_assert(sizeof(QueryAuditRecord) % sizeof(std::uint64_t) == 0,
+              "record must pack into whole atomic words");
+
+/// A fixed-capacity lock-free ring of the most recent completed sessions.
+/// Writers claim a slot by sequence number and publish through a per-slot
+/// seqlock version (even = stable, odd = write in progress); readers retry
+/// on torn slots. Writers never block and never touch the query hot path —
+/// recording happens once per *session*, after Finalize. On the rare
+/// collision (two writers `Capacity()` sequences apart racing for one
+/// slot) the younger record is dropped and counted.
+class QueryLog {
+ public:
+  static constexpr std::size_t kCapacity = 128;
+  static constexpr std::size_t kWords =
+      sizeof(QueryAuditRecord) / sizeof(std::uint64_t);
+
+  QueryLog() = default;
+  QueryLog(const QueryLog&) = delete;
+  QueryLog& operator=(const QueryLog&) = delete;
+
+  /// Assigns the next sequence number and publishes a copy of `record`
+  /// (with `sequence` filled in) into the ring.
+  void Record(QueryAuditRecord record);
+
+  /// A consistent copy of every stable record, ascending by sequence.
+  /// Records being overwritten concurrently are skipped, never torn.
+  std::vector<QueryAuditRecord> Snapshot() const;
+
+  /// Total sessions ever recorded (including those since evicted).
+  std::uint64_t total_recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  /// Records dropped on same-slot writer collisions.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// The `/queryz` JSON document: ring stats plus every stable record.
+  std::string RenderJson() const;
+
+  /// The process-wide audit ring that SessionRunner and the serve layer
+  /// record into.
+  static QueryLog& Global();
+
+ private:
+  struct Slot {
+    /// Seqlock version: 0 = never written, odd = write in progress.
+    std::atomic<std::uint32_t> version{0};
+    std::atomic<std::uint64_t> words[kWords] = {};
+  };
+
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  Slot slots_[kCapacity];
+};
+
+}  // namespace obs
+}  // namespace qdcbir
+
+#endif  // QDCBIR_OBS_QUERY_LOG_H_

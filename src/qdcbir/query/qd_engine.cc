@@ -32,12 +32,18 @@ struct QdCounters {
     static QdCounters* counters = [] {
       obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
       return new QdCounters{
-          registry.GetCounter("qd.feedback.rounds"),
-          registry.GetCounter("qd.display.nodes_touched"),
-          registry.GetCounter("qd.finalize.boundary_expansions"),
-          registry.GetCounter("qd.finalize.subqueries"),
-          registry.GetCounter("qd.finalize.knn_candidates"),
-          registry.GetCounter("qd.finalize.knn_nodes_visited"),
+          registry.GetCounter("qd.feedback.rounds",
+                              "Relevance-feedback rounds processed"),
+          registry.GetCounter("qd.display.nodes_touched",
+                              "Frontier nodes sampled for displays"),
+          registry.GetCounter("qd.finalize.boundary_expansions",
+                              "Parent expansions during finalize (paper 3.3)"),
+          registry.GetCounter("qd.finalize.subqueries",
+                              "Localized k-NN subqueries run by finalize"),
+          registry.GetCounter("qd.finalize.knn_candidates",
+                              "Images inside subtrees searched by finalize"),
+          registry.GetCounter("qd.finalize.knn_nodes_visited",
+                              "Tree nodes opened by localized k-NN searches"),
       };
     }();
     return *counters;

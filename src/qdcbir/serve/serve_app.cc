@@ -1,0 +1,396 @@
+#include "qdcbir/serve/serve_app.h"
+
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "qdcbir/dataset/database_io.h"
+#include "qdcbir/obs/clock.h"
+#include "qdcbir/obs/metrics.h"
+#include "qdcbir/obs/prom_export.h"
+#include "qdcbir/obs/query_log.h"
+#include "qdcbir/rfs/rfs_serialization.h"
+#include "qdcbir/serve/json_mini.h"
+
+namespace qdcbir {
+namespace serve {
+
+namespace {
+
+constexpr const char* kJsonType = "application/json; charset=utf-8";
+constexpr const char* kPromType = "text/plain; version=0.0.4; charset=utf-8";
+
+obs::HttpResponse JsonError(int status, const std::string& message) {
+  return obs::HttpResponse{status, kJsonType,
+                           "{\"error\":" + JsonQuote(message) + "}\n"};
+}
+
+void AppendDisplayJson(std::string* out,
+                       const std::vector<DisplayGroup>& display) {
+  *out += "\"display\":[";
+  bool first_group = true;
+  for (const DisplayGroup& group : display) {
+    if (!first_group) out->push_back(',');
+    first_group = false;
+    *out += "{\"node\":" + std::to_string(group.node) + ",\"images\":[";
+    bool first = true;
+    for (const ImageId id : group.images) {
+      if (!first) out->push_back(',');
+      first = false;
+      *out += std::to_string(id);
+    }
+    *out += "]}";
+  }
+  out->push_back(']');
+}
+
+StatusOr<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) return Status::IoError("cannot read " + path);
+  return std::move(buffer).str();
+}
+
+}  // namespace
+
+const char* ReadinessName(Readiness state) {
+  switch (state) {
+    case Readiness::kStarting: return "starting";
+    case Readiness::kLoadingSnapshot: return "loading-snapshot";
+    case Readiness::kBuildingRfs: return "building-rfs";
+    case Readiness::kServing: return "serving";
+    case Readiness::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+ServeApp::ServeApp(ServeOptions options)
+    : options_(std::move(options)),
+      http_pool_(options_.http_threads > 0 ? options_.http_threads : 1),
+      server_([this] {
+        obs::HttpServer::Options server_options;
+        server_options.address = options_.address;
+        server_options.port = options_.port;
+        server_options.executor = [this](std::function<void()> task) {
+          http_pool_.Post(std::move(task));
+        };
+        return server_options;
+      }()) {
+  server_.Handle("/healthz", [](const obs::HttpRequest&) {
+    return obs::HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+  });
+  server_.Handle("/readyz", [this](const obs::HttpRequest&) {
+    const Readiness state = readiness();
+    if (state == Readiness::kServing) {
+      return obs::HttpResponse{200, "text/plain; charset=utf-8", "serving\n"};
+    }
+    std::string body = ReadinessName(state);
+    if (state == Readiness::kFailed) body += ": " + load_error();
+    body.push_back('\n');
+    return obs::HttpResponse{503, "text/plain; charset=utf-8",
+                             std::move(body)};
+  });
+  server_.Handle("/varz", [](const obs::HttpRequest&) {
+    return obs::HttpResponse{
+        200, kJsonType, obs::MetricsRegistry::Global().SnapshotJson() + "\n"};
+  });
+  server_.Handle("/metrics", [](const obs::HttpRequest&) {
+    return obs::HttpResponse{
+        200, kPromType,
+        obs::RenderPrometheusText(obs::MetricsRegistry::Global())};
+  });
+  server_.Handle("/queryz", [](const obs::HttpRequest&) {
+    return obs::HttpResponse{200, kJsonType,
+                             obs::QueryLog::Global().RenderJson() + "\n"};
+  });
+  server_.Handle("/api/query", [this](const obs::HttpRequest& request) {
+    return HandleApiQuery(request);
+  });
+  server_.Handle("/api/feedback", [this](const obs::HttpRequest& request) {
+    return HandleApiFeedback(request);
+  });
+}
+
+ServeApp::~ServeApp() { Stop(); }
+
+bool ServeApp::Start(std::string* error) {
+  if (!server_.Start(error)) {
+    SetReadiness(Readiness::kFailed);
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      load_error_ = error != nullptr ? *error : "bind failed";
+    }
+    return false;
+  }
+  loader_ = std::thread([this] { LoadInBackground(); });
+  return true;
+}
+
+void ServeApp::Stop() {
+  server_.Stop();
+  if (loader_.joinable()) loader_.join();
+}
+
+std::string ServeApp::load_error() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return load_error_;
+}
+
+bool ServeApp::WaitUntilReady(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(state_mu_);
+  state_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [this] {
+    const Readiness state = readiness();
+    return state == Readiness::kServing || state == Readiness::kFailed;
+  });
+  return readiness() == Readiness::kServing;
+}
+
+void ServeApp::SetReadiness(Readiness state) {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    readiness_.store(state, std::memory_order_release);
+  }
+  state_cv_.notify_all();
+}
+
+void ServeApp::LoadInBackground() {
+  SetReadiness(Readiness::kLoadingSnapshot);
+  const auto fail = [this](const Status& status) {
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      load_error_ = status.ToString();
+    }
+    SetReadiness(Readiness::kFailed);
+  };
+
+  // The snapshot decode and the RFS byte read overlap on the query pool;
+  // the snapshot loader additionally fans its chunks out on the same pool
+  // (nested batches are safe).
+  ThreadPool& pool = QueryPool();
+  StatusOr<ImageDatabase> db = Status::Internal("snapshot load not run");
+  StatusOr<std::string> rfs_blob = Status::Internal("rfs load not run");
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([this, &pool, &db] {
+    SnapshotLoadOptions load_options;
+    load_options.pool = &pool;
+    load_options.verify_checksums = options_.verify_checksums;
+    db = DatabaseIo::LoadDatabase(options_.db_path, load_options);
+  });
+  tasks.push_back([this, &rfs_blob] {
+    rfs_blob = options_.rfs_path.empty()
+                   ? DatabaseIo::LoadEmbeddedRfsBlob(options_.db_path)
+                   : ReadFileBytes(options_.rfs_path);
+  });
+  pool.Run(std::move(tasks));
+
+  if (!db.ok()) return fail(db.status());
+  if (!rfs_blob.ok()) return fail(rfs_blob.status());
+
+  SetReadiness(Readiness::kBuildingRfs);
+  StatusOr<RfsTree> rfs = RfsSerializer::Deserialize(*rfs_blob);
+  if (!rfs.ok()) return fail(rfs.status());
+
+  db_.emplace(std::move(*db));
+  rfs_.emplace(std::move(*rfs));
+  SetReadiness(Readiness::kServing);
+}
+
+obs::HttpResponse ServeApp::HandleApiQuery(const obs::HttpRequest& request) {
+  if (request.method != "POST") {
+    return JsonError(405, "POST a JSON body to open a session");
+  }
+  if (readiness() != Readiness::kServing) {
+    return JsonError(503, std::string("not ready: ") +
+                              ReadinessName(readiness()));
+  }
+
+  JsonValue body;
+  if (!request.body.empty()) {
+    StatusOr<JsonValue> parsed = ParseJson(request.body);
+    if (!parsed.ok()) return JsonError(400, parsed.status().ToString());
+    body = std::move(*parsed);
+  }
+
+  QdOptions qd_options;
+  qd_options.display_size = static_cast<std::size_t>(
+      body.U64Field("display_size", options_.display_size));
+  qd_options.boundary_threshold = options_.boundary_threshold;
+  qd_options.pool = &QueryPool();
+
+  std::uint64_t session_id = 0;
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (sessions_.size() >= options_.max_sessions) {
+      return JsonError(429, "too many open sessions");
+    }
+    session_id = next_session_id_++;
+    qd_options.seed = body.U64Field("seed", session_id);
+    session = std::make_shared<Session>(QdSession(&*rfs_, qd_options));
+    session->seed = qd_options.seed;
+    session->label = "http";
+    if (const JsonValue* label = body.Find("label")) {
+      if (label->kind == JsonValue::Kind::kString) {
+        session->label = label->string;
+      }
+    }
+    // Published busy so a racing /api/feedback on the fresh id answers 409
+    // instead of interleaving with Start().
+    session->busy.store(true, std::memory_order_relaxed);
+    sessions_[session_id] = session;
+  }
+
+  const std::uint64_t start_ns = obs::MonotonicNanos();
+  const std::vector<DisplayGroup> display = session->qd.Start();
+  session->rounds_ns += obs::MonotonicNanos() - start_ns;
+  session->busy.store(false, std::memory_order_release);
+
+  std::string out = "{\"session\":" + std::to_string(session_id) +
+                    ",\"round\":" + std::to_string(session->qd.round()) + ",";
+  AppendDisplayJson(&out, display);
+  out += "}\n";
+  return obs::HttpResponse{200, kJsonType, std::move(out)};
+}
+
+obs::HttpResponse ServeApp::HandleApiFeedback(
+    const obs::HttpRequest& request) {
+  if (request.method != "POST") {
+    return JsonError(405, "POST a JSON body with session and relevant ids");
+  }
+  if (readiness() != Readiness::kServing) {
+    return JsonError(503, std::string("not ready: ") +
+                              ReadinessName(readiness()));
+  }
+  StatusOr<JsonValue> parsed = ParseJson(request.body);
+  if (!parsed.ok()) return JsonError(400, parsed.status().ToString());
+  const JsonValue& body = *parsed;
+
+  const std::uint64_t session_id = body.U64Field("session", 0);
+  if (session_id == 0) return JsonError(400, "missing \"session\"");
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    const auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) {
+      return JsonError(404, "no such session");
+    }
+    session = it->second;
+  }
+  // One request drives a session at a time. The busy flag (not the map
+  // lock) guards the engine: holding a lock across Finalize could let the
+  // query pool adopt another connection task that waits on the same lock.
+  if (session->busy.exchange(true, std::memory_order_acquire)) {
+    return JsonError(409, "session busy");
+  }
+  struct BusyReset {
+    std::atomic<bool>& flag;
+    ~BusyReset() { flag.store(false, std::memory_order_release); }
+  } busy_reset{session->busy};
+
+  std::vector<ImageId> relevant;
+  if (const JsonValue* ids = body.Find("relevant")) {
+    if (!ids->is_array()) return JsonError(400, "\"relevant\" must be an array");
+    for (const JsonValue& id : ids->items) {
+      if (!id.is_number() || id.number < 0) {
+        return JsonError(400, "\"relevant\" must hold image ids");
+      }
+      relevant.push_back(static_cast<ImageId>(id.number));
+    }
+  }
+
+  std::uint64_t start_ns = obs::MonotonicNanos();
+  StatusOr<std::vector<DisplayGroup>> next = session->qd.Feedback(relevant);
+  session->rounds_ns += obs::MonotonicNanos() - start_ns;
+  if (!next.ok()) return JsonError(400, next.status().ToString());
+  session->picks += relevant.size();
+
+  const JsonValue* finalize = body.Find("finalize");
+  if (finalize == nullptr) {
+    std::string out = "{\"session\":" + std::to_string(session_id) +
+                      ",\"round\":" + std::to_string(session->qd.round()) +
+                      ",";
+    AppendDisplayJson(&out, *next);
+    out += "}\n";
+    return obs::HttpResponse{200, kJsonType, std::move(out)};
+  }
+
+  std::size_t k = options_.default_k;
+  if (finalize->is_number() && finalize->number > 0) {
+    k = static_cast<std::size_t>(finalize->number);
+  }
+  start_ns = obs::MonotonicNanos();
+  StatusOr<QdResult> result = session->qd.Finalize(k);
+  const std::uint64_t finalize_ns = obs::MonotonicNanos() - start_ns;
+  if (!result.ok()) return JsonError(400, result.status().ToString());
+
+  // The session is complete: publish it to the /queryz audit ring and
+  // release the slot.
+  const QdSessionStats& stats = session->qd.stats();
+  obs::QueryAuditRecord record;
+  record.set_engine("qd");
+  record.set_label(session->label);
+  record.seed = session->seed;
+  record.rounds = static_cast<std::uint64_t>(session->qd.round());
+  record.picks = session->picks;
+  record.results = result->TotalImages();
+  record.subqueries = stats.localized_subqueries;
+  record.boundary_expansions = stats.boundary_expansions;
+  record.nodes_visited = stats.knn_nodes_visited;
+  record.candidates_scored = stats.knn_candidates;
+  record.nodes_touched = stats.nodes_touched;
+  record.distinct_nodes_sampled = stats.distinct_nodes_sampled;
+  record.rounds_ns = session->rounds_ns;
+  record.finalize_ns = finalize_ns;
+  record.total_ns = session->rounds_ns + finalize_ns;
+  obs::QueryLog::Global().Record(record);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.erase(session_id);
+  }
+
+  std::string out = "{\"session\":" + std::to_string(session_id) +
+                    ",\"results\":[";
+  bool first = true;
+  for (const ImageId id : result->Flatten()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += std::to_string(id);
+  }
+  out += "],\"groups\":[";
+  first = true;
+  for (const ResultGroup& group : result->groups) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"leaf\":" + std::to_string(group.leaf) +
+           ",\"search_node\":" + std::to_string(group.search_node) +
+           ",\"relevant_count\":" + std::to_string(group.relevant_count) +
+           ",\"images\":[";
+    bool first_image = true;
+    for (const KnnMatch& match : group.images) {
+      if (!first_image) out.push_back(',');
+      first_image = false;
+      out += std::to_string(match.id);
+    }
+    out += "]}";
+  }
+  out += "],\"stats\":{\"subqueries\":" +
+         std::to_string(stats.localized_subqueries) +
+         ",\"boundary_expansions\":" +
+         std::to_string(stats.boundary_expansions) +
+         ",\"knn_nodes_visited\":" + std::to_string(stats.knn_nodes_visited) +
+         ",\"knn_candidates\":" + std::to_string(stats.knn_candidates) +
+         ",\"nodes_touched\":" + std::to_string(stats.nodes_touched) +
+         ",\"distinct_nodes_sampled\":" +
+         std::to_string(stats.distinct_nodes_sampled) +
+         "},\"rounds_ns\":" + std::to_string(record.rounds_ns) +
+         ",\"finalize_ns\":" + std::to_string(record.finalize_ns) + "}\n";
+  return obs::HttpResponse{200, kJsonType, std::move(out)};
+}
+
+}  // namespace serve
+}  // namespace qdcbir

@@ -1,0 +1,147 @@
+#ifndef QDCBIR_SERVE_SERVE_APP_H_
+#define QDCBIR_SERVE_SERVE_APP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "qdcbir/core/thread_pool.h"
+#include "qdcbir/dataset/database.h"
+#include "qdcbir/obs/http_server.h"
+#include "qdcbir/query/qd_engine.h"
+#include "qdcbir/rfs/rfs_tree.h"
+
+namespace qdcbir {
+namespace serve {
+
+/// Startup state machine of the admin server. `/readyz` answers 200 only
+/// in `kServing`; every earlier state answers 503 with the state's name so
+/// orchestration (and the CI smoke test) can poll until the snapshot and
+/// RFS are actually usable.
+enum class Readiness {
+  kStarting,         ///< listener not yet bound
+  kLoadingSnapshot,  ///< snapshot chunks loading (pool-overlapped)
+  kBuildingRfs,      ///< reconstructing the RFS tree from its blob
+  kServing,
+  kFailed,           ///< load failed; see `load_error()`
+};
+
+const char* ReadinessName(Readiness state);
+
+struct ServeOptions {
+  std::string db_path;
+  /// Standalone RFS file; empty loads the snapshot's embedded RFS chunk.
+  std::string rfs_path;
+  std::string address = "127.0.0.1";
+  int port = 0;  ///< 0 binds an ephemeral port
+  /// Lanes of the connection-dispatch pool. Kept separate from the query
+  /// pool: a connection task blocks in recv() between keep-alive requests,
+  /// and must never be adopted by a query batch waiting on `Run`.
+  std::size_t http_threads = 4;
+  std::size_t display_size = 21;
+  double boundary_threshold = 0.4;
+  /// Result size of `/api/feedback` finalization when the request names
+  /// none.
+  std::size_t default_k = 50;
+  /// Concurrent interactive sessions held before `/api/query` answers 429.
+  std::size_t max_sessions = 64;
+  bool verify_checksums = true;
+  /// Pool for snapshot loading and localized subqueries; nullptr means
+  /// `ThreadPool::Global()`.
+  ThreadPool* pool = nullptr;
+};
+
+/// The admin/serving application: loads a database snapshot and RFS tree
+/// in the background while already answering health endpoints, then drives
+/// interactive Query Decomposition sessions over HTTP.
+///
+/// Endpoints:
+///   GET  /healthz       process liveness (always 200)
+///   GET  /readyz        readiness state machine (200 only when serving)
+///   GET  /varz          metrics registry snapshot, engine JSON schema
+///   GET  /metrics       Prometheus text exposition
+///   GET  /queryz        audit ring of recently completed sessions
+///   POST /api/query     open a session, returns the first display
+///   POST /api/feedback  mark relevant images; optionally finalize
+class ServeApp {
+ public:
+  explicit ServeApp(ServeOptions options);
+  ~ServeApp();
+
+  ServeApp(const ServeApp&) = delete;
+  ServeApp& operator=(const ServeApp&) = delete;
+
+  /// Binds the listener and starts the background snapshot load. Returns
+  /// false (with `*error`) only when the socket cannot be bound — load
+  /// failures surface through `/readyz` and `readiness()` instead.
+  bool Start(std::string* error);
+
+  /// Stops the server, joins the loader, and drains open connections.
+  void Stop();
+
+  int port() const { return server_.port(); }
+  Readiness readiness() const {
+    return readiness_.load(std::memory_order_acquire);
+  }
+  std::string load_error() const;
+
+  /// Blocks until the loader reaches `kServing` or `kFailed` (or the
+  /// timeout passes); true when serving.
+  bool WaitUntilReady(int timeout_ms);
+
+ private:
+  struct Session {
+    explicit Session(QdSession qd_session) : qd(std::move(qd_session)) {}
+    QdSession qd;
+    /// One request mutates a session at a time; concurrent requests on the
+    /// same id answer 409 instead of racing.
+    std::atomic<bool> busy{false};
+    std::uint64_t seed = 0;
+    std::string label;
+    std::size_t picks = 0;
+    std::uint64_t rounds_ns = 0;
+  };
+
+  void LoadInBackground();
+  void SetReadiness(Readiness state);
+
+  obs::HttpResponse HandleApiQuery(const obs::HttpRequest& request);
+  obs::HttpResponse HandleApiFeedback(const obs::HttpRequest& request);
+
+  ThreadPool& QueryPool() const {
+    return options_.pool != nullptr ? *options_.pool : ThreadPool::Global();
+  }
+
+  ServeOptions options_;
+
+  /// Declared before `server_` so connections (which reference the pool's
+  /// queue) drain in `server_.Stop()` before the pool is torn down.
+  ThreadPool http_pool_;
+  obs::HttpServer server_;
+
+  std::thread loader_;
+  std::atomic<Readiness> readiness_{Readiness::kStarting};
+  mutable std::mutex state_mu_;
+  std::condition_variable state_cv_;
+  std::string load_error_;
+
+  /// Loaded corpus; written by the loader thread before `kServing` is
+  /// published, read-only afterwards.
+  std::optional<ImageDatabase> db_;
+  std::optional<RfsTree> rfs_;
+
+  std::mutex sessions_mu_;
+  std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+  std::uint64_t next_session_id_ = 1;
+};
+
+}  // namespace serve
+}  // namespace qdcbir
+
+#endif  // QDCBIR_SERVE_SERVE_APP_H_

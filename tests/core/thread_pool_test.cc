@@ -9,8 +9,11 @@
 #include <mutex>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 #include <vector>
+
+#include "qdcbir/obs/metrics.h"
 
 namespace qdcbir {
 namespace {
@@ -180,6 +183,90 @@ TEST(ThreadPoolTest, NestedExceptionPropagatesThroughOuterBatch) {
                                   });
                                 }),
                std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PostRunsTasksAndDestructorDrainsThem) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Post([&done] { done.fetch_add(1); });
+    }
+    // The destructor must not drop queued posted tasks.
+  }
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, PostOnSequentialPoolRunsInline) {
+  ThreadPool pool(1);
+  bool ran = false;
+  pool.Post([&ran] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPoolTest, PostDiscardsExceptions) {
+  // Inline path (sequential pool): the exception must not escape Post.
+  ThreadPool sequential(1);
+  EXPECT_NO_THROW(sequential.Post([] { throw std::runtime_error("inline"); }));
+  // Queued path: there is no submitter to rethrow on; the pool (and its
+  // destructor) must survive a throwing posted task and keep running later
+  // work.
+  std::atomic<int> after{0};
+  {
+    ThreadPool pool(2);
+    pool.Post([] { throw std::runtime_error("queued"); });
+    pool.Post([&after] { after.fetch_add(1); });
+  }
+  EXPECT_EQ(after.load(), 1);
+}
+
+TEST(ThreadPoolTest, PostedTasksInterleaveWithBatches) {
+  std::atomic<int> posted{0};
+  std::atomic<std::size_t> batched{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 32; ++i) {
+      pool.Post([&posted] { posted.fetch_add(1); });
+      pool.ParallelFor(0, 16,
+                       [&batched](std::size_t) { batched.fetch_add(1); });
+    }
+    // ParallelFor's completion wait only covers its own batch, so posted
+    // tasks may still be queued here — but destruction drains them.
+    EXPECT_EQ(batched.load(), 32u * 16u);
+  }
+  EXPECT_EQ(posted.load(), 32);
+}
+
+TEST(ThreadPoolTest, QueueDepthGaugeNeverGoesNegativeUnderScrapes) {
+  // Regression: the queue-depth gauge used to be maintained with sharded
+  // Add() deltas — increments on the submitter's shard, decrements on each
+  // worker's shard — so a concurrent scrape could sum the decrement shard
+  // before the increment shard and report a negative depth. The pool now
+  // publishes an absolute count (Set under the pool mutex), which can
+  // never expose a negative or torn value, and destruction leaves the
+  // gauge balanced.
+  obs::Gauge& depth =
+      obs::MetricsRegistry::Global().GetGauge("pool.queue_depth");
+  const std::int64_t base = depth.Value();
+  std::atomic<bool> done{false};
+  std::int64_t min_seen = base;
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      min_seen = std::min(min_seen, depth.Value());
+    }
+  });
+  {
+    ThreadPool pool(4);
+    for (int round = 0; round < 200; ++round) {
+      pool.ParallelFor(0, 64, [](std::size_t) {});
+      pool.Post([] {});
+    }
+  }
+  done.store(true, std::memory_order_release);
+  scraper.join();
+  EXPECT_GE(min_seen, base);
+  // With every pool of this test destroyed, the accounting balances.
+  EXPECT_EQ(depth.Value(), base);
 }
 
 TEST(ThreadPoolTest, GlobalPoolIsUsableAndStable) {

@@ -1,0 +1,188 @@
+// Prometheus exposition tests: name sanitization, rendering of the three
+// metric kinds, validator acceptance of the renderer's own output (for a
+// local registry AND for every metric registered in the global registry),
+// and validator rejection of duplicate families, interleaved families, and
+// non-monotonic cumulative buckets.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "qdcbir/core/thread_pool.h"
+#include "qdcbir/obs/metrics.h"
+#include "qdcbir/obs/prom_export.h"
+
+namespace qdcbir {
+namespace obs {
+namespace {
+
+TEST(PrometheusNameTest, SanitizesAndPrefixes) {
+  EXPECT_EQ(PrometheusName("pool.task.wait_ns"), "qdcbir_pool_task_wait_ns");
+  EXPECT_EQ(PrometheusName("io.load.bytes"), "qdcbir_io_load_bytes");
+  EXPECT_EQ(PrometheusName("span.qd.finalize"), "qdcbir_span_qd_finalize");
+  EXPECT_EQ(PrometheusName("weird-name!x"), "qdcbir_weird_name_x");
+}
+
+TEST(PromExportTest, RendersCounterGaugeHistogram) {
+  MetricsRegistry registry;
+  registry.GetCounter("test.requests", "Requests served").Add(3);
+  Gauge& gauge = registry.GetGauge("test.depth", "Queue depth");
+  gauge.Add(5);
+  gauge.Add(-2);
+  Histogram& histogram = registry.GetHistogram("test.latency_ns", "Latency");
+  histogram.Record(10);
+  histogram.Record(1000);
+
+  const std::string text = RenderPrometheusText(registry);
+  EXPECT_NE(text.find("# TYPE qdcbir_test_requests counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("qdcbir_test_requests 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE qdcbir_test_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("qdcbir_test_depth 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE qdcbir_test_depth_highwater gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("qdcbir_test_depth_highwater 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE qdcbir_test_latency_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("qdcbir_test_latency_ns_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("qdcbir_test_latency_ns_count 2"), std::string::npos);
+  // The help string and the inferred unit reach the HELP line.
+  EXPECT_NE(text.find("# HELP qdcbir_test_latency_ns Latency "
+                      "(unit: nanoseconds)"),
+            std::string::npos);
+
+  std::string error;
+  std::map<std::string, double> samples;
+  ASSERT_TRUE(ValidatePrometheusText(text, &error, &samples)) << error;
+  EXPECT_DOUBLE_EQ(samples["qdcbir_test_requests"], 3.0);
+  EXPECT_DOUBLE_EQ(samples["qdcbir_test_latency_ns_count"], 2.0);
+}
+
+TEST(PromExportTest, EveryGlobalRegistrationRendersAValidTypeLine) {
+  // Touch at least one metric of every module that registers lazily, so
+  // the global registry holds a representative population.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  { ThreadPool pool(2); pool.ParallelFor(0, 8, [](std::size_t) {}); }
+  registry.SpanHistogram("prom_export_test").Record(1);
+
+  const std::string text = RenderPrometheusText(registry);
+  std::string error;
+  std::map<std::string, double> samples;
+  ASSERT_TRUE(ValidatePrometheusText(text, &error, &samples)) << error;
+
+  const MetricsRegistry::RegistrySnapshot snapshot = registry.Snapshot();
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusName(name);
+    EXPECT_NE(text.find("# TYPE " + prom + " counter\n"), std::string::npos)
+        << "counter " << name << " missing its TYPE line";
+    EXPECT_TRUE(samples.count(prom)) << name;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusName(name);
+    EXPECT_NE(text.find("# TYPE " + prom + " gauge\n"), std::string::npos)
+        << "gauge " << name << " missing its TYPE line";
+    EXPECT_NE(text.find("# TYPE " + prom + "_highwater gauge\n"),
+              std::string::npos)
+        << "gauge " << name << " missing its highwater family";
+  }
+  for (const auto& [name, value] : snapshot.histograms) {
+    const std::string prom = PrometheusName(name);
+    EXPECT_NE(text.find("# TYPE " + prom + " histogram\n"), std::string::npos)
+        << "histogram " << name << " missing its TYPE line";
+    EXPECT_TRUE(samples.count(prom + "_count")) << name;
+  }
+}
+
+TEST(PromExportTest, HistogramBucketsAreCumulativeAndClosed) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.GetHistogram("test.h_ns", "h");
+  for (std::uint64_t v = 1; v < 100000; v *= 3) histogram.Record(v);
+  const std::string text = RenderPrometheusText(registry);
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText(text, &error)) << error;
+}
+
+TEST(PromValidatorTest, RejectsDuplicateFamily) {
+  const std::string text =
+      "# TYPE qdcbir_a counter\nqdcbir_a 1\n"
+      "# TYPE qdcbir_b counter\nqdcbir_b 1\n"
+      "# TYPE qdcbir_a counter\nqdcbir_a 2\n";
+  std::string error;
+  EXPECT_FALSE(ValidatePrometheusText(text, &error));
+  EXPECT_NE(error.find("qdcbir_a"), std::string::npos) << error;
+}
+
+TEST(PromValidatorTest, RejectsInterleavedFamilies) {
+  const std::string text =
+      "# TYPE qdcbir_a counter\n"
+      "# TYPE qdcbir_b counter\n"
+      "qdcbir_b 1\n"
+      "qdcbir_a 1\n";
+  std::string error;
+  EXPECT_FALSE(ValidatePrometheusText(text, &error));
+}
+
+TEST(PromValidatorTest, RejectsNonMonotonicCumulativeBuckets) {
+  const std::string text =
+      "# TYPE qdcbir_h histogram\n"
+      "qdcbir_h_bucket{le=\"10\"} 5\n"
+      "qdcbir_h_bucket{le=\"20\"} 3\n"
+      "qdcbir_h_bucket{le=\"+Inf\"} 3\n"
+      "qdcbir_h_sum 40\n"
+      "qdcbir_h_count 3\n";
+  std::string error;
+  EXPECT_FALSE(ValidatePrometheusText(text, &error));
+  EXPECT_NE(error.find("cumulative"), std::string::npos) << error;
+}
+
+TEST(PromValidatorTest, RejectsDecreasingBucketBounds) {
+  const std::string text =
+      "# TYPE qdcbir_h histogram\n"
+      "qdcbir_h_bucket{le=\"20\"} 1\n"
+      "qdcbir_h_bucket{le=\"10\"} 2\n"
+      "qdcbir_h_bucket{le=\"+Inf\"} 2\n"
+      "qdcbir_h_sum 12\n"
+      "qdcbir_h_count 2\n";
+  std::string error;
+  EXPECT_FALSE(ValidatePrometheusText(text, &error));
+}
+
+TEST(PromValidatorTest, RejectsMissingInfBucket) {
+  const std::string text =
+      "# TYPE qdcbir_h histogram\n"
+      "qdcbir_h_bucket{le=\"10\"} 1\n"
+      "qdcbir_h_sum 5\n"
+      "qdcbir_h_count 1\n";
+  std::string error;
+  EXPECT_FALSE(ValidatePrometheusText(text, &error));
+}
+
+TEST(PromValidatorTest, RejectsSampleWithoutType) {
+  std::string error;
+  EXPECT_FALSE(ValidatePrometheusText("qdcbir_orphan 1\n", &error));
+}
+
+TEST(PromValidatorTest, AcceptsEmptyInput) {
+  std::string error;
+  std::map<std::string, double> samples;
+  EXPECT_TRUE(ValidatePrometheusText("", &error, &samples));
+  EXPECT_TRUE(samples.empty());
+}
+
+TEST(HistogramBucketBoundsTest, UpperBoundsMatchBucketOf) {
+  // Every bucket's upper bound must map back into that bucket, and the
+  // next integer must map past it — the exposition's `le` labels are only
+  // correct if the bound is tight.
+  for (std::size_t bucket = 0; bucket < 200; ++bucket) {
+    const std::uint64_t bound = Histogram::BucketUpperBound(bucket);
+    EXPECT_EQ(Histogram::BucketOf(bound), bucket) << "bucket " << bucket;
+    EXPECT_GT(Histogram::BucketOf(bound + 1), bucket) << "bucket " << bucket;
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace qdcbir

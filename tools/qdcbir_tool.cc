@@ -24,7 +24,17 @@
 //       Inspect a snapshot's chunk table and checksums; --verify=1 fully
 //       loads it (non-zero exit on any corruption). The chaos flags damage
 //       the file in place so CI can prove corruption cannot pass --verify.
+//   qdcbir_tool serve  --db=db.bin [--rfs=rfs.bin] [--address=127.0.0.1]
+//                      [--port=0] [--port-file=PATH] [--threads=N]
+//                      [--max-seconds=0]
+//       Start the admin/serving HTTP endpoint: /healthz /readyz /varz
+//       /metrics /queryz plus /api/query and /api/feedback for driving
+//       relevance-feedback sessions over the wire. --port=0 binds an
+//       ephemeral port (written to --port-file for scripts). Runs until
+//       SIGINT/SIGTERM, or --max-seconds if positive.
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +42,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "qdcbir/qdcbir.h"
 
@@ -396,19 +407,80 @@ int CmdSnapshot(int argc, char** argv) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void HandleStopSignal(int) { g_serve_stop = 1; }
+
+int CmdServe(int argc, char** argv) {
+  serve::ServeOptions options;
+  options.db_path = Flag(argc, argv, "db", "db.bin");
+  options.rfs_path = Flag(argc, argv, "rfs", "");
+  options.address = Flag(argc, argv, "address", "127.0.0.1");
+  options.port = static_cast<int>(IntFlag(argc, argv, "port", 0));
+  options.display_size =
+      static_cast<std::size_t>(IntFlag(argc, argv, "display", 21));
+  options.default_k = static_cast<std::size_t>(IntFlag(argc, argv, "k", 50));
+  const std::string port_file = Flag(argc, argv, "port-file", "");
+  const std::int64_t max_seconds = IntFlag(argc, argv, "max-seconds", 0);
+
+  ThreadPool pool(static_cast<std::size_t>(IntFlag(argc, argv, "threads", 0)));
+  options.pool = &pool;
+
+  serve::ServeApp app(options);
+  std::string error;
+  if (!app.Start(&error)) {
+    std::fprintf(stderr, "cannot start server: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%d (db %s%s%s)\n", options.address.c_str(),
+              app.port(), options.db_path.c_str(),
+              options.rfs_path.empty() ? ", embedded rfs" : ", rfs ",
+              options.rfs_path.c_str());
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    out << app.port() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", port_file.c_str());
+      return 1;
+    }
+  }
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  WallTimer uptime;
+  while (g_serve_stop == 0 &&
+         app.readiness() != serve::Readiness::kFailed &&
+         (max_seconds <= 0 || uptime.Seconds() < max_seconds)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  if (app.readiness() == serve::Readiness::kFailed) {
+    std::fprintf(stderr, "load failed: %s\n", app.load_error().c_str());
+    app.Stop();
+    return 1;
+  }
+  std::printf("shutting down\n");
+  app.Stop();
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: qdcbir_tool "
-               "<synth|rfs|info|query|render|catalog|export-reps|snapshot> "
-               "[--flags]\n"
+               "<synth|rfs|info|query|render|catalog|export-reps|snapshot"
+               "|serve> [--flags]\n"
                "snapshot flags: --db=<path> [--verify=1] [--threads=N]\n"
                "                [--flip-bit=OFFSET] [--truncate=BYTES]  "
                "(chaos helpers: corrupt in place)\n"
+               "serve flags:    --db=<path> [--rfs=<path>] [--port=0]\n"
+               "                [--port-file=<path>] [--max-seconds=0]\n"
                "run with a command and no flags to see its defaults\n"
                "global flags: --metrics-json=<path>  dump the metrics "
                "registry snapshot after the command\n"
                "              --trace-out=<path>     record a Chrome trace "
-               "of the command\n");
+               "of the command\n"
+               "              --queryz-json=<path>   dump the /queryz "
+               "session audit ring after the command\n");
   return 1;
 }
 
@@ -421,6 +493,7 @@ int Dispatch(int argc, char** argv, const std::string& command) {
   if (command == "catalog") return CmdCatalog(argc, argv);
   if (command == "export-reps") return CmdExportReps(argc, argv);
   if (command == "snapshot") return CmdSnapshot(argc, argv);
+  if (command == "serve") return CmdServe(argc, argv);
   return Usage();
 }
 
@@ -429,6 +502,7 @@ int Run(int argc, char** argv) {
   const std::string command = argv[1];
   const std::string trace_out = Flag(argc, argv, "trace-out", "");
   const std::string metrics_json = Flag(argc, argv, "metrics-json", "");
+  const std::string queryz_json = Flag(argc, argv, "queryz-json", "");
 
   if (!trace_out.empty()) {
     std::string error;
@@ -446,6 +520,15 @@ int Run(int argc, char** argv) {
     if (!out) {
       std::fprintf(stderr, "cannot write metrics to %s\n",
                    metrics_json.c_str());
+      return 1;
+    }
+  }
+  if (!queryz_json.empty()) {
+    std::ofstream out(queryz_json);
+    out << obs::QueryLog::Global().RenderJson() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "cannot write session audit to %s\n",
+                   queryz_json.c_str());
       return 1;
     }
   }

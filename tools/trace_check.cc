@@ -1,23 +1,32 @@
 // Validates observability artifacts produced by an instrumented run:
 //
 //   trace_check --trace=<chrome_trace.json> [--require-span=<name>]...
-//               [--metrics=<metrics.json>]
+//               [--metrics=<metrics.json>] [--prom=<metrics.prom>]
+//               [--require-metric=<name>[:min]]...
 //
 // The trace file must be valid Chrome trace_event JSON with balanced,
 // properly nested B/E pairs per thread (the same contract enforced by the
 // obs unit tests). Each --require-span name must appear at least once as a
 // begin event. The metrics file, when given, must be a non-empty JSON
-// object with the registry's three top-level sections. Exit code 0 means
-// all checks passed; diagnostics go to stderr. CI runs this against the
-// bench_micro artifacts so a silently-broken exporter fails the build.
+// object with the registry's three top-level sections. The prom file must
+// be well-formed Prometheus text exposition: every sample preceded by its
+// # TYPE line, no duplicate or interleaved families, histogram buckets
+// cumulative and monotonic and closed by a +Inf bucket equal to _count.
+// Each --require-metric names a sample that must appear in the prom file,
+// optionally with a minimum value after a colon. Exit code 0 means all
+// checks passed; diagnostics go to stderr. CI runs this against the
+// bench_micro and serve-smoke artifacts so a silently-broken exporter
+// fails the build.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "qdcbir/obs/prom_export.h"
 #include "qdcbir/obs/trace.h"
 
 namespace {
@@ -56,12 +65,21 @@ bool ReadFile(const std::string& path, std::string* out) {
 int main(int argc, char** argv) {
   const std::string trace_path = Flag(argc, argv, "trace");
   const std::string metrics_path = Flag(argc, argv, "metrics");
+  const std::string prom_path = Flag(argc, argv, "prom");
   const std::vector<std::string> required = FlagList(argc, argv,
                                                      "require-span");
-  if (trace_path.empty() && metrics_path.empty()) {
+  const std::vector<std::string> required_metrics =
+      FlagList(argc, argv, "require-metric");
+  if (trace_path.empty() && metrics_path.empty() && prom_path.empty()) {
     std::fprintf(stderr,
                  "usage: trace_check --trace=<file> [--require-span=<name>]"
-                 " [--metrics=<file>]\n");
+                 " [--metrics=<file>]\n"
+                 "                   [--prom=<file>]"
+                 " [--require-metric=<name>[:min]]\n");
+    return 1;
+  }
+  if (!required_metrics.empty() && prom_path.empty()) {
+    std::fprintf(stderr, "--require-metric needs --prom=<file>\n");
     return 1;
   }
 
@@ -118,6 +136,47 @@ int main(int argc, char** argv) {
     }
     std::printf("metrics ok: %s (%zu bytes)\n", metrics_path.c_str(),
                 json.size());
+  }
+
+  if (!prom_path.empty()) {
+    std::string text;
+    if (!ReadFile(prom_path, &text)) {
+      std::fprintf(stderr, "cannot read prom file: %s\n", prom_path.c_str());
+      return 1;
+    }
+    std::string error;
+    std::map<std::string, double> samples;
+    if (!qdcbir::obs::ValidatePrometheusText(text, &error, &samples)) {
+      std::fprintf(stderr, "invalid prom exposition %s: %s\n",
+                   prom_path.c_str(), error.c_str());
+      return 1;
+    }
+    std::printf("prom ok: %s (%zu samples)\n", prom_path.c_str(),
+                samples.size());
+    for (const std::string& spec : required_metrics) {
+      std::string name = spec;
+      double min_value = 0.0;
+      bool has_min = false;
+      const std::size_t colon = spec.rfind(':');
+      if (colon != std::string::npos) {
+        name = spec.substr(0, colon);
+        min_value = std::strtod(spec.c_str() + colon + 1, nullptr);
+        has_min = true;
+      }
+      const auto it = samples.find(name);
+      if (it == samples.end()) {
+        std::fprintf(stderr, "required metric missing from exposition: %s\n",
+                     name.c_str());
+        return 1;
+      }
+      if (has_min && it->second < min_value) {
+        std::fprintf(stderr, "metric %s = %g below required minimum %g\n",
+                     name.c_str(), it->second, min_value);
+        return 1;
+      }
+      std::printf("  metric %-40s %g%s\n", name.c_str(), it->second,
+                  has_min ? " (>= min)" : "");
+    }
   }
   return 0;
 }
