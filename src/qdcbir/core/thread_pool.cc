@@ -2,8 +2,10 @@
 
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "qdcbir/obs/clock.h"
+#include "qdcbir/obs/log.h"
 
 namespace qdcbir {
 
@@ -89,16 +91,34 @@ bool ThreadPool::RunOneTask(std::unique_lock<std::mutex>& lock) {
   task_wait_ns_.Record(start_ns - task.enqueue_ns);
 
   std::exception_ptr error;
-  try {
-    task.fn();
-  } catch (...) {
-    error = std::current_exception();
+  {
+    // Adopt the submitter's trace context for the task's duration, then
+    // restore this lane's own: a worker interleaving tasks of different
+    // requests must never cross their span trees.
+    const obs::ScopedTraceContext scoped_trace(std::move(task.trace));
+    try {
+      task.fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
   }
 
   const std::uint64_t run_ns = obs::MonotonicNanos() - start_ns;
   task_run_ns_.Record(run_ns);
   busy_ns_.Add(run_ns);
   tasks_executed_.Add(1);
+
+  if (error && task.batch->detached) {
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      QDCBIR_LOG(obs::LogLevel::kError,
+                 std::string("posted task threw: ") + e.what());
+    } catch (...) {
+      QDCBIR_LOG(obs::LogLevel::kError,
+                 "posted task threw a non-std exception");
+    }
+  }
 
   lock.lock();
   if (error && !task.batch->error) task.batch->error = error;
@@ -111,8 +131,14 @@ void ThreadPool::Post(std::function<void()> task) {
     const std::uint64_t start_ns = obs::MonotonicNanos();
     try {
       task();
+    } catch (const std::exception& e) {
+      // Same contract as the queued path: posted tasks own their failures;
+      // the swallow is logged so it is at least diagnosable.
+      QDCBIR_LOG(obs::LogLevel::kError,
+                 std::string("posted task threw: ") + e.what());
     } catch (...) {
-      // Same contract as the queued path: posted tasks own their failures.
+      QDCBIR_LOG(obs::LogLevel::kError,
+                 "posted task threw a non-std exception");
     }
     const std::uint64_t run_ns = obs::MonotonicNanos() - start_ns;
     task_run_ns_.Record(run_ns);
@@ -122,12 +148,14 @@ void ThreadPool::Post(std::function<void()> task) {
   }
   auto batch = std::make_shared<Batch>();
   batch->pending = 1;
+  batch->detached = true;
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_depth_.Set(g_queued_tasks.fetch_add(1, std::memory_order_relaxed) +
                      1);
     queue_.push_back(Task{std::move(task), std::move(batch),
-                          obs::MonotonicNanos()});
+                          obs::MonotonicNanos(),
+                          obs::CurrentTraceContext()});
   }
   work_cv_.notify_one();
 }
@@ -151,6 +179,7 @@ void ThreadPool::Run(std::vector<std::function<void()>> tasks) {
   auto batch = std::make_shared<Batch>();
   batch->pending = tasks.size();
   const std::uint64_t enqueue_ns = obs::MonotonicNanos();
+  const obs::TraceContext& trace = obs::CurrentTraceContext();
   {
     std::lock_guard<std::mutex> lock(mu_);
     // The gauge goes up before any worker can pop a task (the pop needs
@@ -161,7 +190,7 @@ void ThreadPool::Run(std::vector<std::function<void()>> tasks) {
                                  std::memory_order_relaxed) +
         static_cast<std::int64_t>(tasks.size()));
     for (std::function<void()>& task : tasks) {
-      queue_.push_back(Task{std::move(task), batch, enqueue_ns});
+      queue_.push_back(Task{std::move(task), batch, enqueue_ns, trace});
     }
   }
   work_cv_.notify_all();

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "qdcbir/obs/metrics.h"
+#include "qdcbir/obs/trace_context.h"
 
 namespace qdcbir {
 
@@ -117,12 +118,20 @@ class ThreadPool {
   struct Batch {
     std::size_t pending = 0;
     std::exception_ptr error;
+    /// True for `Post` batches: no submitter waits, so an exception has
+    /// nowhere to rethrow and is logged instead of silently dropped.
+    bool detached = false;
   };
 
   struct Task {
     std::function<void()> fn;
     std::shared_ptr<Batch> batch;
     std::uint64_t enqueue_ns = 0;  ///< queue-wait measurement origin
+    /// The submitter's trace context, captured at enqueue and restored
+    /// around execution, so spans opened inside pool tasks keep their
+    /// parent links (nested ParallelFor included). Inline paths skip the
+    /// capture — the submitter's context is already current.
+    obs::TraceContext trace;
   };
 
   void WorkerLoop();

@@ -11,6 +11,7 @@
 #include "qdcbir/obs/clock.h"
 #include "qdcbir/obs/query_log.h"
 #include "qdcbir/obs/span.h"
+#include "qdcbir/obs/trace_context.h"
 
 namespace qdcbir {
 
@@ -53,6 +54,7 @@ void RecordAudit(std::string_view engine, const QueryGroundTruth& gt,
   record.results = outcome.final_results.size();
   record.subqueries = outcome.qd_stats.localized_subqueries;
   record.boundary_expansions = outcome.qd_stats.boundary_expansions;
+  record.expanded_subqueries = outcome.qd_stats.expanded_subqueries;
   record.nodes_touched = outcome.qd_stats.nodes_touched;
   record.distinct_nodes_sampled = outcome.qd_stats.distinct_nodes_sampled;
   if (engine == "qd") {
@@ -69,6 +71,11 @@ void RecordAudit(std::string_view engine, const QueryGroundTruth& gt,
   record.rounds_ns = rounds_ns;
   record.finalize_ns = SecondsToNanos(outcome.finalize_seconds);
   record.total_ns = SecondsToNanos(outcome.total_seconds);
+  // Batch runs carry a trace id too when the caller installed one (the
+  // serve layer always does; CLI runs leave it zero → rendered as "").
+  const obs::TraceContext& trace = obs::CurrentTraceContext();
+  record.trace_hi = trace.trace_hi;
+  record.trace_lo = trace.trace_lo;
   obs::QueryLog::Global().Record(record);
 }
 

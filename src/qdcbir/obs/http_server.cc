@@ -200,6 +200,9 @@ std::string SerializeHttpResponse(const HttpResponse& response,
                     ReasonPhrase(response.status) + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name + ": " + value + "\r\n";
+  }
   out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
   out += "\r\n";
   out += response.body;

@@ -59,9 +59,19 @@ HttpParseStatus ParseHttpRequest(std::string_view buffer, HttpRequest* out,
                                  const HttpLimits& limits = HttpLimits());
 
 struct HttpResponse {
+  HttpResponse() = default;
+  HttpResponse(int status_in, std::string content_type_in, std::string body_in)
+      : status(status_in),
+        content_type(std::move(content_type_in)),
+        body(std::move(body_in)) {}
+
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
+  /// Extra response headers (e.g. `traceparent`). Content-Type,
+  /// Content-Length, and Connection are emitted by the serializer and must
+  /// not appear here.
+  std::vector<std::pair<std::string, std::string>> headers;
 };
 
 /// Serializes a response with Content-Length and the requested connection

@@ -1,0 +1,153 @@
+#include "qdcbir/obs/log.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "qdcbir/obs/clock.h"
+#include "qdcbir/obs/trace_context.h"
+
+namespace qdcbir {
+namespace obs {
+
+namespace {
+
+std::uint64_t UnixMillis() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "unknown";
+}
+
+bool LogCallSite::Admit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t now_ns = MonotonicNanos();
+  if (last_refill_ns_ == 0) last_refill_ns_ = now_ns;
+  tokens_ += static_cast<double>(now_ns - last_refill_ns_) * 1e-9 *
+             kPerSecond;
+  if (tokens_ > kBurst) tokens_ = kBurst;
+  last_refill_ns_ = now_ns;
+  if (tokens_ < 1.0) {
+    ++suppressed_;
+    return false;
+  }
+  tokens_ -= 1.0;
+  return true;
+}
+
+std::uint64_t LogCallSite::TakeSuppressed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t taken = suppressed_;
+  suppressed_ = 0;
+  return taken;
+}
+
+void LogRing::Write(LogLevel level, const char* file, int line,
+                    std::string message, std::uint64_t suppressed) {
+  LogEntry entry;
+  entry.unix_ms = UnixMillis();
+  entry.mono_ns = MonotonicNanos();
+  entry.level = level;
+  entry.trace_id = TraceIdHex(CurrentTraceContext());
+  entry.site = std::string(Basename(file)) + ":" + std::to_string(line);
+  entry.message = std::move(message);
+  entry.suppressed = suppressed;
+
+  if (level == LogLevel::kWarn || level == LogLevel::kError) {
+    std::fprintf(stderr, "[%s] %s %s%s%s\n", LogLevelName(level),
+                 entry.site.c_str(), entry.message.c_str(),
+                 entry.trace_id.empty() ? "" : " trace=",
+                 entry.trace_id.c_str());
+  }
+
+  total_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.sequence = next_sequence_++;
+  entries_.push_back(std::move(entry));
+  if (entries_.size() > kCapacity) entries_.pop_front();
+}
+
+std::vector<LogEntry> LogRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<LogEntry>(entries_.begin(), entries_.end());
+}
+
+std::string LogRing::RenderJson() const {
+  const std::vector<LogEntry> entries = Snapshot();
+  std::string out = "{\"capacity\":" + std::to_string(kCapacity);
+  out += ",\"total\":" + std::to_string(total());
+  out += ",\"entries\":[";
+  bool first = true;
+  for (const LogEntry& entry : entries) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"sequence\":" + std::to_string(entry.sequence);
+    out += ",\"unix_ms\":" + std::to_string(entry.unix_ms);
+    out += ",\"mono_ns\":" + std::to_string(entry.mono_ns);
+    out += ",\"level\":";
+    AppendJsonString(&out, LogLevelName(entry.level));
+    out += ",\"trace\":";
+    AppendJsonString(&out, entry.trace_id);
+    out += ",\"site\":";
+    AppendJsonString(&out, entry.site);
+    out += ",\"message\":";
+    AppendJsonString(&out, entry.message);
+    out += ",\"suppressed\":" + std::to_string(entry.suppressed);
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+void LogRing::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+LogRing& LogRing::Global() {
+  static LogRing* ring = new LogRing();
+  return *ring;
+}
+
+}  // namespace obs
+}  // namespace qdcbir

@@ -1,0 +1,122 @@
+#ifndef QDCBIR_OBS_LOG_H_
+#define QDCBIR_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qdcbir {
+namespace obs {
+
+/// Structured, trace-aware logging for the engine's error and lifecycle
+/// paths. Entries are leveled, stamped with the calling thread's current
+/// trace id (see trace_context.h), rate-limited per call site, and kept in
+/// a bounded in-memory ring served as JSON on `/logz`. Warnings and errors
+/// additionally mirror to stderr so headless runs are not silent.
+///
+/// This is deliberately not a hot-path facility: one mutex-guarded append
+/// per admitted entry. Call sites are load/serve lifecycle transitions and
+/// failure paths, which fire at most a few times per request.
+
+enum class LogLevel : std::uint8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+const char* LogLevelName(LogLevel level);
+
+struct LogEntry {
+  std::uint64_t sequence = 0;
+  std::uint64_t unix_ms = 0;   ///< wall clock, for operators
+  std::uint64_t mono_ns = 0;   ///< monotonic, comparable with span times
+  LogLevel level = LogLevel::kInfo;
+  std::string trace_id;        ///< 32-hex current trace, "" when none
+  std::string site;            ///< "file.cc:123"
+  std::string message;
+  std::uint64_t suppressed = 0;  ///< entries this call site dropped before
+};
+
+/// Per-call-site token bucket behind `QDCBIR_LOG`: a burst of `kBurst`
+/// entries, refilled at `kPerSecond` per second. Suppressed entries are
+/// counted and reported on the next admitted entry.
+class LogCallSite {
+ public:
+  static constexpr double kBurst = 8.0;
+  static constexpr double kPerSecond = 4.0;
+
+  /// True when this entry may be written; false increments the suppressed
+  /// count.
+  bool Admit();
+
+  /// Returns and resets the count of entries suppressed since the last
+  /// admitted one.
+  std::uint64_t TakeSuppressed();
+
+ private:
+  std::mutex mu_;
+  double tokens_ = kBurst;
+  std::uint64_t last_refill_ns_ = 0;
+  std::uint64_t suppressed_ = 0;
+};
+
+/// The bounded ring `/logz` serves. Appends take a mutex; snapshots copy.
+class LogRing {
+ public:
+  static constexpr std::size_t kCapacity = 256;
+
+  LogRing() = default;
+  LogRing(const LogRing&) = delete;
+  LogRing& operator=(const LogRing&) = delete;
+
+  /// Appends one entry stamped with the current thread's trace context,
+  /// wall/monotonic clocks, and a sequence number. `file` keeps only its
+  /// basename. Warn/error levels mirror to stderr.
+  void Write(LogLevel level, const char* file, int line, std::string message,
+             std::uint64_t suppressed = 0);
+
+  std::vector<LogEntry> Snapshot() const;
+  std::uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+
+  /// The `/logz` document: ring stats plus every retained entry, oldest
+  /// first.
+  std::string RenderJson() const;
+
+  /// For tests: empties the ring (the total counter stays).
+  void Clear();
+
+  /// The process-wide ring every `QDCBIR_LOG` site writes into.
+  static LogRing& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<LogEntry> entries_;
+  std::uint64_t next_sequence_ = 0;
+  std::atomic<std::uint64_t> total_{0};
+};
+
+}  // namespace obs
+}  // namespace qdcbir
+
+/// `QDCBIR_LOG(qdcbir::obs::LogLevel::kWarn, "snapshot load failed: " + s)`
+/// writes one rate-limited, trace-stamped entry into the global log ring.
+/// Always compiled (error paths are product behavior, not instrumentation);
+/// the per-site limiter keeps a wedged retry loop from flooding the ring.
+#define QDCBIR_LOG(level, message) QDCBIR_LOG_IMPL_(level, message, __COUNTER__)
+#define QDCBIR_LOG_IMPL_(level, message, counter) \
+  QDCBIR_LOG_IMPL2_(level, message, counter)
+#define QDCBIR_LOG_IMPL2_(level, message, counter)                      \
+  do {                                                                  \
+    static ::qdcbir::obs::LogCallSite qdcbir_log_site_##counter;        \
+    if (qdcbir_log_site_##counter.Admit()) {                            \
+      ::qdcbir::obs::LogRing::Global().Write(                           \
+          (level), __FILE__, __LINE__, (message),                       \
+          qdcbir_log_site_##counter.TakeSuppressed());                  \
+    }                                                                   \
+  } while (false)
+
+#endif  // QDCBIR_OBS_LOG_H_

@@ -190,6 +190,16 @@ Histogram& MetricsRegistry::SpanHistogram(const char* span_name) {
                       "Wall time of the identically-named engine phase span");
 }
 
+void MetricsRegistry::RecordExemplar(const std::string& name,
+                                     std::uint64_t value,
+                                     const std::string& trace_id) {
+  if (trace_id.empty()) return;
+  const std::uint64_t le = Histogram::BucketUpperBound(
+      Histogram::BucketOf(value));
+  std::lock_guard<std::mutex> lock(mu_);
+  exemplars_[name][le] = HistogramExemplar{value, le, trace_id};
+}
+
 MetricsRegistry::RegistrySnapshot MetricsRegistry::Snapshot() const {
   RegistrySnapshot snap;
   std::lock_guard<std::mutex> lock(mu_);
@@ -205,6 +215,11 @@ MetricsRegistry::RegistrySnapshot MetricsRegistry::Snapshot() const {
     snap.histogram_buckets.emplace_back(name, histogram->CumulativeBuckets());
   }
   snap.meta = meta_;
+  for (const auto& [name, by_bucket] : exemplars_) {
+    std::vector<HistogramExemplar>& list = snap.exemplars[name];
+    list.reserve(by_bucket.size());
+    for (const auto& [le, exemplar] : by_bucket) list.push_back(exemplar);
+  }
   return snap;
 }
 
@@ -286,6 +301,7 @@ void MetricsRegistry::Reset() {
   for (auto& [name, counter] : counters_) counter->Clear();
   for (auto& [name, gauge] : gauges_) gauge->Clear();
   for (auto& [name, histogram] : histograms_) histogram->Clear();
+  exemplars_.clear();
 }
 
 }  // namespace obs

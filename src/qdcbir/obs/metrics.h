@@ -200,6 +200,16 @@ struct MetricMeta {
   std::string unit;
 };
 
+/// An OpenMetrics-style exemplar: one recent recorded value of a histogram
+/// bucket, linked to the trace that produced it. Prometheus exposition
+/// renders it as `... # {trace_id="<hex>"} <value>` after the bucket
+/// sample, which is how a latency histogram points at example slow traces.
+struct HistogramExemplar {
+  std::uint64_t value = 0;
+  std::uint64_t bucket_le = 0;  ///< upper bound of the bucket it landed in
+  std::string trace_id;         ///< 32-hex trace id
+};
+
 /// Name → metric directory. Lookup takes a mutex (registration is cold);
 /// call sites cache the returned reference — metrics are never deleted, so
 /// references stay valid for the process lifetime.
@@ -218,6 +228,13 @@ class MetricsRegistry {
   /// `span.<name>`, recording nanoseconds.
   Histogram& SpanHistogram(const char* span_name);
 
+  /// Attaches an exemplar to the bucket of `name` that `value` maps into
+  /// (latest write per bucket wins). Call alongside — not instead of —
+  /// `Histogram::Record`. Once-per-session cost: one mutex acquisition.
+  /// Ignored when `trace_id` is empty.
+  void RecordExemplar(const std::string& name, std::uint64_t value,
+                      const std::string& trace_id);
+
   /// Merged point-in-time view of every registered metric, sorted by name.
   struct RegistrySnapshot {
     std::vector<std::pair<std::string, std::uint64_t>> counters;
@@ -232,6 +249,8 @@ class MetricsRegistry {
         histogram_buckets;
     /// Exposition metadata for every name above (possibly empty help).
     std::map<std::string, MetricMeta> meta;
+    /// Histogram name → exemplars, ascending by bucket upper bound.
+    std::map<std::string, std::vector<HistogramExemplar>> exemplars;
   };
   RegistrySnapshot Snapshot() const;
 
@@ -253,6 +272,9 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::map<std::string, MetricMeta> meta_;
+  /// name → (bucket upper bound → exemplar).
+  std::map<std::string, std::map<std::uint64_t, HistogramExemplar>>
+      exemplars_;
 };
 
 }  // namespace obs

@@ -98,11 +98,23 @@ std::string RenderPrometheusText(const MetricsRegistry& registry) {
     const std::string family = PrometheusName(name);
     AppendHelp(out, family, MetaOf(snap, name));
     AppendType(out, family, "histogram");
+    const auto exemplars_it = snap.exemplars.find(name);
     std::uint64_t cumulative = 0;
     for (const auto& [upper, cum] : buckets) {
       cumulative = cum;
       out += family + "_bucket{le=\"" + std::to_string(upper) + "\"} " +
-             std::to_string(cum) + "\n";
+             std::to_string(cum);
+      if (exemplars_it != snap.exemplars.end()) {
+        // OpenMetrics exemplar: the trace that produced a recent value in
+        // this bucket, appended after the sample value.
+        for (const HistogramExemplar& exemplar : exemplars_it->second) {
+          if (exemplar.bucket_le != upper) continue;
+          out += " # {trace_id=\"" + exemplar.trace_id + "\"} " +
+                 std::to_string(exemplar.value);
+          break;
+        }
+      }
+      out.push_back('\n');
     }
     // Derive count from the same bucket merge so +Inf always equals
     // _count, even if writers recorded between the two shard merges.
@@ -162,6 +174,75 @@ bool ParseSample(const std::string& line, std::string* name,
   return end != nullptr && *end == '\0';
 }
 
+/// Validates an exemplar suffix (everything after the sample's ` # `):
+/// `{label="value",...} <number> [<timestamp>]`. On success `*trace_id`
+/// holds the `trace_id` label's value ("" when the label is absent), which
+/// must be exactly 32 lowercase hex characters when present.
+bool ParseExemplar(const std::string& text, std::string* trace_id,
+                   std::string* why) {
+  if (text.empty() || text[0] != '{') {
+    *why = "missing {label} block";
+    return false;
+  }
+  const std::size_t close = text.find('}');
+  if (close == std::string::npos) {
+    *why = "unterminated label block";
+    return false;
+  }
+  const std::string labels = text.substr(1, close - 1);
+
+  std::size_t i = close + 1;
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+  std::size_t j = i;
+  while (j < text.size() && text[j] != ' ' && text[j] != '\t') ++j;
+  const std::string value_text = text.substr(i, j - i);
+  if (value_text.empty()) {
+    *why = "missing exemplar value";
+    return false;
+  }
+  char* end = nullptr;
+  std::strtod(value_text.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    *why = "exemplar value is not a number";
+    return false;
+  }
+  while (j < text.size() && (text[j] == ' ' || text[j] == '\t')) ++j;
+  if (j < text.size()) {
+    const std::string ts_text = text.substr(j);
+    std::strtod(ts_text.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      *why = "trailing bytes after exemplar value";
+      return false;
+    }
+  }
+
+  trace_id->clear();
+  const std::size_t pos = labels.find("trace_id=\"");
+  if (pos != std::string::npos) {
+    const std::size_t start = pos + 10;
+    const std::size_t quote = labels.find('"', start);
+    if (quote == std::string::npos) {
+      *why = "unterminated trace_id label";
+      return false;
+    }
+    const std::string id = labels.substr(start, quote - start);
+    if (id.size() != 32) {
+      *why = "trace_id is not 32 hex chars";
+      return false;
+    }
+    for (const char c : id) {
+      const bool hex =
+          (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+      if (!hex) {
+        *why = "trace_id holds a non-hex character";
+        return false;
+      }
+    }
+    *trace_id = id;
+  }
+  return true;
+}
+
 /// `le` label value of a `_bucket` sample; NaN when absent/garbled.
 double ParseLe(const std::string& labels) {
   const std::size_t pos = labels.find("le=\"");
@@ -180,7 +261,8 @@ double ParseLe(const std::string& labels) {
 }  // namespace
 
 bool ValidatePrometheusText(const std::string& text, std::string* error,
-                            std::map<std::string, double>* samples) {
+                            std::map<std::string, double>* samples,
+                            std::vector<std::string>* exemplar_trace_ids) {
   std::map<std::string, FamilyState> families;
   std::string open_family;  // family whose sample block is in progress
   std::istringstream in(text);
@@ -242,9 +324,18 @@ bool ValidatePrometheusText(const std::string& text, std::string* error,
       continue;
     }
 
+    // An exemplar rides after the sample value, separated by " # ".
+    std::string sample_line = line;
+    std::string exemplar_text;
+    const std::size_t exemplar_pos = line.find(" # ");
+    if (exemplar_pos != std::string::npos) {
+      sample_line = line.substr(0, exemplar_pos);
+      exemplar_text = line.substr(exemplar_pos + 3);
+    }
+
     std::string name, labels;
     double value = 0.0;
-    if (!ParseSample(line, &name, &labels, &value)) {
+    if (!ParseSample(sample_line, &name, &labels, &value)) {
       return Fail(error, "malformed sample line" + at);
     }
 
@@ -303,6 +394,20 @@ bool ValidatePrometheusText(const std::string& text, std::string* error,
     } else if (state.type == "histogram" && suffix == "_count") {
       state.saw_count = true;
       state.count_value = value;
+    }
+
+    if (!exemplar_text.empty()) {
+      if (state.type != "histogram" || suffix != "_bucket") {
+        return Fail(error, "exemplar on non-bucket sample " + name + at);
+      }
+      std::string trace_id, why;
+      if (!ParseExemplar(exemplar_text, &trace_id, &why)) {
+        return Fail(error,
+                    "malformed exemplar on " + name + ": " + why + at);
+      }
+      if (exemplar_trace_ids != nullptr && !trace_id.empty()) {
+        exemplar_trace_ids->push_back(trace_id);
+      }
     }
 
     if (samples != nullptr) {

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "qdcbir/obs/metrics.h"
 
@@ -33,11 +34,18 @@ std::string RenderPrometheusText(const MetricsRegistry& registry);
 ///  - histogram `_bucket` samples have strictly increasing `le` bounds,
 ///    non-decreasing cumulative counts, end with `le="+Inf"`, and the +Inf
 ///    value equals the family's `_count`;
-///  - sample names are legal and values parse as numbers.
+///  - sample names are legal and values parse as numbers;
+///  - exemplar suffixes (`... # {trace_id="<hex>"} <value>`) are
+///    structurally sound, appear only on histogram buckets, and any
+///    `trace_id` label is exactly 32 lowercase hex characters.
 /// On success, `samples` (when non-null) receives every sample name mapped
-/// to its value (labels stripped; duplicates keep the largest value).
-bool ValidatePrometheusText(const std::string& text, std::string* error,
-                            std::map<std::string, double>* samples = nullptr);
+/// to its value (labels stripped; duplicates keep the largest value), and
+/// `exemplar_trace_ids` (when non-null) every exemplar's trace id in
+/// document order.
+bool ValidatePrometheusText(
+    const std::string& text, std::string* error,
+    std::map<std::string, double>* samples = nullptr,
+    std::vector<std::string>* exemplar_trace_ids = nullptr);
 
 }  // namespace obs
 }  // namespace qdcbir

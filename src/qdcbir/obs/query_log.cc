@@ -72,6 +72,15 @@ std::string_view QueryAuditRecord::label_view() const {
   return ViewOf(label, sizeof(label));
 }
 
+std::string QueryAuditRecord::trace_hex() const {
+  if ((trace_hi | trace_lo) == 0) return "";
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(trace_hi),
+                static_cast<unsigned long long>(trace_lo));
+  return std::string(buf, 32);
+}
+
 void QueryLog::Record(QueryAuditRecord record) {
   const std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
   record.sequence = seq;
@@ -148,6 +157,8 @@ std::string QueryLog::RenderJson() const {
     AppendField(&out, "subqueries", record.subqueries, &first);
     AppendField(&out, "boundary_expansions", record.boundary_expansions,
                 &first);
+    AppendField(&out, "expanded_subqueries", record.expanded_subqueries,
+                &first);
     AppendField(&out, "nodes_visited", record.nodes_visited, &first);
     AppendField(&out, "candidates_scored", record.candidates_scored, &first);
     AppendField(&out, "nodes_touched", record.nodes_touched, &first);
@@ -156,6 +167,8 @@ std::string QueryLog::RenderJson() const {
     AppendField(&out, "rounds_ns", record.rounds_ns, &first);
     AppendField(&out, "finalize_ns", record.finalize_ns, &first);
     AppendField(&out, "total_ns", record.total_ns, &first);
+    out += ",\"trace\":";
+    AppendJsonString(&out, record.trace_hex());
     out.push_back('}');
   }
   out += "]}";

@@ -27,6 +27,9 @@ struct QueryAuditRecord {
 
   std::uint64_t subqueries = 0;             ///< localized subqueries issued
   std::uint64_t boundary_expansions = 0;
+  /// Subqueries whose search node expanded past their leaf (paper 3.3) —
+  /// correlates expansion cost with per-session latency on /queryz.
+  std::uint64_t expanded_subqueries = 0;
   std::uint64_t nodes_visited = 0;          ///< k-NN nodes visited
   std::uint64_t candidates_scored = 0;      ///< k-NN candidates scored
   std::uint64_t nodes_touched = 0;          ///< display-set nodes touched
@@ -36,10 +39,17 @@ struct QueryAuditRecord {
   std::uint64_t finalize_ns = 0;  ///< wall time of Finalize / final rank
   std::uint64_t total_ns = 0;
 
+  /// The session's 128-bit trace id (see obs/trace_context.h); zero when
+  /// the session ran without one. Links /queryz rows to /tracez trees.
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+
   void set_engine(std::string_view name);
   void set_label(std::string_view name);
   std::string_view engine_view() const;
   std::string_view label_view() const;
+  /// 32-hex trace id, "" when zero.
+  std::string trace_hex() const;
 };
 
 static_assert(sizeof(QueryAuditRecord) % sizeof(std::uint64_t) == 0,

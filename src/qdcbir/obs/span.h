@@ -4,6 +4,8 @@
 #include "qdcbir/obs/clock.h"
 #include "qdcbir/obs/metrics.h"
 #include "qdcbir/obs/trace.h"
+#include "qdcbir/obs/trace_context.h"
+#include "qdcbir/obs/trace_tree.h"
 
 namespace qdcbir {
 namespace obs {
@@ -11,15 +13,27 @@ namespace obs {
 /// RAII phase marker. On destruction it records the span's wall-time into
 /// its latency histogram (`span.<name>`, nanoseconds) and, when the tracer
 /// is armed, streams a balanced "B"/"E" event pair to the Chrome trace.
+/// When the calling thread carries a recording `TraceContext` (a serve
+/// request with tree capture on), the span additionally registers itself as
+/// the thread's innermost span for its lifetime and appends a `SpanRecord`
+/// — parent links come from the context, so trees stay correct across the
+/// thread pool's capture/restore.
 /// Instantiate through `QDCBIR_SPAN` — the macro resolves the histogram
 /// once per call site, so steady-state cost is two clock reads plus one
-/// sharded histogram increment (~tens of nanoseconds).
+/// sharded histogram increment (~tens of nanoseconds) plus one relaxed
+/// thread-local check for tree capture.
 class ScopedSpan {
  public:
   ScopedSpan(const char* name, Histogram& histogram)
       : name_(name), histogram_(histogram), start_ns_(MonotonicNanos()) {
     Tracer& tracer = Tracer::Global();
     if (tracer.enabled()) tracer.Begin(name_);
+    TraceContext& context = MutableCurrentTraceContext();
+    if (context.buffer != nullptr) {
+      parent_id_ = context.span_id;
+      span_id_ = context.buffer->NewSpanId();
+      context.span_id = span_id_;
+    }
   }
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -29,6 +43,16 @@ class ScopedSpan {
     const std::uint64_t end_ns = MonotonicNanos();
     Tracer& tracer = Tracer::Global();
     if (tracer.enabled()) tracer.End(name_);
+    if (span_id_ != 0) {
+      TraceContext& context = MutableCurrentTraceContext();
+      // Spans and context scopes nest strictly, so the buffer seen here is
+      // the one the constructor allocated the id from.
+      if (context.buffer != nullptr) {
+        context.buffer->Append(SpanRecord{span_id_, parent_id_, name_,
+                                          start_ns_, end_ns, ThreadTid()});
+        context.span_id = parent_id_;
+      }
+    }
     histogram_.Record(end_ns - start_ns_);
   }
 
@@ -36,7 +60,19 @@ class ScopedSpan {
   const char* name_;
   Histogram& histogram_;
   std::uint64_t start_ns_;
+  std::uint64_t span_id_ = 0;  ///< 0 = no tree capture at construction
+  std::uint64_t parent_id_ = 0;
 };
+
+/// Attaches `key = value` to the thread's innermost open span (no-op when
+/// no tree is being captured). The per-subquery spans use this for leaf /
+/// search-node attribution on `/tracez`.
+inline void AnnotateCurrentSpan(const char* key, std::int64_t value) {
+  TraceContext& context = MutableCurrentTraceContext();
+  if (context.buffer != nullptr && context.span_id != 0) {
+    context.buffer->Annotate(context.span_id, key, value);
+  }
+}
 
 }  // namespace obs
 }  // namespace qdcbir
@@ -53,9 +89,16 @@ class ScopedSpan {
       ::qdcbir::obs::MetricsRegistry::Global().SpanHistogram(name);    \
   const ::qdcbir::obs::ScopedSpan qdcbir_span_##counter(               \
       name, qdcbir_span_hist_##counter)
+/// `QDCBIR_SPAN_ANNOTATE("leaf", leaf_id);` tags the innermost open span.
+/// `key` must be a string literal; compiles to nothing with the spans.
+#define QDCBIR_SPAN_ANNOTATE(key, value) \
+  ::qdcbir::obs::AnnotateCurrentSpan((key), static_cast<std::int64_t>(value))
 #else
 #define QDCBIR_SPAN(name) \
   do {                    \
+  } while (false)
+#define QDCBIR_SPAN_ANNOTATE(key, value) \
+  do {                                   \
   } while (false)
 #endif
 

@@ -1,0 +1,219 @@
+#include "qdcbir/obs/trace_tree.h"
+
+#include <algorithm>
+#include <map>
+
+namespace qdcbir {
+namespace obs {
+
+namespace {
+
+void AppendJsonString(std::string* out, const char* s) {
+  out->push_back('"');
+  for (; s != nullptr && *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(static_cast<unsigned char>(c) < 0x20 ? ' ' : c);
+  }
+  out->push_back('"');
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  AppendJsonString(out, s.c_str());
+}
+
+}  // namespace
+
+void TraceBuffer::Append(const SpanRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= kMaxSpans) {
+    ++dropped_;
+    return;
+  }
+  spans_.push_back(record);
+}
+
+void TraceBuffer::Annotate(std::uint64_t span_id, const char* key,
+                           std::int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (annotations_.size() >= kMaxSpans) return;
+  annotations_.push_back(SpanAnnotation{span_id, key, value});
+}
+
+std::vector<SpanRecord> TraceBuffer::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::vector<SpanAnnotation> TraceBuffer::annotations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return annotations_;
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceStore::Publish(CompletedTrace trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++published_;
+  std::deque<CompletedTrace>& bucket =
+      trace.reason == "slow" ? slow_ : sampled_;
+  bucket.push_back(std::move(trace));
+  if (bucket.size() > kKeepPerReason) bucket.pop_front();
+}
+
+std::vector<CompletedTrace> TraceStore::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CompletedTrace> out;
+  out.reserve(sampled_.size() + slow_.size());
+  out.insert(out.end(), sampled_.begin(), sampled_.end());
+  out.insert(out.end(), slow_.begin(), slow_.end());
+  return out;
+}
+
+std::uint64_t TraceStore::total_published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_;
+}
+
+void TraceStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sampled_.clear();
+  slow_.clear();
+}
+
+namespace {
+
+/// Renders the subtree rooted at span index `idx` (children in start-time
+/// order), computing self time as duration minus the direct children's
+/// summed durations.
+void AppendSpanTree(
+    std::string* out, const CompletedTrace& trace, std::size_t idx,
+    const std::multimap<std::uint64_t, std::size_t>& children_of,
+    const std::multimap<std::uint64_t, const SpanAnnotation*>& notes_of) {
+  const SpanRecord& span = trace.spans[idx];
+  const std::uint64_t duration =
+      span.end_ns >= span.start_ns ? span.end_ns - span.start_ns : 0;
+
+  std::uint64_t child_ns = 0;
+  std::vector<std::size_t> kids;
+  const auto [lo, hi] = children_of.equal_range(span.span_id);
+  for (auto it = lo; it != hi; ++it) {
+    const SpanRecord& child = trace.spans[it->second];
+    child_ns += child.end_ns >= child.start_ns
+                    ? child.end_ns - child.start_ns
+                    : 0;
+    kids.push_back(it->second);
+  }
+  std::sort(kids.begin(), kids.end(), [&trace](std::size_t a, std::size_t b) {
+    if (trace.spans[a].start_ns != trace.spans[b].start_ns) {
+      return trace.spans[a].start_ns < trace.spans[b].start_ns;
+    }
+    return trace.spans[a].span_id < trace.spans[b].span_id;
+  });
+  // Parallel children can overlap, so their sum may exceed the parent's
+  // wall time; self time clamps at zero rather than going negative.
+  const std::uint64_t self_ns = child_ns < duration ? duration - child_ns : 0;
+
+  *out += "{\"name\":";
+  AppendJsonString(out, span.name);
+  *out += ",\"span_id\":" + std::to_string(span.span_id);
+  *out += ",\"tid\":" + std::to_string(span.tid);
+  *out += ",\"start_ns\":" + std::to_string(span.start_ns);
+  *out += ",\"duration_ns\":" + std::to_string(duration);
+  *out += ",\"self_ns\":" + std::to_string(self_ns);
+
+  const auto [nlo, nhi] = notes_of.equal_range(span.span_id);
+  if (nlo != nhi) {
+    *out += ",\"annotations\":{";
+    bool first = true;
+    for (auto it = nlo; it != nhi; ++it) {
+      if (!first) out->push_back(',');
+      first = false;
+      AppendJsonString(out, it->second->key);
+      out->push_back(':');
+      *out += std::to_string(it->second->value);
+    }
+    out->push_back('}');
+  }
+
+  *out += ",\"children\":[";
+  bool first = true;
+  for (const std::size_t kid : kids) {
+    if (!first) out->push_back(',');
+    first = false;
+    AppendSpanTree(out, trace, kid, children_of, notes_of);
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string TraceStore::RenderJson() const {
+  const std::vector<CompletedTrace> traces = Snapshot();
+  std::string out = "{\"total_published\":" +
+                    std::to_string(total_published()) + ",\"traces\":[";
+  bool first_trace = true;
+  for (const CompletedTrace& trace : traces) {
+    if (!first_trace) out.push_back(',');
+    first_trace = false;
+
+    // span_id → index, then children grouped by parent. Spans whose parent
+    // never closed (or was dropped) surface as roots instead of vanishing.
+    std::map<std::uint64_t, std::size_t> by_id;
+    for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+      by_id.emplace(trace.spans[i].span_id, i);
+    }
+    std::multimap<std::uint64_t, std::size_t> children_of;
+    std::vector<std::size_t> roots;
+    for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+      const std::uint64_t parent = trace.spans[i].parent_id;
+      if (parent != 0 && by_id.count(parent) != 0) {
+        children_of.emplace(parent, i);
+      } else {
+        roots.push_back(i);
+      }
+    }
+    std::sort(roots.begin(), roots.end(),
+              [&trace](std::size_t a, std::size_t b) {
+                if (trace.spans[a].start_ns != trace.spans[b].start_ns) {
+                  return trace.spans[a].start_ns < trace.spans[b].start_ns;
+                }
+                return trace.spans[a].span_id < trace.spans[b].span_id;
+              });
+    std::multimap<std::uint64_t, const SpanAnnotation*> notes_of;
+    for (const SpanAnnotation& note : trace.annotations) {
+      notes_of.emplace(note.span_id, &note);
+    }
+
+    out += "{\"trace_id\":";
+    AppendJsonString(&out, trace.trace_id);
+    out += ",\"label\":";
+    AppendJsonString(&out, trace.label);
+    out += ",\"reason\":";
+    AppendJsonString(&out, trace.reason);
+    out += ",\"total_ns\":" + std::to_string(trace.total_ns);
+    out += ",\"span_count\":" + std::to_string(trace.spans.size());
+    out += ",\"dropped_spans\":" + std::to_string(trace.dropped_spans);
+    out += ",\"spans\":[";
+    bool first_root = true;
+    for (const std::size_t root : roots) {
+      if (!first_root) out.push_back(',');
+      first_root = false;
+      AppendSpanTree(&out, trace, root, children_of, notes_of);
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+TraceStore& TraceStore::Global() {
+  static TraceStore* store = new TraceStore();
+  return *store;
+}
+
+}  // namespace obs
+}  // namespace qdcbir

@@ -1,0 +1,117 @@
+#ifndef QDCBIR_OBS_TRACE_TREE_H_
+#define QDCBIR_OBS_TRACE_TREE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qdcbir {
+namespace obs {
+
+/// One closed span inside a request-scoped trace. `name` is the span's
+/// string literal (the `QDCBIR_SPAN` argument), so records never own text.
+struct SpanRecord {
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 = child of the trace root
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint32_t tid = 0;
+};
+
+/// A key/value attached to a span while it was open — leaf / search-node /
+/// relevant-count attribution on the per-subquery spans. `key` is a string
+/// literal.
+struct SpanAnnotation {
+  std::uint64_t span_id = 0;
+  const char* key = nullptr;
+  std::int64_t value = 0;
+};
+
+/// Collects the spans of one trace (one RF session, in the serve layer).
+/// Span ids are allocated lock-free; closed spans append under a mutex —
+/// spans close once per engine phase, not per image, so contention is nil.
+/// The buffer is bounded: past `kMaxSpans` records new spans are dropped
+/// and counted, never reallocated unboundedly.
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kMaxSpans = 4096;
+
+  TraceBuffer() = default;
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// A buffer-unique nonzero span id.
+  std::uint64_t NewSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void Append(const SpanRecord& record);
+  void Annotate(std::uint64_t span_id, const char* key, std::int64_t value);
+
+  std::vector<SpanRecord> spans() const;
+  std::vector<SpanAnnotation> annotations() const;
+  std::uint64_t dropped() const;
+
+ private:
+  std::atomic<std::uint64_t> next_span_id_{1};
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+  std::vector<SpanAnnotation> annotations_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// A finished trace as published to `/tracez`.
+struct CompletedTrace {
+  std::string trace_id;  ///< 32 lowercase hex
+  std::string label;
+  std::string reason;  ///< "sampled" (head sampling) or "slow" (trigger)
+  std::uint64_t total_ns = 0;
+  std::uint64_t dropped_spans = 0;
+  std::vector<SpanRecord> spans;
+  std::vector<SpanAnnotation> annotations;
+};
+
+/// Retains the most recent head-sampled and slow traces for `/tracez`.
+/// Publication happens once per completed session; rendering assembles the
+/// span tree (children grouped under parents, roots at parent 0/unknown)
+/// and computes each span's self time (duration minus the sum of its direct
+/// children's durations, clamped at zero for cross-thread overlap).
+class TraceStore {
+ public:
+  static constexpr std::size_t kKeepPerReason = 16;
+
+  TraceStore() = default;
+  TraceStore(const TraceStore&) = delete;
+  TraceStore& operator=(const TraceStore&) = delete;
+
+  void Publish(CompletedTrace trace);
+
+  std::vector<CompletedTrace> Snapshot() const;
+  std::uint64_t total_published() const;
+
+  /// The `/tracez` document: store stats plus every retained trace as a
+  /// span tree with per-span `self_ns` and annotations.
+  std::string RenderJson() const;
+
+  /// For tests: drops every retained trace (the published counter stays).
+  void Clear();
+
+  /// The process-wide store the serve layer publishes into.
+  static TraceStore& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<CompletedTrace> sampled_;
+  std::deque<CompletedTrace> slow_;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace obs
+}  // namespace qdcbir
+
+#endif  // QDCBIR_OBS_TRACE_TREE_H_

@@ -24,6 +24,7 @@ struct QdCounters {
   obs::Counter& feedback_rounds;
   obs::Counter& nodes_touched;
   obs::Counter& boundary_expansions;
+  obs::Counter& expanded_subqueries;
   obs::Counter& localized_subqueries;
   obs::Counter& knn_candidates;
   obs::Counter& knn_nodes_visited;
@@ -38,6 +39,9 @@ struct QdCounters {
                               "Frontier nodes sampled for displays"),
           registry.GetCounter("qd.finalize.boundary_expansions",
                               "Parent expansions during finalize (paper 3.3)"),
+          registry.GetCounter(
+              "qd.finalize.expanded_subqueries",
+              "Subqueries whose search node expanded past their leaf"),
           registry.GetCounter("qd.finalize.subqueries",
                               "Localized k-NN subqueries run by finalize"),
           registry.GetCounter("qd.finalize.knn_candidates",
@@ -358,17 +362,28 @@ StatusOr<QdResult> QdSession::Finalize(std::size_t k) {
     local_candidates[li2] = LocalizedSearch(group.search_node,
                                             query.Centroid(), fetch,
                                             &task_stats[li2]);
+    // Per-subquery attribution for /tracez: which subcluster this span
+    // searched and whether (and how far) 3.3 widened it.
+    QDCBIR_SPAN_ANNOTATE("leaf", group.leaf);
+    QDCBIR_SPAN_ANNOTATE("search_node", group.search_node);
+    QDCBIR_SPAN_ANNOTATE("relevant_count", group.relevant_count);
+    QDCBIR_SPAN_ANNOTATE("boundary_expansions",
+                         task_stats[li2].boundary_expansions);
   });
   std::size_t expansions = 0;
+  std::size_t expanded = 0;
   std::size_t nodes_visited = 0;
   for (const QdSessionStats& ts : task_stats) {
     expansions += ts.boundary_expansions;
+    if (ts.boundary_expansions > 0) ++expanded;
     nodes_visited += ts.knn_nodes_visited;
   }
   stats_.boundary_expansions += expansions;
+  stats_.expanded_subqueries += expanded;
   stats_.knn_nodes_visited += nodes_visited;
   QdCounters& counters = QdCounters::Get();
   counters.boundary_expansions.Add(expansions);
+  counters.expanded_subqueries.Add(expanded);
   counters.knn_nodes_visited.Add(nodes_visited);
   counters.localized_subqueries.Add(locals.size());
 

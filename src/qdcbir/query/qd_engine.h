@@ -78,6 +78,10 @@ struct QdSessionStats {
   /// one access per node, re-displays ("Random" presses) hit the cache.
   std::size_t distinct_nodes_sampled = 0;
   std::size_t boundary_expansions = 0;    ///< §3.3 parent expansions
+  /// Subqueries whose search node expanded past their leaf (distinct from
+  /// `boundary_expansions`, which counts levels climbed): correlates which
+  /// part of a session's latency came from §3.3 widening the searches.
+  std::size_t expanded_subqueries = 0;
   std::size_t localized_subqueries = 0;   ///< final-round k-NN count
   std::size_t knn_candidates = 0;         ///< images inside searched subtrees
   /// Tree nodes opened by the localized k-NN searches. In the paper's

@@ -8,10 +8,14 @@
 #include <vector>
 
 #include "qdcbir/dataset/database_io.h"
+#include "qdcbir/obs/build_info.h"
 #include "qdcbir/obs/clock.h"
+#include "qdcbir/obs/log.h"
 #include "qdcbir/obs/metrics.h"
 #include "qdcbir/obs/prom_export.h"
 #include "qdcbir/obs/query_log.h"
+#include "qdcbir/obs/span.h"
+#include "qdcbir/obs/trace_tree.h"
 #include "qdcbir/rfs/rfs_serialization.h"
 #include "qdcbir/serve/json_mini.h"
 
@@ -56,6 +60,20 @@ StatusOr<std::string> ReadFileBytes(const std::string& path) {
   return std::move(buffer).str();
 }
 
+/// Stamps the session's trace identity onto a response: the `traceparent`
+/// echo header plus the `"trace"` JSON field (spliced right after the
+/// opening `{`, which every API response body starts with).
+obs::HttpResponse WithTrace(obs::HttpResponse response,
+                            const obs::TraceContext& trace) {
+  if (!trace.has_trace_id()) return response;
+  response.headers.emplace_back("traceparent", obs::FormatTraceparent(trace));
+  if (!response.body.empty() && response.body.front() == '{') {
+    response.body.insert(1, "\"trace\":" + JsonQuote(obs::TraceIdHex(trace)) +
+                                ",");
+  }
+  return response;
+}
+
 }  // namespace
 
 const char* ReadinessName(Readiness state) {
@@ -96,8 +114,12 @@ ServeApp::ServeApp(ServeOptions options)
                              std::move(body)};
   });
   server_.Handle("/varz", [](const obs::HttpRequest&) {
-    return obs::HttpResponse{
-        200, kJsonType, obs::MetricsRegistry::Global().SnapshotJson() + "\n"};
+    // Splice the build object in front of the registry snapshot so the
+    // document stays one JSON object: {"build":{...},"counters":...}.
+    std::string body = "{\"build\":" + obs::BuildInfoJson() + ",";
+    body += obs::MetricsRegistry::Global().SnapshotJson().substr(1);
+    body.push_back('\n');
+    return obs::HttpResponse{200, kJsonType, std::move(body)};
   });
   server_.Handle("/metrics", [](const obs::HttpRequest&) {
     return obs::HttpResponse{
@@ -107,6 +129,14 @@ ServeApp::ServeApp(ServeOptions options)
   server_.Handle("/queryz", [](const obs::HttpRequest&) {
     return obs::HttpResponse{200, kJsonType,
                              obs::QueryLog::Global().RenderJson() + "\n"};
+  });
+  server_.Handle("/tracez", [](const obs::HttpRequest&) {
+    return obs::HttpResponse{200, kJsonType,
+                             obs::TraceStore::Global().RenderJson() + "\n"};
+  });
+  server_.Handle("/logz", [](const obs::HttpRequest&) {
+    return obs::HttpResponse{200, kJsonType,
+                             obs::LogRing::Global().RenderJson() + "\n"};
   });
   server_.Handle("/api/query", [this](const obs::HttpRequest& request) {
     return HandleApiQuery(request);
@@ -161,6 +191,8 @@ void ServeApp::SetReadiness(Readiness state) {
 void ServeApp::LoadInBackground() {
   SetReadiness(Readiness::kLoadingSnapshot);
   const auto fail = [this](const Status& status) {
+    QDCBIR_LOG(obs::LogLevel::kError,
+               "serve load failed: " + status.ToString());
     {
       std::lock_guard<std::mutex> lock(state_mu_);
       load_error_ = status.ToString();
@@ -197,6 +229,9 @@ void ServeApp::LoadInBackground() {
 
   db_.emplace(std::move(*db));
   rfs_.emplace(std::move(*rfs));
+  QDCBIR_LOG(obs::LogLevel::kInfo,
+             "serving " + std::to_string(db_->size()) + " images from " +
+                 options_.db_path);
   SetReadiness(Readiness::kServing);
 }
 
@@ -222,6 +257,16 @@ obs::HttpResponse ServeApp::HandleApiQuery(const obs::HttpRequest& request) {
   qd_options.boundary_threshold = options_.boundary_threshold;
   qd_options.pool = &QueryPool();
 
+  // The session's trace identity: the client's traceparent when one is
+  // supplied and well-formed, a fresh id otherwise. A span-tree buffer is
+  // attached while either retention mechanism (head sampling or the slow
+  // trigger) could want the tree.
+  obs::TraceContext trace;
+  if (const std::string* header = request.FindHeader("traceparent")) {
+    obs::ParseTraceparent(*header, &trace);
+  }
+  if (!trace.has_trace_id()) trace = obs::NewTraceContext();
+
   std::uint64_t session_id = 0;
   std::shared_ptr<Session> session;
   {
@@ -230,6 +275,7 @@ obs::HttpResponse ServeApp::HandleApiQuery(const obs::HttpRequest& request) {
       return JsonError(429, "too many open sessions");
     }
     session_id = next_session_id_++;
+    const std::uint64_t opened = sessions_opened_++;
     qd_options.seed = body.U64Field("seed", session_id);
     session = std::make_shared<Session>(QdSession(&*rfs_, qd_options));
     session->seed = qd_options.seed;
@@ -239,6 +285,12 @@ obs::HttpResponse ServeApp::HandleApiQuery(const obs::HttpRequest& request) {
         session->label = label->string;
       }
     }
+    session->head_sampled = options_.trace_sample_every > 0 &&
+                            opened % options_.trace_sample_every == 0;
+    if (session->head_sampled || options_.slow_trace_ms >= 0.0) {
+      trace.buffer = std::make_shared<obs::TraceBuffer>();
+    }
+    session->trace = trace;
     // Published busy so a racing /api/feedback on the fresh id answers 409
     // instead of interleaving with Start().
     session->busy.store(true, std::memory_order_relaxed);
@@ -246,7 +298,12 @@ obs::HttpResponse ServeApp::HandleApiQuery(const obs::HttpRequest& request) {
   }
 
   const std::uint64_t start_ns = obs::MonotonicNanos();
-  const std::vector<DisplayGroup> display = session->qd.Start();
+  std::vector<DisplayGroup> display;
+  {
+    const obs::ScopedTraceContext scoped(session->trace);
+    QDCBIR_SPAN("serve.api.query");
+    display = session->qd.Start();
+  }
   session->rounds_ns += obs::MonotonicNanos() - start_ns;
   session->busy.store(false, std::memory_order_release);
 
@@ -254,7 +311,8 @@ obs::HttpResponse ServeApp::HandleApiQuery(const obs::HttpRequest& request) {
                     ",\"round\":" + std::to_string(session->qd.round()) + ",";
   AppendDisplayJson(&out, display);
   out += "}\n";
-  return obs::HttpResponse{200, kJsonType, std::move(out)};
+  return WithTrace(obs::HttpResponse{200, kJsonType, std::move(out)},
+                   session->trace);
 }
 
 obs::HttpResponse ServeApp::HandleApiFeedback(
@@ -292,6 +350,12 @@ obs::HttpResponse ServeApp::HandleApiFeedback(
     ~BusyReset() { flag.store(false, std::memory_order_release); }
   } busy_reset{session->busy};
 
+  // The session's trace (fixed at open) is authoritative for the rest of
+  // the handler: every span, log entry, and exemplar below carries it. A
+  // client traceparent on this request is accepted but does not re-identify
+  // the session.
+  const obs::ScopedTraceContext scoped_trace(session->trace);
+
   std::vector<ImageId> relevant;
   if (const JsonValue* ids = body.Find("relevant")) {
     if (!ids->is_array()) return JsonError(400, "\"relevant\" must be an array");
@@ -304,9 +368,17 @@ obs::HttpResponse ServeApp::HandleApiFeedback(
   }
 
   std::uint64_t start_ns = obs::MonotonicNanos();
-  StatusOr<std::vector<DisplayGroup>> next = session->qd.Feedback(relevant);
+  StatusOr<std::vector<DisplayGroup>> next = [&] {
+    QDCBIR_SPAN("serve.api.feedback");
+    return session->qd.Feedback(relevant);
+  }();
   session->rounds_ns += obs::MonotonicNanos() - start_ns;
-  if (!next.ok()) return JsonError(400, next.status().ToString());
+  if (!next.ok()) {
+    QDCBIR_LOG(obs::LogLevel::kWarn,
+               "feedback rejected: " + next.status().ToString());
+    return WithTrace(JsonError(400, next.status().ToString()),
+                     session->trace);
+  }
   session->picks += relevant.size();
 
   const JsonValue* finalize = body.Find("finalize");
@@ -316,7 +388,8 @@ obs::HttpResponse ServeApp::HandleApiFeedback(
                       ",";
     AppendDisplayJson(&out, *next);
     out += "}\n";
-    return obs::HttpResponse{200, kJsonType, std::move(out)};
+    return WithTrace(obs::HttpResponse{200, kJsonType, std::move(out)},
+                     session->trace);
   }
 
   std::size_t k = options_.default_k;
@@ -324,9 +397,17 @@ obs::HttpResponse ServeApp::HandleApiFeedback(
     k = static_cast<std::size_t>(finalize->number);
   }
   start_ns = obs::MonotonicNanos();
-  StatusOr<QdResult> result = session->qd.Finalize(k);
+  StatusOr<QdResult> result = [&] {
+    QDCBIR_SPAN("serve.api.feedback");
+    return session->qd.Finalize(k);
+  }();
   const std::uint64_t finalize_ns = obs::MonotonicNanos() - start_ns;
-  if (!result.ok()) return JsonError(400, result.status().ToString());
+  if (!result.ok()) {
+    QDCBIR_LOG(obs::LogLevel::kWarn,
+               "finalize failed: " + result.status().ToString());
+    return WithTrace(JsonError(400, result.status().ToString()),
+                     session->trace);
+  }
 
   // The session is complete: publish it to the /queryz audit ring and
   // release the slot.
@@ -340,6 +421,7 @@ obs::HttpResponse ServeApp::HandleApiFeedback(
   record.results = result->TotalImages();
   record.subqueries = stats.localized_subqueries;
   record.boundary_expansions = stats.boundary_expansions;
+  record.expanded_subqueries = stats.expanded_subqueries;
   record.nodes_visited = stats.knn_nodes_visited;
   record.candidates_scored = stats.knn_candidates;
   record.nodes_touched = stats.nodes_touched;
@@ -347,7 +429,42 @@ obs::HttpResponse ServeApp::HandleApiFeedback(
   record.rounds_ns = session->rounds_ns;
   record.finalize_ns = finalize_ns;
   record.total_ns = session->rounds_ns + finalize_ns;
+  record.trace_hi = session->trace.trace_hi;
+  record.trace_lo = session->trace.trace_lo;
   obs::QueryLog::Global().Record(record);
+
+  // Session latency distribution, with the trace id attached as an
+  // OpenMetrics exemplar so a latency bucket links to its /tracez tree.
+  static obs::Histogram& latency = obs::MetricsRegistry::Global().GetHistogram(
+      "serve.session.latency_ns",
+      "End-to-end RF session latency (rounds + finalize)");
+  latency.Record(record.total_ns);
+  obs::MetricsRegistry::Global().RecordExemplar(
+      "serve.session.latency_ns", record.total_ns,
+      obs::TraceIdHex(session->trace));
+
+  // Retroactive retention: the tree was recorded unconditionally while the
+  // buffer existed; keep it when the session was head-sampled or crossed
+  // the slow threshold, drop it (with the buffer) otherwise.
+  const bool slow =
+      options_.slow_trace_ms >= 0.0 &&
+      static_cast<double>(record.total_ns) >= options_.slow_trace_ms * 1e6;
+  if (session->trace.recording() && (session->head_sampled || slow)) {
+    obs::CompletedTrace completed;
+    completed.trace_id = obs::TraceIdHex(session->trace);
+    completed.label = session->label;
+    completed.reason = session->head_sampled ? "sampled" : "slow";
+    completed.total_ns = record.total_ns;
+    completed.dropped_spans = session->trace.buffer->dropped();
+    completed.spans = session->trace.buffer->spans();
+    completed.annotations = session->trace.buffer->annotations();
+    obs::TraceStore::Global().Publish(std::move(completed));
+  }
+  QDCBIR_LOG(obs::LogLevel::kInfo,
+             "session " + std::to_string(session_id) + " finalized: " +
+                 std::to_string(record.results) + " results, " +
+                 std::to_string(record.subqueries) + " subqueries, " +
+                 std::to_string(record.total_ns / 1000000) + " ms");
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     sessions_.erase(session_id);
@@ -382,6 +499,8 @@ obs::HttpResponse ServeApp::HandleApiFeedback(
          std::to_string(stats.localized_subqueries) +
          ",\"boundary_expansions\":" +
          std::to_string(stats.boundary_expansions) +
+         ",\"expanded_subqueries\":" +
+         std::to_string(stats.expanded_subqueries) +
          ",\"knn_nodes_visited\":" + std::to_string(stats.knn_nodes_visited) +
          ",\"knn_candidates\":" + std::to_string(stats.knn_candidates) +
          ",\"nodes_touched\":" + std::to_string(stats.nodes_touched) +
@@ -389,7 +508,8 @@ obs::HttpResponse ServeApp::HandleApiFeedback(
          std::to_string(stats.distinct_nodes_sampled) +
          "},\"rounds_ns\":" + std::to_string(record.rounds_ns) +
          ",\"finalize_ns\":" + std::to_string(record.finalize_ns) + "}\n";
-  return obs::HttpResponse{200, kJsonType, std::move(out)};
+  return WithTrace(obs::HttpResponse{200, kJsonType, std::move(out)},
+                   session->trace);
 }
 
 }  // namespace serve

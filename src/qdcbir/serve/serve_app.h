@@ -14,6 +14,7 @@
 #include "qdcbir/core/thread_pool.h"
 #include "qdcbir/dataset/database.h"
 #include "qdcbir/obs/http_server.h"
+#include "qdcbir/obs/trace_context.h"
 #include "qdcbir/query/qd_engine.h"
 #include "qdcbir/rfs/rfs_tree.h"
 
@@ -52,6 +53,15 @@ struct ServeOptions {
   /// Concurrent interactive sessions held before `/api/query` answers 429.
   std::size_t max_sessions = 64;
   bool verify_checksums = true;
+  /// Head sampling: every Nth opened session records its full span tree
+  /// and publishes it to `/tracez` as "sampled". 0 disables head sampling.
+  std::size_t trace_sample_every = 8;
+  /// Slow-query trigger: sessions whose total latency reaches this many
+  /// milliseconds keep their span tree as "slow" even when not head-sampled
+  /// (recording is always on while either mechanism is active; the
+  /// keep/drop decision is retroactive at session completion). 0 keeps
+  /// every session; negative disables the trigger.
+  double slow_trace_ms = 250.0;
   /// Pool for snapshot loading and localized subqueries; nullptr means
   /// `ThreadPool::Global()`.
   ThreadPool* pool = nullptr;
@@ -64,11 +74,19 @@ struct ServeOptions {
 /// Endpoints:
 ///   GET  /healthz       process liveness (always 200)
 ///   GET  /readyz        readiness state machine (200 only when serving)
-///   GET  /varz          metrics registry snapshot, engine JSON schema
-///   GET  /metrics       Prometheus text exposition
+///   GET  /varz          build info + metrics registry snapshot
+///   GET  /metrics       Prometheus text exposition (with trace exemplars)
 ///   GET  /queryz        audit ring of recently completed sessions
+///   GET  /tracez        recent sampled and slow span trees
+///   GET  /logz          structured log ring
 ///   POST /api/query     open a session, returns the first display
 ///   POST /api/feedback  mark relevant images; optionally finalize
+///
+/// Both API endpoints accept a W3C `traceparent` request header. The trace
+/// id given at session open identifies the whole session; every response
+/// echoes it as a `traceparent` header and a `"trace"` JSON field, and the
+/// same id appears in `/queryz`, `/logz`, `/tracez`, and as a Prometheus
+/// exemplar on the session-latency histogram.
 class ServeApp {
  public:
   explicit ServeApp(ServeOptions options);
@@ -106,6 +124,10 @@ class ServeApp {
     std::string label;
     std::size_t picks = 0;
     std::uint64_t rounds_ns = 0;
+    /// The session's tracing identity (client-supplied or generated at
+    /// open). Carries the span-tree buffer while recording is active.
+    obs::TraceContext trace;
+    bool head_sampled = false;
   };
 
   void LoadInBackground();
@@ -139,6 +161,9 @@ class ServeApp {
   std::mutex sessions_mu_;
   std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
   std::uint64_t next_session_id_ = 1;
+  /// Sessions ever opened, for head sampling (every Nth); under
+  /// `sessions_mu_`.
+  std::uint64_t sessions_opened_ = 0;
 };
 
 }  // namespace serve

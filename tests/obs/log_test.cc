@@ -1,0 +1,110 @@
+#include "qdcbir/obs/log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "qdcbir/obs/trace_context.h"
+#include "qdcbir/serve/json_mini.h"
+
+namespace qdcbir {
+namespace obs {
+namespace {
+
+TEST(LogTest, LevelNamesAreStable) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "info");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarn), "warn");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "error");
+}
+
+TEST(LogTest, WriteStampsSiteSequenceAndClocks) {
+  LogRing& ring = LogRing::Global();
+  ring.Clear();
+  QDCBIR_LOG(LogLevel::kInfo, "hello from the test");
+  const std::vector<LogEntry> entries = ring.Snapshot();
+  ASSERT_EQ(entries.size(), 1u);
+  const LogEntry& entry = entries[0];
+  EXPECT_EQ(entry.level, LogLevel::kInfo);
+  EXPECT_EQ(entry.message, "hello from the test");
+  // Site is basename:line of this file.
+  EXPECT_EQ(entry.site.rfind("log_test.cc:", 0), 0u) << entry.site;
+  EXPECT_GT(entry.unix_ms, 0u);
+  EXPECT_GT(entry.mono_ns, 0u);
+  EXPECT_EQ(entry.suppressed, 0u);
+  EXPECT_EQ(entry.trace_id, "");  // no trace context installed
+}
+
+TEST(LogTest, EntriesCarryCurrentTraceId) {
+  LogRing& ring = LogRing::Global();
+  ring.Clear();
+  const TraceContext context = NewTraceContext();
+  {
+    const ScopedTraceContext scoped(context);
+    QDCBIR_LOG(LogLevel::kInfo, "inside a trace");
+  }
+  QDCBIR_LOG(LogLevel::kInfo, "outside again");
+  const std::vector<LogEntry> entries = ring.Snapshot();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].trace_id, TraceIdHex(context));
+  EXPECT_EQ(entries[1].trace_id, "");
+}
+
+TEST(LogTest, RingIsBoundedAndKeepsNewest) {
+  LogRing& ring = LogRing::Global();
+  ring.Clear();
+  for (std::size_t i = 0; i < LogRing::kCapacity + 20; ++i) {
+    // Direct writes bypass the per-site limiter, which is tested below.
+    ring.Write(LogLevel::kDebug, "flood.cc", static_cast<int>(i),
+               "entry " + std::to_string(i));
+  }
+  const std::vector<LogEntry> entries = ring.Snapshot();
+  ASSERT_EQ(entries.size(), LogRing::kCapacity);
+  EXPECT_EQ(entries.back().message,
+            "entry " + std::to_string(LogRing::kCapacity + 19));
+  // Oldest retained entry is capacity entries back from the newest.
+  EXPECT_EQ(entries.front().message, "entry 20");
+}
+
+TEST(LogTest, CallSiteRateLimitsAndReportsSuppression) {
+  LogRing& ring = LogRing::Global();
+  ring.Clear();
+  // One loop = one call site. The burst admits the first kBurst entries;
+  // the rest are suppressed (the refill rate is far too slow to matter
+  // within this loop).
+  for (int i = 0; i < 100; ++i) {
+    QDCBIR_LOG(LogLevel::kDebug, "spam " + std::to_string(i));
+  }
+  const std::vector<LogEntry> entries = ring.Snapshot();
+  ASSERT_GE(entries.size(), 1u);
+  EXPECT_LT(entries.size(), 100u);
+  EXPECT_LE(entries.size(),
+            static_cast<std::size_t>(LogCallSite::kBurst) + 2);
+}
+
+TEST(LogTest, RenderJsonParsesAndExposesEntries) {
+  LogRing& ring = LogRing::Global();
+  ring.Clear();
+  const TraceContext context = NewTraceContext();
+  {
+    const ScopedTraceContext scoped(context);
+    QDCBIR_LOG(LogLevel::kWarn, "quoted \"message\" with\nnewline");
+  }
+  const std::string json = ring.RenderJson();
+  StatusOr<serve::JsonValue> parsed = serve::ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << json;
+  EXPECT_EQ(parsed->U64Field("capacity", 0), LogRing::kCapacity);
+  const serve::JsonValue* entries = parsed->Find("entries");
+  ASSERT_NE(entries, nullptr);
+  ASSERT_TRUE(entries->is_array());
+  ASSERT_EQ(entries->items.size(), 1u);
+  const serve::JsonValue& entry = entries->items[0];
+  EXPECT_EQ(entry.Find("level")->string, "warn");
+  EXPECT_EQ(entry.Find("trace")->string, TraceIdHex(context));
+  EXPECT_EQ(entry.Find("message")->string, "quoted \"message\" with\nnewline");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace qdcbir

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "qdcbir/core/thread_pool.h"
 #include "qdcbir/obs/metrics.h"
@@ -170,6 +171,70 @@ TEST(PromValidatorTest, AcceptsEmptyInput) {
   std::map<std::string, double> samples;
   EXPECT_TRUE(ValidatePrometheusText("", &error, &samples));
   EXPECT_TRUE(samples.empty());
+}
+
+TEST(PromExemplarTest, RendersExemplarOnMatchingBucketAndValidates) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.GetHistogram("test.lat_ns", "latency");
+  histogram.Record(12345);
+  const std::string trace_id = "0123456789abcdef0123456789abcdef";
+  registry.RecordExemplar("test.lat_ns", 12345, trace_id);
+
+  const std::string text = RenderPrometheusText(registry);
+  EXPECT_NE(text.find("# {trace_id=\"" + trace_id + "\"} 12345"),
+            std::string::npos)
+      << text;
+
+  std::string error;
+  std::map<std::string, double> samples;
+  std::vector<std::string> exemplar_ids;
+  ASSERT_TRUE(ValidatePrometheusText(text, &error, &samples, &exemplar_ids))
+      << error;
+  ASSERT_EQ(exemplar_ids.size(), 1u);
+  EXPECT_EQ(exemplar_ids[0], trace_id);
+}
+
+TEST(PromExemplarTest, LatestExemplarPerBucketWins) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.GetHistogram("test.lat2_ns", "latency");
+  histogram.Record(100);
+  histogram.Record(101);
+  registry.RecordExemplar("test.lat2_ns", 100, std::string(32, 'a'));
+  registry.RecordExemplar("test.lat2_ns", 101, std::string(32, 'b'));
+  const std::string text = RenderPrometheusText(registry);
+  EXPECT_EQ(text.find(std::string(32, 'a')), std::string::npos);
+  EXPECT_NE(text.find(std::string(32, 'b')), std::string::npos);
+}
+
+TEST(PromExemplarTest, EmptyTraceIdRecordsNothing) {
+  MetricsRegistry registry;
+  registry.GetHistogram("test.lat3_ns", "latency").Record(7);
+  registry.RecordExemplar("test.lat3_ns", 7, "");
+  EXPECT_EQ(RenderPrometheusText(registry).find(" # {"), std::string::npos);
+}
+
+TEST(PromValidatorTest, RejectsExemplarOnNonBucketSample) {
+  const std::string text =
+      "# TYPE qdcbir_c counter\n"
+      "qdcbir_c 1 # {trace_id=\"0123456789abcdef0123456789abcdef\"} 1\n";
+  std::string error;
+  EXPECT_FALSE(ValidatePrometheusText(text, &error));
+  EXPECT_NE(error.find("exemplar"), std::string::npos) << error;
+}
+
+TEST(PromValidatorTest, RejectsMalformedExemplarTraceId) {
+  // Too short, uppercase, and non-hex ids must all fail.
+  for (const std::string& bad :
+       {std::string("abc"), std::string(32, 'A'), std::string(32, 'g')}) {
+    const std::string text =
+        "# TYPE qdcbir_h histogram\n"
+        "qdcbir_h_bucket{le=\"10\"} 1 # {trace_id=\"" + bad + "\"} 5\n"
+        "qdcbir_h_bucket{le=\"+Inf\"} 1\n"
+        "qdcbir_h_sum 5\n"
+        "qdcbir_h_count 1\n";
+    std::string error;
+    EXPECT_FALSE(ValidatePrometheusText(text, &error)) << bad;
+  }
 }
 
 TEST(HistogramBucketBoundsTest, UpperBoundsMatchBucketOf) {

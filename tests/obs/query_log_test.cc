@@ -27,6 +27,7 @@ QueryAuditRecord MakeRecord(std::uint64_t tag) {
   record.results = tag;
   record.subqueries = tag;
   record.boundary_expansions = tag;
+  record.expanded_subqueries = tag;
   record.nodes_visited = tag;
   record.candidates_scored = tag;
   record.nodes_touched = tag;
@@ -43,7 +44,8 @@ bool IsConsistent(const QueryAuditRecord& record) {
   const std::uint64_t tag = record.seed;
   return record.rounds == tag && record.picks == tag &&
          record.results == tag && record.subqueries == tag &&
-         record.boundary_expansions == tag && record.nodes_visited == tag &&
+         record.boundary_expansions == tag &&
+         record.expanded_subqueries == tag && record.nodes_visited == tag &&
          record.candidates_scored == tag && record.nodes_touched == tag &&
          record.distinct_nodes_sampled == tag && record.rounds_ns == tag &&
          record.finalize_ns == tag && record.total_ns == tag &&
@@ -105,6 +107,32 @@ TEST(QueryLogTest, RenderJsonContainsRecordsAndCounts) {
   EXPECT_NE(json.find("\"label\":\"query-3\""), std::string::npos);
   EXPECT_NE(json.find("\"seed\":3"), std::string::npos);
   EXPECT_NE(json.find("\"rounds_ns\":3"), std::string::npos);
+}
+
+TEST(QueryLogTest, TraceIdRoundTripsThroughRecordAndJson) {
+  QueryLog log;
+  QueryAuditRecord record = MakeRecord(5);
+  record.trace_hi = 0x0af7651916cd43ddull;
+  record.trace_lo = 0x8448eb211c80319cull;
+  record.expanded_subqueries = 2;
+  log.Record(record);
+  const std::vector<QueryAuditRecord> records = log.Snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].trace_hex(), "0af7651916cd43dd8448eb211c80319c");
+  EXPECT_EQ(records[0].expanded_subqueries, 2u);
+  const std::string json = log.RenderJson();
+  EXPECT_NE(json.find("\"trace\":\"0af7651916cd43dd8448eb211c80319c\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"expanded_subqueries\":2"), std::string::npos);
+}
+
+TEST(QueryLogTest, ZeroTraceRendersAsEmptyString) {
+  QueryAuditRecord record;
+  EXPECT_EQ(record.trace_hex(), "");
+  QueryLog log;
+  log.Record(record);
+  EXPECT_NE(log.RenderJson().find("\"trace\":\"\""), std::string::npos);
 }
 
 TEST(QueryLogTest, JsonEscapesControlCharactersInLabels) {

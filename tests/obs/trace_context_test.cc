@@ -1,0 +1,212 @@
+#include "qdcbir/obs/trace_context.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qdcbir/obs/span.h"
+#include "qdcbir/obs/trace_tree.h"
+#include "qdcbir/serve/json_mini.h"
+
+namespace qdcbir {
+namespace obs {
+namespace {
+
+TEST(TraceContextTest, DefaultContextIsInert) {
+  const TraceContext context;
+  EXPECT_FALSE(context.has_trace_id());
+  EXPECT_FALSE(context.recording());
+  EXPECT_EQ(TraceIdHex(context), "");
+}
+
+TEST(TraceContextTest, NewTraceContextIsUniqueAndNonZero) {
+  const TraceContext a = NewTraceContext();
+  const TraceContext b = NewTraceContext();
+  EXPECT_TRUE(a.has_trace_id());
+  EXPECT_TRUE(b.has_trace_id());
+  EXPECT_FALSE(a.trace_hi == b.trace_hi && a.trace_lo == b.trace_lo);
+  EXPECT_EQ(a.span_id, 0u);
+  EXPECT_EQ(TraceIdHex(a).size(), 32u);
+}
+
+TEST(TraceContextTest, ParseTraceparentRoundTripsThroughFormat) {
+  TraceContext context;
+  ASSERT_TRUE(ParseTraceparent(
+      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", &context));
+  EXPECT_EQ(context.trace_hi, 0x0af7651916cd43ddull);
+  EXPECT_EQ(context.trace_lo, 0x8448eb211c80319cull);
+  EXPECT_EQ(context.span_id, 0xb7ad6b7169203331ull);
+  EXPECT_EQ(TraceIdHex(context), "0af7651916cd43dd8448eb211c80319c");
+
+  const std::string echoed = FormatTraceparent(context);
+  TraceContext parsed;
+  ASSERT_TRUE(ParseTraceparent(echoed, &parsed));
+  EXPECT_EQ(parsed.trace_hi, context.trace_hi);
+  EXPECT_EQ(parsed.trace_lo, context.trace_lo);
+  EXPECT_EQ(parsed.span_id, context.span_id);
+}
+
+TEST(TraceContextTest, FormatNeverEmitsAllZeroParent) {
+  TraceContext context = NewTraceContext();
+  context.span_id = 0;
+  const std::string header = FormatTraceparent(context);
+  TraceContext parsed;
+  // A zero span id would render an all-zero parent field, which the spec
+  // (and our own parser) rejects; Format substitutes a nonzero stand-in.
+  EXPECT_TRUE(ParseTraceparent(header, &parsed));
+}
+
+TEST(TraceContextTest, ParseRejectsMalformedHeaders) {
+  TraceContext context;
+  const std::vector<std::string> bad = {
+      "",
+      "00",
+      // wrong length
+      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b716920333-01",
+      // unknown version
+      "01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+      // uppercase hex (the spec requires lowercase)
+      "00-0AF7651916CD43DD8448EB211C80319C-B7AD6B7169203331-01",
+      // all-zero trace id
+      "00-00000000000000000000000000000000-b7ad6b7169203331-01",
+      // all-zero parent id
+      "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",
+      // wrong separators
+      "00_0af7651916cd43dd8448eb211c80319c_b7ad6b7169203331_01",
+      // non-hex characters
+      "00-0af7651916cd43dd8448eb211c8031gc-b7ad6b7169203331-01",
+  };
+  for (const std::string& header : bad) {
+    EXPECT_FALSE(ParseTraceparent(header, &context)) << header;
+  }
+}
+
+TEST(TraceContextTest, ScopedContextNestsAndRestores) {
+  TraceContext outer = NewTraceContext();
+  TraceContext inner = NewTraceContext();
+  ASSERT_FALSE(CurrentTraceContext().has_trace_id());
+  {
+    const ScopedTraceContext outer_scope(outer);
+    EXPECT_EQ(CurrentTraceContext().trace_lo, outer.trace_lo);
+    {
+      const ScopedTraceContext inner_scope(inner);
+      EXPECT_EQ(CurrentTraceContext().trace_lo, inner.trace_lo);
+    }
+    EXPECT_EQ(CurrentTraceContext().trace_lo, outer.trace_lo);
+  }
+  EXPECT_FALSE(CurrentTraceContext().has_trace_id());
+}
+
+#ifndef QDCBIR_DISABLE_OBS
+
+TEST(TraceTreeTest, SpansRecordIntoBufferWithParentLinks) {
+  TraceContext context = NewTraceContext();
+  context.buffer = std::make_shared<TraceBuffer>();
+  const std::shared_ptr<TraceBuffer> buffer = context.buffer;
+  {
+    const ScopedTraceContext scoped(context);
+    QDCBIR_SPAN("unit.parent");
+    QDCBIR_SPAN_ANNOTATE("weight", 7);
+    {
+      QDCBIR_SPAN("unit.child");
+      QDCBIR_SPAN_ANNOTATE("leaf", 42);
+    }
+  }
+  const std::vector<SpanRecord> spans = buffer->spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Children close (and append) before parents.
+  EXPECT_STREQ(spans[0].name, "unit.child");
+  EXPECT_STREQ(spans[1].name, "unit.parent");
+  EXPECT_EQ(spans[1].parent_id, 0u);
+  EXPECT_EQ(spans[0].parent_id, spans[1].span_id);
+  EXPECT_LE(spans[1].start_ns, spans[0].start_ns);
+  EXPECT_GE(spans[1].end_ns, spans[0].end_ns);
+
+  const std::vector<SpanAnnotation> annotations = buffer->annotations();
+  ASSERT_EQ(annotations.size(), 2u);
+  EXPECT_EQ(annotations[0].span_id, spans[1].span_id);  // weight → parent
+  EXPECT_EQ(annotations[0].value, 7);
+  EXPECT_EQ(annotations[1].span_id, spans[0].span_id);  // leaf → child
+  EXPECT_EQ(annotations[1].value, 42);
+}
+
+TEST(TraceTreeTest, BufferBoundsSpansAndCountsDrops) {
+  TraceBuffer buffer;
+  for (std::size_t i = 0; i < TraceBuffer::kMaxSpans + 10; ++i) {
+    SpanRecord record;
+    record.span_id = buffer.NewSpanId();
+    record.name = "flood";
+    buffer.Append(record);
+  }
+  EXPECT_EQ(buffer.spans().size(), TraceBuffer::kMaxSpans);
+  EXPECT_EQ(buffer.dropped(), 10u);
+}
+
+TEST(TraceTreeTest, StoreRendersTreeJsonWithSelfTimes) {
+  TraceStore store;
+  CompletedTrace trace;
+  trace.trace_id = "0123456789abcdef0123456789abcdef";
+  trace.label = "unit";
+  trace.reason = "sampled";
+  trace.total_ns = 1000;
+  // root [0,1000) with children [100,400) and [500,600): self = 600.
+  trace.spans.push_back(SpanRecord{1, 0, "root", 0, 1000, 1});
+  trace.spans.push_back(SpanRecord{2, 1, "left", 100, 400, 1});
+  trace.spans.push_back(SpanRecord{3, 1, "right", 500, 600, 2});
+  trace.annotations.push_back(SpanAnnotation{3, "leaf", 9});
+  store.Publish(std::move(trace));
+
+  const std::string json = store.RenderJson();
+  StatusOr<serve::JsonValue> parsed = serve::ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << json;
+  EXPECT_EQ(parsed->U64Field("total_published", 0), 1u);
+  const serve::JsonValue* traces = parsed->Find("traces");
+  ASSERT_NE(traces, nullptr);
+  ASSERT_TRUE(traces->is_array());
+  ASSERT_EQ(traces->items.size(), 1u);
+  const serve::JsonValue& entry = traces->items[0];
+  EXPECT_EQ(entry.Find("trace_id")->string,
+            "0123456789abcdef0123456789abcdef");
+  EXPECT_EQ(entry.Find("reason")->string, "sampled");
+  EXPECT_EQ(entry.U64Field("span_count", 0), 3u);
+
+  const serve::JsonValue* roots = entry.Find("spans");
+  ASSERT_NE(roots, nullptr);
+  ASSERT_EQ(roots->items.size(), 1u);
+  const serve::JsonValue& root = roots->items[0];
+  EXPECT_EQ(root.Find("name")->string, "root");
+  EXPECT_EQ(root.U64Field("duration_ns", 0), 1000u);
+  EXPECT_EQ(root.U64Field("self_ns", 1), 600u);
+  const serve::JsonValue* children = root.Find("children");
+  ASSERT_NE(children, nullptr);
+  ASSERT_EQ(children->items.size(), 2u);
+  EXPECT_EQ(children->items[0].Find("name")->string, "left");
+  EXPECT_EQ(children->items[1].Find("name")->string, "right");
+  const serve::JsonValue* annotations =
+      children->items[1].Find("annotations");
+  ASSERT_NE(annotations, nullptr);
+  EXPECT_EQ(annotations->U64Field("leaf", 0), 9u);
+}
+
+TEST(TraceTreeTest, StoreKeepsMostRecentPerReason) {
+  TraceStore store;
+  for (std::size_t i = 0; i < TraceStore::kKeepPerReason + 5; ++i) {
+    CompletedTrace trace;
+    trace.trace_id = std::string(32, 'a');
+    trace.reason = i % 2 == 0 ? "sampled" : "slow";
+    store.Publish(std::move(trace));
+  }
+  EXPECT_EQ(store.total_published(), TraceStore::kKeepPerReason + 5);
+  EXPECT_LE(store.Snapshot().size(), 2 * TraceStore::kKeepPerReason);
+  store.Clear();
+  EXPECT_TRUE(store.Snapshot().empty());
+  EXPECT_EQ(store.total_published(), TraceStore::kKeepPerReason + 5);
+}
+
+#endif  // QDCBIR_DISABLE_OBS
+
+}  // namespace
+}  // namespace obs
+}  // namespace qdcbir

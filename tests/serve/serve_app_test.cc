@@ -19,7 +19,9 @@
 #include "qdcbir/core/thread_pool.h"
 #include "qdcbir/dataset/database_io.h"
 #include "qdcbir/dataset/synthesizer.h"
+#include "qdcbir/obs/log.h"
 #include "qdcbir/obs/prom_export.h"
+#include "qdcbir/obs/trace_tree.h"
 #include "qdcbir/rfs/rfs_builder.h"
 #include "qdcbir/rfs/rfs_serialization.h"
 #include "qdcbir/serve/json_mini.h"
@@ -66,16 +68,62 @@ std::string Get(int port, const std::string& path) {
                                  " HTTP/1.1\r\nConnection: close\r\n\r\n");
 }
 
-std::string Post(int port, const std::string& path, const std::string& body) {
+/// `extra_headers` is raw header text, each line CRLF-terminated (e.g.
+/// "traceparent: 00-…-01\r\n").
+std::string Post(int port, const std::string& path, const std::string& body,
+                 const std::string& extra_headers = "") {
   return HttpRoundTrip(
       port, "POST " + path + " HTTP/1.1\r\nContent-Length: " +
-                std::to_string(body.size()) +
-                "\r\nConnection: close\r\n\r\n" + body);
+                std::to_string(body.size()) + "\r\n" + extra_headers +
+                "Connection: close\r\n\r\n" + body);
 }
 
 std::string BodyOf(const std::string& response) {
   const std::size_t head_end = response.find("\r\n\r\n");
   return head_end == std::string::npos ? "" : response.substr(head_end + 4);
+}
+
+std::string HeaderValue(const std::string& response, const std::string& name) {
+  const std::string needle = "\r\n" + name + ": ";
+  const std::size_t pos = response.find(needle);
+  if (pos == std::string::npos) return "";
+  const std::size_t start = pos + needle.size();
+  return response.substr(start, response.find("\r\n", start) - start);
+}
+
+struct FlatSpan {
+  std::string name;
+  std::uint64_t duration_ns = 0;
+  std::uint64_t self_ns = 0;
+  bool has_leaf_annotation = false;
+};
+
+void CollectSpans(const JsonValue& node, std::vector<FlatSpan>* out) {
+  FlatSpan span;
+  if (const JsonValue* name = node.Find("name")) span.name = name->string;
+  span.duration_ns = node.U64Field("duration_ns", 0);
+  span.self_ns = node.U64Field("self_ns", 0);
+  if (const JsonValue* annotations = node.Find("annotations")) {
+    span.has_leaf_annotation = annotations->Find("leaf") != nullptr;
+  }
+  out->push_back(span);
+  if (const JsonValue* children = node.Find("children")) {
+    for (const JsonValue& child : children->items) {
+      CollectSpans(child, out);
+    }
+  }
+}
+
+/// The /tracez entry with the given trace id, or nullptr.
+const JsonValue* FindTrace(const JsonValue& tracez,
+                           const std::string& trace_id) {
+  const JsonValue* traces = tracez.Find("traces");
+  if (traces == nullptr || !traces->is_array()) return nullptr;
+  for (const JsonValue& entry : traces->items) {
+    const JsonValue* id = entry.Find("trace_id");
+    if (id != nullptr && id->string == trace_id) return &entry;
+  }
+  return nullptr;
 }
 
 class ServeAppTest : public ::testing::Test {
@@ -261,6 +309,220 @@ TEST_F(ServeAppTest, SameSeedYieldsIdenticalFirstDisplay) {
   // Session ids differ; everything from the display on is seed-driven and
   // must be byte-identical.
   EXPECT_EQ(a.substr(display_a), b.substr(display_b));
+  app.Stop();
+}
+
+TEST_F(ServeAppTest, TraceparentSessionRoundTripsThroughEveryObsSurface) {
+  obs::TraceStore::Global().Clear();
+  obs::LogRing::Global().Clear();
+
+  // One query-pool lane: subqueries run sequentially, so every span's self
+  // time is disjoint and the tree's self times must sum to no more than the
+  // session's wall time. (Cross-thread parentage is covered by the thread
+  // pool's own trace test.)
+  ThreadPool pool(1);
+  ServeOptions options;
+  options.db_path = *db_path_;
+  options.pool = &pool;
+  options.trace_sample_every = 1;  // head-sample every session
+  options.slow_trace_ms = -1.0;    // slow trigger off: sampling must suffice
+  ServeApp app(std::move(options));
+  std::string error;
+  ASSERT_TRUE(app.Start(&error)) << error;
+  ASSERT_TRUE(app.WaitUntilReady(30000)) << app.load_error();
+
+  const std::string trace_id = "4bf92f3577b34da6a3ce929d0e0e4736";
+  const std::string traceparent =
+      "traceparent: 00-" + trace_id + "-00f067aa0ba902b7-01\r\n";
+
+  // The response echoes the client's trace id as a header and JSON field.
+  const std::string query_response = Post(
+      app.port(), "/api/query", "{\"seed\":11,\"label\":\"trace-test\"}",
+      traceparent);
+  EXPECT_NE(HeaderValue(query_response, "traceparent").find(trace_id),
+            std::string::npos)
+      << query_response;
+  StatusOr<JsonValue> query = ParseJson(BodyOf(query_response));
+  ASSERT_TRUE(query.ok()) << BodyOf(query_response);
+  const JsonValue* trace_field = query->Find("trace");
+  ASSERT_NE(trace_field, nullptr);
+  EXPECT_EQ(trace_field->string, trace_id);
+  const std::uint64_t session_id = query->U64Field("session", 0);
+  ASSERT_GT(session_id, 0u);
+
+  // Drive one feedback round and finalize; responses keep echoing the id.
+  const JsonValue* display = query->Find("display");
+  ASSERT_NE(display, nullptr);
+  ASSERT_FALSE(display->items.empty());
+  const JsonValue* images = display->items[0].Find("images");
+  ASSERT_NE(images, nullptr);
+  ASSERT_FALSE(images->items.empty());
+  const std::string relevant =
+      "[" +
+      std::to_string(static_cast<std::uint64_t>(images->items[0].number)) +
+      "]";
+  const std::string round_response =
+      Post(app.port(), "/api/feedback",
+           "{\"session\":" + std::to_string(session_id) +
+               ",\"relevant\":" + relevant + "}");
+  EXPECT_NE(HeaderValue(round_response, "traceparent").find(trace_id),
+            std::string::npos);
+  const std::string final_response =
+      Post(app.port(), "/api/feedback",
+           "{\"session\":" + std::to_string(session_id) +
+               ",\"relevant\":" + relevant + ",\"finalize\":20}");
+  StatusOr<JsonValue> final_round = ParseJson(BodyOf(final_response));
+  ASSERT_TRUE(final_round.ok()) << BodyOf(final_response);
+  ASSERT_NE(final_round->Find("results"), nullptr);
+  EXPECT_EQ(final_round->Find("trace")->string, trace_id);
+
+  // /queryz: the audit record carries the trace id.
+  EXPECT_NE(BodyOf(Get(app.port(), "/queryz"))
+                .find("\"trace\":\"" + trace_id + "\""),
+            std::string::npos);
+
+  // /tracez: the session was head-sampled and published.
+  const std::string tracez = BodyOf(Get(app.port(), "/tracez"));
+  StatusOr<JsonValue> tracez_json = ParseJson(tracez);
+  ASSERT_TRUE(tracez_json.ok()) << tracez;
+  const JsonValue* entry = FindTrace(*tracez_json, trace_id);
+  ASSERT_NE(entry, nullptr) << tracez;
+  EXPECT_EQ(entry->Find("reason")->string, "sampled");
+  const std::uint64_t total_ns = entry->U64Field("total_ns", 0);
+
+#ifndef QDCBIR_DISABLE_OBS
+  // The tree holds the session's phases: descent (feedback rounds),
+  // finalize, and at least one per-leaf subquery span with leaf
+  // attribution. Self times are consistent and sum within the wall time.
+  std::vector<FlatSpan> spans;
+  const JsonValue* roots = entry->Find("spans");
+  ASSERT_NE(roots, nullptr);
+  for (const JsonValue& root : roots->items) CollectSpans(root, &spans);
+  std::size_t descents = 0, finalizes = 0, subqueries = 0,
+              attributed_subqueries = 0;
+  std::uint64_t self_sum = 0;
+  for (const FlatSpan& span : spans) {
+    EXPECT_LE(span.self_ns, span.duration_ns) << span.name;
+    self_sum += span.self_ns;
+    if (span.name == "qd.round.descent") ++descents;
+    if (span.name == "qd.finalize") ++finalizes;
+    if (span.name == "qd.finalize.subquery") {
+      ++subqueries;
+      if (span.has_leaf_annotation) ++attributed_subqueries;
+    }
+  }
+  EXPECT_GE(descents, 1u);
+  EXPECT_GE(finalizes, 1u);
+  EXPECT_GE(subqueries, 1u);
+  EXPECT_EQ(attributed_subqueries, subqueries);
+  EXPECT_LE(self_sum, total_ns);
+#endif
+
+  // /metrics: the session-latency histogram carries a matching exemplar.
+  const std::string metrics = BodyOf(Get(app.port(), "/metrics"));
+  std::string prom_error;
+  std::map<std::string, double> samples;
+  std::vector<std::string> exemplar_ids;
+  ASSERT_TRUE(obs::ValidatePrometheusText(metrics, &prom_error, &samples,
+                                          &exemplar_ids))
+      << prom_error;
+  EXPECT_GE(samples["qdcbir_serve_session_latency_ns_count"], 1.0);
+  bool found_exemplar = false;
+  for (const std::string& id : exemplar_ids) {
+    if (id == trace_id) found_exemplar = true;
+  }
+  EXPECT_TRUE(found_exemplar) << metrics;
+
+  // /logz: the finalize log line is stamped with the trace id.
+  EXPECT_NE(BodyOf(Get(app.port(), "/logz"))
+                .find("\"trace\":\"" + trace_id + "\""),
+            std::string::npos);
+
+  // /varz: the spliced build object precedes the registry sections.
+  const std::string varz = BodyOf(Get(app.port(), "/varz"));
+  EXPECT_NE(varz.find("\"build\":{\"git\":"), std::string::npos);
+  EXPECT_NE(varz.find("\"counters\""), std::string::npos);
+
+  app.Stop();
+}
+
+TEST_F(ServeAppTest, SlowTriggerKeepsTraceWithHeadSamplingOff) {
+  obs::TraceStore::Global().Clear();
+
+  ThreadPool pool(4);
+  ServeOptions options;
+  options.db_path = *db_path_;
+  options.pool = &pool;
+  options.trace_sample_every = 0;  // head sampling off
+  options.slow_trace_ms = 0.0;     // threshold 0: every session is "slow"
+  ServeApp app(std::move(options));
+  std::string error;
+  ASSERT_TRUE(app.Start(&error)) << error;
+  ASSERT_TRUE(app.WaitUntilReady(30000)) << app.load_error();
+
+  // No client traceparent: the server must mint an id of its own.
+  StatusOr<JsonValue> query =
+      ParseJson(BodyOf(Post(app.port(), "/api/query", "{\"seed\":3}")));
+  ASSERT_TRUE(query.ok());
+  const JsonValue* trace_field = query->Find("trace");
+  ASSERT_NE(trace_field, nullptr);
+  const std::string trace_id = trace_field->string;
+  ASSERT_EQ(trace_id.size(), 32u);
+  const std::uint64_t session_id = query->U64Field("session", 0);
+
+  const JsonValue* images = query->Find("display")->items[0].Find("images");
+  ASSERT_FALSE(images->items.empty());
+  const std::string body =
+      "{\"session\":" + std::to_string(session_id) + ",\"relevant\":[" +
+      std::to_string(static_cast<std::uint64_t>(images->items[0].number)) +
+      "],\"finalize\":10}";
+  ASSERT_NE(Post(app.port(), "/api/feedback", body).find("200 OK"),
+            std::string::npos);
+
+  // The retroactive trigger retained the full tree as "slow".
+  StatusOr<JsonValue> tracez = ParseJson(BodyOf(Get(app.port(), "/tracez")));
+  ASSERT_TRUE(tracez.ok());
+  const JsonValue* entry = FindTrace(*tracez, trace_id);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->Find("reason")->string, "slow");
+#ifndef QDCBIR_DISABLE_OBS
+  EXPECT_GT(entry->U64Field("span_count", 0), 0u);
+#endif
+  app.Stop();
+}
+
+TEST_F(ServeAppTest, TracingDisabledDropsTreesButKeepsTraceIds) {
+  obs::TraceStore::Global().Clear();
+
+  ThreadPool pool(2);
+  ServeOptions options;
+  options.db_path = *db_path_;
+  options.pool = &pool;
+  options.trace_sample_every = 0;  // both retention mechanisms off
+  options.slow_trace_ms = -1.0;
+  ServeApp app(std::move(options));
+  std::string error;
+  ASSERT_TRUE(app.Start(&error)) << error;
+  ASSERT_TRUE(app.WaitUntilReady(30000)) << app.load_error();
+
+  StatusOr<JsonValue> query =
+      ParseJson(BodyOf(Post(app.port(), "/api/query", "{\"seed\":5}")));
+  ASSERT_TRUE(query.ok());
+  // Responses still carry a trace id for correlation...
+  ASSERT_NE(query->Find("trace"), nullptr);
+  const std::uint64_t session_id = query->U64Field("session", 0);
+  const JsonValue* images = query->Find("display")->items[0].Find("images");
+  ASSERT_FALSE(images->items.empty());
+  const std::string body =
+      "{\"session\":" + std::to_string(session_id) + ",\"relevant\":[" +
+      std::to_string(static_cast<std::uint64_t>(images->items[0].number)) +
+      "],\"finalize\":10}";
+  ASSERT_NE(Post(app.port(), "/api/feedback", body).find("200 OK"),
+            std::string::npos);
+  // ...but nothing is published to /tracez.
+  StatusOr<JsonValue> tracez = ParseJson(BodyOf(Get(app.port(), "/tracez")));
+  ASSERT_TRUE(tracez.ok());
+  EXPECT_EQ(FindTrace(*tracez, query->Find("trace")->string), nullptr);
   app.Stop();
 }
 

@@ -45,6 +45,7 @@
 #include <thread>
 
 #include "qdcbir/qdcbir.h"
+#include "qdcbir/obs/build_info.h"
 
 namespace qdcbir {
 namespace {
@@ -420,6 +421,11 @@ int CmdServe(int argc, char** argv) {
   options.display_size =
       static_cast<std::size_t>(IntFlag(argc, argv, "display", 21));
   options.default_k = static_cast<std::size_t>(IntFlag(argc, argv, "k", 50));
+  options.trace_sample_every = static_cast<std::size_t>(
+      IntFlag(argc, argv, "trace-sample-every",
+              static_cast<std::int64_t>(options.trace_sample_every)));
+  options.slow_trace_ms =
+      DoubleFlag(argc, argv, "slow-trace-ms", options.slow_trace_ms);
   const std::string port_file = Flag(argc, argv, "port-file", "");
   const std::int64_t max_seconds = IntFlag(argc, argv, "max-seconds", 0);
 
@@ -474,7 +480,10 @@ int Usage() {
                "(chaos helpers: corrupt in place)\n"
                "serve flags:    --db=<path> [--rfs=<path>] [--port=0]\n"
                "                [--port-file=<path>] [--max-seconds=0]\n"
+               "                [--trace-sample-every=8] "
+               "[--slow-trace-ms=250]\n"
                "run with a command and no flags to see its defaults\n"
+               "qdcbir_tool --version prints build info as JSON\n"
                "global flags: --metrics-json=<path>  dump the metrics "
                "registry snapshot after the command\n"
                "              --trace-out=<path>     record a Chrome trace "
@@ -500,6 +509,10 @@ int Dispatch(int argc, char** argv, const std::string& command) {
 int Run(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  if (command == "--version" || command == "version") {
+    std::printf("%s\n", obs::BuildInfoJson().c_str());
+    return 0;
+  }
   const std::string trace_out = Flag(argc, argv, "trace-out", "");
   const std::string metrics_json = Flag(argc, argv, "metrics-json", "");
   const std::string queryz_json = Flag(argc, argv, "queryz-json", "");

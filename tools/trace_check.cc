@@ -1,17 +1,21 @@
 // Validates observability artifacts produced by an instrumented run:
 //
-//   trace_check --trace=<chrome_trace.json> [--require-span=<name>]...
+//   trace_check --trace=<chrome_trace.json>
+//               [--require-span=<name>[:min_count]]...
 //               [--metrics=<metrics.json>] [--prom=<metrics.prom>]
 //               [--require-metric=<name>[:min]]...
 //
 // The trace file must be valid Chrome trace_event JSON with balanced,
 // properly nested B/E pairs per thread (the same contract enforced by the
 // obs unit tests). Each --require-span name must appear at least once as a
-// begin event. The metrics file, when given, must be a non-empty JSON
+// begin event — or at least min_count times when the spec carries a colon
+// suffix. The metrics file, when given, must be a non-empty JSON
 // object with the registry's three top-level sections. The prom file must
 // be well-formed Prometheus text exposition: every sample preceded by its
 // # TYPE line, no duplicate or interleaved families, histogram buckets
-// cumulative and monotonic and closed by a +Inf bucket equal to _count.
+// cumulative and monotonic and closed by a +Inf bucket equal to _count;
+// OpenMetrics exemplars are allowed on histogram bucket samples only and
+// any trace_id exemplar label must be 32 lowercase hex characters.
 // Each --require-metric names a sample that must appear in the prom file,
 // optionally with a minimum value after a colon. Exit code 0 means all
 // checks passed; diagnostics go to stderr. CI runs this against the
@@ -72,9 +76,9 @@ int main(int argc, char** argv) {
       FlagList(argc, argv, "require-metric");
   if (trace_path.empty() && metrics_path.empty() && prom_path.empty()) {
     std::fprintf(stderr,
-                 "usage: trace_check --trace=<file> [--require-span=<name>]"
-                 " [--metrics=<file>]\n"
-                 "                   [--prom=<file>]"
+                 "usage: trace_check --trace=<file>"
+                 " [--require-span=<name>[:min_count]]\n"
+                 "                   [--metrics=<file>] [--prom=<file>]"
                  " [--require-metric=<name>[:min]]\n");
     return 1;
   }
@@ -100,14 +104,26 @@ int main(int argc, char** argv) {
     for (const auto& [name, count] : begin_counts) total += count;
     std::printf("trace ok: %zu spans across %zu distinct names\n", total,
                 begin_counts.size());
-    for (const std::string& name : required) {
+    for (const std::string& spec : required) {
+      std::string name = spec;
+      std::size_t min_count = 1;
+      const std::size_t colon = spec.rfind(':');
+      if (colon != std::string::npos) {
+        name = spec.substr(0, colon);
+        min_count = static_cast<std::size_t>(
+            std::strtoull(spec.c_str() + colon + 1, nullptr, 10));
+        if (min_count == 0) min_count = 1;
+      }
       const auto it = begin_counts.find(name);
-      if (it == begin_counts.end() || it->second == 0) {
-        std::fprintf(stderr, "required span missing from trace: %s\n",
-                     name.c_str());
+      const std::size_t count = it == begin_counts.end() ? 0 : it->second;
+      if (count < min_count) {
+        std::fprintf(stderr,
+                     "required span %s: %zu occurrence(s), need >= %zu\n",
+                     name.c_str(), count, min_count);
         return 1;
       }
-      std::printf("  span %-32s x%zu\n", name.c_str(), it->second);
+      std::printf("  span %-32s x%zu (>= %zu)\n", name.c_str(), count,
+                  min_count);
     }
   }
 
@@ -146,13 +162,15 @@ int main(int argc, char** argv) {
     }
     std::string error;
     std::map<std::string, double> samples;
-    if (!qdcbir::obs::ValidatePrometheusText(text, &error, &samples)) {
+    std::vector<std::string> exemplar_trace_ids;
+    if (!qdcbir::obs::ValidatePrometheusText(text, &error, &samples,
+                                             &exemplar_trace_ids)) {
       std::fprintf(stderr, "invalid prom exposition %s: %s\n",
                    prom_path.c_str(), error.c_str());
       return 1;
     }
-    std::printf("prom ok: %s (%zu samples)\n", prom_path.c_str(),
-                samples.size());
+    std::printf("prom ok: %s (%zu samples, %zu trace exemplars)\n",
+                prom_path.c_str(), samples.size(), exemplar_trace_ids.size());
     for (const std::string& spec : required_metrics) {
       std::string name = spec;
       double min_value = 0.0;
