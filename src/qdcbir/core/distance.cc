@@ -2,8 +2,27 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 namespace qdcbir {
+
+namespace {
+
+/// Hard size check, active in every build type: a weighted comparison with
+/// mismatched sizes would index weights_ out of bounds.
+void CheckWeightedDims(std::size_t a_dim, std::size_t b_dim,
+                       std::size_t weight_dim) {
+  if (a_dim == b_dim && a_dim == weight_dim) return;
+  std::fprintf(stderr,
+               "[qdcbir] WeightedL2Distance dimension mismatch: operands "
+               "%zu/%zu, weights %zu\n",
+               a_dim, b_dim, weight_dim);
+  std::abort();
+}
+
+}  // namespace
 
 double SquaredL2(const double* a, const double* b, std::size_t dim) {
   double sum = 0.0;
@@ -40,9 +59,30 @@ double L1Distance::Distance(const FeatureVector& a,
 WeightedL2Distance::WeightedL2Distance(std::vector<double> weights)
     : weights_(std::move(weights)) {
   for (double w : weights_) {
-    assert(w >= 0.0);
-    (void)w;
+    if (!(w >= 0.0)) {
+      std::fprintf(stderr,
+                   "[qdcbir] WeightedL2Distance weight %g is negative or "
+                   "NaN\n",
+                   w);
+      std::abort();
+    }
   }
+}
+
+StatusOr<WeightedL2Distance> WeightedL2Distance::Create(
+    std::vector<double> weights, std::size_t dim) {
+  if (weights.size() != dim) {
+    return Status::InvalidArgument(
+        "weight count " + std::to_string(weights.size()) +
+        " does not match feature dimensionality " + std::to_string(dim));
+  }
+  for (double w : weights) {
+    if (!(w >= 0.0) || std::isinf(w)) {
+      return Status::InvalidArgument("weights must be finite and >= 0, got " +
+                                     std::to_string(w));
+    }
+  }
+  return WeightedL2Distance(std::move(weights));
 }
 
 double WeightedL2Distance::Distance(const FeatureVector& a,
@@ -52,8 +92,7 @@ double WeightedL2Distance::Distance(const FeatureVector& a,
 
 double WeightedL2Distance::Compare(const FeatureVector& a,
                                    const FeatureVector& b) const {
-  assert(a.dim() == b.dim());
-  assert(a.dim() == weights_.size());
+  CheckWeightedDims(a.dim(), b.dim(), weights_.size());
   double sum = 0.0;
   for (std::size_t i = 0; i < a.dim(); ++i) {
     const double d = a[i] - b[i];

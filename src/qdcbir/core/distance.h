@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "qdcbir/core/feature_vector.h"
+#include "qdcbir/core/status.h"
 
 namespace qdcbir {
 
@@ -51,10 +52,21 @@ class L1Distance final : public DistanceMetric {
 
 /// Per-dimension weighted Euclidean distance, as used by query-point-movement
 /// style relevance feedback (MindReader): d(a,b)^2 = sum_i w_i (a_i - b_i)^2.
-/// Weights must be non-negative.
+/// Weights must be non-negative and sized to the vectors being compared:
+/// the constructor aborts on a negative weight and `Compare`/`Distance`
+/// abort (in every build type, not just with assertions on) when
+/// `weights().size()` does not match the operand dimensionality — an
+/// undersized weight vector would otherwise read out of bounds. Callers
+/// with untrusted sizes should go through `Create`, which reports the
+/// mismatch as a Status instead.
 class WeightedL2Distance final : public DistanceMetric {
  public:
   explicit WeightedL2Distance(std::vector<double> weights);
+
+  /// Validating factory: InvalidArgument when `weights.size() != dim` or
+  /// any weight is negative / non-finite.
+  static StatusOr<WeightedL2Distance> Create(std::vector<double> weights,
+                                             std::size_t dim);
 
   double Distance(const FeatureVector& a,
                   const FeatureVector& b) const override;

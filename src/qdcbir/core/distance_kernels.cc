@@ -1,0 +1,128 @@
+#include "qdcbir/core/distance_kernels.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "qdcbir/obs/metrics.h"
+
+namespace qdcbir {
+
+namespace {
+
+// Portable kernels. One accumulator per lane, dimensions in ascending
+// order, no FMA (this TU is compiled without -mfma, and the multiply order
+// matches core/distance.cc exactly) — see the bit-exactness contract in
+// the header.
+
+void ScalarSquaredL2(const double* tile, const double* query, std::size_t dim,
+                     double* out) {
+  double acc[kBlockWidth] = {0.0};
+  for (std::size_t d = 0; d < dim; ++d) {
+    const double* row = tile + d * kBlockWidth;
+    const double q = query[d];
+    for (std::size_t lane = 0; lane < kBlockWidth; ++lane) {
+      const double diff = row[lane] - q;
+      acc[lane] += diff * diff;
+    }
+  }
+  std::memcpy(out, acc, sizeof(acc));
+}
+
+void ScalarWeightedL2(const double* tile, const double* query,
+                      const double* weights, std::size_t dim, double* out) {
+  double acc[kBlockWidth] = {0.0};
+  for (std::size_t d = 0; d < dim; ++d) {
+    const double* row = tile + d * kBlockWidth;
+    const double q = query[d];
+    const double w = weights[d];
+    for (std::size_t lane = 0; lane < kBlockWidth; ++lane) {
+      const double diff = row[lane] - q;
+      acc[lane] += (w * diff) * diff;
+    }
+  }
+  std::memcpy(out, acc, sizeof(acc));
+}
+
+const DistanceKernels kScalarKernels = {
+    &ScalarSquaredL2,
+    &ScalarWeightedL2,
+    SimdLevel::kScalar,
+    "scalar",
+};
+
+}  // namespace
+
+#if defined(__x86_64__) || defined(_M_X64)
+// Implemented in distance_kernels_avx2.cc (compiled with -mavx2 -mfma).
+namespace internal {
+void Avx2SquaredL2(const double* tile, const double* query, std::size_t dim,
+                   double* out);
+void Avx2WeightedL2(const double* tile, const double* query,
+                    const double* weights, std::size_t dim, double* out);
+}  // namespace internal
+
+namespace {
+const DistanceKernels kAvx2Kernels = {
+    &internal::Avx2SquaredL2,
+    &internal::Avx2WeightedL2,
+    SimdLevel::kAvx2,
+    "avx2",
+};
+}  // namespace
+
+bool Avx2Supported() {
+  static const bool supported =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return supported;
+}
+#else
+bool Avx2Supported() { return false; }
+#endif
+
+const DistanceKernels& KernelsFor(SimdLevel level) {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (level == SimdLevel::kAvx2 && Avx2Supported()) return kAvx2Kernels;
+#else
+  (void)level;
+#endif
+  return kScalarKernels;
+}
+
+const DistanceKernels& ActiveKernels() {
+  static const DistanceKernels* const active = [] {
+    SimdLevel level = Avx2Supported() ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+    if (const char* env = std::getenv("QDCBIR_SIMD")) {
+      if (std::strcmp(env, "scalar") == 0) {
+        level = SimdLevel::kScalar;
+      } else if (std::strcmp(env, "avx2") == 0) {
+        if (Avx2Supported()) {
+          level = SimdLevel::kAvx2;
+        } else {
+          std::fprintf(stderr,
+                       "[qdcbir] QDCBIR_SIMD=avx2 requested but this CPU "
+                       "lacks avx2+fma; using scalar kernels\n");
+          level = SimdLevel::kScalar;
+        }
+      } else if (*env != '\0') {
+        std::fprintf(stderr,
+                     "[qdcbir] unknown QDCBIR_SIMD=%s (want scalar|avx2); "
+                     "using auto dispatch\n",
+                     env);
+      }
+    }
+    return &KernelsFor(level);
+  }();
+  return *active;
+}
+
+const char* ActiveSimdName() { return ActiveKernels().name; }
+
+void AddBlockBatches(std::size_t batches) {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "dist.block.batch",
+      "Batched distance-kernel tiles computed by blocked scans");
+  counter.Add(batches);
+}
+
+}  // namespace qdcbir

@@ -1,0 +1,75 @@
+#ifndef QDCBIR_CORE_DISTANCE_KERNELS_H_
+#define QDCBIR_CORE_DISTANCE_KERNELS_H_
+
+#include <cstddef>
+
+#include "qdcbir/core/feature_block.h"
+
+namespace qdcbir {
+
+/// ISA level of a batched distance kernel set.
+enum class SimdLevel {
+  kScalar,  ///< portable C++, any x86-64 / non-x86 host
+  kAvx2,    ///< AVX2 (+FMA-class hardware); requires cpuid avx2 && fma
+};
+
+/// Batched distance kernels over one dimension-major tile of the blocked
+/// feature layout (`FeatureBlockTable`): each call produces `kBlockWidth`
+/// distances at once.
+///
+/// Bit-exactness contract: every variant — scalar and AVX2 — performs the
+/// *same IEEE-754 operation sequence per lane* as the legacy per-vector
+/// loops in `core/distance.cc`:
+///
+///   squared_l2  : acc_d+1 = acc_d + (x_d - q_d) * (x_d - q_d)
+///   weighted_l2 : acc_d+1 = acc_d + (w_d * (x_d - q_d)) * (x_d - q_d)
+///
+/// with dimensions accumulated in ascending order and one independent
+/// accumulator per lane. No FMA contraction is used in the accumulation
+/// (the AVX2 translation units are compiled with -ffp-contract=off and use
+/// explicit mul/add intrinsics), so ranked results are byte-identical
+/// across `QDCBIR_SIMD=scalar` and `QDCBIR_SIMD=avx2` and identical to the
+/// pre-blocking scalar code. See docs/simd.md.
+struct DistanceKernels {
+  /// out[lane] = sum_d (tile[d*kBlockWidth+lane] - query[d])^2
+  /// `tile` is a dim-major kBlockWidth-lane tile: a FeatureBlockTable block
+  /// (64-byte aligned, possibly offset by a whole dimension count for
+  /// subspace scans) or a GatherTile destination (any alignment — the
+  /// kernels use unaligned loads, which cost nothing on aligned data).
+  void (*squared_l2)(const double* tile, const double* query,
+                     std::size_t dim, double* out);
+
+  /// out[lane] = sum_d weights[d] * (tile[d*kBlockWidth+lane] - query[d])^2
+  /// with the legacy (w*diff)*diff multiply order.
+  void (*weighted_l2)(const double* tile, const double* query,
+                      const double* weights, std::size_t dim, double* out);
+
+  SimdLevel level;
+  const char* name;  ///< "scalar" or "avx2", for logs and /varz
+};
+
+/// True when the running CPU supports the AVX2 kernel set (avx2 && fma).
+bool Avx2Supported();
+
+/// Kernel set for an explicit level. Requesting kAvx2 on a host without
+/// support returns the scalar set (callers that must know should check
+/// `Avx2Supported()` first — tests do).
+const DistanceKernels& KernelsFor(SimdLevel level);
+
+/// The process-wide dispatched kernel set: chosen once, on first use, from
+/// cpuid — overridable with QDCBIR_SIMD=scalar|avx2 (an unsupported or
+/// unknown value falls back to the auto choice with a stderr notice).
+const DistanceKernels& ActiveKernels();
+
+/// Name of the dispatched set ("scalar"/"avx2"), for --version and /varz.
+const char* ActiveSimdName();
+
+/// Bumps the `dist.block.batch` counter: `batches` kernel tiles were
+/// computed by a scan. Call once per scan, not per tile — the counter is
+/// the CI hot-path proof (`trace_check --require-metric=dist.block.batch`),
+/// not a per-tile tax.
+void AddBlockBatches(std::size_t batches);
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_CORE_DISTANCE_KERNELS_H_

@@ -1,0 +1,66 @@
+// AVX2 variants of the batched distance kernels. This translation unit is
+// the only one compiled with -mavx2 -mfma (plus -ffp-contract=off); it must
+// not be entered on hosts without AVX2 — dispatch in distance_kernels.cc
+// checks cpuid first.
+//
+// The accumulation deliberately uses explicit mul/add intrinsics instead of
+// _mm256_fmadd_pd: a fused multiply-add rounds once where the scalar
+// reference rounds twice, which would break the byte-identical
+// scalar-vs-avx2 parity contract (see docs/simd.md). The win here is the
+// 4-wide data parallelism and the cache-line tile loads, not contraction.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+#include "qdcbir/core/feature_block.h"
+
+namespace qdcbir {
+namespace internal {
+
+__attribute__((target("avx2,fma"))) void Avx2SquaredL2(const double* tile,
+                                                       const double* query,
+                                                       std::size_t dim,
+                                                       double* out) {
+  static_assert(kBlockWidth == 8, "kernel assumes two 4-lane registers");
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  for (std::size_t d = 0; d < dim; ++d) {
+    const double* row = tile + d * kBlockWidth;
+    const __m256d q = _mm256_set1_pd(query[d]);
+    const __m256d diff_lo = _mm256_sub_pd(_mm256_loadu_pd(row), q);
+    const __m256d diff_hi = _mm256_sub_pd(_mm256_loadu_pd(row + 4), q);
+    acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(diff_lo, diff_lo));
+    acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(diff_hi, diff_hi));
+  }
+  _mm256_storeu_pd(out, acc_lo);
+  _mm256_storeu_pd(out + 4, acc_hi);
+}
+
+__attribute__((target("avx2,fma"))) void Avx2WeightedL2(
+    const double* tile, const double* query, const double* weights,
+    std::size_t dim, double* out) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  for (std::size_t d = 0; d < dim; ++d) {
+    const double* row = tile + d * kBlockWidth;
+    const __m256d q = _mm256_set1_pd(query[d]);
+    const __m256d w = _mm256_set1_pd(weights[d]);
+    const __m256d diff_lo = _mm256_sub_pd(_mm256_loadu_pd(row), q);
+    const __m256d diff_hi = _mm256_sub_pd(_mm256_loadu_pd(row + 4), q);
+    // (w * diff) * diff — same multiply order as the scalar reference.
+    acc_lo = _mm256_add_pd(
+        acc_lo, _mm256_mul_pd(_mm256_mul_pd(w, diff_lo), diff_lo));
+    acc_hi = _mm256_add_pd(
+        acc_hi, _mm256_mul_pd(_mm256_mul_pd(w, diff_hi), diff_hi));
+  }
+  _mm256_storeu_pd(out, acc_lo);
+  _mm256_storeu_pd(out + 4, acc_hi);
+}
+
+}  // namespace internal
+}  // namespace qdcbir
+
+#endif  // x86-64

@@ -1,0 +1,84 @@
+#include "qdcbir/core/feature_block.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace qdcbir {
+
+namespace {
+
+std::size_t RoundUp(std::size_t value, std::size_t multiple) {
+  return (value + multiple - 1) / multiple * multiple;
+}
+
+}  // namespace
+
+void FeatureBlockTable::Allocate() {
+  const std::size_t doubles = num_blocks_ * dim_ * kBlockWidth;
+  if (doubles == 0) {
+    data_.reset();
+    return;
+  }
+  // aligned_alloc requires the size to be a multiple of the alignment;
+  // a tile row is already 64 bytes, so this only matters for dim == 0.
+  const std::size_t bytes = RoundUp(doubles * sizeof(double), 64);
+  data_.reset(static_cast<double*>(std::aligned_alloc(64, bytes)));
+  std::memset(data_.get(), 0, bytes);
+}
+
+FeatureBlockTable::FeatureBlockTable(
+    const std::vector<FeatureVector>& features) {
+  size_ = features.size();
+  dim_ = features.empty() ? 0 : features.front().dim();
+  num_blocks_ = (size_ + kBlockWidth - 1) / kBlockWidth;
+  Allocate();
+  for (std::size_t i = 0; i < size_; ++i) {
+    assert(features[i].dim() == dim_);
+    double* tile = data_.get() + (i / kBlockWidth) * dim_ * kBlockWidth;
+    const std::size_t lane = i % kBlockWidth;
+    const double* src = features[i].data();
+    for (std::size_t d = 0; d < dim_; ++d) {
+      tile[d * kBlockWidth + lane] = src[d];
+    }
+  }
+}
+
+FeatureBlockTable::FeatureBlockTable(const FeatureBlockTable& other)
+    : size_(other.size_), dim_(other.dim_), num_blocks_(other.num_blocks_) {
+  Allocate();
+  if (data_ != nullptr) {
+    std::memcpy(data_.get(), other.data_.get(),
+                num_blocks_ * dim_ * kBlockWidth * sizeof(double));
+  }
+}
+
+FeatureBlockTable& FeatureBlockTable::operator=(
+    const FeatureBlockTable& other) {
+  if (this == &other) return *this;
+  size_ = other.size_;
+  dim_ = other.dim_;
+  num_blocks_ = other.num_blocks_;
+  Allocate();
+  if (data_ != nullptr) {
+    std::memcpy(data_.get(), other.data_.get(),
+                num_blocks_ * dim_ * kBlockWidth * sizeof(double));
+  }
+  return *this;
+}
+
+void FeatureBlockTable::GatherTile(const ImageId* ids, std::size_t count,
+                                   double* tile) const {
+  assert(count <= kBlockWidth);
+  std::memset(tile, 0, dim_ * kBlockWidth * sizeof(double));
+  for (std::size_t lane = 0; lane < count; ++lane) {
+    const std::size_t i = ids[lane];
+    assert(i < size_);
+    const double* src = block(i / kBlockWidth);
+    const std::size_t src_lane = i % kBlockWidth;
+    for (std::size_t d = 0; d < dim_; ++d) {
+      tile[d * kBlockWidth + lane] = src[d * kBlockWidth + src_lane];
+    }
+  }
+}
+
+}  // namespace qdcbir

@@ -5,6 +5,13 @@
 
 namespace qdcbir {
 
+void ImageDatabase::RebuildFeatureBlocks() {
+  feature_blocks_ = FeatureBlockTable(features_);
+  for (int c = 0; c < kNumViewpointChannels; ++c) {
+    channel_blocks_[c] = FeatureBlockTable(channel_features_[c]);
+  }
+}
+
 std::vector<ImageId> ImageDatabase::ImagesOfSubConcept(SubConceptId sub) const {
   if (sub >= subconcept_images_.size()) return {};
   return subconcept_images_[sub];

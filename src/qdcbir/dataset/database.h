@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "qdcbir/core/feature_block.h"
 #include "qdcbir/core/feature_vector.h"
 #include "qdcbir/core/status.h"
 #include "qdcbir/core/types.h"
@@ -61,6 +62,17 @@ class ImageDatabase {
     return channel_features_[static_cast<int>(channel)];
   }
 
+  /// Blocked SoA copy of the main-channel feature table, built once when
+  /// the database is synthesized, subsampled, or loaded from a snapshot.
+  /// The batched distance kernels scan this instead of `features()`.
+  const FeatureBlockTable& feature_blocks() const { return feature_blocks_; }
+
+  /// Blocked copy of a viewpoint channel's table (empty when the channel
+  /// was not extracted).
+  const FeatureBlockTable& channel_blocks(ViewpointChannel channel) const {
+    return channel_blocks_[static_cast<int>(channel)];
+  }
+
   /// Normalizer fitted on the raw main-channel features.
   const FeatureNormalizer& normalizer() const { return normalizer_; }
   const FeatureNormalizer& channel_normalizer(ViewpointChannel channel) const {
@@ -82,11 +94,18 @@ class ImageDatabase {
   friend class DatabaseSynthesizer;
   friend class DatabaseIo;
 
+  /// Rebuilds the blocked copies from the row-major tables. Every
+  /// construction path (synthesize / subsample / snapshot load) calls this
+  /// after the feature tables are final.
+  void RebuildFeatureBlocks();
+
   Catalog catalog_;
   std::vector<ImageRecord> records_;
   std::vector<FeatureVector> features_;
   std::array<std::vector<FeatureVector>, kNumViewpointChannels>
       channel_features_;
+  FeatureBlockTable feature_blocks_;
+  std::array<FeatureBlockTable, kNumViewpointChannels> channel_blocks_;
   FeatureNormalizer normalizer_;
   std::array<FeatureNormalizer, kNumViewpointChannels> channel_normalizers_;
   std::vector<std::vector<ImageId>> subconcept_images_;

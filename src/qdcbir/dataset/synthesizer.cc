@@ -115,6 +115,7 @@ StatusOr<ImageDatabase> DatabaseSynthesizer::Synthesize(
       db.channel_features_[c] = std::move(raw_channels[c]);
     }
   }
+  db.RebuildFeatureBlocks();
   return db;
 }
 
@@ -179,6 +180,7 @@ StatusOr<ImageDatabase> DatabaseSynthesizer::Subsample(
     out.records_.push_back(rec);
   }
   out.channel_features_[0] = out.features_;
+  out.RebuildFeatureBlocks();
   return out;
 }
 

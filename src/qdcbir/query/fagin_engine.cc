@@ -5,6 +5,8 @@
 #include <functional>
 #include <unordered_map>
 
+#include "qdcbir/core/distance_kernels.h"
+#include "qdcbir/core/feature_block.h"
 #include "qdcbir/core/thread_pool.h"
 
 #include "qdcbir/obs/span.h"
@@ -64,12 +66,28 @@ StatusOr<Ranking> FaginEngine::ComputeRanking(std::size_t k) {
   for (std::size_t s = 0; s < subsystems_.size(); ++s) {
     lists[s].resize(table.size());
   }
-  pool.ParallelFor(0, subsystems_.size() * table.size(), [&](std::size_t f) {
-    const std::size_t s = f / table.size();
-    const std::size_t i = f % table.size();
-    lists[s][i] = Scored{static_cast<ImageId>(i),
-                         SubspaceDistance(table[i], centroid, subsystems_[s])};
-  });
+  // Block-at-a-time subspace scans: a subsystem's dimensions are a
+  // contiguous [begin, end) range, so its distances over one tile are a
+  // squared-L2 kernel call on the tile offset by `begin` whole dimensions.
+  // Per-lane sqrt afterwards reproduces SubspaceDistance bit for bit.
+  const FeatureBlockTable& blocks = db_->feature_blocks();
+  const DistanceKernels& kernels = ActiveKernels();
+  pool.ParallelFor(
+      0, subsystems_.size() * blocks.num_blocks(), [&](std::size_t f) {
+        const std::size_t s = f / blocks.num_blocks();
+        const std::size_t b = f % blocks.num_blocks();
+        const Subsystem& sub = subsystems_[s];
+        double out[kBlockWidth];
+        kernels.squared_l2(blocks.block(b) + sub.begin * kBlockWidth,
+                           centroid.data() + sub.begin, sub.end - sub.begin,
+                           out);
+        for (std::size_t lane = 0; lane < blocks.lanes(b); ++lane) {
+          const std::size_t i = b * kBlockWidth + lane;
+          lists[s][i] =
+              Scored{static_cast<ImageId>(i), std::sqrt(out[lane])};
+        }
+      });
+  AddBlockBatches(subsystems_.size() * blocks.num_blocks());
   {
     std::vector<std::function<void()>> sort_tasks;
     sort_tasks.reserve(subsystems_.size());

@@ -1,7 +1,10 @@
 #include "qdcbir/query/knn.h"
 
 #include <algorithm>
+#include <cassert>
 #include <unordered_map>
+
+#include "qdcbir/core/distance_kernels.h"
 
 namespace qdcbir {
 
@@ -69,6 +72,44 @@ Ranking BruteForceKnnWithMetric(const std::vector<FeatureVector>& table,
   for (std::size_t i = 0; i < table.size(); ++i) {
     top.Offer(static_cast<ImageId>(i), metric.Compare(table[i], query));
   }
+  return top.Take();
+}
+
+Ranking BruteForceKnnBlocked(const FeatureBlockTable& blocks,
+                             const FeatureVector& query, std::size_t k) {
+  assert(blocks.empty() || query.dim() == blocks.dim());
+  const DistanceKernels& kernels = ActiveKernels();
+  TopK top(k);
+  double out[kBlockWidth];
+  for (std::size_t b = 0; b < blocks.num_blocks(); ++b) {
+    kernels.squared_l2(blocks.block(b), query.data(), blocks.dim(), out);
+    const std::size_t lanes = blocks.lanes(b);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      top.Offer(static_cast<ImageId>(b * kBlockWidth + lane), out[lane]);
+    }
+  }
+  AddBlockBatches(blocks.num_blocks());
+  return top.Take();
+}
+
+Ranking BruteForceWeightedKnnBlocked(const FeatureBlockTable& blocks,
+                                     const FeatureVector& query,
+                                     const std::vector<double>& weights,
+                                     std::size_t k) {
+  assert(blocks.empty() ||
+         (query.dim() == blocks.dim() && weights.size() == blocks.dim()));
+  const DistanceKernels& kernels = ActiveKernels();
+  TopK top(k);
+  double out[kBlockWidth];
+  for (std::size_t b = 0; b < blocks.num_blocks(); ++b) {
+    kernels.weighted_l2(blocks.block(b), query.data(), weights.data(),
+                        blocks.dim(), out);
+    const std::size_t lanes = blocks.lanes(b);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      top.Offer(static_cast<ImageId>(b * kBlockWidth + lane), out[lane]);
+    }
+  }
+  AddBlockBatches(blocks.num_blocks());
   return top.Take();
 }
 

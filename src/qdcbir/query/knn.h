@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "qdcbir/core/distance.h"
+#include "qdcbir/core/feature_block.h"
 #include "qdcbir/core/feature_vector.h"
 #include "qdcbir/core/types.h"
 #include "qdcbir/index/rstar_tree.h"
@@ -29,6 +30,20 @@ Ranking BruteForceKnnSubset(const std::vector<FeatureVector>& table,
 Ranking BruteForceKnnWithMetric(const std::vector<FeatureVector>& table,
                                 const FeatureVector& query, std::size_t k,
                                 const DistanceMetric& metric);
+
+/// Blocked brute-force k-NN: scans a `FeatureBlockTable` with the batched
+/// distance kernels (`ActiveKernels()`), `kBlockWidth` candidates per tile.
+/// Produces the same ranking, byte for byte, as the per-vector overload —
+/// the kernels share the scalar path's operation order.
+Ranking BruteForceKnnBlocked(const FeatureBlockTable& blocks,
+                             const FeatureVector& query, std::size_t k);
+
+/// Blocked weighted brute-force k-NN (per-dimension weighted squared L2,
+/// the QPM/MindReader ranking). `weights.size()` must equal `blocks.dim()`.
+Ranking BruteForceWeightedKnnBlocked(const FeatureBlockTable& blocks,
+                                     const FeatureVector& query,
+                                     const std::vector<double>& weights,
+                                     std::size_t k);
 
 /// Merges multiple rankings into one of size `k`: entries are interleaved in
 /// score order with duplicates (same id) dropped, keeping each id's best

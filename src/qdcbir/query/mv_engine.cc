@@ -32,7 +32,8 @@ StatusOr<std::vector<Ranking>> MvEngine::PerChannelRankings(std::size_t k) {
     for (const ImageId id : relevant()) centroid += table[id];
     centroid *= 1.0 / static_cast<double>(relevant().size());
 
-    rankings.push_back(BruteForceKnn(table, centroid, k));
+    rankings.push_back(
+        BruteForceKnnBlocked(db_->channel_blocks(channel), centroid, k));
     stats_.global_knn_computations += 1;
     stats_.candidates_scanned += table.size();
   }

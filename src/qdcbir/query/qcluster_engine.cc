@@ -1,8 +1,11 @@
 #include "qdcbir/query/qcluster_engine.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "qdcbir/cluster/kmeans.h"
+#include "qdcbir/core/distance_kernels.h"
+#include "qdcbir/core/feature_block.h"
 #include "qdcbir/core/thread_pool.h"
 #include "qdcbir/query/multipoint.h"
 
@@ -78,21 +81,57 @@ StatusOr<Ranking> QclusterEngine::ComputeRanking(std::size_t k) {
   const std::size_t chunks =
       std::min(table.size(), pool.size() * 4 > 0 ? pool.size() * 4 : 1);
   std::vector<Ranking> partial(chunks);
+  // Each chunk scans block-at-a-time through the kernels where it covers
+  // whole tiles and falls back to the per-vector scorer at unaligned chunk
+  // edges. Both paths produce bit-identical distances (the kernels follow
+  // the legacy accumulation order, and (a-b)^2 == (b-a)^2 exactly), and
+  // candidates are offered in ascending id either way, so the merged
+  // ranking matches the per-vector scan byte for byte.
+  const std::vector<FeatureVector>& centroids = runs[best_c].centroids;
+  const FeatureBlockTable& blocks = db_->feature_blocks();
+  const DistanceKernels& kernels = ActiveKernels();
+  std::vector<std::size_t> chunk_batches(chunks, 0);
   pool.ParallelForChunks(
       0, table.size(), chunks,
       [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
         Ranking& top = partial[chunk];
-        for (std::size_t i = lo; i < hi; ++i) {
-          KnnMatch m{static_cast<ImageId>(i), query.DisjunctiveScore(table[i])};
-          if (top.size() >= k && !better(m, top.front())) continue;
+        const auto offer = [&](std::size_t i, double dist) {
+          KnnMatch m{static_cast<ImageId>(i), dist};
+          if (top.size() >= k && !better(m, top.front())) return;
           top.push_back(m);
           std::push_heap(top.begin(), top.end(), better);
           if (top.size() > k) {
             std::pop_heap(top.begin(), top.end(), better);
             top.pop_back();
           }
+        };
+        std::size_t i = lo;
+        const std::size_t head_end = std::min(
+            hi, (lo + kBlockWidth - 1) / kBlockWidth * kBlockWidth);
+        for (; i < head_end; ++i) offer(i, query.DisjunctiveScore(table[i]));
+        double out[kBlockWidth];
+        double best[kBlockWidth];
+        while (i + kBlockWidth <= hi) {
+          std::fill(best, best + kBlockWidth,
+                    std::numeric_limits<double>::infinity());
+          for (const FeatureVector& p : centroids) {
+            kernels.squared_l2(blocks.block(i / kBlockWidth), p.data(),
+                               blocks.dim(), out);
+            for (std::size_t lane = 0; lane < kBlockWidth; ++lane) {
+              best[lane] = std::min(best[lane], out[lane]);
+            }
+          }
+          for (std::size_t lane = 0; lane < kBlockWidth; ++lane) {
+            offer(i + lane, best[lane]);
+          }
+          chunk_batches[chunk] += 1;
+          i += kBlockWidth;
         }
+        for (; i < hi; ++i) offer(i, query.DisjunctiveScore(table[i]));
       });
+  std::size_t total_batches = 0;
+  for (const std::size_t n : chunk_batches) total_batches += n;
+  AddBlockBatches(total_batches);
   stats_.global_knn_computations += 1;
   stats_.candidates_scanned += table.size();
   Ranking ranking;

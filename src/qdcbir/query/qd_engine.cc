@@ -7,6 +7,8 @@
 #include <unordered_set>
 
 #include "qdcbir/core/distance.h"
+#include "qdcbir/core/distance_kernels.h"
+#include "qdcbir/core/feature_block.h"
 #include "qdcbir/core/thread_pool.h"
 #include "qdcbir/obs/metrics.h"
 #include "qdcbir/obs/span.h"
@@ -215,14 +217,25 @@ Ranking QdSession::LocalizedSearch(NodeId node,
       }
     }
   }
-  const WeightedL2Distance metric(options_.feature_weights);
   const std::vector<ImageId> members = rfs_->index().CollectSubtree(node);
-  Ranking ranking;
-  ranking.reserve(members.size());
-  for (const ImageId id : members) {
-    ranking.push_back(
-        KnnMatch{id, metric.Compare(rfs_->feature(id), query_point)});
+  const FeatureBlockTable& blocks = rfs_->feature_blocks();
+  const DistanceKernels& kernels = ActiveKernels();
+  Ranking ranking(members.size());
+  std::vector<double> tile(blocks.dim() * kBlockWidth);
+  double out[kBlockWidth];
+  std::size_t batches = 0;
+  for (std::size_t base = 0; base < members.size(); base += kBlockWidth) {
+    const std::size_t count = std::min(kBlockWidth, members.size() - base);
+    blocks.GatherTile(members.data() + base, count, tile.data());
+    kernels.weighted_l2(tile.data(), query_point.data(),
+                        options_.feature_weights.data(), blocks.dim(),
+                        out);
+    for (std::size_t lane = 0; lane < count; ++lane) {
+      ranking[base + lane] = KnnMatch{members[base + lane], out[lane]};
+    }
+    ++batches;
   }
+  AddBlockBatches(batches);
   std::sort(ranking.begin(), ranking.end(),
             [](const KnnMatch& a, const KnnMatch& b) {
               if (a.distance_squared != b.distance_squared) {
@@ -261,6 +274,13 @@ StatusOr<QdResult> QdSession::Finalize(std::size_t k) {
         "no relevant feedback was provided; nothing to decompose");
   }
   if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (!options_.feature_weights.empty()) {
+    // Validate up front (size and value range) instead of letting the
+    // weighted scans abort mid-finalize on a malformed weight vector.
+    const StatusOr<WeightedL2Distance> checked = WeightedL2Distance::Create(
+        options_.feature_weights, rfs_->feature_dim());
+    if (!checked.ok()) return checked.status();
+  }
   QDCBIR_SPAN("qd.finalize");
 
   std::size_t total_relevant = 0;

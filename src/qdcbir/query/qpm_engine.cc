@@ -33,10 +33,10 @@ StatusOr<Ranking> QpmEngine::ComputeRanking(std::size_t k) {
     weights[d] = 1.0 / (acc[d].stddev() + options_.sigma_floor);
   }
 
-  const WeightedL2Distance metric(std::move(weights));
   stats_.global_knn_computations += 1;
   stats_.candidates_scanned += table.size();
-  return BruteForceKnnWithMetric(table, centroid, k, metric);
+  return BruteForceWeightedKnnBlocked(db_->feature_blocks(), centroid,
+                                      weights, k);
 }
 
 StatusOr<Ranking> QpmEngine::Finalize(std::size_t k) {

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "qdcbir/core/feature_block.h"
 #include "qdcbir/core/feature_vector.h"
 #include "qdcbir/core/rng.h"
 #include "qdcbir/core/status.h"
@@ -43,7 +44,9 @@ class RfsTree {
   };
 
   RfsTree(RStarTree index, std::vector<FeatureVector> features)
-      : index_(std::move(index)), features_(std::move(features)) {}
+      : index_(std::move(index)),
+        features_(std::move(features)),
+        feature_blocks_(features_) {}
 
   RfsTree(const RfsTree&) = delete;
   RfsTree& operator=(const RfsTree&) = delete;
@@ -60,6 +63,11 @@ class RfsTree {
 
   const FeatureVector& feature(ImageId id) const { return features_[id]; }
   const std::vector<FeatureVector>& features() const { return features_; }
+
+  /// Blocked SoA copy of the feature table, built once at construction —
+  /// both the builder and the deserializer hand features to the
+  /// constructor. Consumed by the batched localized-scan kernels.
+  const FeatureBlockTable& feature_blocks() const { return feature_blocks_; }
 
   bool has_info(NodeId id) const { return info_.count(id) > 0; }
   const NodeInfo& info(NodeId id) const { return info_.at(id); }
@@ -107,6 +115,7 @@ class RfsTree {
 
   RStarTree index_;
   std::vector<FeatureVector> features_;
+  FeatureBlockTable feature_blocks_;
   std::unordered_map<NodeId, NodeInfo> info_;
   std::vector<NodeId> leaf_of_;  ///< containing leaf per image id
 };

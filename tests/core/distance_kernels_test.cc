@@ -1,0 +1,191 @@
+#include "qdcbir/core/distance_kernels.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qdcbir/core/distance.h"
+#include "qdcbir/core/feature_block.h"
+#include "qdcbir/core/feature_vector.h"
+#include "qdcbir/core/rng.h"
+
+namespace qdcbir {
+namespace {
+
+std::vector<FeatureVector> RandomFeatures(std::size_t n, std::size_t dim,
+                                          Rng& rng) {
+  std::vector<FeatureVector> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    FeatureVector v(dim);
+    for (std::size_t d = 0; d < dim; ++d) v[d] = rng.UniformDouble(-2.0, 2.0);
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+/// Runs both kernels of `kernels` over every block of a random table and
+/// checks the outputs bitwise against the legacy per-vector scalar loops in
+/// core/distance.cc — the parity contract (docs/simd.md) promises exact
+/// equality, so EXPECT_EQ on doubles is intentional throughout this file.
+void CheckParityAgainstLegacy(const DistanceKernels& kernels, std::size_t n,
+                              std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<FeatureVector> features = RandomFeatures(n, dim, rng);
+  const FeatureBlockTable table(features);
+
+  FeatureVector query(dim);
+  std::vector<double> weights(dim);
+  for (std::size_t d = 0; d < dim; ++d) {
+    query[d] = rng.UniformDouble(-2.0, 2.0);
+    // Mix regular, zero and tiny (denormal-producing) weights.
+    const double pick = rng.UniformDouble();
+    weights[d] = pick < 0.2 ? 0.0
+               : pick < 0.4 ? 5e-324  // smallest subnormal double
+                            : rng.UniformDouble(0.0, 3.0);
+  }
+  const WeightedL2Distance legacy_weighted(weights);
+
+  double out[kBlockWidth];
+  for (std::size_t b = 0; b < table.num_blocks(); ++b) {
+    kernels.squared_l2(table.block(b), query.data(), dim, out);
+    for (std::size_t lane = 0; lane < table.lanes(b); ++lane) {
+      const std::size_t i = b * kBlockWidth + lane;
+      EXPECT_EQ(out[lane], SquaredL2(features[i], query))
+          << kernels.name << " squared_l2 n=" << n << " dim=" << dim
+          << " i=" << i;
+    }
+
+    kernels.weighted_l2(table.block(b), query.data(), weights.data(), dim,
+                        out);
+    for (std::size_t lane = 0; lane < table.lanes(b); ++lane) {
+      const std::size_t i = b * kBlockWidth + lane;
+      EXPECT_EQ(out[lane], legacy_weighted.Compare(features[i], query))
+          << kernels.name << " weighted_l2 n=" << n << " dim=" << dim
+          << " i=" << i;
+    }
+  }
+}
+
+TEST(DistanceKernelsTest, ScalarMatchesLegacyAcrossShapes) {
+  std::uint64_t seed = 1;
+  for (const std::size_t dim : {1u, 2u, 7u, 8u, 16u, 37u, 64u}) {
+    for (const std::size_t n : {1u, 7u, 8u, 9u, 40u}) {
+      CheckParityAgainstLegacy(KernelsFor(SimdLevel::kScalar), n, dim, seed++);
+    }
+  }
+}
+
+TEST(DistanceKernelsTest, Avx2MatchesLegacyAcrossShapes) {
+  if (!Avx2Supported()) {
+    GTEST_SKIP() << "host CPU lacks AVX2+FMA; kernel parity not testable";
+  }
+  std::uint64_t seed = 100;
+  for (const std::size_t dim : {1u, 2u, 7u, 8u, 16u, 37u, 64u}) {
+    for (const std::size_t n : {1u, 7u, 8u, 9u, 40u}) {
+      CheckParityAgainstLegacy(KernelsFor(SimdLevel::kAvx2), n, dim, seed++);
+    }
+  }
+}
+
+TEST(DistanceKernelsTest, ScalarAndAvx2AreBitIdentical) {
+  if (!Avx2Supported()) {
+    GTEST_SKIP() << "host CPU lacks AVX2+FMA; kernel parity not testable";
+  }
+  const DistanceKernels& scalar = KernelsFor(SimdLevel::kScalar);
+  const DistanceKernels& avx2 = KernelsFor(SimdLevel::kAvx2);
+  Rng rng(7);
+  for (int rep = 0; rep < 50; ++rep) {
+    const std::size_t dim = 1 + rng.UniformInt(64);
+    const std::vector<FeatureVector> features =
+        RandomFeatures(kBlockWidth, dim, rng);
+    const FeatureBlockTable table(features);
+    FeatureVector query(dim);
+    std::vector<double> weights(dim);
+    for (std::size_t d = 0; d < dim; ++d) {
+      query[d] = rng.UniformDouble(-2.0, 2.0);
+      weights[d] = rng.UniformDouble(0.0, 3.0);
+    }
+    double a[kBlockWidth];
+    double b[kBlockWidth];
+    scalar.squared_l2(table.block(0), query.data(), dim, a);
+    avx2.squared_l2(table.block(0), query.data(), dim, b);
+    for (std::size_t lane = 0; lane < kBlockWidth; ++lane) {
+      EXPECT_EQ(a[lane], b[lane]) << "squared_l2 dim=" << dim;
+    }
+    scalar.weighted_l2(table.block(0), query.data(), weights.data(), dim, a);
+    avx2.weighted_l2(table.block(0), query.data(), weights.data(), dim, b);
+    for (std::size_t lane = 0; lane < kBlockWidth; ++lane) {
+      EXPECT_EQ(a[lane], b[lane]) << "weighted_l2 dim=" << dim;
+    }
+  }
+}
+
+TEST(DistanceKernelsTest, TailBlockLanesPastSizeAreFiniteAndIgnorable) {
+  // Regression: the padded lanes of a tail block must not poison the real
+  // lanes (e.g. via NaN propagation in a vectorized min) and must compute
+  // against the zero padding, not stale memory.
+  Rng rng(11);
+  const std::size_t dim = 5;
+  const std::vector<FeatureVector> features = RandomFeatures(3, dim, rng);
+  const FeatureBlockTable table(features);
+  FeatureVector query(dim);
+  for (std::size_t d = 0; d < dim; ++d) {
+    query[d] = rng.UniformDouble(-2.0, 2.0);
+  }
+  const FeatureVector zero(dim);
+
+  for (const SimdLevel level : {SimdLevel::kScalar, SimdLevel::kAvx2}) {
+    if (level == SimdLevel::kAvx2 && !Avx2Supported()) continue;
+    const DistanceKernels& kernels = KernelsFor(level);
+    double out[kBlockWidth];
+    kernels.squared_l2(table.block(0), query.data(), dim, out);
+    for (std::size_t lane = 0; lane < kBlockWidth; ++lane) {
+      ASSERT_TRUE(std::isfinite(out[lane])) << kernels.name;
+      if (lane >= table.size()) {
+        // Padded lanes measure the distance to the zero vector.
+        EXPECT_EQ(out[lane], SquaredL2(zero, query)) << kernels.name;
+      }
+    }
+  }
+}
+
+TEST(DistanceKernelsTest, KernelsForFallsBackToScalarWhenUnsupported) {
+  const DistanceKernels& scalar = KernelsFor(SimdLevel::kScalar);
+  EXPECT_EQ(scalar.level, SimdLevel::kScalar);
+  EXPECT_STREQ(scalar.name, "scalar");
+
+  const DistanceKernels& avx2 = KernelsFor(SimdLevel::kAvx2);
+  if (Avx2Supported()) {
+    EXPECT_EQ(avx2.level, SimdLevel::kAvx2);
+    EXPECT_STREQ(avx2.name, "avx2");
+  } else {
+    EXPECT_EQ(avx2.level, SimdLevel::kScalar);
+  }
+}
+
+TEST(DistanceKernelsTest, ActiveKernelsHonorsEnvOverride) {
+  // ActiveKernels() latches on first use, so this test can only assert
+  // consistency with whatever QDCBIR_SIMD the process was started with —
+  // the CI matrix runs the whole suite under both values.
+  const char* env = std::getenv("QDCBIR_SIMD");
+  const DistanceKernels& active = ActiveKernels();
+  EXPECT_STREQ(active.name, ActiveSimdName());
+  if (env != nullptr && std::string(env) == "scalar") {
+    EXPECT_EQ(active.level, SimdLevel::kScalar);
+  }
+  if (env != nullptr && std::string(env) == "avx2" && Avx2Supported()) {
+    EXPECT_EQ(active.level, SimdLevel::kAvx2);
+  }
+  if (env == nullptr) {
+    EXPECT_EQ(active.level,
+              Avx2Supported() ? SimdLevel::kAvx2 : SimdLevel::kScalar);
+  }
+}
+
+}  // namespace
+}  // namespace qdcbir

@@ -1,6 +1,7 @@
 #include "qdcbir/core/distance.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -83,6 +84,53 @@ TEST_P(MetricAxiomsTest, SymmetryNonNegativityIdentityTriangle) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MetricAxiomsTest,
                          ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(WeightedL2DeathTest, CompareAbortsOnDimensionMismatch) {
+  // The weight count must match the vector dimensionality at every Compare
+  // call, in release builds too — a silent mismatch would read past the
+  // shorter buffer.
+  WeightedL2Distance metric({1.0, 1.0, 1.0});
+  FeatureVector a{1.0, 2.0};
+  FeatureVector b{3.0, 4.0};
+  EXPECT_DEATH(metric.Compare(a, b), "dimension mismatch");
+}
+
+TEST(WeightedL2DeathTest, CompareAbortsWhenVectorsDisagree) {
+  WeightedL2Distance metric({1.0, 1.0});
+  FeatureVector a{1.0, 2.0};
+  FeatureVector b{3.0, 4.0, 5.0};
+  EXPECT_DEATH(metric.Compare(a, b), "dimension mismatch");
+}
+
+TEST(WeightedL2DeathTest, ConstructorAbortsOnNegativeWeight) {
+  EXPECT_DEATH(WeightedL2Distance({1.0, -0.5}), "negative or");
+}
+
+TEST(WeightedL2CreateTest, RejectsWrongWeightCount) {
+  const StatusOr<WeightedL2Distance> metric =
+      WeightedL2Distance::Create({1.0, 2.0}, 3);
+  ASSERT_FALSE(metric.ok());
+  EXPECT_EQ(metric.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WeightedL2CreateTest, RejectsNegativeAndNonFiniteWeights) {
+  EXPECT_FALSE(WeightedL2Distance::Create({1.0, -1.0}, 2).ok());
+  EXPECT_FALSE(WeightedL2Distance::Create(
+                   {1.0, std::numeric_limits<double>::infinity()}, 2)
+                   .ok());
+  EXPECT_FALSE(WeightedL2Distance::Create(
+                   {std::numeric_limits<double>::quiet_NaN(), 1.0}, 2)
+                   .ok());
+}
+
+TEST(WeightedL2CreateTest, AcceptsMatchingWeights) {
+  const StatusOr<WeightedL2Distance> metric =
+      WeightedL2Distance::Create({2.0, 0.0, 1.0}, 3);
+  ASSERT_TRUE(metric.ok());
+  FeatureVector a{0.0, 0.0, 0.0};
+  FeatureVector b{1.0, 9.0, 2.0};
+  EXPECT_DOUBLE_EQ(metric->Compare(a, b), 2.0 + 0.0 + 4.0);
+}
 
 }  // namespace
 }  // namespace qdcbir

@@ -1,5 +1,7 @@
 #include "qdcbir/query/knn.h"
 
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 #include "qdcbir/core/rng.h"
@@ -94,6 +96,68 @@ TEST(MergeRankingsTest, TruncatesToK) {
 TEST(MergeRankingsTest, EmptyInputs) {
   EXPECT_TRUE(MergeRankings({}, 5).empty());
   EXPECT_TRUE(MergeRankings({Ranking{}, Ranking{}}, 5).empty());
+}
+
+std::vector<FeatureVector> RandomTable(std::size_t n, std::size_t dim,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FeatureVector> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    FeatureVector v(dim);
+    for (std::size_t d = 0; d < dim; ++d) v[d] = rng.UniformDouble(-3.0, 3.0);
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+TEST(BruteForceKnnBlockedTest, MatchesPerVectorScanBitwise) {
+  // Parity across a size that exercises full and tail blocks.
+  for (const std::size_t n : {1u, 8u, 9u, 100u, 103u}) {
+    const auto table = RandomTable(n, 11, 41);
+    const FeatureBlockTable blocks(table);
+    FeatureVector query(11);
+    for (std::size_t d = 0; d < 11; ++d) query[d] = 0.1 * double(d) - 0.5;
+    const Ranking legacy = BruteForceKnn(table, query, 20);
+    const Ranking blocked = BruteForceKnnBlocked(blocks, query, 20);
+    ASSERT_EQ(legacy.size(), blocked.size()) << "n=" << n;
+    for (std::size_t i = 0; i < legacy.size(); ++i) {
+      EXPECT_EQ(legacy[i].id, blocked[i].id) << "n=" << n;
+      EXPECT_EQ(legacy[i].distance_squared, blocked[i].distance_squared)
+          << "n=" << n;  // bitwise, per the kernel parity contract
+    }
+  }
+}
+
+TEST(BruteForceWeightedKnnBlockedTest, MatchesMetricScanBitwise) {
+  for (const std::size_t n : {1u, 8u, 9u, 100u, 103u}) {
+    const auto table = RandomTable(n, 9, 43);
+    const FeatureBlockTable blocks(table);
+    FeatureVector query(9);
+    std::vector<double> weights(9);
+    Rng rng(5);
+    for (std::size_t d = 0; d < 9; ++d) {
+      query[d] = rng.UniformDouble(-1.0, 1.0);
+      weights[d] = d % 3 == 0 ? 0.0 : rng.UniformDouble(0.0, 2.0);
+    }
+    const WeightedL2Distance metric(weights);
+    const Ranking legacy = BruteForceKnnWithMetric(table, query, 15, metric);
+    const Ranking blocked =
+        BruteForceWeightedKnnBlocked(blocks, query, weights, 15);
+    ASSERT_EQ(legacy.size(), blocked.size()) << "n=" << n;
+    for (std::size_t i = 0; i < legacy.size(); ++i) {
+      EXPECT_EQ(legacy[i].id, blocked[i].id) << "n=" << n;
+      EXPECT_EQ(legacy[i].distance_squared, blocked[i].distance_squared)
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(BruteForceKnnBlockedTest, EmptyTableAndKZero) {
+  const FeatureBlockTable empty;
+  EXPECT_TRUE(BruteForceKnnBlocked(empty, FeatureVector{}, 3).empty());
+  const auto table = RandomTable(5, 4, 2);
+  const FeatureBlockTable blocks(table);
+  EXPECT_TRUE(BruteForceKnnBlocked(blocks, FeatureVector(4), 0).empty());
 }
 
 }  // namespace

@@ -105,6 +105,34 @@ TEST(QdFeatureWeightsTest, GroupWeightsLayout) {
   EXPECT_EQ(w[36], 4.0);
 }
 
+TEST(QdFeatureWeightsTest, FinalizeRejectsMismatchedWeightCount) {
+  // The tree's features are 3-dimensional; a 2-weight vector must surface
+  // as InvalidArgument from Finalize instead of aborting mid-scan.
+  const RfsTree tree = MakeTree(17);
+  QdOptions options;
+  options.seed = 21;
+  options.feature_weights = {1.0, 1.0};
+  QdSession session(&tree, options);
+  const auto picks = MarkFirstDisplayed(session, 0, 80, 3);
+  ASSERT_FALSE(picks.empty());
+  ASSERT_TRUE(session.Feedback(picks).ok());
+  const StatusOr<QdResult> result = session.Finalize(10);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QdFeatureWeightsTest, FinalizeRejectsNegativeWeights) {
+  const RfsTree tree = MakeTree(19);
+  QdOptions options;
+  options.seed = 23;
+  options.feature_weights = {1.0, -1.0, 1.0};
+  QdSession session(&tree, options);
+  const auto picks = MarkFirstDisplayed(session, 0, 80, 3);
+  ASSERT_FALSE(picks.empty());
+  ASSERT_TRUE(session.Feedback(picks).ok());
+  EXPECT_FALSE(session.Finalize(10).ok());
+}
+
 TEST(QdFeatureWeightsTest, WeightedSessionStatsStillTracked) {
   const RfsTree tree = MakeTree(7);
   QdOptions options;

@@ -9,8 +9,13 @@
 //       Print database / RFS statistics.
 //   qdcbir_tool query  --db=db.bin --rfs=rfs.bin --query=bird
 //                      [--engine=qd|mv|qpm|mars|qcluster|fagin]
-//                      [--k=0] [--seed=1]
+//                      [--k=0] [--seed=1] [--weights=1]
+//                      [--ranked-json=results.json]
 //       Run one simulated-user retrieval session and print the results.
+//       --weights=1 ranks the QD subqueries under deterministic
+//       per-dimension weights; --ranked-json dumps the ranked ids (and, for
+//       QD, per-group distances at full precision) for the CI SIMD parity
+//       diff (docs/simd.md).
 //   qdcbir_tool render --db=db.bin --id=123 --out=image.ppm
 //       Re-render one database image to a PPM file.
 //   qdcbir_tool catalog --db=db.bin
@@ -205,7 +210,17 @@ int CmdQuery(int argc, char** argv) {
   if (engine_name == "qd") {
     StatusOr<RfsTree> rfs = RfsSerializer::LoadFromFile(rfs_path);
     if (!rfs.ok()) return Fail(rfs.status());
-    outcome = SessionRunner::RunQd(*rfs, *gt, QdOptions{}, protocol);
+    QdOptions qd_options;
+    if (IntFlag(argc, argv, "weights", 0) != 0) {
+      // Deterministic non-uniform weights (CI parity runs): exercises the
+      // weighted localized scans without a user-supplied weight file.
+      qd_options.feature_weights.resize(rfs->feature_dim());
+      for (std::size_t d = 0; d < rfs->feature_dim(); ++d) {
+        qd_options.feature_weights[d] =
+            0.5 + 0.25 * static_cast<double>(d % 7);
+      }
+    }
+    outcome = SessionRunner::RunQd(*rfs, *gt, qd_options, protocol);
   } else {
     std::unique_ptr<FeedbackEngine> engine;
     if (engine_name == "mv") engine = std::make_unique<MvEngine>(&*db);
@@ -236,6 +251,50 @@ int CmdQuery(int argc, char** argv) {
     const ImageId id = outcome->final_results[i];
     std::printf("  #%2zu %-40s %s\n", i + 1, db->LabelOf(id).c_str(),
                 gt->IsRelevant(id) ? "[relevant]" : "");
+  }
+
+  // Machine-readable ranked results, used by the CI SIMD parity step: two
+  // runs differing only in QDCBIR_SIMD must produce byte-identical files,
+  // so nothing environment-dependent (SIMD level, timings) is included.
+  const std::string ranked_json = Flag(argc, argv, "ranked-json", "");
+  if (!ranked_json.empty()) {
+    std::ofstream out(ranked_json);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", ranked_json.c_str());
+      return 1;
+    }
+    char buffer[64];
+    out << "{\"engine\":\"" << engine_name << "\",\"query\":\"" << query
+        << "\",\"seed\":" << seed << ",\"results\":[";
+    for (std::size_t i = 0; i < outcome->final_results.size(); ++i) {
+      if (i > 0) out << ',';
+      out << outcome->final_results[i];
+    }
+    out << "]";
+    if (!outcome->qd_result.groups.empty()) {
+      out << ",\"groups\":[";
+      bool first_group = true;
+      for (const ResultGroup& g : outcome->qd_result.groups) {
+        if (!first_group) out << ',';
+        first_group = false;
+        out << "[";
+        for (std::size_t i = 0; i < g.images.size(); ++i) {
+          if (i > 0) out << ',';
+          std::snprintf(buffer, sizeof(buffer), "[%llu,%.17g]",
+                        static_cast<unsigned long long>(g.images[i].id),
+                        g.images[i].distance_squared);
+          out << buffer;
+        }
+        out << "]";
+      }
+      out << "]";
+    }
+    out << "}\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "write failed: %s\n", ranked_json.c_str());
+      return 1;
+    }
+    std::printf("ranked results written to %s\n", ranked_json.c_str());
   }
   return 0;
 }

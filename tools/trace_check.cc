@@ -16,11 +16,13 @@
 // cumulative and monotonic and closed by a +Inf bucket equal to _count;
 // OpenMetrics exemplars are allowed on histogram bucket samples only and
 // any trace_id exemplar label must be 32 lowercase hex characters.
-// Each --require-metric names a sample that must appear in the prom file,
-// optionally with a minimum value after a colon. Exit code 0 means all
-// checks passed; diagnostics go to stderr. CI runs this against the
-// bench_micro and serve-smoke artifacts so a silently-broken exporter
-// fails the build.
+// Each --require-metric names a sample that must exist, optionally with a
+// minimum value after a colon. With --prom it matches exposition sample
+// names (qdcbir_dist_block_batch); with only --metrics it matches the
+// registry's dotted counter names in the JSON snapshot (dist.block.batch).
+// Exit code 0 means all checks passed; diagnostics go to stderr. CI runs
+// this against the bench_micro and serve-smoke artifacts so a
+// silently-broken exporter fails the build.
 
 #include <cstdio>
 #include <cstdlib>
@@ -64,6 +66,66 @@ bool ReadFile(const std::string& path, std::string* out) {
   return true;
 }
 
+/// Extracts the flat `"counters":{"name":value,...}` section of a metrics
+/// JSON snapshot. Counter names are dotted identifiers without escapes, so
+/// a linear scan is sufficient — this is not a general JSON parser.
+bool ParseJsonCounters(const std::string& json,
+                       std::map<std::string, double>* out) {
+  const std::string key = "\"counters\":{";
+  const std::size_t begin = json.find(key);
+  if (begin == std::string::npos) return false;
+  std::size_t pos = begin + key.size();
+  while (pos < json.size() && json[pos] != '}') {
+    if (json[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    if (json[pos] != '"') return false;
+    const std::size_t name_end = json.find('"', pos + 1);
+    if (name_end == std::string::npos) return false;
+    const std::string name = json.substr(pos + 1, name_end - pos - 1);
+    if (name_end + 1 >= json.size() || json[name_end + 1] != ':') {
+      return false;
+    }
+    char* value_end = nullptr;
+    const double value = std::strtod(json.c_str() + name_end + 2, &value_end);
+    if (value_end == json.c_str() + name_end + 2) return false;
+    (*out)[name] = value;
+    pos = static_cast<std::size_t>(value_end - json.c_str());
+  }
+  return pos < json.size();
+}
+
+/// Checks one `name[:min]` spec against the parsed samples; prints the
+/// matched value or a diagnostic naming `source`.
+bool CheckRequiredMetric(const std::string& spec,
+                         const std::map<std::string, double>& samples,
+                         const char* source) {
+  std::string name = spec;
+  double min_value = 0.0;
+  bool has_min = false;
+  const std::size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    name = spec.substr(0, colon);
+    min_value = std::strtod(spec.c_str() + colon + 1, nullptr);
+    has_min = true;
+  }
+  const auto it = samples.find(name);
+  if (it == samples.end()) {
+    std::fprintf(stderr, "required metric missing from %s: %s\n", source,
+                 name.c_str());
+    return false;
+  }
+  if (has_min && it->second < min_value) {
+    std::fprintf(stderr, "metric %s = %g below required minimum %g\n",
+                 name.c_str(), it->second, min_value);
+    return false;
+  }
+  std::printf("  metric %-40s %g%s\n", name.c_str(), it->second,
+              has_min ? " (>= min)" : "");
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -82,8 +144,10 @@ int main(int argc, char** argv) {
                  " [--require-metric=<name>[:min]]\n");
     return 1;
   }
-  if (!required_metrics.empty() && prom_path.empty()) {
-    std::fprintf(stderr, "--require-metric needs --prom=<file>\n");
+  if (!required_metrics.empty() && prom_path.empty() &&
+      metrics_path.empty()) {
+    std::fprintf(stderr,
+                 "--require-metric needs --prom=<file> or --metrics=<file>\n");
     return 1;
   }
 
@@ -152,6 +216,19 @@ int main(int argc, char** argv) {
     }
     std::printf("metrics ok: %s (%zu bytes)\n", metrics_path.c_str(),
                 json.size());
+    // Prom exposition takes precedence for --require-metric when both
+    // artifacts are given (it is the exported, scrape-facing view).
+    if (!required_metrics.empty() && prom_path.empty()) {
+      std::map<std::string, double> counters;
+      if (!ParseJsonCounters(json, &counters)) {
+        std::fprintf(stderr, "cannot parse counters section of %s\n",
+                     metrics_path.c_str());
+        return 1;
+      }
+      for (const std::string& spec : required_metrics) {
+        if (!CheckRequiredMetric(spec, counters, "metrics json")) return 1;
+      }
+    }
   }
 
   if (!prom_path.empty()) {
@@ -172,28 +249,7 @@ int main(int argc, char** argv) {
     std::printf("prom ok: %s (%zu samples, %zu trace exemplars)\n",
                 prom_path.c_str(), samples.size(), exemplar_trace_ids.size());
     for (const std::string& spec : required_metrics) {
-      std::string name = spec;
-      double min_value = 0.0;
-      bool has_min = false;
-      const std::size_t colon = spec.rfind(':');
-      if (colon != std::string::npos) {
-        name = spec.substr(0, colon);
-        min_value = std::strtod(spec.c_str() + colon + 1, nullptr);
-        has_min = true;
-      }
-      const auto it = samples.find(name);
-      if (it == samples.end()) {
-        std::fprintf(stderr, "required metric missing from exposition: %s\n",
-                     name.c_str());
-        return 1;
-      }
-      if (has_min && it->second < min_value) {
-        std::fprintf(stderr, "metric %s = %g below required minimum %g\n",
-                     name.c_str(), it->second, min_value);
-        return 1;
-      }
-      std::printf("  metric %-40s %g%s\n", name.c_str(), it->second,
-                  has_min ? " (>= min)" : "");
+      if (!CheckRequiredMetric(spec, samples, "prom exposition")) return 1;
     }
   }
   return 0;
