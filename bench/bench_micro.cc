@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "qdcbir/obs/metrics.h"
+#include "qdcbir/obs/profiler.h"
 #include "qdcbir/obs/trace.h"
 
 #include "qdcbir/cluster/kmeans.h"
@@ -429,8 +430,30 @@ BENCHMARK(BM_HaarTransform);
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  // $QDCBIR_PROFILE_HZ arms the background sampling profiler for the whole
+  // run — how the profiler's own overhead is measured (docs/profiling.md):
+  // compare a sweep with it unset against QDCBIR_PROFILE_HZ=47.
+  bool profiling = false;
+  if (const char* hz_env = std::getenv("QDCBIR_PROFILE_HZ")) {
+    qdcbir::obs::Profiler::RegisterCurrentThread();
+    qdcbir::obs::ProfilerOptions profiler_options;
+    profiler_options.hz = std::atoi(hz_env);
+    if (profiler_options.hz <= 0) {
+      profiler_options.hz = qdcbir::obs::Profiler::kBackgroundHz;
+    }
+    std::string error;
+    profiling =
+        qdcbir::obs::Profiler::Global().Start(profiler_options, &error);
+    if (!profiling) {
+      std::fprintf(stderr, "[bench_micro] profiler unavailable: %s\n",
+                   error.c_str());
+    }
+  }
+
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (profiling) qdcbir::obs::Profiler::Global().Stop();
 
   if (const char* path = std::getenv("QDCBIR_METRICS_JSON")) {
     std::ofstream out(path);

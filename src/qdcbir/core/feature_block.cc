@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "qdcbir/obs/resource_stats.h"
+
 namespace qdcbir {
 
 namespace {
@@ -22,6 +24,7 @@ void FeatureBlockTable::Allocate() {
   // aligned_alloc requires the size to be a multiple of the alignment;
   // a tile row is already 64 bytes, so this only matters for dim == 0.
   const std::size_t bytes = RoundUp(doubles * sizeof(double), 64);
+  obs::CountContainerAlloc(bytes);
   data_.reset(static_cast<double*>(std::aligned_alloc(64, bytes)));
   std::memset(data_.get(), 0, bytes);
 }
@@ -69,6 +72,7 @@ FeatureBlockTable& FeatureBlockTable::operator=(
 void FeatureBlockTable::GatherTile(const ImageId* ids, std::size_t count,
                                    double* tile) const {
   assert(count <= kBlockWidth);
+  obs::CountTileGathers(1);
   std::memset(tile, 0, dim_ * kBlockWidth * sizeof(double));
   for (std::size_t lane = 0; lane < count; ++lane) {
     const std::size_t i = ids[lane];

@@ -6,6 +6,7 @@
 
 #include "qdcbir/obs/clock.h"
 #include "qdcbir/obs/log.h"
+#include "qdcbir/obs/profiler.h"
 
 namespace qdcbir {
 
@@ -68,6 +69,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::WorkerLoop() {
+  // Every pool lane is sampleable: when the profiler is (or becomes)
+  // active, this worker gets a CPU-time timer; the RAII guard disarms it
+  // before the thread exits.
+  const obs::ScopedThreadProfiling profiling;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -94,8 +99,12 @@ bool ThreadPool::RunOneTask(std::unique_lock<std::mutex>& lock) {
   {
     // Adopt the submitter's trace context for the task's duration, then
     // restore this lane's own: a worker interleaving tasks of different
-    // requests must never cross their span trees.
+    // requests must never cross their span trees. The span tag and
+    // resource sink hop the pool the same way, so profiler samples and
+    // resource taps inside the task attribute to the enqueuing request.
     const obs::ScopedTraceContext scoped_trace(std::move(task.trace));
+    const obs::ScopedSpanTag scoped_span(task.enqueue_span);
+    const obs::ScopedResourceAccounting scoped_resources(task.resources);
     try {
       task.fn();
     } catch (...) {
@@ -154,8 +163,9 @@ void ThreadPool::Post(std::function<void()> task) {
     queue_depth_.Set(g_queued_tasks.fetch_add(1, std::memory_order_relaxed) +
                      1);
     queue_.push_back(Task{std::move(task), std::move(batch),
-                          obs::MonotonicNanos(),
-                          obs::CurrentTraceContext()});
+                          obs::MonotonicNanos(), obs::CurrentTraceContext(),
+                          obs::CurrentSpanName(),
+                          obs::CurrentResourceAccumulator()});
   }
   work_cv_.notify_one();
 }
@@ -180,6 +190,8 @@ void ThreadPool::Run(std::vector<std::function<void()>> tasks) {
   batch->pending = tasks.size();
   const std::uint64_t enqueue_ns = obs::MonotonicNanos();
   const obs::TraceContext& trace = obs::CurrentTraceContext();
+  const char* enqueue_span = obs::CurrentSpanName();
+  obs::ResourceAccumulator* resources = obs::CurrentResourceAccumulator();
   {
     std::lock_guard<std::mutex> lock(mu_);
     // The gauge goes up before any worker can pop a task (the pop needs
@@ -190,7 +202,8 @@ void ThreadPool::Run(std::vector<std::function<void()>> tasks) {
                                  std::memory_order_relaxed) +
         static_cast<std::int64_t>(tasks.size()));
     for (std::function<void()>& task : tasks) {
-      queue_.push_back(Task{std::move(task), batch, enqueue_ns, trace});
+      queue_.push_back(Task{std::move(task), batch, enqueue_ns, trace,
+                            enqueue_span, resources});
     }
   }
   work_cv_.notify_all();

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "qdcbir/obs/metrics.h"
+#include "qdcbir/obs/resource_stats.h"
+#include "qdcbir/obs/span_stack.h"
 #include "qdcbir/obs/trace_context.h"
 
 namespace qdcbir {
@@ -132,6 +134,13 @@ class ThreadPool {
     /// parent links (nested ParallelFor included). Inline paths skip the
     /// capture — the submitter's context is already current.
     obs::TraceContext trace;
+    /// The submitter's innermost span name at enqueue, re-opened on the
+    /// worker's signal-safe span stack: profiler samples taken inside the
+    /// task attribute to the span that scheduled it (nullptr = none).
+    const char* enqueue_span = nullptr;
+    /// The submitter's active resource sink, installed for the task's
+    /// duration so engine taps on workers count toward the right session.
+    obs::ResourceAccumulator* resources = nullptr;
   };
 
   void WorkerLoop();

@@ -10,6 +10,7 @@
 #include "qdcbir/eval/metrics.h"
 #include "qdcbir/obs/clock.h"
 #include "qdcbir/obs/query_log.h"
+#include "qdcbir/obs/resource_stats.h"
 #include "qdcbir/obs/span.h"
 #include "qdcbir/obs/trace_context.h"
 
@@ -44,7 +45,7 @@ std::uint64_t SecondsToNanos(double seconds) {
 /// rankings depend on.
 void RecordAudit(std::string_view engine, const QueryGroundTruth& gt,
                  const ProtocolOptions& protocol, const RunOutcome& outcome,
-                 std::size_t picks) {
+                 std::size_t picks, const obs::ResourceUsage& usage) {
   obs::QueryAuditRecord record;
   record.set_engine(engine);
   record.set_label(gt.spec.name);
@@ -71,6 +72,12 @@ void RecordAudit(std::string_view engine, const QueryGroundTruth& gt,
   record.rounds_ns = rounds_ns;
   record.finalize_ns = SecondsToNanos(outcome.finalize_seconds);
   record.total_ns = SecondsToNanos(outcome.total_seconds);
+  record.distance_evals = usage.distance_evals;
+  record.feature_bytes = usage.feature_bytes;
+  record.leaves_visited = usage.leaves_visited;
+  record.tiles_gathered = usage.tiles_gathered;
+  record.container_allocs = usage.container_allocs;
+  record.alloc_bytes = usage.alloc_bytes;
   // Batch runs carry a trace id too when the caller installed one (the
   // serve layer always does; CLI runs leave it zero → rendered as "").
   const obs::TraceContext& trace = obs::CurrentTraceContext();
@@ -86,6 +93,10 @@ StatusOr<RunOutcome> SessionRunner::RunQd(const RfsTree& rfs,
                                           const QdOptions& qd_options,
                                           const ProtocolOptions& protocol) {
   QDCBIR_SPAN("eval.session.qd");
+  // Per-session resource accounting: engine taps on this thread and every
+  // pool worker executing for this session sum into `resources`.
+  obs::ResourceAccumulator resources;
+  const obs::ScopedResourceAccounting accounting(&resources);
   const std::size_t k =
       protocol.retrieval_size > 0 ? protocol.retrieval_size : gt.size();
 
@@ -163,7 +174,10 @@ StatusOr<RunOutcome> SessionRunner::RunQd(const RfsTree& rfs,
   double engine_total = outcome.finalize_seconds;
   for (const double t : outcome.iteration_seconds) engine_total += t;
   outcome.total_seconds = engine_total;
-  RecordAudit("qd", gt, protocol, outcome, all_marked.size());
+  obs::FlushResourceAccounting();
+  outcome.resources = resources.Snapshot();
+  RecordAudit("qd", gt, protocol, outcome, all_marked.size(),
+              outcome.resources);
   return outcome;
 }
 
@@ -171,6 +185,8 @@ StatusOr<RunOutcome> SessionRunner::RunEngine(FeedbackEngine& engine,
                                               const QueryGroundTruth& gt,
                                               const ProtocolOptions& protocol) {
   QDCBIR_SPAN("eval.session.engine");
+  obs::ResourceAccumulator resources;
+  const obs::ScopedResourceAccounting accounting(&resources);
   const std::size_t k =
       protocol.retrieval_size > 0 ? protocol.retrieval_size : gt.size();
 
@@ -255,7 +271,10 @@ StatusOr<RunOutcome> SessionRunner::RunEngine(FeedbackEngine& engine,
   double engine_total = outcome.finalize_seconds;
   for (const double t : outcome.iteration_seconds) engine_total += t;
   outcome.total_seconds = engine_total;
-  RecordAudit(engine.Name(), gt, protocol, outcome, total_picks);
+  obs::FlushResourceAccounting();
+  outcome.resources = resources.Snapshot();
+  RecordAudit(engine.Name(), gt, protocol, outcome, total_picks,
+              outcome.resources);
   return outcome;
 }
 

@@ -8,6 +8,7 @@
 
 #include "qdcbir/core/status.h"
 #include "qdcbir/eval/ground_truth.h"
+#include "qdcbir/obs/resource_stats.h"
 #include "qdcbir/eval/oracle.h"
 #include "qdcbir/query/feedback_engine.h"
 #include "qdcbir/query/qd_engine.h"
@@ -58,6 +59,9 @@ struct RunOutcome {
   QdSessionStats qd_stats;          ///< populated by RunQd
   GlobalEngineStats global_stats;   ///< populated by RunEngine
   QdResult qd_result;               ///< grouped results (RunQd only)
+  /// Physical work summed across all pool workers (obs/resource_stats.h);
+  /// also published to the /queryz audit record.
+  obs::ResourceUsage resources;
 };
 
 /// Drives full evaluation sessions: oracle browsing, feedback rounds, final

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "qdcbir/obs/clock.h"
+#include "qdcbir/obs/metrics.h"
 #include "qdcbir/obs/trace_context.h"
 
 namespace qdcbir {
@@ -69,6 +70,12 @@ bool LogCallSite::Admit() {
   last_refill_ns_ = now_ns;
   if (tokens_ < 1.0) {
     ++suppressed_;
+    // Scrape-visible twin of the per-site suppressed count: /logz shows
+    // drops only on the *next admitted* entry of the same site, so a site
+    // that stays over its rate would otherwise hide its losses entirely.
+    static Counter& dropped = MetricsRegistry::Global().GetCounter(
+        "log.dropped", "Log entries suppressed by per-site rate limiting");
+    dropped.Add(1);
     return false;
   }
   tokens_ -= 1.0;

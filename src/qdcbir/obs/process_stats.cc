@@ -1,0 +1,146 @@
+#include "qdcbir/obs/process_stats.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__linux__)
+#include <dirent.h>
+#include <unistd.h>
+#endif
+
+namespace qdcbir {
+namespace obs {
+namespace {
+
+#if defined(__linux__)
+
+/// Boot time (unix seconds) from /proc/stat's btime line; 0 on failure.
+/// starttime in /proc/self/stat is measured in clock ticks since boot.
+double ReadBootTimeSeconds() {
+  std::FILE* file = std::fopen("/proc/stat", "r");
+  if (file == nullptr) return 0.0;
+  double btime = 0.0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    unsigned long long value = 0;
+    if (std::sscanf(line, "btime %llu", &value) == 1) {
+      btime = static_cast<double>(value);
+      break;
+    }
+  }
+  std::fclose(file);
+  return btime;
+}
+
+std::uint64_t CountOpenFds() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  std::uint64_t count = 0;
+  while (readdir(dir) != nullptr) ++count;
+  closedir(dir);
+  // "." and ".." plus the fd opendir itself holds.
+  return count >= 3 ? count - 3 : 0;
+}
+
+#endif  // __linux__
+
+}  // namespace
+
+ProcessStats ReadProcessStats() {
+  ProcessStats stats;
+#if defined(__linux__)
+  std::FILE* file = std::fopen("/proc/self/stat", "r");
+  if (file == nullptr) return stats;
+  char buffer[2048];
+  const std::size_t read = std::fread(buffer, 1, sizeof(buffer) - 1, file);
+  std::fclose(file);
+  buffer[read] = '\0';
+  // Field 2 (comm) is parenthesized and may itself contain spaces or
+  // parens; everything after the *last* ')' is space-separated and starts
+  // at field 3 (state).
+  const char* after_comm = std::strrchr(buffer, ')');
+  if (after_comm == nullptr) return stats;
+  after_comm += 1;
+  // Fields, 1-indexed per proc(5): 14 utime, 15 stime, 20 num_threads,
+  // 22 starttime (ticks since boot), 23 vsize (bytes), 24 rss (pages).
+  unsigned long long utime = 0, stime = 0, threads = 0, starttime = 0;
+  unsigned long long vsize = 0;
+  long long rss_pages = 0;
+  const int matched = std::sscanf(
+      after_comm,
+      " %*c %*d %*d %*d %*d %*d %*u %*u %*u %*u %*u"  // fields 3..13
+      " %llu %llu %*d %*d %*d %*d %llu %*d %llu %llu %lld",
+      &utime, &stime, &threads, &starttime, &vsize, &rss_pages);
+  if (matched != 6) return stats;
+  const double ticks = static_cast<double>(sysconf(_SC_CLK_TCK));
+  const double page = static_cast<double>(sysconf(_SC_PAGESIZE));
+  if (ticks <= 0.0 || page <= 0.0) return stats;
+  stats.cpu_user_seconds = static_cast<double>(utime) / ticks;
+  stats.cpu_system_seconds = static_cast<double>(stime) / ticks;
+  stats.num_threads = threads;
+  stats.virtual_bytes = vsize;
+  stats.resident_bytes =
+      rss_pages > 0
+          ? static_cast<std::uint64_t>(rss_pages) *
+                static_cast<std::uint64_t>(page)
+          : 0;
+  const double btime = ReadBootTimeSeconds();
+  if (btime > 0.0) {
+    stats.start_time_unix_seconds =
+        btime + static_cast<double>(starttime) / ticks;
+  }
+  stats.open_fds = CountOpenFds();
+  stats.valid = true;
+#endif
+  return stats;
+}
+
+std::string RenderProcessMetricsText(const ProcessStats& stats) {
+  if (!stats.valid) return "";
+  char buffer[512];
+  std::string out;
+  out +=
+      "# HELP process_cpu_seconds_total Total user and system CPU time "
+      "spent in seconds.\n"
+      "# TYPE process_cpu_seconds_total counter\n";
+  std::snprintf(buffer, sizeof(buffer), "process_cpu_seconds_total %.6f\n",
+                stats.cpu_user_seconds + stats.cpu_system_seconds);
+  out += buffer;
+  out +=
+      "# HELP process_resident_memory_bytes Resident memory size in "
+      "bytes.\n"
+      "# TYPE process_resident_memory_bytes gauge\n";
+  std::snprintf(buffer, sizeof(buffer),
+                "process_resident_memory_bytes %llu\n",
+                static_cast<unsigned long long>(stats.resident_bytes));
+  out += buffer;
+  out +=
+      "# HELP process_virtual_memory_bytes Virtual memory size in bytes.\n"
+      "# TYPE process_virtual_memory_bytes gauge\n";
+  std::snprintf(buffer, sizeof(buffer), "process_virtual_memory_bytes %llu\n",
+                static_cast<unsigned long long>(stats.virtual_bytes));
+  out += buffer;
+  out +=
+      "# HELP process_open_fds Number of open file descriptors.\n"
+      "# TYPE process_open_fds gauge\n";
+  std::snprintf(buffer, sizeof(buffer), "process_open_fds %llu\n",
+                static_cast<unsigned long long>(stats.open_fds));
+  out += buffer;
+  out +=
+      "# HELP process_threads Number of OS threads in the process.\n"
+      "# TYPE process_threads gauge\n";
+  std::snprintf(buffer, sizeof(buffer), "process_threads %llu\n",
+                static_cast<unsigned long long>(stats.num_threads));
+  out += buffer;
+  out +=
+      "# HELP process_start_time_seconds Start time of the process since "
+      "unix epoch in seconds.\n"
+      "# TYPE process_start_time_seconds gauge\n";
+  std::snprintf(buffer, sizeof(buffer), "process_start_time_seconds %.3f\n",
+                stats.start_time_unix_seconds);
+  out += buffer;
+  return out;
+}
+
+}  // namespace obs
+}  // namespace qdcbir

@@ -1,0 +1,40 @@
+#ifndef QDCBIR_OBS_PROCESS_STATS_H_
+#define QDCBIR_OBS_PROCESS_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qdcbir {
+namespace obs {
+
+/// Process-wide resource usage read from `/proc/self` (Linux). `valid` is
+/// false on platforms without procfs or on parse failure; callers should
+/// then omit the process section rather than export zeros.
+struct ProcessStats {
+  double cpu_user_seconds = 0.0;
+  double cpu_system_seconds = 0.0;
+  std::uint64_t resident_bytes = 0;
+  std::uint64_t virtual_bytes = 0;
+  std::uint64_t open_fds = 0;
+  std::uint64_t num_threads = 0;
+  double start_time_unix_seconds = 0.0;
+  bool valid = false;
+};
+
+/// One pass over `/proc/self/stat`, `/proc/stat` (btime) and
+/// `/proc/self/fd`. Cheap enough to call per scrape (~tens of µs).
+ProcessStats ReadProcessStats();
+
+/// Renders the conventional (unprefixed) `process_*` Prometheus families —
+/// `process_cpu_seconds_total`, `process_resident_memory_bytes`,
+/// `process_virtual_memory_bytes`, `process_open_fds`,
+/// `process_threads`, `process_start_time_seconds` — each with its
+/// `# TYPE` line, in the exposition-validator-clean form `/metrics`
+/// appends after the registry families. Returns "" when `stats.valid` is
+/// false.
+std::string RenderProcessMetricsText(const ProcessStats& stats);
+
+}  // namespace obs
+}  // namespace qdcbir
+
+#endif  // QDCBIR_OBS_PROCESS_STATS_H_

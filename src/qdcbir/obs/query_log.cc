@@ -167,6 +167,12 @@ std::string QueryLog::RenderJson() const {
     AppendField(&out, "rounds_ns", record.rounds_ns, &first);
     AppendField(&out, "finalize_ns", record.finalize_ns, &first);
     AppendField(&out, "total_ns", record.total_ns, &first);
+    AppendField(&out, "distance_evals", record.distance_evals, &first);
+    AppendField(&out, "feature_bytes", record.feature_bytes, &first);
+    AppendField(&out, "leaves_visited", record.leaves_visited, &first);
+    AppendField(&out, "tiles_gathered", record.tiles_gathered, &first);
+    AppendField(&out, "container_allocs", record.container_allocs, &first);
+    AppendField(&out, "alloc_bytes", record.alloc_bytes, &first);
     out += ",\"trace\":";
     AppendJsonString(&out, record.trace_hex());
     out.push_back('}');

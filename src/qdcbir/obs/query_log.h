@@ -44,6 +44,15 @@ struct QueryAuditRecord {
   std::uint64_t trace_hi = 0;
   std::uint64_t trace_lo = 0;
 
+  /// Per-session resource accounting (obs/resource_stats.h): physical work
+  /// summed across every pool worker that executed for this session.
+  std::uint64_t distance_evals = 0;
+  std::uint64_t feature_bytes = 0;
+  std::uint64_t leaves_visited = 0;
+  std::uint64_t tiles_gathered = 0;
+  std::uint64_t container_allocs = 0;
+  std::uint64_t alloc_bytes = 0;
+
   void set_engine(std::string_view name);
   void set_label(std::string_view name);
   std::string_view engine_view() const;

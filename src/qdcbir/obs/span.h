@@ -3,6 +3,7 @@
 
 #include "qdcbir/obs/clock.h"
 #include "qdcbir/obs/metrics.h"
+#include "qdcbir/obs/span_stack.h"
 #include "qdcbir/obs/trace.h"
 #include "qdcbir/obs/trace_context.h"
 #include "qdcbir/obs/trace_tree.h"
@@ -26,6 +27,9 @@ class ScopedSpan {
  public:
   ScopedSpan(const char* name, Histogram& histogram)
       : name_(name), histogram_(histogram), start_ns_(MonotonicNanos()) {
+    // Always mirrored onto the signal-safe span stack, so the sampling
+    // profiler can attribute CPU samples even when no trace is recording.
+    CurrentSpanStack().Push(name_);
     Tracer& tracer = Tracer::Global();
     if (tracer.enabled()) tracer.Begin(name_);
     TraceContext& context = MutableCurrentTraceContext();
@@ -40,6 +44,7 @@ class ScopedSpan {
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
   ~ScopedSpan() {
+    CurrentSpanStack().Pop();
     const std::uint64_t end_ns = MonotonicNanos();
     Tracer& tracer = Tracer::Global();
     if (tracer.enabled()) tracer.End(name_);

@@ -1,0 +1,17 @@
+#include "qdcbir/obs/span_stack.h"
+
+namespace qdcbir {
+namespace obs {
+namespace {
+
+// constinit: zero-initialized in the TLS image, no per-thread guard or
+// dynamic initializer — the SIGPROF handler may be the first reader on a
+// thread and must not trip a TLS initialization path.
+constinit thread_local SpanStack t_span_stack;
+
+}  // namespace
+
+SpanStack& CurrentSpanStack() { return t_span_stack; }
+
+}  // namespace obs
+}  // namespace qdcbir

@@ -6,6 +6,8 @@
 #include <string>
 #include <string_view>
 
+#include "qdcbir/obs/span_stack.h"
+
 namespace qdcbir {
 namespace obs {
 
@@ -48,13 +50,21 @@ class ScopedTraceContext {
  public:
   explicit ScopedTraceContext(TraceContext context)
       : saved_(std::move(MutableCurrentTraceContext())) {
-    MutableCurrentTraceContext() = std::move(context);
+    TraceContext& current = MutableCurrentTraceContext();
+    current = std::move(context);
+    // Mirror the trace id into the signal-safe span stack so profiler
+    // samples can be joined with /tracez by trace id.
+    SetCurrentSpanStackTrace(current.trace_hi, current.trace_lo);
   }
 
   ScopedTraceContext(const ScopedTraceContext&) = delete;
   ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
 
-  ~ScopedTraceContext() { MutableCurrentTraceContext() = std::move(saved_); }
+  ~ScopedTraceContext() {
+    TraceContext& current = MutableCurrentTraceContext();
+    current = std::move(saved_);
+    SetCurrentSpanStackTrace(current.trace_hi, current.trace_lo);
+  }
 
  private:
   TraceContext saved_;

@@ -11,6 +11,7 @@
 #include "qdcbir/core/feature_block.h"
 #include "qdcbir/core/thread_pool.h"
 #include "qdcbir/obs/metrics.h"
+#include "qdcbir/obs/resource_stats.h"
 #include "qdcbir/obs/span.h"
 #include "qdcbir/query/multipoint.h"
 
@@ -200,6 +201,10 @@ Ranking QdSession::LocalizedSearch(NodeId node,
     Ranking ranking = rfs_->index().KnnSearchInSubtree(node, query_point,
                                                        fetch, &search_stats);
     stats->knn_nodes_visited += search_stats.nodes_visited;
+    obs::CountLeafVisits(search_stats.nodes_visited);
+    obs::CountDistanceEvals(search_stats.entries_scanned);
+    obs::CountFeatureBytes(search_stats.entries_scanned *
+                           rfs_->feature_blocks().dim() * sizeof(double));
     return ranking;
   }
   // Weighted ranking: scan the (small) localized subtree under the
@@ -211,6 +216,7 @@ Ranking QdSession::LocalizedSearch(NodeId node,
       const NodeId nid = stack.back();
       stack.pop_back();
       stats->knn_nodes_visited += 1;
+      obs::CountLeafVisits(1);
       const RStarTree::Node& n = rfs_->index().node(nid);
       if (!n.IsLeaf()) {
         for (const RStarTree::Entry& e : n.entries) stack.push_back(e.child);
@@ -221,7 +227,9 @@ Ranking QdSession::LocalizedSearch(NodeId node,
   const FeatureBlockTable& blocks = rfs_->feature_blocks();
   const DistanceKernels& kernels = ActiveKernels();
   Ranking ranking(members.size());
+  obs::CountContainerAlloc(members.size() * sizeof(KnnMatch));
   std::vector<double> tile(blocks.dim() * kBlockWidth);
+  obs::CountContainerAlloc(tile.size() * sizeof(double));
   double out[kBlockWidth];
   std::size_t batches = 0;
   for (std::size_t base = 0; base < members.size(); base += kBlockWidth) {
@@ -236,6 +244,8 @@ Ranking QdSession::LocalizedSearch(NodeId node,
     ++batches;
   }
   AddBlockBatches(batches);
+  obs::CountDistanceEvals(members.size());
+  obs::CountFeatureBytes(members.size() * blocks.dim() * sizeof(double));
   std::sort(ranking.begin(), ranking.end(),
             [](const KnnMatch& a, const KnnMatch& b) {
               if (a.distance_squared != b.distance_squared) {

@@ -1,9 +1,12 @@
 #include "qdcbir/serve/serve_app.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <sstream>
+#include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -12,8 +15,11 @@
 #include "qdcbir/obs/clock.h"
 #include "qdcbir/obs/log.h"
 #include "qdcbir/obs/metrics.h"
+#include "qdcbir/obs/process_stats.h"
+#include "qdcbir/obs/profiler.h"
 #include "qdcbir/obs/prom_export.h"
 #include "qdcbir/obs/query_log.h"
+#include "qdcbir/obs/resource_stats.h"
 #include "qdcbir/obs/span.h"
 #include "qdcbir/obs/trace_tree.h"
 #include "qdcbir/rfs/rfs_serialization.h"
@@ -49,6 +55,32 @@ void AppendDisplayJson(std::string* out,
     *out += "]}";
   }
   out->push_back(']');
+}
+
+/// Value of `key` in a raw `a=1&b=2` query string, "" when absent. The
+/// admin parameters are plain numbers/identifiers, so no percent-decoding.
+std::string QueryParam(const std::string& query, std::string_view key) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        std::string_view(query).substr(pos, eq - pos) == key) {
+      return query.substr(eq + 1, amp - eq - 1);
+    }
+    pos = amp + 1;
+  }
+  return "";
+}
+
+double QueryParamDouble(const std::string& query, std::string_view key,
+                        double fallback) {
+  const std::string raw = QueryParam(query, key);
+  if (raw.empty()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw.c_str(), &end);
+  return (end == raw.c_str() || *end != '\0') ? fallback : value;
 }
 
 StatusOr<std::string> ReadFileBytes(const std::string& path) {
@@ -122,9 +154,18 @@ ServeApp::ServeApp(ServeOptions options)
     return obs::HttpResponse{200, kJsonType, std::move(body)};
   });
   server_.Handle("/metrics", [](const obs::HttpRequest&) {
-    return obs::HttpResponse{
-        200, kPromType,
-        obs::RenderPrometheusText(obs::MetricsRegistry::Global())};
+    // Registry families first, then the standard process_* block (each
+    // family self-describing with its own HELP/TYPE lines, so appending
+    // keeps the exposition valid).
+    std::string body = obs::RenderPrometheusText(obs::MetricsRegistry::Global());
+    body += obs::RenderProcessMetricsText(obs::ReadProcessStats());
+    return obs::HttpResponse{200, kPromType, std::move(body)};
+  });
+  server_.Handle("/statusz", [this](const obs::HttpRequest& request) {
+    return HandleStatusz(request);
+  });
+  server_.Handle("/profilez", [this](const obs::HttpRequest& request) {
+    return HandleProfilez(request);
   });
   server_.Handle("/queryz", [](const obs::HttpRequest&) {
     return obs::HttpResponse{200, kJsonType,
@@ -149,6 +190,11 @@ ServeApp::ServeApp(ServeOptions options)
 ServeApp::~ServeApp() { Stop(); }
 
 bool ServeApp::Start(std::string* error) {
+  start_epoch_seconds_ = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  start_mono_ns_ = obs::MonotonicNanos();
   if (!server_.Start(error)) {
     SetReadiness(Readiness::kFailed);
     {
@@ -157,11 +203,29 @@ bool ServeApp::Start(std::string* error) {
     }
     return false;
   }
+  if (options_.profile_hz > 0) {
+    obs::ProfilerOptions profiler_options;
+    profiler_options.hz = options_.profile_hz;
+    std::string profiler_error;
+    if (obs::Profiler::Global().Start(profiler_options, &profiler_error)) {
+      profiler_armed_ = true;
+      QDCBIR_LOG(obs::LogLevel::kInfo,
+                 "background profiler armed at " +
+                     std::to_string(options_.profile_hz) + " Hz");
+    } else {
+      QDCBIR_LOG(obs::LogLevel::kWarn,
+                 "background profiler not started: " + profiler_error);
+    }
+  }
   loader_ = std::thread([this] { LoadInBackground(); });
   return true;
 }
 
 void ServeApp::Stop() {
+  if (profiler_armed_) {
+    obs::Profiler::Global().Stop();
+    profiler_armed_ = false;
+  }
   server_.Stop();
   if (loader_.joinable()) loader_.join();
 }
@@ -189,6 +253,9 @@ void ServeApp::SetReadiness(Readiness state) {
 }
 
 void ServeApp::LoadInBackground() {
+  // The loader burns real CPU (checksum verify, RFS decode); make it
+  // visible to the sampling profiler like any pool worker.
+  const obs::ScopedThreadProfiling profiling;
   SetReadiness(Readiness::kLoadingSnapshot);
   const auto fail = [this](const Status& status) {
     QDCBIR_LOG(obs::LogLevel::kError,
@@ -301,6 +368,7 @@ obs::HttpResponse ServeApp::HandleApiQuery(const obs::HttpRequest& request) {
   std::vector<DisplayGroup> display;
   {
     const obs::ScopedTraceContext scoped(session->trace);
+    const obs::ScopedResourceAccounting accounting(&session->resources);
     QDCBIR_SPAN("serve.api.query");
     display = session->qd.Start();
   }
@@ -355,6 +423,10 @@ obs::HttpResponse ServeApp::HandleApiFeedback(
   // client traceparent on this request is accepted but does not re-identify
   // the session.
   const obs::ScopedTraceContext scoped_trace(session->trace);
+  // Resource accounting spans the whole handler: Feedback and Finalize
+  // deltas (from this thread and every pool worker the engine fans out to)
+  // merge into the session's accumulator.
+  const obs::ScopedResourceAccounting accounting(&session->resources);
 
   std::vector<ImageId> relevant;
   if (const JsonValue* ids = body.Find("relevant")) {
@@ -431,7 +503,46 @@ obs::HttpResponse ServeApp::HandleApiFeedback(
   record.total_ns = session->rounds_ns + finalize_ns;
   record.trace_hi = session->trace.trace_hi;
   record.trace_lo = session->trace.trace_lo;
+  // This thread's pending deltas first (pool workers flushed at task end;
+  // `Run` already joined them), then the cross-worker totals.
+  obs::FlushResourceAccounting();
+  const obs::ResourceUsage usage = session->resources.Snapshot();
+  record.distance_evals = usage.distance_evals;
+  record.feature_bytes = usage.feature_bytes;
+  record.leaves_visited = usage.leaves_visited;
+  record.tiles_gathered = usage.tiles_gathered;
+  record.container_allocs = usage.container_allocs;
+  record.alloc_bytes = usage.alloc_bytes;
   obs::QueryLog::Global().Record(record);
+
+  // Per-session physical-work distributions, alongside the latency family.
+  {
+    static obs::Histogram& distance_evals =
+        obs::MetricsRegistry::Global().GetHistogram(
+            "serve.session.distance_evals",
+            "Distance evaluations per RF session");
+    static obs::Histogram& feature_bytes =
+        obs::MetricsRegistry::Global().GetHistogram(
+            "serve.session.feature_bytes",
+            "Feature-vector bytes scanned per RF session");
+    static obs::Histogram& leaves_visited =
+        obs::MetricsRegistry::Global().GetHistogram(
+            "serve.session.leaves_visited",
+            "RFS tree nodes visited per RF session");
+    static obs::Histogram& tiles_gathered =
+        obs::MetricsRegistry::Global().GetHistogram(
+            "serve.session.tiles_gathered",
+            "Blocked-layout gather tiles built per RF session");
+    static obs::Histogram& alloc_bytes =
+        obs::MetricsRegistry::Global().GetHistogram(
+            "serve.session.alloc_bytes",
+            "Hot-container bytes allocated per RF session");
+    distance_evals.Record(usage.distance_evals);
+    feature_bytes.Record(usage.feature_bytes);
+    leaves_visited.Record(usage.leaves_visited);
+    tiles_gathered.Record(usage.tiles_gathered);
+    alloc_bytes.Record(usage.alloc_bytes);
+  }
 
   // Session latency distribution, with the trace id attached as an
   // OpenMetrics exemplar so a latency bucket links to its /tracez tree.
@@ -510,6 +621,112 @@ obs::HttpResponse ServeApp::HandleApiFeedback(
          ",\"finalize_ns\":" + std::to_string(record.finalize_ns) + "}\n";
   return WithTrace(obs::HttpResponse{200, kJsonType, std::move(out)},
                    session->trace);
+}
+
+obs::HttpResponse ServeApp::HandleStatusz(const obs::HttpRequest&) {
+  const Readiness state = readiness();
+  const std::uint64_t uptime_s =
+      (obs::MonotonicNanos() - start_mono_ns_) / 1000000000ull;
+  std::size_t open_sessions = 0;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    open_sessions = sessions_.size();
+  }
+
+  std::string body =
+      "<!DOCTYPE html>\n<html><head><title>qdcbir statusz</title>"
+      "<style>body{font-family:monospace;margin:2em}"
+      "table{border-collapse:collapse}"
+      "td{border:1px solid #ccc;padding:4px 10px}</style></head><body>\n";
+  body += "<h1>qdcbir serve</h1>\n<table>\n";
+  const auto row = [&body](const std::string& key, const std::string& value) {
+    body += "<tr><td>" + key + "</td><td>" + value + "</td></tr>\n";
+  };
+  row("state", ReadinessName(state));
+  if (state == Readiness::kFailed) row("load_error", load_error());
+  row("uptime_seconds", std::to_string(uptime_s));
+  row("started_unix", std::to_string(start_epoch_seconds_));
+  row("open_sessions", std::to_string(open_sessions));
+  row("git", obs::kBuildGitDescribe);
+  row("compiler", obs::kBuildCompiler);
+  row("build_type", obs::kBuildType);
+  row("obs", obs::kBuildObs);
+  row("db", options_.db_path);
+  row("background_profiler",
+      profiler_armed_ ? std::to_string(options_.profile_hz) + " Hz" : "off");
+  body += "</table>\n<h2>endpoints</h2>\n<ul>\n";
+  const auto link = [&body](const char* path, const char* what) {
+    body += std::string("<li><a href=\"") + path + "\">" + path + "</a> — " +
+            what + "</li>\n";
+  };
+  link("/healthz", "process liveness");
+  link("/readyz", "readiness state machine");
+  link("/varz", "build info + metrics snapshot (JSON)");
+  link("/metrics", "Prometheus exposition incl. process_* families");
+  link("/queryz", "audit ring of completed sessions (JSON)");
+  link("/tracez", "sampled and slow span trees (JSON)");
+  link("/logz", "structured log ring (JSON)");
+  link("/profilez?seconds=2", "span-attributed CPU profile (collapsed)");
+  link("/profilez?seconds=2&amp;format=json", "CPU profile (JSON aggregate)");
+  body +=
+      "</ul>\n<p>POST /api/query opens a session; POST /api/feedback "
+      "drives and finalizes it.</p>\n</body></html>\n";
+  return obs::HttpResponse{200, "text/html; charset=utf-8", std::move(body)};
+}
+
+obs::HttpResponse ServeApp::HandleProfilez(const obs::HttpRequest& request) {
+  double seconds = QueryParamDouble(request.query, "seconds", 2.0);
+  if (seconds < 0.05) seconds = 0.05;
+  if (seconds > 30.0) seconds = 30.0;
+  const int hz = static_cast<int>(
+      QueryParamDouble(request.query, "hz", obs::ProfilerOptions{}.hz));
+  std::string format = QueryParam(request.query, "format");
+  if (format.empty()) format = "collapsed";
+  if (format != "collapsed" && format != "json") {
+    return JsonError(400, "format must be \"collapsed\" or \"json\"");
+  }
+
+  // One capture window at a time; a concurrent request would fight over
+  // profiler Start/Stop ownership.
+  if (profilez_busy_.exchange(true, std::memory_order_acquire)) {
+    return JsonError(409, "profile capture already in progress");
+  }
+  struct BusyReset {
+    std::atomic<bool>& flag;
+    ~BusyReset() { flag.store(false, std::memory_order_release); }
+  } busy_reset{profilez_busy_};
+
+  // With the background profiler armed the window is a zero-setup slice of
+  // the continuous stream (the `hz` parameter is ignored); otherwise this
+  // request starts its own capture and stops it afterwards.
+  obs::Profiler& profiler = obs::Profiler::Global();
+  const bool own_capture = !profiler.running();
+  if (own_capture) {
+    obs::ProfilerOptions profiler_options;
+    profiler_options.hz = hz;
+    std::string error;
+    if (!profiler.Start(profiler_options, &error)) {
+      return JsonError(501, "profiler unavailable: " + error);
+    }
+  }
+  const std::uint64_t cursor = profiler.SampleCursor();
+  // Deliberately blocks this connection lane for the window; the other
+  // http_threads lanes keep serving.
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<long>(seconds * 1000.0)));
+  const std::vector<obs::ProfileSample> samples =
+      profiler.CollectSince(cursor);
+  const int effective_hz = profiler.hz();
+  const std::uint64_t dropped = profiler.dropped();
+  if (own_capture) profiler.Stop();
+
+  if (format == "json") {
+    return obs::HttpResponse{
+        200, kJsonType,
+        obs::Profiler::RenderJson(samples, effective_hz, seconds, dropped)};
+  }
+  return obs::HttpResponse{200, "text/plain; charset=utf-8",
+                           obs::Profiler::RenderCollapsed(samples)};
 }
 
 }  // namespace serve

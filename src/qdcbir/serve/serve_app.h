@@ -14,6 +14,7 @@
 #include "qdcbir/core/thread_pool.h"
 #include "qdcbir/dataset/database.h"
 #include "qdcbir/obs/http_server.h"
+#include "qdcbir/obs/resource_stats.h"
 #include "qdcbir/obs/trace_context.h"
 #include "qdcbir/query/qd_engine.h"
 #include "qdcbir/rfs/rfs_tree.h"
@@ -62,6 +63,13 @@ struct ServeOptions {
   /// keep/drop decision is retroactive at session completion). 0 keeps
   /// every session; negative disables the trigger.
   double slow_trace_ms = 250.0;
+  /// Always-on background profiler rate (Hz). 0 (the default) leaves the
+  /// sampling profiler disarmed until a `/profilez` request starts its own
+  /// capture window; positive values arm it for the server's lifetime at
+  /// that rate so `/profilez` windows cut zero-setup slices out of the
+  /// continuous stream. `Profiler::kBackgroundHz` is the recommended
+  /// low-overhead rate.
+  int profile_hz = 0;
   /// Pool for snapshot loading and localized subqueries; nullptr means
   /// `ThreadPool::Global()`.
   ThreadPool* pool = nullptr;
@@ -74,11 +82,15 @@ struct ServeOptions {
 /// Endpoints:
 ///   GET  /healthz       process liveness (always 200)
 ///   GET  /readyz        readiness state machine (200 only when serving)
+///   GET  /statusz       human landing page: build, uptime, endpoint links
 ///   GET  /varz          build info + metrics registry snapshot
-///   GET  /metrics       Prometheus text exposition (with trace exemplars)
+///   GET  /metrics       Prometheus text exposition (with trace exemplars
+///                       and standard process_* families)
 ///   GET  /queryz        audit ring of recently completed sessions
 ///   GET  /tracez        recent sampled and slow span trees
 ///   GET  /logz          structured log ring
+///   GET  /profilez      span-attributed CPU profile capture
+///                       (?seconds=N&hz=N&format=collapsed|json)
 ///   POST /api/query     open a session, returns the first display
 ///   POST /api/feedback  mark relevant images; optionally finalize
 ///
@@ -128,6 +140,11 @@ class ServeApp {
     /// open). Carries the span-tree buffer while recording is active.
     obs::TraceContext trace;
     bool head_sampled = false;
+    /// Per-session resource accounting sink: every request handler installs
+    /// it around the engine calls, so pool workers executing subqueries
+    /// merge their physical-work deltas here. Snapshotted into the /queryz
+    /// record and the serve.session.* histograms at finalize.
+    obs::ResourceAccumulator resources;
   };
 
   void LoadInBackground();
@@ -135,6 +152,8 @@ class ServeApp {
 
   obs::HttpResponse HandleApiQuery(const obs::HttpRequest& request);
   obs::HttpResponse HandleApiFeedback(const obs::HttpRequest& request);
+  obs::HttpResponse HandleStatusz(const obs::HttpRequest& request);
+  obs::HttpResponse HandleProfilez(const obs::HttpRequest& request);
 
   ThreadPool& QueryPool() const {
     return options_.pool != nullptr ? *options_.pool : ThreadPool::Global();
@@ -164,6 +183,17 @@ class ServeApp {
   /// Sessions ever opened, for head sampling (every Nth); under
   /// `sessions_mu_`.
   std::uint64_t sessions_opened_ = 0;
+
+  /// Start instants for /statusz uptime (wall seconds for display,
+  /// monotonic for arithmetic). Set once in `Start`.
+  std::uint64_t start_epoch_seconds_ = 0;
+  std::uint64_t start_mono_ns_ = 0;
+  /// Single-flight guard: one /profilez capture window at a time (a second
+  /// concurrent request answers 409 instead of fighting over Start/Stop).
+  std::atomic<bool> profilez_busy_{false};
+  /// True when `Start` armed the background profiler (so `Stop` disarms
+  /// exactly what it armed, leaving externally-started captures alone).
+  bool profiler_armed_ = false;
 };
 
 }  // namespace serve

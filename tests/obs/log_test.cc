@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "qdcbir/obs/metrics.h"
 #include "qdcbir/obs/trace_context.h"
 #include "qdcbir/serve/json_mini.h"
 
@@ -81,6 +82,23 @@ TEST(LogTest, CallSiteRateLimitsAndReportsSuppression) {
   EXPECT_LT(entries.size(), 100u);
   EXPECT_LE(entries.size(),
             static_cast<std::size_t>(LogCallSite::kBurst) + 2);
+}
+
+TEST(LogTest, SuppressionIncrementsDroppedCounter) {
+  LogRing& ring = LogRing::Global();
+  ring.Clear();
+  Counter& dropped = MetricsRegistry::Global().GetCounter("log.dropped");
+  const std::uint64_t before = dropped.Value();
+  for (int i = 0; i < 100; ++i) {
+    QDCBIR_LOG(LogLevel::kDebug, "counter spam " + std::to_string(i));
+  }
+  // At most kBurst (plus refill slack) of the 100 writes were admitted;
+  // every suppressed one must also land in the scrape-visible log.dropped
+  // counter, not just the per-site tally /logz shows.
+  const std::uint64_t suppressed = dropped.Value() - before;
+  EXPECT_GE(suppressed,
+            100u - static_cast<std::uint64_t>(LogCallSite::kBurst) - 2);
+  EXPECT_LT(suppressed, 100u);
 }
 
 TEST(LogTest, RenderJsonParsesAndExposesEntries) {

@@ -1,0 +1,91 @@
+#include "qdcbir/obs/process_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qdcbir/obs/metrics.h"
+#include "qdcbir/obs/prom_export.h"
+
+namespace qdcbir {
+namespace obs {
+namespace {
+
+TEST(ProcessStatsTest, ReadsPlausibleValuesFromProcfs) {
+#if !defined(__linux__)
+  GTEST_SKIP() << "procfs is Linux-only";
+#else
+  const ProcessStats stats = ReadProcessStats();
+  ASSERT_TRUE(stats.valid);
+  EXPECT_GT(stats.resident_bytes, 0u);
+  EXPECT_GE(stats.virtual_bytes, stats.resident_bytes);
+  EXPECT_GE(stats.open_fds, 3u);  // stdin/stdout/stderr at minimum
+  EXPECT_GE(stats.num_threads, 1u);
+  EXPECT_GE(stats.cpu_user_seconds, 0.0);
+  EXPECT_GE(stats.cpu_system_seconds, 0.0);
+  // Started after 2020-01-01, before the far future.
+  EXPECT_GT(stats.start_time_unix_seconds, 1577836800.0);
+  EXPECT_LT(stats.start_time_unix_seconds, 4102444800.0);
+#endif
+}
+
+TEST(ProcessStatsTest, RenderIsValidPrometheusExposition) {
+  ProcessStats stats;
+  stats.valid = true;
+  stats.cpu_user_seconds = 1.25;
+  stats.cpu_system_seconds = 0.5;
+  stats.resident_bytes = 123 << 20;
+  stats.virtual_bytes = 456 << 20;
+  stats.open_fds = 17;
+  stats.num_threads = 9;
+  stats.start_time_unix_seconds = 1700000000.0;
+  const std::string text = RenderProcessMetricsText(stats);
+  std::string error;
+  std::map<std::string, double> samples;
+  std::vector<std::string> exemplars;
+  ASSERT_TRUE(ValidatePrometheusText(text, &error, &samples, &exemplars))
+      << error << "\n" << text;
+  EXPECT_DOUBLE_EQ(samples.at("process_cpu_seconds_total"), 1.75);
+  EXPECT_DOUBLE_EQ(samples.at("process_resident_memory_bytes"),
+                   static_cast<double>(123 << 20));
+  EXPECT_DOUBLE_EQ(samples.at("process_virtual_memory_bytes"),
+                   static_cast<double>(456 << 20));
+  EXPECT_DOUBLE_EQ(samples.at("process_open_fds"), 17.0);
+  EXPECT_DOUBLE_EQ(samples.at("process_threads"), 9.0);
+  EXPECT_DOUBLE_EQ(samples.at("process_start_time_seconds"), 1700000000.0);
+}
+
+TEST(ProcessStatsTest, InvalidStatsRenderEmpty) {
+  ProcessStats stats;
+  stats.valid = false;
+  EXPECT_EQ(RenderProcessMetricsText(stats), "");
+}
+
+TEST(ProcessStatsTest, AppendedAfterRegistryExpositionStaysValid) {
+  // The /metrics handler concatenates the registry exposition and the
+  // process block; the combined document must satisfy the same validator
+  // the CI gate runs (no duplicate or interleaved families).
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("process.stats.test.counter",
+                      "ensures the registry half is non-empty")
+      .Add(1);
+  const ProcessStats stats = ReadProcessStats();
+  std::string text = RenderPrometheusText(registry);
+  text += RenderProcessMetricsText(stats);
+  std::string error;
+  std::map<std::string, double> samples;
+  std::vector<std::string> exemplars;
+  ASSERT_TRUE(ValidatePrometheusText(text, &error, &samples, &exemplars))
+      << error;
+  EXPECT_TRUE(samples.count("qdcbir_process_stats_test_counter"));
+  if (stats.valid) {
+    EXPECT_TRUE(samples.count("process_cpu_seconds_total"));
+    EXPECT_TRUE(samples.count("process_start_time_seconds"));
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace qdcbir

@@ -243,9 +243,27 @@ TEST_F(ServeAppTest, FullFeedbackSessionOverHttp) {
   ASSERT_NE(stats, nullptr);
   EXPECT_GT(stats->U64Field("subqueries", 0), 0u);
 
-  // The finalized session reaches the /queryz audit ring...
-  EXPECT_NE(BodyOf(Get(app.port(), "/queryz")).find("serve-test"),
-            std::string::npos);
+  // The finalized session reaches the /queryz audit ring, carrying the
+  // per-session resource accounting gathered across the pool workers.
+  const std::string queryz_body = BodyOf(Get(app.port(), "/queryz"));
+  EXPECT_NE(queryz_body.find("serve-test"), std::string::npos);
+  {
+    StatusOr<JsonValue> queryz = ParseJson(queryz_body);
+    ASSERT_TRUE(queryz.ok()) << queryz_body;
+    const JsonValue* records = queryz->Find("records");
+    ASSERT_NE(records, nullptr);
+    const JsonValue* ours = nullptr;
+    for (const JsonValue& record : records->items) {
+      const JsonValue* label = record.Find("label");
+      if (label != nullptr && label->string == "serve-test") ours = &record;
+    }
+    ASSERT_NE(ours, nullptr) << queryz_body;
+    // Three engine calls (Start + 2×Feedback/Finalize) must have scanned
+    // features and descended the tree.
+    EXPECT_GT(ours->U64Field("distance_evals", 0), 0u);
+    EXPECT_GT(ours->U64Field("feature_bytes", 0), 0u);
+    EXPECT_GT(ours->U64Field("leaves_visited", 0), 0u);
+  }
   // ...the session is gone, so further feedback answers 404...
   EXPECT_NE(Post(app.port(), "/api/feedback",
                  "{\"session\":" + std::to_string(session_id) + "}")
@@ -258,8 +276,55 @@ TEST_F(ServeAppTest, FullFeedbackSessionOverHttp) {
   ASSERT_TRUE(obs::ValidatePrometheusText(metrics, &prom_error, &samples))
       << prom_error;
   EXPECT_GE(samples["qdcbir_serve_http_requests"], 5.0);
+  // The serve.session.* resource family recorded the finalized session.
+  EXPECT_GE(samples["qdcbir_serve_session_distance_evals_count"], 1.0);
+  EXPECT_GE(samples["qdcbir_serve_session_feature_bytes_count"], 1.0);
+#if defined(__linux__)
+  // The standard process_* block is appended after the registry families.
+  EXPECT_GT(samples["process_cpu_seconds_total"], 0.0);
+  EXPECT_GT(samples["process_resident_memory_bytes"], 0.0);
+#endif
   EXPECT_NE(BodyOf(Get(app.port(), "/varz")).find("\"counters\""),
             std::string::npos);
+
+  // /statusz is a human landing page linking every admin surface.
+  const std::string statusz = Get(app.port(), "/statusz");
+  EXPECT_NE(statusz.find("200 OK"), std::string::npos);
+  EXPECT_NE(statusz.find("serving"), std::string::npos);
+  EXPECT_NE(statusz.find("/profilez"), std::string::npos);
+  EXPECT_NE(statusz.find("/queryz"), std::string::npos);
+  EXPECT_NE(statusz.find("uptime_seconds"), std::string::npos);
+
+  app.Stop();
+}
+
+TEST_F(ServeAppTest, ProfilezCapturesAndValidatesFormats) {
+  ThreadPool pool(2);
+  ServeOptions options;
+  options.db_path = *db_path_;
+  options.pool = &pool;
+  ServeApp app(std::move(options));
+  std::string error;
+  ASSERT_TRUE(app.Start(&error)) << error;
+  ASSERT_TRUE(app.WaitUntilReady(30000)) << app.load_error();
+
+  const std::string bad = Get(app.port(), "/profilez?format=xml");
+  EXPECT_NE(bad.find("400"), std::string::npos);
+
+#if defined(__linux__)
+  const std::string response =
+      Get(app.port(), "/profilez?seconds=0.05&hz=199&format=json");
+  ASSERT_NE(response.find("200 OK"), std::string::npos) << response;
+  StatusOr<JsonValue> profile = ParseJson(BodyOf(response));
+  ASSERT_TRUE(profile.ok()) << BodyOf(response);
+  EXPECT_EQ(profile->U64Field("hz", 0), 199u);
+  EXPECT_NE(profile->Find("spans"), nullptr);
+  EXPECT_NE(profile->Find("stacks"), nullptr);
+  // The window owned its capture, so the profiler is disarmed again and a
+  // second (collapsed) window succeeds.
+  const std::string collapsed = Get(app.port(), "/profilez?seconds=0.05");
+  EXPECT_NE(collapsed.find("200 OK"), std::string::npos);
+#endif
 
   app.Stop();
 }

@@ -31,12 +31,19 @@
 //       the file in place so CI can prove corruption cannot pass --verify.
 //   qdcbir_tool serve  --db=db.bin [--rfs=rfs.bin] [--address=127.0.0.1]
 //                      [--port=0] [--port-file=PATH] [--threads=N]
-//                      [--max-seconds=0]
-//       Start the admin/serving HTTP endpoint: /healthz /readyz /varz
-//       /metrics /queryz plus /api/query and /api/feedback for driving
-//       relevance-feedback sessions over the wire. --port=0 binds an
-//       ephemeral port (written to --port-file for scripts). Runs until
-//       SIGINT/SIGTERM, or --max-seconds if positive.
+//                      [--max-seconds=0] [--profile-hz=0]
+//       Start the admin/serving HTTP endpoint: /healthz /readyz /statusz
+//       /varz /metrics /queryz /tracez /logz /profilez plus /api/query and
+//       /api/feedback for driving relevance-feedback sessions over the
+//       wire. --port=0 binds an ephemeral port (written to --port-file for
+//       scripts). --profile-hz arms the always-on background sampling
+//       profiler (bare --profile-hz picks the low default rate). Runs
+//       until SIGINT/SIGTERM, or --max-seconds if positive.
+//   qdcbir_tool profile --db=db.bin --rfs=rfs.bin [--seconds=5] [--hz=99]
+//                      [--format=collapsed|json] [--out=PATH] [--query=..]
+//       Drive simulated relevance-feedback sessions under the sampling
+//       profiler and write a span-attributed CPU profile (collapsed stacks
+//       by default, ready for flamegraph.pl — see docs/profiling.md).
 
 #include <chrono>
 #include <csignal>
@@ -467,6 +474,103 @@ int CmdSnapshot(int argc, char** argv) {
   return 0;
 }
 
+int CmdProfile(int argc, char** argv) {
+  const std::string db_path = Flag(argc, argv, "db", "db.bin");
+  const std::string rfs_path = Flag(argc, argv, "rfs", "rfs.bin");
+  const double seconds = DoubleFlag(argc, argv, "seconds", 5.0);
+  const int hz = static_cast<int>(IntFlag(argc, argv, "hz", 99));
+  const std::string format = Flag(argc, argv, "format", "collapsed");
+  const std::string out_path = Flag(argc, argv, "out", "");
+  const std::string only_query = Flag(argc, argv, "query", "");
+  if (format != "collapsed" && format != "json") {
+    std::fprintf(stderr, "--format must be collapsed or json\n");
+    return 1;
+  }
+
+  StatusOr<ImageDatabase> db = DatabaseIo::LoadDatabase(db_path);
+  if (!db.ok()) return Fail(db.status());
+  StatusOr<RfsTree> rfs = RfsSerializer::LoadFromFile(rfs_path);
+  if (!rfs.ok()) return Fail(rfs.status());
+
+  // The workload: full simulated RF sessions cycling through the catalog's
+  // evaluation queries, so the profile covers the real engine phases
+  // (qd.start, qd.feedback, qd.finalize and everything under them).
+  std::vector<QueryGroundTruth> gts;
+  for (const QueryConceptSpec& spec : db->catalog().queries()) {
+    if (!only_query.empty() && spec.name != only_query) continue;
+    StatusOr<QueryGroundTruth> gt = BuildGroundTruth(*db, spec);
+    if (gt.ok()) gts.push_back(std::move(*gt));
+  }
+  if (gts.empty()) {
+    std::fprintf(stderr, "no ground-truth queries to drive (bad --query?)\n");
+    return 1;
+  }
+
+  obs::Profiler::RegisterCurrentThread();
+  obs::ProfilerOptions profiler_options;
+  profiler_options.hz = hz;
+  std::string error;
+  if (!obs::Profiler::Global().Start(profiler_options, &error)) {
+    std::fprintf(stderr, "profiler unavailable: %s\n", error.c_str());
+    return 1;
+  }
+  const std::uint64_t cursor = obs::Profiler::Global().SampleCursor();
+
+  WallTimer timer;
+  std::size_t sessions = 0;
+  std::size_t attempts = 0;
+  std::size_t skipped = 0;
+  std::uint64_t seed = 1;
+  while (timer.Seconds() < seconds) {
+    ProtocolOptions protocol;
+    protocol.seed = seed++;
+    QdOptions qd_options;
+    const StatusOr<RunOutcome> outcome =
+        SessionRunner::RunQd(*rfs, gts[attempts % gts.size()], qd_options,
+                             protocol);
+    ++attempts;
+    if (!outcome.ok()) {
+      // Some catalog queries yield no relevant picks on small corpora
+      // (FailedPrecondition); skip those rather than abort the profile —
+      // unless no query at all can drive a session.
+      ++skipped;
+      if (sessions == 0 && skipped >= gts.size()) {
+        obs::Profiler::Global().Stop();
+        return Fail(outcome.status());
+      }
+      continue;
+    }
+    ++sessions;
+  }
+
+  const std::vector<obs::ProfileSample> samples =
+      obs::Profiler::Global().CollectSince(cursor);
+  const std::uint64_t dropped = obs::Profiler::Global().dropped();
+  obs::Profiler::Global().Stop();
+
+  const std::string rendered =
+      format == "json"
+          ? obs::Profiler::RenderJson(samples, hz, timer.Seconds(), dropped)
+          : obs::Profiler::RenderCollapsed(samples);
+  if (out_path.empty()) {
+    std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  } else {
+    std::ofstream out(out_path, std::ios::binary);
+    out << rendered;
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr,
+               "profiled %zu sessions (%zu skipped) in %.1f s at %d Hz:"
+               " %zu samples (%llu dropped)%s%s\n",
+               sessions, skipped, timer.Seconds(), hz, samples.size(),
+               static_cast<unsigned long long>(dropped),
+               out_path.empty() ? "" : " -> ", out_path.c_str());
+  return 0;
+}
+
 volatile std::sig_atomic_t g_serve_stop = 0;
 
 void HandleStopSignal(int) { g_serve_stop = 1; }
@@ -485,6 +589,13 @@ int CmdServe(int argc, char** argv) {
               static_cast<std::int64_t>(options.trace_sample_every)));
   options.slow_trace_ms =
       DoubleFlag(argc, argv, "slow-trace-ms", options.slow_trace_ms);
+  options.profile_hz = static_cast<int>(IntFlag(argc, argv, "profile-hz", 0));
+  for (int i = 2; i < argc; ++i) {
+    // Bare --profile-hz (no value) means "on at the low background rate".
+    if (std::strcmp(argv[i], "--profile-hz") == 0) {
+      options.profile_hz = obs::Profiler::kBackgroundHz;
+    }
+  }
   const std::string port_file = Flag(argc, argv, "port-file", "");
   const std::int64_t max_seconds = IntFlag(argc, argv, "max-seconds", 0);
 
@@ -533,14 +644,18 @@ int Usage() {
   std::fprintf(stderr,
                "usage: qdcbir_tool "
                "<synth|rfs|info|query|render|catalog|export-reps|snapshot"
-               "|serve> [--flags]\n"
+               "|serve|profile> [--flags]\n"
                "snapshot flags: --db=<path> [--verify=1] [--threads=N]\n"
                "                [--flip-bit=OFFSET] [--truncate=BYTES]  "
                "(chaos helpers: corrupt in place)\n"
                "serve flags:    --db=<path> [--rfs=<path>] [--port=0]\n"
                "                [--port-file=<path>] [--max-seconds=0]\n"
                "                [--trace-sample-every=8] "
-               "[--slow-trace-ms=250]\n"
+               "[--slow-trace-ms=250] [--profile-hz=0]\n"
+               "profile flags:  --db=<path> --rfs=<path> [--seconds=5] "
+               "[--hz=99]\n"
+               "                [--format=collapsed|json] [--out=<path>] "
+               "[--query=<name>]\n"
                "run with a command and no flags to see its defaults\n"
                "qdcbir_tool --version prints build info as JSON\n"
                "global flags: --metrics-json=<path>  dump the metrics "
@@ -562,6 +677,7 @@ int Dispatch(int argc, char** argv, const std::string& command) {
   if (command == "export-reps") return CmdExportReps(argc, argv);
   if (command == "snapshot") return CmdSnapshot(argc, argv);
   if (command == "serve") return CmdServe(argc, argv);
+  if (command == "profile") return CmdProfile(argc, argv);
   return Usage();
 }
 

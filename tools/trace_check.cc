@@ -20,10 +20,23 @@
 // minimum value after a colon. With --prom it matches exposition sample
 // names (qdcbir_dist_block_batch); with only --metrics it matches the
 // registry's dotted counter names in the JSON snapshot (dist.block.batch).
+//
+//   trace_check --profile=<profile.collapsed>
+//               [--require-profile-samples=N]
+//               [--require-profile-span=<prefix>[:min]]...
+//
+// The profile file must be flamegraph collapsed-stack text: one
+// `frame;frame;...;frame count` line per distinct stack, positive integer
+// counts. --require-profile-samples gates the total sample count;
+// each --require-profile-span requires at least min (default 1) samples
+// whose root frame — the span the profiler attributed the sample to —
+// starts with the given prefix ("qd." matches every engine-phase span).
 // Exit code 0 means all checks passed; diagnostics go to stderr. CI runs
 // this against the bench_micro and serve-smoke artifacts so a
-// silently-broken exporter fails the build.
+// silently-broken exporter (or a profiler that stopped attributing
+// samples) fails the build.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -126,22 +139,79 @@ bool CheckRequiredMetric(const std::string& spec,
   return true;
 }
 
+/// One parsed collapsed-stack line: the root (span) frame and the count.
+struct CollapsedStack {
+  std::string root;
+  std::uint64_t count = 0;
+};
+
+/// Parses flamegraph collapsed-stack text. Returns false (with a
+/// diagnostic in `*error`) on structurally broken lines: no space-separated
+/// trailing count, a non-positive count, or an empty stack.
+bool ParseCollapsed(const std::string& text,
+                    std::vector<CollapsedStack>* out, std::string* error) {
+  std::size_t line_no = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0 ||
+        space + 1 >= line.size()) {
+      *error = "line " + std::to_string(line_no) +
+               ": expected 'stack count'";
+      return false;
+    }
+    char* end = nullptr;
+    const unsigned long long count =
+        std::strtoull(line.c_str() + space + 1, &end, 10);
+    if (count == 0 || end != line.c_str() + line.size()) {
+      *error = "line " + std::to_string(line_no) +
+               ": count must be a positive integer";
+      return false;
+    }
+    CollapsedStack stack;
+    const std::size_t semi = line.find(';');
+    stack.root = line.substr(0, semi == std::string::npos || semi > space
+                                    ? space
+                                    : semi);
+    if (stack.root.empty()) {
+      *error = "line " + std::to_string(line_no) + ": empty root frame";
+      return false;
+    }
+    stack.count = count;
+    out->push_back(std::move(stack));
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string trace_path = Flag(argc, argv, "trace");
   const std::string metrics_path = Flag(argc, argv, "metrics");
   const std::string prom_path = Flag(argc, argv, "prom");
+  const std::string profile_path = Flag(argc, argv, "profile");
   const std::vector<std::string> required = FlagList(argc, argv,
                                                      "require-span");
   const std::vector<std::string> required_metrics =
       FlagList(argc, argv, "require-metric");
-  if (trace_path.empty() && metrics_path.empty() && prom_path.empty()) {
+  const std::string required_samples_spec =
+      Flag(argc, argv, "require-profile-samples");
+  const std::vector<std::string> required_profile_spans =
+      FlagList(argc, argv, "require-profile-span");
+  if (trace_path.empty() && metrics_path.empty() && prom_path.empty() &&
+      profile_path.empty()) {
     std::fprintf(stderr,
                  "usage: trace_check --trace=<file>"
                  " [--require-span=<name>[:min_count]]\n"
                  "                   [--metrics=<file>] [--prom=<file>]"
-                 " [--require-metric=<name>[:min]]\n");
+                 " [--require-metric=<name>[:min]]\n"
+                 "                   [--profile=<collapsed file>]"
+                 " [--require-profile-samples=N]\n"
+                 "                   "
+                 "[--require-profile-span=<prefix>[:min]]\n");
     return 1;
   }
   if (!required_metrics.empty() && prom_path.empty() &&
@@ -250,6 +320,63 @@ int main(int argc, char** argv) {
                 prom_path.c_str(), samples.size(), exemplar_trace_ids.size());
     for (const std::string& spec : required_metrics) {
       if (!CheckRequiredMetric(spec, samples, "prom exposition")) return 1;
+    }
+  }
+
+  if (!profile_path.empty()) {
+    std::string text;
+    if (!ReadFile(profile_path, &text)) {
+      std::fprintf(stderr, "cannot read profile file: %s\n",
+                   profile_path.c_str());
+      return 1;
+    }
+    std::vector<CollapsedStack> stacks;
+    std::string error;
+    if (!ParseCollapsed(text, &stacks, &error)) {
+      std::fprintf(stderr, "invalid collapsed profile %s: %s\n",
+                   profile_path.c_str(), error.c_str());
+      return 1;
+    }
+    std::uint64_t total = 0;
+    for (const CollapsedStack& stack : stacks) total += stack.count;
+    std::printf("profile ok: %s (%zu stacks, %llu samples)\n",
+                profile_path.c_str(), stacks.size(),
+                static_cast<unsigned long long>(total));
+    if (!required_samples_spec.empty()) {
+      const unsigned long long min_samples =
+          std::strtoull(required_samples_spec.c_str(), nullptr, 10);
+      if (total < min_samples) {
+        std::fprintf(stderr,
+                     "profile has %llu samples, need >= %llu\n",
+                     static_cast<unsigned long long>(total), min_samples);
+        return 1;
+      }
+      std::printf("  samples %llu (>= %llu)\n",
+                  static_cast<unsigned long long>(total), min_samples);
+    }
+    for (const std::string& spec : required_profile_spans) {
+      std::string prefix = spec;
+      std::uint64_t min_count = 1;
+      const std::size_t colon = spec.rfind(':');
+      if (colon != std::string::npos) {
+        prefix = spec.substr(0, colon);
+        min_count = std::strtoull(spec.c_str() + colon + 1, nullptr, 10);
+        if (min_count == 0) min_count = 1;
+      }
+      std::uint64_t count = 0;
+      for (const CollapsedStack& stack : stacks) {
+        if (stack.root.rfind(prefix, 0) == 0) count += stack.count;
+      }
+      if (count < min_count) {
+        std::fprintf(stderr,
+                     "profile span prefix %s: %llu sample(s), need >= %llu\n",
+                     prefix.c_str(), static_cast<unsigned long long>(count),
+                     static_cast<unsigned long long>(min_count));
+        return 1;
+      }
+      std::printf("  profile span %-26s x%llu (>= %llu)\n", prefix.c_str(),
+                  static_cast<unsigned long long>(count),
+                  static_cast<unsigned long long>(min_count));
     }
   }
   return 0;
