@@ -17,6 +17,7 @@
 #include "qdcbir/obs/profiler.h"
 #include "qdcbir/obs/trace.h"
 
+#include "qdcbir/cache/cache_manager.h"
 #include "qdcbir/cluster/kmeans.h"
 #include "qdcbir/core/distance.h"
 #include "qdcbir/core/distance_kernels.h"
@@ -320,6 +321,50 @@ BENCHMARK(BM_QdLocalizedSubqueries_Threads)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// The repeat-scan payoff of the result cache: the same scripted session
+/// finalized over and over, uncached (arg 0) vs through a CacheManager
+/// (arg 1). With the cache the first iteration computes and inserts; every
+/// later one serves the finalized top-k (and, beneath it, the per-leaf
+/// scans) from memory. Rankings are byte-identical either way — the
+/// speedup is the whole point, and the cache hit/miss counters land in the
+/// exported metrics snapshot ($QDCBIR_METRICS_JSON / the bench "obs" key).
+void BM_QdFinalizeRepeat_Cache(benchmark::State& state) {
+  const RfsTree& rfs = SweepRfs();
+  ThreadPool pool(4);
+  cache::CacheManager::Options cache_options;
+  cache_options.budget_bytes = 64ull << 20;
+  cache::CacheManager cache_manager(cache_options);
+  QdOptions options;
+  options.seed = 42;
+  options.display_size = 40;
+  options.pool = &pool;
+  options.cache = state.range(0) != 0 ? &cache_manager : nullptr;
+  QdSession session(&rfs, options);
+  auto display = session.Start();
+  for (int round = 0; round < 3; ++round) {
+    std::vector<ImageId> picks;
+    for (const DisplayGroup& group : display) {
+      picks.insert(picks.end(), group.images.begin(), group.images.end());
+    }
+    auto next = session.Feedback(picks);
+    if (!next.ok()) break;
+    display = std::move(next).value();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.Finalize(200));
+  }
+  const cache::CacheStats cache_stats = cache_manager.TotalStats();
+  state.counters["cache_hits"] = static_cast<double>(cache_stats.hits);
+  state.counters["cache_misses"] = static_cast<double>(cache_stats.misses);
+  state.counters["cache_bytes"] =
+      static_cast<double>(cache_stats.bytes_used);
+}
+BENCHMARK(BM_QdFinalizeRepeat_Cache)
+    ->Arg(0)
+    ->Arg(1)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -78,6 +78,8 @@ void RecordAudit(std::string_view engine, const QueryGroundTruth& gt,
   record.tiles_gathered = usage.tiles_gathered;
   record.container_allocs = usage.container_allocs;
   record.alloc_bytes = usage.alloc_bytes;
+  record.cache_hits = usage.cache_hits;
+  record.cache_misses = usage.cache_misses;
   // Batch runs carry a trace id too when the caller installed one (the
   // serve layer always does; CLI runs leave it zero → rendered as "").
   const obs::TraceContext& trace = obs::CurrentTraceContext();

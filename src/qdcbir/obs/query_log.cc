@@ -173,6 +173,8 @@ std::string QueryLog::RenderJson() const {
     AppendField(&out, "tiles_gathered", record.tiles_gathered, &first);
     AppendField(&out, "container_allocs", record.container_allocs, &first);
     AppendField(&out, "alloc_bytes", record.alloc_bytes, &first);
+    AppendField(&out, "cache_hits", record.cache_hits, &first);
+    AppendField(&out, "cache_misses", record.cache_misses, &first);
     out += ",\"trace\":";
     AppendJsonString(&out, record.trace_hex());
     out.push_back('}');

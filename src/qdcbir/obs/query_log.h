@@ -52,6 +52,10 @@ struct QueryAuditRecord {
   std::uint64_t tiles_gathered = 0;
   std::uint64_t container_allocs = 0;
   std::uint64_t alloc_bytes = 0;
+  /// Cache traffic of the session (src/qdcbir/cache/): lookups served from
+  /// memory vs. computed. Zero on both when the session ran uncached.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
 
   void set_engine(std::string_view name);
   void set_label(std::string_view name);

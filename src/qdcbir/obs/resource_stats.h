@@ -20,6 +20,11 @@ struct ResourceUsage {
   std::uint64_t tiles_gathered = 0;   ///< blocked-layout gather tiles built
   std::uint64_t container_allocs = 0; ///< hot-container allocations
   std::uint64_t alloc_bytes = 0;      ///< bytes those allocations requested
+  /// Cache traffic (src/qdcbir/cache/): physical-work counters, so a hit
+  /// legitimately *reduces* the other fields relative to a cold run — the
+  /// logical cost model (QdSessionStats) stays identical either way.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
 
   void Add(const ResourceUsage& other) {
     distance_evals += other.distance_evals;
@@ -28,11 +33,13 @@ struct ResourceUsage {
     tiles_gathered += other.tiles_gathered;
     container_allocs += other.container_allocs;
     alloc_bytes += other.alloc_bytes;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
   }
 
   bool IsZero() const {
     return (distance_evals | feature_bytes | leaves_visited | tiles_gathered |
-            container_allocs | alloc_bytes) == 0;
+            container_allocs | alloc_bytes | cache_hits | cache_misses) == 0;
   }
 };
 
@@ -51,6 +58,8 @@ class ResourceAccumulator {
     container_allocs_.fetch_add(usage.container_allocs,
                                 std::memory_order_relaxed);
     alloc_bytes_.fetch_add(usage.alloc_bytes, std::memory_order_relaxed);
+    cache_hits_.fetch_add(usage.cache_hits, std::memory_order_relaxed);
+    cache_misses_.fetch_add(usage.cache_misses, std::memory_order_relaxed);
   }
 
   ResourceUsage Snapshot() const {
@@ -61,6 +70,8 @@ class ResourceAccumulator {
     usage.tiles_gathered = tiles_gathered_.load(std::memory_order_relaxed);
     usage.container_allocs = container_allocs_.load(std::memory_order_relaxed);
     usage.alloc_bytes = alloc_bytes_.load(std::memory_order_relaxed);
+    usage.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+    usage.cache_misses = cache_misses_.load(std::memory_order_relaxed);
     return usage;
   }
 
@@ -71,6 +82,8 @@ class ResourceAccumulator {
   std::atomic<std::uint64_t> tiles_gathered_{0};
   std::atomic<std::uint64_t> container_allocs_{0};
   std::atomic<std::uint64_t> alloc_bytes_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
 };
 
 namespace internal {
@@ -123,6 +136,14 @@ inline void CountContainerAlloc(std::uint64_t bytes) {
     state.local.container_allocs += 1;
     state.local.alloc_bytes += bytes;
   }
+}
+inline void CountCacheHit() {
+  internal::ResourceTls& state = internal::ResourceState();
+  if (state.accumulator != nullptr) state.local.cache_hits += 1;
+}
+inline void CountCacheMiss() {
+  internal::ResourceTls& state = internal::ResourceState();
+  if (state.accumulator != nullptr) state.local.cache_misses += 1;
 }
 
 /// Merges this thread's pending local deltas into the active sink now,

@@ -16,6 +16,10 @@ namespace qdcbir {
 
 class ThreadPool;
 
+namespace cache {
+class CacheManager;
+}  // namespace cache
+
 /// Options of a Query Decomposition session.
 struct QdOptions {
   /// Representative images shown per feedback round (the prototype's result
@@ -39,6 +43,15 @@ struct QdOptions {
   /// byte-identical across pool sizes: subqueries write per-task slots and
   /// the cross-group merge runs sequentially in deterministic order.
   ThreadPool* pool = nullptr;
+  /// Optional result cache for the finalize hot paths (nullptr = uncached).
+  /// Two kinds are used: per-subquery localized-scan rankings (kLeafScan)
+  /// and whole finalized results (kTopK). Cached values are pure functions
+  /// of their keys — search node, query-point/weight bytes, fetch size, k,
+  /// SIMD level — and each entry carries the logical cost-stat deltas it
+  /// replaces, so rankings *and* `QdSessionStats` are byte-identical with
+  /// the cache on or off (docs/caching.md). The caller owns the manager and
+  /// must flush it (`BeginEpoch`) whenever the RFS snapshot changes.
+  cache::CacheManager* cache = nullptr;
 };
 
 /// A group of images displayed for feedback, tagged with the subquery
@@ -141,6 +154,13 @@ class QdSession {
   /// pool; merged into `stats_` afterwards).
   Ranking LocalizedSearch(NodeId node, const FeatureVector& query_point,
                           std::size_t fetch, QdSessionStats* stats) const;
+
+  /// The scan behind `LocalizedSearch`, always computed. `LocalizedSearch`
+  /// consults `options_.cache` first and inserts this result on a miss.
+  Ranking LocalizedSearchUncached(NodeId node,
+                                  const FeatureVector& query_point,
+                                  std::size_t fetch,
+                                  QdSessionStats* stats) const;
 
   /// §3.3: expands `leaf` upward while any of `query_images` lies too close
   /// to the boundary of the current node.

@@ -10,7 +10,9 @@
 #include <utility>
 #include <vector>
 
+#include "qdcbir/cache/cache_manager.h"
 #include "qdcbir/dataset/database_io.h"
+#include "qdcbir/image/ppm_io.h"
 #include "qdcbir/obs/build_info.h"
 #include "qdcbir/obs/clock.h"
 #include "qdcbir/obs/log.h"
@@ -185,6 +187,17 @@ ServeApp::ServeApp(ServeOptions options)
   server_.Handle("/api/feedback", [this](const obs::HttpRequest& request) {
     return HandleApiFeedback(request);
   });
+  server_.Handle("/api/rep", [this](const obs::HttpRequest& request) {
+    return HandleApiRep(request);
+  });
+  server_.Handle("/api/reload", [this](const obs::HttpRequest& request) {
+    return HandleApiReload(request);
+  });
+  if (options_.cache_mb > 0) {
+    cache::CacheManager::Options cache_options;
+    cache_options.budget_bytes = options_.cache_mb << 20;
+    cache_ = std::make_unique<cache::CacheManager>(cache_options);
+  }
 }
 
 ServeApp::~ServeApp() { Stop(); }
@@ -296,9 +309,20 @@ void ServeApp::LoadInBackground() {
 
   db_.emplace(std::move(*db));
   rfs_.emplace(std::move(*rfs));
+  // New corpus ⇒ new cache epoch: entries keyed against the previous
+  // snapshot are flushed, and in-flight computes against it can no longer
+  // insert (their epoch tokens went stale the moment the epoch advanced).
+  const std::uint64_t generation =
+      load_generation_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (cache_ != nullptr) {
+    cache_->BeginEpoch(cache::HashCombine(
+        cache::HashBytes(options_.db_path.data(), options_.db_path.size()),
+        generation));
+  }
   QDCBIR_LOG(obs::LogLevel::kInfo,
              "serving " + std::to_string(db_->size()) + " images from " +
-                 options_.db_path);
+                 options_.db_path + " (load generation " +
+                 std::to_string(generation) + ")");
   SetReadiness(Readiness::kServing);
 }
 
@@ -323,6 +347,7 @@ obs::HttpResponse ServeApp::HandleApiQuery(const obs::HttpRequest& request) {
       body.U64Field("display_size", options_.display_size));
   qd_options.boundary_threshold = options_.boundary_threshold;
   qd_options.pool = &QueryPool();
+  qd_options.cache = cache_.get();
 
   // The session's trace identity: the client's traceparent when one is
   // supplied and well-formed, a fresh id otherwise. A span-tree buffer is
@@ -338,6 +363,14 @@ obs::HttpResponse ServeApp::HandleApiQuery(const obs::HttpRequest& request) {
   std::shared_ptr<Session> session;
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
+    // Re-checked under the lock: /api/reload flips readiness while holding
+    // `sessions_mu_`, so a session is only ever registered — and the
+    // corpus only ever touched past this point — against a snapshot that
+    // stays loaded until the session is erased.
+    if (readiness() != Readiness::kServing) {
+      return JsonError(503, std::string("not ready: ") +
+                                ReadinessName(readiness()));
+    }
     if (sessions_.size() >= options_.max_sessions) {
       return JsonError(429, "too many open sessions");
     }
@@ -513,6 +546,8 @@ obs::HttpResponse ServeApp::HandleApiFeedback(
   record.tiles_gathered = usage.tiles_gathered;
   record.container_allocs = usage.container_allocs;
   record.alloc_bytes = usage.alloc_bytes;
+  record.cache_hits = usage.cache_hits;
+  record.cache_misses = usage.cache_misses;
   obs::QueryLog::Global().Record(record);
 
   // Per-session physical-work distributions, alongside the latency family.
@@ -537,6 +572,10 @@ obs::HttpResponse ServeApp::HandleApiFeedback(
         obs::MetricsRegistry::Global().GetHistogram(
             "serve.session.alloc_bytes",
             "Hot-container bytes allocated per RF session");
+    static obs::Histogram& cache_hits =
+        obs::MetricsRegistry::Global().GetHistogram(
+            "serve.session.cache_hits", "Cache hits per RF session");
+    cache_hits.Record(usage.cache_hits);
     distance_evals.Record(usage.distance_evals);
     feature_bytes.Record(usage.feature_bytes);
     leaves_visited.Record(usage.leaves_visited);
@@ -623,6 +662,86 @@ obs::HttpResponse ServeApp::HandleApiFeedback(
                    session->trace);
 }
 
+obs::HttpResponse ServeApp::HandleApiRep(const obs::HttpRequest& request) {
+  if (request.method != "GET") {
+    return JsonError(405, "GET /api/rep?id=N");
+  }
+  const std::string raw_id = QueryParam(request.query, "id");
+  if (raw_id.empty()) return JsonError(400, "missing \"id\" parameter");
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw_id.c_str(), &end, 10);
+  if (end == raw_id.c_str() || *end != '\0') {
+    return JsonError(400, "\"id\" must be a number");
+  }
+  const ImageId id = static_cast<ImageId>(parsed);
+
+  // The whole render runs under `sessions_mu_`: readiness flips (reload)
+  // happen under the same lock, so observing kServing here pins the corpus
+  // for the duration. Renders are small (one image) and usually cached.
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (readiness() != Readiness::kServing) {
+    return JsonError(503, std::string("not ready: ") +
+                              ReadinessName(readiness()));
+  }
+  if (parsed >= db_->size()) return JsonError(404, "no such image");
+
+  constexpr const char* kPpmType = "image/x-portable-pixmap";
+  cache::CacheKey key;
+  key.kind = cache::CacheKind::kRepresentatives;
+  key.a = id;
+  std::uint64_t token = 0;
+  if (cache_ != nullptr) {
+    if (std::shared_ptr<const std::string> hit =
+            cache_->LookupAs<std::string>(key, &token)) {
+      return obs::HttpResponse{200, kPpmType, *hit};
+    }
+  }
+  std::string ppm = EncodePpm(db_->Render(id));
+  if (cache_ != nullptr) {
+    cache_->InsertAs<std::string>(
+        key, std::make_shared<const std::string>(ppm),
+        sizeof(std::string) + ppm.size(), token);
+  }
+  return obs::HttpResponse{200, kPpmType, std::move(ppm)};
+}
+
+obs::HttpResponse ServeApp::HandleApiReload(const obs::HttpRequest& request) {
+  if (request.method != "POST") {
+    return JsonError(405, "POST to re-load the snapshot");
+  }
+  if (reload_busy_.exchange(true, std::memory_order_acquire)) {
+    return JsonError(409, "reload already in progress");
+  }
+  struct BusyReset {
+    std::atomic<bool>& flag;
+    ~BusyReset() { flag.store(false, std::memory_order_release); }
+  } busy_reset{reload_busy_};
+
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    // Open sessions hold raw pointers into the current corpus; refusing
+    // here (rather than draining) keeps reload semantics simple and safe.
+    if (!sessions_.empty()) {
+      return JsonError(409, std::to_string(sessions_.size()) +
+                                " sessions open; retry when drained");
+    }
+    const Readiness state = readiness();
+    if (state != Readiness::kServing && state != Readiness::kFailed) {
+      return JsonError(409, std::string("load in progress: ") +
+                                ReadinessName(state));
+    }
+    // Flipped under `sessions_mu_`: every corpus-touching handler
+    // re-checks readiness under this lock, so after the flip nothing can
+    // start using db_/rfs_ while the loader below replaces them.
+    SetReadiness(Readiness::kLoadingSnapshot);
+  }
+  if (loader_.joinable()) loader_.join();
+  QDCBIR_LOG(obs::LogLevel::kInfo, "snapshot reload requested");
+  loader_ = std::thread([this] { LoadInBackground(); });
+  return obs::HttpResponse{202, kJsonType,
+                           "{\"status\":\"reloading\"}\n"};
+}
+
 obs::HttpResponse ServeApp::HandleStatusz(const obs::HttpRequest&) {
   const Readiness state = readiness();
   const std::uint64_t uptime_s =
@@ -652,6 +771,16 @@ obs::HttpResponse ServeApp::HandleStatusz(const obs::HttpRequest&) {
   row("build_type", obs::kBuildType);
   row("obs", obs::kBuildObs);
   row("db", options_.db_path);
+  if (cache_ != nullptr) {
+    const cache::CacheStats cache_stats = cache_->TotalStats();
+    row("cache", std::to_string(cache_stats.bytes_used / 1024) + " KiB of " +
+                     std::to_string(cache_->budget_bytes() >> 20) +
+                     " MiB, " + std::to_string(cache_stats.hits) + " hits / " +
+                     std::to_string(cache_stats.misses) + " misses, " +
+                     std::to_string(cache_stats.evictions) + " evictions");
+  } else {
+    row("cache", "off");
+  }
   row("background_profiler",
       profiler_armed_ ? std::to_string(options_.profile_hz) + " Hz" : "off");
   body += "</table>\n<h2>endpoints</h2>\n<ul>\n";
@@ -670,7 +799,9 @@ obs::HttpResponse ServeApp::HandleStatusz(const obs::HttpRequest&) {
   link("/profilez?seconds=2&amp;format=json", "CPU profile (JSON aggregate)");
   body +=
       "</ul>\n<p>POST /api/query opens a session; POST /api/feedback "
-      "drives and finalizes it.</p>\n</body></html>\n";
+      "drives and finalizes it. GET /api/rep?id=N renders a representative "
+      "(cached); POST /api/reload re-loads the snapshot and flushes the "
+      "cache.</p>\n</body></html>\n";
   return obs::HttpResponse{200, "text/html; charset=utf-8", std::move(body)};
 }
 

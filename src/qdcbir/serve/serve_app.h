@@ -11,6 +11,7 @@
 #include <string>
 #include <thread>
 
+#include "qdcbir/cache/cache_manager.h"
 #include "qdcbir/core/thread_pool.h"
 #include "qdcbir/dataset/database.h"
 #include "qdcbir/obs/http_server.h"
@@ -70,6 +71,12 @@ struct ServeOptions {
   /// continuous stream. `Profiler::kBackgroundHz` is the recommended
   /// low-overhead rate.
   int profile_hz = 0;
+  /// Byte budget (in MiB) of the result cache shared by every session:
+  /// localized-scan rankings, finalized top-k results, and rendered
+  /// representative payloads (`/api/rep`). 0 disables caching. The cache is
+  /// flushed (new epoch) on every successful snapshot load, including
+  /// `/api/reload`, so entries never outlive the corpus they came from.
+  std::size_t cache_mb = 64;
   /// Pool for snapshot loading and localized subqueries; nullptr means
   /// `ThreadPool::Global()`.
   ThreadPool* pool = nullptr;
@@ -93,6 +100,9 @@ struct ServeOptions {
 ///                       (?seconds=N&hz=N&format=collapsed|json)
 ///   POST /api/query     open a session, returns the first display
 ///   POST /api/feedback  mark relevant images; optionally finalize
+///   GET  /api/rep?id=N  rendered representative image (PPM, cached)
+///   POST /api/reload    re-load the snapshot; 409 while sessions are open;
+///                       flushes the result cache on success
 ///
 /// Both API endpoints accept a W3C `traceparent` request header. The trace
 /// id given at session open identifies the whole session; every response
@@ -152,6 +162,8 @@ class ServeApp {
 
   obs::HttpResponse HandleApiQuery(const obs::HttpRequest& request);
   obs::HttpResponse HandleApiFeedback(const obs::HttpRequest& request);
+  obs::HttpResponse HandleApiRep(const obs::HttpRequest& request);
+  obs::HttpResponse HandleApiReload(const obs::HttpRequest& request);
   obs::HttpResponse HandleStatusz(const obs::HttpRequest& request);
   obs::HttpResponse HandleProfilez(const obs::HttpRequest& request);
 
@@ -173,9 +185,21 @@ class ServeApp {
   std::string load_error_;
 
   /// Loaded corpus; written by the loader thread before `kServing` is
-  /// published, read-only afterwards.
+  /// published, read-only afterwards. `/api/reload` replaces both — it
+  /// refuses while sessions are open and flips readiness under
+  /// `sessions_mu_` first, so no handler can observe a half-swapped corpus
+  /// (see HandleApiReload).
   std::optional<ImageDatabase> db_;
   std::optional<RfsTree> rfs_;
+
+  /// Result cache shared by every session (null when `cache_mb` is 0).
+  /// Epoch-flushed by the loader on each successful load.
+  std::unique_ptr<cache::CacheManager> cache_;
+  /// Successful loads so far; with the db path it names the snapshot
+  /// identity each cache epoch belongs to. Only the loader thread writes.
+  std::atomic<std::uint64_t> load_generation_{0};
+  /// Single-flight guard for `/api/reload`'s join-and-respawn section.
+  std::atomic<bool> reload_busy_{false};
 
   std::mutex sessions_mu_;
   std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;

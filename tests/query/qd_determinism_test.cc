@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "qdcbir/cache/cache_manager.h"
 #include "qdcbir/core/thread_pool.h"
 #include "qdcbir/dataset/synthesizer.h"
 #include "qdcbir/features/extractor.h"
@@ -44,10 +45,12 @@ class QdDeterminismTest : public ::testing::Test {
 
   /// Drives one scripted QD session: 2 feedback rounds marking the first
   /// two representatives of every display group, then Finalize(k).
-  static QdResult RunScriptedSession(ThreadPool* pool, QdSessionStats* stats) {
+  static QdResult RunScriptedSession(ThreadPool* pool, QdSessionStats* stats,
+                                     cache::CacheManager* cache = nullptr) {
     QdOptions options;
     options.seed = 4242;
     options.pool = pool;
+    options.cache = cache;
     QdSession session(rfs_, options);
     std::vector<DisplayGroup> display = session.Start();
     for (int round = 0; round < 2; ++round) {
@@ -101,6 +104,70 @@ TEST_F(QdDeterminismTest, QdSessionIdenticalAtOneAndEightThreads) {
   EXPECT_EQ(stats1.localized_subqueries, stats8.localized_subqueries);
   EXPECT_EQ(stats1.knn_candidates, stats8.knn_candidates);
   EXPECT_EQ(stats1.knn_nodes_visited, stats8.knn_nodes_visited);
+}
+
+TEST_F(QdDeterminismTest, QdSessionIdenticalWithCacheOnAndOffAcrossThreads) {
+  // The cache must be invisible in the output: the scripted session run
+  // through a shared CacheManager — cold on the first pass, served from
+  // cache on the second — matches the uncached baseline byte-for-byte at
+  // every thread count, and the logical cost counters match too (cache
+  // hits replay the stat deltas of the computation they elide). The cache
+  // keys embed the active SIMD level, so this holds under either
+  // QDCBIR_SIMD setting; CI runs the binary under both.
+  ThreadPool sequential(1);
+  QdSessionStats baseline_stats;
+  const QdResult baseline = RunScriptedSession(&sequential, &baseline_stats);
+
+  cache::CacheManager cache(cache::CacheManager::Options{});
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    for (int pass = 0; pass < 2; ++pass) {
+      QdSessionStats stats;
+      const QdResult result = RunScriptedSession(&pool, &stats, &cache);
+      SCOPED_TRACE(::testing::Message()
+                   << "threads=" << threads << " pass=" << pass);
+      ExpectIdenticalResults(baseline, result);
+      EXPECT_EQ(stats.boundary_expansions, baseline_stats.boundary_expansions);
+      EXPECT_EQ(stats.localized_subqueries,
+                baseline_stats.localized_subqueries);
+      EXPECT_EQ(stats.knn_candidates, baseline_stats.knn_candidates);
+      EXPECT_EQ(stats.knn_nodes_visited, baseline_stats.knn_nodes_visited);
+    }
+  }
+  // The warm passes really were served from cache, not recomputed.
+  EXPECT_GT(cache.TotalStats().hits, 0u);
+
+  // Invalidation resets to cold without changing the answer.
+  cache.BeginEpoch(/*snapshot_identity=*/1);
+  QdSessionStats stats_after_flush;
+  ExpectIdenticalResults(
+      baseline, RunScriptedSession(&sequential, &stats_after_flush, &cache));
+}
+
+TEST_F(QdDeterminismTest, QclusterIdenticalWithCacheOnAndOff) {
+  ThreadPool pool(4);
+  cache::CacheManager cache(cache::CacheManager::Options{});
+  auto run = [&](cache::CacheManager* cache_ptr) {
+    QclusterOptions options;
+    options.seed = 9;
+    options.pool = &pool;
+    options.cache = cache_ptr;
+    QclusterEngine engine(db_, options);
+    engine.Start();
+    engine.Feedback({10, 11, 250, 251, 500, 501}).value();
+    return engine.Finalize(64).value();
+  };
+  const Ranking uncached = run(nullptr);
+  const Ranking cold = run(&cache);
+  const Ranking warm = run(&cache);  // served from the top-k cache
+  EXPECT_GT(cache.TotalStats().hits, 0u);
+  for (const Ranking* ranking : {&cold, &warm}) {
+    ASSERT_EQ(uncached.size(), ranking->size());
+    for (std::size_t i = 0; i < uncached.size(); ++i) {
+      EXPECT_EQ(uncached[i].id, (*ranking)[i].id);
+      EXPECT_EQ(uncached[i].distance_squared, (*ranking)[i].distance_squared);
+    }
+  }
 }
 
 TEST_F(QdDeterminismTest, WeightedQdSessionIdenticalAcrossThreadCounts) {

@@ -591,6 +591,239 @@ TEST_F(ServeAppTest, TracingDisabledDropsTreesButKeepsTraceIds) {
   app.Stop();
 }
 
+std::map<std::string, double> ScrapeMetrics(int port) {
+  std::map<std::string, double> samples;
+  std::string prom_error;
+  EXPECT_TRUE(obs::ValidatePrometheusText(BodyOf(Get(port, "/metrics")),
+                                          &prom_error, &samples))
+      << prom_error;
+  return samples;
+}
+
+/// Drives the scripted session (seed 42, first-two-of-each-group feedback,
+/// finalize 25) and returns the finalize response body.
+std::string RunScriptedHttpSession(int port, const std::string& label) {
+  const std::string query_body = BodyOf(Post(
+      port, "/api/query", "{\"seed\":42,\"label\":\"" + label + "\"}"));
+  StatusOr<JsonValue> query = ParseJson(query_body);
+  EXPECT_TRUE(query.ok()) << query_body;
+  if (!query.ok()) return "";
+  const std::uint64_t session_id = query->U64Field("session", 0);
+  const JsonValue* display = query->Find("display");
+  EXPECT_NE(display, nullptr);
+  std::string relevant = "[";
+  bool first = true;
+  for (const JsonValue& group : display->items) {
+    const JsonValue* images = group.Find("images");
+    if (images == nullptr) continue;
+    for (std::size_t i = 0; i < images->items.size() && i < 2; ++i) {
+      if (!first) relevant.push_back(',');
+      first = false;
+      relevant += std::to_string(
+          static_cast<std::uint64_t>(images->items[i].number));
+    }
+  }
+  relevant.push_back(']');
+  return BodyOf(Post(port, "/api/feedback",
+                     "{\"session\":" + std::to_string(session_id) +
+                         ",\"relevant\":" + relevant + ",\"finalize\":25}"));
+}
+
+/// The deterministic part of a finalize body: results + groups + stats,
+/// excluding the session id, trace id and wall-clock timings around it.
+std::string ResultsSlice(const std::string& final_body) {
+  const std::size_t begin = final_body.find("\"results\"");
+  const std::size_t end = final_body.find(",\"rounds_ns\"");
+  EXPECT_NE(begin, std::string::npos) << final_body;
+  EXPECT_NE(end, std::string::npos) << final_body;
+  if (begin == std::string::npos || end == std::string::npos) return "";
+  return final_body.substr(begin, end - begin);
+}
+
+/// The /queryz record with the given label, or nullptr.
+const JsonValue* FindAuditRecord(const JsonValue& queryz,
+                                 const std::string& label) {
+  const JsonValue* records = queryz.Find("records");
+  if (records == nullptr) return nullptr;
+  for (const JsonValue& record : records->items) {
+    const JsonValue* field = record.Find("label");
+    if (field != nullptr && field->string == label) return &record;
+  }
+  return nullptr;
+}
+
+TEST_F(ServeAppTest, RepeatedIdenticalQueriesServeFromCache) {
+  ThreadPool pool(4);
+  ServeOptions options;
+  options.db_path = *db_path_;
+  options.pool = &pool;  // cache_mb stays at its default: cache on
+  ServeApp app(std::move(options));
+  std::string error;
+  ASSERT_TRUE(app.Start(&error)) << error;
+  ASSERT_TRUE(app.WaitUntilReady(30000)) << app.load_error();
+
+  const std::map<std::string, double> before = ScrapeMetrics(app.port());
+  const std::string cold = RunScriptedHttpSession(app.port(), "cache-cold");
+  const std::string warm = RunScriptedHttpSession(app.port(), "cache-warm");
+
+  // Cache on, cache cold, cache warm: byte-identical ranked output.
+  ASSERT_FALSE(cold.empty());
+  EXPECT_EQ(ResultsSlice(cold), ResultsSlice(warm));
+
+  // The warm replay hit the finalized-top-k cache, and /metrics says so.
+  std::map<std::string, double> after = ScrapeMetrics(app.port());
+  const auto delta = [&](const char* name) {
+    const auto it = before.find(name);
+    return after[name] - (it == before.end() ? 0.0 : it->second);
+  };
+  EXPECT_GE(delta("qdcbir_cache_hit"), 1.0);
+  EXPECT_GE(delta("qdcbir_cache_miss"), 1.0);
+  EXPECT_GE(delta("qdcbir_cache_topk_hit"), 1.0);
+  EXPECT_GE(delta("qdcbir_cache_insertions"), 1.0);
+  EXPECT_GT(after["qdcbir_cache_bytes"], 0.0);
+
+  // /queryz attributes the hits to the warm session's audit record.
+  StatusOr<JsonValue> queryz = ParseJson(BodyOf(Get(app.port(), "/queryz")));
+  ASSERT_TRUE(queryz.ok());
+  const JsonValue* warm_record = FindAuditRecord(*queryz, "cache-warm");
+  ASSERT_NE(warm_record, nullptr);
+  EXPECT_GT(warm_record->U64Field("cache_hits", 0), 0u);
+  const JsonValue* cold_record = FindAuditRecord(*queryz, "cache-cold");
+  ASSERT_NE(cold_record, nullptr);
+  EXPECT_GT(cold_record->U64Field("cache_misses", 0), 0u);
+
+  // /statusz surfaces the cache row for humans.
+  EXPECT_NE(Get(app.port(), "/statusz").find("cache"), std::string::npos);
+  app.Stop();
+}
+
+TEST_F(ServeAppTest, CacheDisabledStillServesIdenticalResults) {
+  ThreadPool pool(2);
+  ServeOptions options;
+  options.db_path = *db_path_;
+  options.pool = &pool;
+  options.cache_mb = 0;  // cache off
+  ServeApp app(std::move(options));
+  std::string error;
+  ASSERT_TRUE(app.Start(&error)) << error;
+  ASSERT_TRUE(app.WaitUntilReady(30000)) << app.load_error();
+
+  const std::string a = RunScriptedHttpSession(app.port(), "nocache-a");
+  const std::string b = RunScriptedHttpSession(app.port(), "nocache-b");
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(ResultsSlice(a), ResultsSlice(b));
+
+  StatusOr<JsonValue> queryz = ParseJson(BodyOf(Get(app.port(), "/queryz")));
+  ASSERT_TRUE(queryz.ok());
+  const JsonValue* record = FindAuditRecord(*queryz, "nocache-b");
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->U64Field("cache_hits", 0), 0u);
+  EXPECT_EQ(record->U64Field("cache_misses", 0), 0u);
+  app.Stop();
+}
+
+TEST_F(ServeAppTest, ApiRepRendersRepresentativeAndCachesIt) {
+  ThreadPool pool(2);
+  ServeOptions options;
+  options.db_path = *db_path_;
+  options.pool = &pool;
+  ServeApp app(std::move(options));
+  std::string error;
+  ASSERT_TRUE(app.Start(&error)) << error;
+  ASSERT_TRUE(app.WaitUntilReady(30000)) << app.load_error();
+
+  EXPECT_NE(Post(app.port(), "/api/rep", "").find("405"), std::string::npos);
+  EXPECT_NE(Get(app.port(), "/api/rep").find("400"), std::string::npos);
+  EXPECT_NE(Get(app.port(), "/api/rep?id=nope").find("400"),
+            std::string::npos);
+  EXPECT_NE(Get(app.port(), "/api/rep?id=999999").find("404"),
+            std::string::npos);
+
+  const std::map<std::string, double> before = ScrapeMetrics(app.port());
+  const std::string first = Get(app.port(), "/api/rep?id=3");
+  ASSERT_NE(first.find("200 OK"), std::string::npos);
+  EXPECT_EQ(HeaderValue(first, "Content-Type"), "image/x-portable-pixmap");
+  const std::string body = BodyOf(first);
+  ASSERT_GE(body.size(), 2u);
+  EXPECT_EQ(body.substr(0, 2), "P6");  // binary PPM magic
+
+  // The second fetch is served from the representatives cache, byte-equal.
+  const std::string second = Get(app.port(), "/api/rep?id=3");
+  EXPECT_EQ(BodyOf(second), body);
+  std::map<std::string, double> after = ScrapeMetrics(app.port());
+  const auto it = before.find("qdcbir_cache_representatives_hit");
+  EXPECT_GE(after["qdcbir_cache_representatives_hit"] -
+                (it == before.end() ? 0.0 : it->second),
+            1.0);
+  app.Stop();
+}
+
+TEST_F(ServeAppTest, ReloadFlushesCacheAndRefusesWhileSessionsOpen) {
+  ThreadPool pool(4);
+  ServeOptions options;
+  options.db_path = *db_path_;
+  options.pool = &pool;
+  ServeApp app(std::move(options));
+  std::string error;
+  ASSERT_TRUE(app.Start(&error)) << error;
+  ASSERT_TRUE(app.WaitUntilReady(30000)) << app.load_error();
+
+  // Warm the cache with a cold + hit pair.
+  const std::string baseline =
+      RunScriptedHttpSession(app.port(), "reload-warmup");
+  ASSERT_FALSE(baseline.empty());
+  RunScriptedHttpSession(app.port(), "reload-warm");
+
+  EXPECT_NE(Get(app.port(), "/api/reload").find("405"), std::string::npos);
+
+  // An open session pins the corpus: reload must refuse.
+  StatusOr<JsonValue> open = ParseJson(
+      BodyOf(Post(app.port(), "/api/query", "{\"seed\":9}")));
+  ASSERT_TRUE(open.ok());
+  const std::uint64_t open_id = open->U64Field("session", 0);
+  const std::string refused = Post(app.port(), "/api/reload", "");
+  EXPECT_NE(refused.find("409"), std::string::npos);
+  EXPECT_NE(refused.find("sessions open"), std::string::npos);
+
+  // Draining the session (finalize closes it) unblocks the reload.
+  const JsonValue* images = open->Find("display")->items[0].Find("images");
+  ASSERT_FALSE(images->items.empty());
+  ASSERT_NE(
+      Post(app.port(), "/api/feedback",
+           "{\"session\":" + std::to_string(open_id) + ",\"relevant\":[" +
+               std::to_string(
+                   static_cast<std::uint64_t>(images->items[0].number)) +
+               "],\"finalize\":10}")
+          .find("200 OK"),
+      std::string::npos);
+
+  const std::map<std::string, double> before = ScrapeMetrics(app.port());
+  const std::string accepted = Post(app.port(), "/api/reload", "");
+  EXPECT_NE(accepted.find("202"), std::string::npos);
+  ASSERT_TRUE(app.WaitUntilReady(30000)) << app.load_error();
+
+  // The reload flushed the cache: the identical replay misses the top-k
+  // cache (no new hit) yet still returns byte-identical results.
+  const std::string after_reload =
+      RunScriptedHttpSession(app.port(), "reload-after");
+  EXPECT_EQ(ResultsSlice(baseline), ResultsSlice(after_reload));
+  std::map<std::string, double> after = ScrapeMetrics(app.port());
+  const auto delta = [&](const char* name) {
+    const auto it = before.find(name);
+    return after[name] - (it == before.end() ? 0.0 : it->second);
+  };
+  EXPECT_GE(delta("qdcbir_cache_invalidation_flushes"), 1.0);
+  EXPECT_GE(delta("qdcbir_cache_topk_miss"), 1.0);
+  EXPECT_EQ(delta("qdcbir_cache_topk_hit"), 0.0);
+
+  StatusOr<JsonValue> queryz = ParseJson(BodyOf(Get(app.port(), "/queryz")));
+  ASSERT_TRUE(queryz.ok());
+  const JsonValue* record = FindAuditRecord(*queryz, "reload-warm");
+  ASSERT_NE(record, nullptr);
+  EXPECT_GT(record->U64Field("cache_hits", 0), 0u);
+  app.Stop();
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace qdcbir

@@ -9,13 +9,15 @@
 //       Print database / RFS statistics.
 //   qdcbir_tool query  --db=db.bin --rfs=rfs.bin --query=bird
 //                      [--engine=qd|mv|qpm|mars|qcluster|fagin]
-//                      [--k=0] [--seed=1] [--weights=1]
+//                      [--k=0] [--seed=1] [--weights=1] [--cache=on|off]
 //                      [--ranked-json=results.json]
 //       Run one simulated-user retrieval session and print the results.
 //       --weights=1 ranks the QD subqueries under deterministic
-//       per-dimension weights; --ranked-json dumps the ranked ids (and, for
-//       QD, per-group distances at full precision) for the CI SIMD parity
-//       diff (docs/simd.md).
+//       per-dimension weights; --cache=on runs the session through a local
+//       result cache (qd and qcluster; rankings are byte-identical either
+//       way — docs/caching.md); --ranked-json dumps the ranked ids (and,
+//       for QD, per-group distances at full precision) for the CI SIMD
+//       parity diff (docs/simd.md).
 //   qdcbir_tool render --db=db.bin --id=123 --out=image.ppm
 //       Re-render one database image to a PPM file.
 //   qdcbir_tool catalog --db=db.bin
@@ -31,14 +33,16 @@
 //       the file in place so CI can prove corruption cannot pass --verify.
 //   qdcbir_tool serve  --db=db.bin [--rfs=rfs.bin] [--address=127.0.0.1]
 //                      [--port=0] [--port-file=PATH] [--threads=N]
-//                      [--max-seconds=0] [--profile-hz=0]
+//                      [--max-seconds=0] [--profile-hz=0] [--cache-mb=64]
 //       Start the admin/serving HTTP endpoint: /healthz /readyz /statusz
-//       /varz /metrics /queryz /tracez /logz /profilez plus /api/query and
-//       /api/feedback for driving relevance-feedback sessions over the
-//       wire. --port=0 binds an ephemeral port (written to --port-file for
-//       scripts). --profile-hz arms the always-on background sampling
-//       profiler (bare --profile-hz picks the low default rate). Runs
-//       until SIGINT/SIGTERM, or --max-seconds if positive.
+//       /varz /metrics /queryz /tracez /logz /profilez plus /api/query,
+//       /api/feedback, /api/rep, and /api/reload for driving
+//       relevance-feedback sessions over the wire. --port=0 binds an
+//       ephemeral port (written to --port-file for scripts). --profile-hz
+//       arms the always-on background sampling profiler (bare --profile-hz
+//       picks the low default rate). --cache-mb sets the result-cache
+//       budget (0 disables caching). Runs until SIGINT/SIGTERM, or
+//       --max-seconds if positive.
 //   qdcbir_tool profile --db=db.bin --rfs=rfs.bin [--seconds=5] [--hz=99]
 //                      [--format=collapsed|json] [--out=PATH] [--query=..]
 //       Drive simulated relevance-feedback sessions under the sampling
@@ -213,11 +217,23 @@ int CmdQuery(int argc, char** argv) {
   protocol.retrieval_size =
       static_cast<std::size_t>(IntFlag(argc, argv, "k", 0));
 
+  // Per-run result cache (off by default): a single session only re-hits
+  // entries across its own repeated subqueries, but the flag's real job is
+  // the CI parity matrix — cache on/off must produce byte-identical
+  // --ranked-json output.
+  std::unique_ptr<cache::CacheManager> run_cache;
+  if (Flag(argc, argv, "cache", "off") == "on") {
+    cache::CacheManager::Options cache_options;
+    cache_options.budget_bytes = 64ull << 20;
+    run_cache = std::make_unique<cache::CacheManager>(cache_options);
+  }
+
   StatusOr<RunOutcome> outcome = Status::Internal("unset");
   if (engine_name == "qd") {
     StatusOr<RfsTree> rfs = RfsSerializer::LoadFromFile(rfs_path);
     if (!rfs.ok()) return Fail(rfs.status());
     QdOptions qd_options;
+    qd_options.cache = run_cache.get();
     if (IntFlag(argc, argv, "weights", 0) != 0) {
       // Deterministic non-uniform weights (CI parity runs): exercises the
       // weighted localized scans without a user-supplied weight file.
@@ -234,7 +250,9 @@ int CmdQuery(int argc, char** argv) {
     if (engine_name == "qpm") engine = std::make_unique<QpmEngine>(&*db);
     if (engine_name == "mars") engine = std::make_unique<MarsEngine>(&*db);
     if (engine_name == "qcluster") {
-      engine = std::make_unique<QclusterEngine>(&*db);
+      QclusterOptions qcluster_options;
+      qcluster_options.cache = run_cache.get();
+      engine = std::make_unique<QclusterEngine>(&*db, qcluster_options);
     }
     if (engine_name == "fagin") engine = std::make_unique<FaginEngine>(&*db);
     if (engine == nullptr) {
@@ -590,6 +608,9 @@ int CmdServe(int argc, char** argv) {
   options.slow_trace_ms =
       DoubleFlag(argc, argv, "slow-trace-ms", options.slow_trace_ms);
   options.profile_hz = static_cast<int>(IntFlag(argc, argv, "profile-hz", 0));
+  options.cache_mb = static_cast<std::size_t>(
+      IntFlag(argc, argv, "cache-mb",
+              static_cast<std::int64_t>(options.cache_mb)));
   for (int i = 2; i < argc; ++i) {
     // Bare --profile-hz (no value) means "on at the low background rate".
     if (std::strcmp(argv[i], "--profile-hz") == 0) {
