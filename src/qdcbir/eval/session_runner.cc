@@ -26,6 +26,17 @@ std::vector<ImageId> FlattenDisplay(const std::vector<DisplayGroup>& groups) {
   return out;
 }
 
+/// Widens ids for the quality tracker (which compares opaque 64-bit ids).
+std::vector<std::uint64_t> QualityIds(const std::vector<ImageId>& ids) {
+  return std::vector<std::uint64_t>(ids.begin(), ids.end());
+}
+
+std::uint64_t Permille(double fraction) {
+  if (fraction <= 0.0) return 0;
+  if (fraction >= 1.0) return 1000;
+  return static_cast<std::uint64_t>(fraction * 1000.0 + 0.5);
+}
+
 /// Removes images the user already marked in earlier rounds/browses.
 std::vector<ImageId> FilterNew(const std::vector<ImageId>& picks,
                                std::unordered_set<ImageId>& marked) {
@@ -45,7 +56,8 @@ std::uint64_t SecondsToNanos(double seconds) {
 /// rankings depend on.
 void RecordAudit(std::string_view engine, const QueryGroundTruth& gt,
                  const ProtocolOptions& protocol, const RunOutcome& outcome,
-                 std::size_t picks, const obs::ResourceUsage& usage) {
+                 std::size_t picks, const obs::ResourceUsage& usage,
+                 const obs::SessionQuality& quality) {
   obs::QueryAuditRecord record;
   record.set_engine(engine);
   record.set_label(gt.spec.name);
@@ -80,6 +92,14 @@ void RecordAudit(std::string_view engine, const QueryGroundTruth& gt,
   record.alloc_bytes = usage.alloc_bytes;
   record.cache_hits = usage.cache_hits;
   record.cache_misses = usage.cache_misses;
+  record.quality_jaccard_permille = quality.last_jaccard_permille;
+  record.quality_rank_churn = quality.last_rank_churn;
+  record.quality_rounds_to_stability = quality.rounds_to_stability;
+  record.quality_outcome = static_cast<std::uint64_t>(quality.outcome);
+  if (quality.oracle_precision_defined) {
+    record.quality_oracle_precision_permille_plus1 =
+        quality.oracle_precision_permille + 1;
+  }
   // Batch runs carry a trace id too when the caller installed one (the
   // serve layer always does; CLI runs leave it zero → rendered as "").
   const obs::TraceContext& trace = obs::CurrentTraceContext();
@@ -114,10 +134,16 @@ StatusOr<RunOutcome> SessionRunner::RunQd(const RfsTree& rfs,
   std::unordered_set<ImageId> marked;
   std::vector<ImageId> all_marked;
 
+  // Passive quality observer: fed the per-round displays and the final
+  // ranked list after they are produced, so rankings are untouched.
+  obs::SessionQualityTracker quality_tracker;
+
   WallTimer total;
   WallTimer step;
   std::vector<DisplayGroup> display = session.Start();
   double engine_time = step.Seconds();
+  quality_tracker.ObserveRound(QualityIds(FlattenDisplay(display)),
+                               session.stats().localized_subqueries);
 
   for (int round = 1; round <= protocol.feedback_rounds; ++round) {
     double round_time = engine_time;  // Start() / previous Feedback cost
@@ -147,6 +173,8 @@ StatusOr<RunOutcome> SessionRunner::RunQd(const RfsTree& rfs,
     round_time += step.Seconds();
     if (!next.ok()) return next.status();
     display = std::move(next).value();
+    quality_tracker.ObserveRound(QualityIds(FlattenDisplay(display)),
+                                 session.stats().localized_subqueries);
 
     RoundQuality quality;
     quality.gtir = ComputeGtir(all_marked, gt);
@@ -178,8 +206,26 @@ StatusOr<RunOutcome> SessionRunner::RunQd(const RfsTree& rfs,
   outcome.total_seconds = engine_total;
   obs::FlushResourceAccounting();
   outcome.resources = resources.Snapshot();
+
+  quality_tracker.ObserveRound(QualityIds(outcome.final_results),
+                               session.stats().localized_subqueries);
+  quality_tracker.Finalized();
+  outcome.quality = quality_tracker.Summary();
+  // The eval path has ground truth: attach the oracle-labeled precision@k
+  // the label-free proxies approximate.
+  outcome.quality.oracle_precision_defined = true;
+  outcome.quality.oracle_precision_permille =
+      Permille(outcome.final_precision);
+  obs::PublishSessionQuality(outcome.quality);
+  QDCBIR_SPAN_ANNOTATE(
+      "quality.topk_jaccard_permille",
+      static_cast<std::int64_t>(outcome.quality.last_jaccard_permille));
+  QDCBIR_SPAN_ANNOTATE(
+      "quality.oracle_precision_permille",
+      static_cast<std::int64_t>(outcome.quality.oracle_precision_permille));
+
   RecordAudit("qd", gt, protocol, outcome, all_marked.size(),
-              outcome.resources);
+              outcome.resources, outcome.quality);
   return outcome;
 }
 
@@ -199,9 +245,12 @@ StatusOr<RunOutcome> SessionRunner::RunEngine(FeedbackEngine& engine,
   RunOutcome outcome;
   std::unordered_set<ImageId> marked;
 
+  obs::SessionQualityTracker quality_tracker;
+
   WallTimer step;
   std::vector<ImageId> display = engine.Start();
   double engine_time = step.Seconds();
+  quality_tracker.ObserveRound(QualityIds(display), 0);
   bool any_marked = false;
   std::size_t total_picks = 0;
 
@@ -229,6 +278,7 @@ StatusOr<RunOutcome> SessionRunner::RunEngine(FeedbackEngine& engine,
     round_time += step.Seconds();
     if (!next.ok()) return next.status();
     display = std::move(next).value();
+    quality_tracker.ObserveRound(QualityIds(display), 0);
 
     outcome.iteration_seconds.push_back(round_time);
 
@@ -275,8 +325,17 @@ StatusOr<RunOutcome> SessionRunner::RunEngine(FeedbackEngine& engine,
   outcome.total_seconds = engine_total;
   obs::FlushResourceAccounting();
   outcome.resources = resources.Snapshot();
+
+  quality_tracker.ObserveRound(QualityIds(outcome.final_results), 0);
+  quality_tracker.Finalized();
+  outcome.quality = quality_tracker.Summary();
+  outcome.quality.oracle_precision_defined = true;
+  outcome.quality.oracle_precision_permille =
+      Permille(outcome.final_precision);
+  obs::PublishSessionQuality(outcome.quality);
+
   RecordAudit(engine.Name(), gt, protocol, outcome, total_picks,
-              outcome.resources);
+              outcome.resources, outcome.quality);
   return outcome;
 }
 

@@ -111,6 +111,15 @@ class HttpServer {
   /// plain-text index of the registered paths.
   void Handle(const std::string& path, Handler handler);
 
+  /// Every registered path, sorted. Lets tests walk the full route table
+  /// (e.g. asserting each endpoint's Content-Type) without a parallel list.
+  std::vector<std::string> HandledPaths() const {
+    std::vector<std::string> paths;
+    paths.reserve(handlers_.size());
+    for (const auto& [path, handler] : handlers_) paths.push_back(path);
+    return paths;
+  }
+
   /// Binds, listens, and starts the accept loop. Returns false (with
   /// `*error` set) when the socket cannot be bound.
   bool Start(std::string* error);

@@ -119,8 +119,13 @@ std::vector<LogEntry> LogRing::Snapshot() const {
   return std::vector<LogEntry>(entries_.begin(), entries_.end());
 }
 
-std::string LogRing::RenderJson() const {
-  const std::vector<LogEntry> entries = Snapshot();
+std::string LogRing::RenderJson(std::size_t limit) const {
+  std::vector<LogEntry> entries = Snapshot();
+  if (entries.size() > limit) {
+    // Keep the newest entries: Snapshot returns them oldest-first.
+    entries.erase(entries.begin(),
+                  entries.end() - static_cast<std::ptrdiff_t>(limit));
+  }
   std::string out = "{\"capacity\":" + std::to_string(kCapacity);
   out += ",\"total\":" + std::to_string(total());
   out += ",\"entries\":[";

@@ -82,9 +82,9 @@ class LogRing {
   std::vector<LogEntry> Snapshot() const;
   std::uint64_t total() const { return total_.load(std::memory_order_relaxed); }
 
-  /// The `/logz` document: ring stats plus every retained entry, oldest
-  /// first.
-  std::string RenderJson() const;
+  /// The `/logz` document: ring stats plus the newest `limit` retained
+  /// entries, oldest first (default: the whole ring).
+  std::string RenderJson(std::size_t limit = kCapacity) const;
 
   /// For tests: empties the ring (the total counter stays).
   void Clear();

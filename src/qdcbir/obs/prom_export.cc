@@ -28,12 +28,7 @@ void AppendHelp(std::string& out, const std::string& family,
   out += "# HELP ";
   out += family;
   out.push_back(' ');
-  for (const char c : meta.help) {
-    // The exposition format escapes newlines and backslashes in help text.
-    if (c == '\\') out += "\\\\";
-    else if (c == '\n') out += "\\n";
-    else out.push_back(c);
-  }
+  out += EscapeHelpText(meta.help);
   if (!meta.unit.empty()) {
     if (!meta.help.empty()) out.push_back(' ');
     out += "(unit: " + meta.unit + ")";
@@ -63,6 +58,31 @@ std::string PrometheusName(const std::string& name) {
   std::string out = kPrefix;
   for (const char c : name) {
     out.push_back(LegalChar(c) ? c : '_');
+  }
+  return out;
+}
+
+std::string EscapeHelpText(const std::string& text) {
+  // The exposition format escapes newlines and backslashes in help text;
+  // double quotes are legal there unescaped.
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out.push_back(c);
+  }
+  return out;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out.push_back(c);
   }
   return out;
 }
@@ -109,8 +129,8 @@ std::string RenderPrometheusText(const MetricsRegistry& registry) {
         // this bucket, appended after the sample value.
         for (const HistogramExemplar& exemplar : exemplars_it->second) {
           if (exemplar.bucket_le != upper) continue;
-          out += " # {trace_id=\"" + exemplar.trace_id + "\"} " +
-                 std::to_string(exemplar.value);
+          out += " # {trace_id=\"" + EscapeLabelValue(exemplar.trace_id) +
+                 "\"} " + std::to_string(exemplar.value);
           break;
         }
       }

@@ -24,6 +24,14 @@ namespace obs {
 /// `pool.task.wait_ns` → `qdcbir_pool_task_wait_ns`.
 std::string PrometheusName(const std::string& name);
 
+/// `# HELP` text escaping per the exposition format: `\` → `\\` and
+/// newline → `\n` (double quotes pass through unescaped on HELP lines).
+std::string EscapeHelpText(const std::string& text);
+
+/// Label-value escaping per the exposition format: `\` → `\\`, `"` → `\"`,
+/// newline → `\n`.
+std::string EscapeLabelValue(const std::string& value);
+
 /// Renders the full exposition page for `registry`.
 std::string RenderPrometheusText(const MetricsRegistry& registry);
 

@@ -1,0 +1,137 @@
+#include "qdcbir/obs/quality_stats.h"
+
+#include <algorithm>
+
+#include "qdcbir/obs/metrics.h"
+
+namespace qdcbir {
+namespace obs {
+
+const char* SessionOutcomeName(SessionOutcome outcome) {
+  switch (outcome) {
+    case SessionOutcome::kFinalized: return "finalized";
+    case SessionOutcome::kAbandoned: return "abandoned";
+    case SessionOutcome::kErrored: return "errored";
+  }
+  return "unknown";
+}
+
+std::uint64_t JaccardPermille(const std::vector<std::uint64_t>& a,
+                              const std::vector<std::uint64_t>& b) {
+  if (a.empty() && b.empty()) return 1000;
+  std::vector<std::uint64_t> sa = a;
+  std::vector<std::uint64_t> sb = b;
+  std::sort(sa.begin(), sa.end());
+  sa.erase(std::unique(sa.begin(), sa.end()), sa.end());
+  std::sort(sb.begin(), sb.end());
+  sb.erase(std::unique(sb.begin(), sb.end()), sb.end());
+  std::uint64_t intersection = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    if (sa[i] == sb[j]) {
+      ++intersection;
+      ++i;
+      ++j;
+    } else if (sa[i] < sb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const std::uint64_t unions = sa.size() + sb.size() - intersection;
+  return unions == 0 ? 1000 : intersection * 1000 / unions;
+}
+
+std::uint64_t RankChurn(const std::vector<std::uint64_t>& a,
+                        const std::vector<std::uint64_t>& b) {
+  const std::size_t common = std::min(a.size(), b.size());
+  std::uint64_t churn = 0;
+  for (std::size_t i = 0; i < common; ++i) {
+    if (a[i] != b[i]) ++churn;
+  }
+  churn += std::max(a.size(), b.size()) - common;
+  return churn;
+}
+
+void SessionQualityTracker::ObserveRound(
+    const std::vector<std::uint64_t>& ranked_ids,
+    std::uint64_t subquery_count) {
+  ++rounds_observed_;
+  if (rounds_observed_ == 1) {
+    first_subqueries_ = subquery_count;
+  } else {
+    last_jaccard_permille_ = JaccardPermille(previous_, ranked_ids);
+    last_rank_churn_ = RankChurn(previous_, ranked_ids);
+    jaccard_sum_permille_ += last_jaccard_permille_;
+    ++transitions_;
+    if (rounds_to_stability_ == 0 &&
+        last_jaccard_permille_ >= kStabilityPermille) {
+      rounds_to_stability_ = rounds_observed_;
+    }
+  }
+  last_subqueries_ = subquery_count;
+  previous_ = ranked_ids;
+}
+
+SessionQuality SessionQualityTracker::Summary() const {
+  SessionQuality quality;
+  quality.rounds_observed = rounds_observed_;
+  quality.last_jaccard_permille = last_jaccard_permille_;
+  quality.mean_jaccard_permille =
+      transitions_ == 0 ? 1000 : jaccard_sum_permille_ / transitions_;
+  quality.last_rank_churn = last_rank_churn_;
+  quality.rounds_to_stability = rounds_to_stability_;
+  quality.subquery_growth = last_subqueries_ > first_subqueries_
+                                ? last_subqueries_ - first_subqueries_
+                                : 0;
+  quality.outcome = finalized_ ? SessionOutcome::kFinalized
+                    : errored_ ? SessionOutcome::kErrored
+                               : SessionOutcome::kAbandoned;
+  return quality;
+}
+
+void PublishSessionQuality(const SessionQuality& quality) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  // One-time lookups: metric references are stable for the process life.
+  static Histogram& jaccard = reg.GetHistogram(
+      "quality.topk_jaccard",
+      "Round-to-round top-k Jaccard overlap at session end (permille)");
+  static Histogram& churn = reg.GetHistogram(
+      "quality.rank_churn",
+      "Rank positions changed between the last two rounds of a session");
+  static Histogram& stability = reg.GetHistogram(
+      "quality.rounds_to_stability",
+      "First round whose overlap with its predecessor reached the "
+      "stability threshold (0 = never stabilized)");
+  static Histogram& growth = reg.GetHistogram(
+      "quality.subquery_growth",
+      "Subquery-count growth from first to last observed round");
+  static Histogram& precision = reg.GetHistogram(
+      "quality.oracle_precision",
+      "Oracle-labeled precision@k at finalize (permille; eval/bench only)");
+  static Counter& finalized = reg.GetCounter(
+      "quality.sessions.finalized", "Sessions that reached finalize");
+  static Counter& abandoned = reg.GetCounter(
+      "quality.sessions.abandoned",
+      "Sessions torn down before finalize without a recorded error");
+  static Counter& errored = reg.GetCounter(
+      "quality.sessions.errored",
+      "Sessions whose last round or finalize failed");
+
+  jaccard.Record(quality.last_jaccard_permille);
+  churn.Record(quality.last_rank_churn);
+  stability.Record(quality.rounds_to_stability);
+  growth.Record(quality.subquery_growth);
+  if (quality.oracle_precision_defined) {
+    precision.Record(quality.oracle_precision_permille);
+  }
+  switch (quality.outcome) {
+    case SessionOutcome::kFinalized: finalized.Add(); break;
+    case SessionOutcome::kAbandoned: abandoned.Add(); break;
+    case SessionOutcome::kErrored: errored.Add(); break;
+  }
+}
+
+}  // namespace obs
+}  // namespace qdcbir

@@ -1,0 +1,138 @@
+#ifndef QDCBIR_OBS_QUALITY_STATS_H_
+#define QDCBIR_OBS_QUALITY_STATS_H_
+
+/// \file
+/// Per-session retrieval-quality telemetry.
+///
+/// The paper's claim is about feedback-session quality — precision over a
+/// multi-round relevance-feedback protocol — but latency/CPU/cache metrics
+/// cannot see a quality regression. This module computes, per session:
+///
+///  - oracle-labeled precision@k, when ground truth is available (the
+///    eval/bench paths hand it in; serve cannot),
+///  - label-free proxies usable in serve: round-to-round top-k Jaccard
+///    overlap, rank churn, rounds-to-stability, subquery-count growth,
+///  - an outcome classification (finalized / abandoned / errored).
+///
+/// `SessionQualityTracker` is a passive observer: callers feed it the ranked
+/// id list the engine already produced at each round, and it derives the
+/// proxies. It never influences ranking, so determinism of results is
+/// preserved by construction. `PublishSessionQuality` folds a finished
+/// session into the global `quality.*` histograms and counters.
+///
+/// Fixed-point convention: ratios (Jaccard, precision) are carried as
+/// permille (0..1000) so they fit the integer histogram/audit-record plumbing
+/// without float drift.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qdcbir {
+namespace obs {
+
+/// How a feedback session ended.
+enum class SessionOutcome : std::uint64_t {
+  kFinalized = 0,  ///< client called finalize and got a ranked result
+  kAbandoned = 1,  ///< session was still open when it was torn down
+  kErrored = 2,    ///< a round or finalize failed and the session never
+                   ///< recovered before teardown
+};
+
+/// Stable lowercase name for JSON surfaces ("finalized", "abandoned",
+/// "errored"; "unknown" for out-of-range values).
+const char* SessionOutcomeName(SessionOutcome outcome);
+
+/// Summary of one session's quality signals, ready for the audit record,
+/// wide event, and `quality.*` metrics.
+struct SessionQuality {
+  std::uint64_t rounds_observed = 0;  ///< ranked lists fed to the tracker
+  /// Jaccard overlap (permille) between the last two observed rounds'
+  /// id sets. 1000 when fewer than two rounds were observed (a single
+  /// display is trivially stable).
+  std::uint64_t last_jaccard_permille = 1000;
+  /// Mean of the per-transition Jaccard overlaps (permille).
+  std::uint64_t mean_jaccard_permille = 1000;
+  /// Positions whose image changed between the last two rounds (plus any
+  /// length difference).
+  std::uint64_t last_rank_churn = 0;
+  /// 1-based index of the first round whose overlap with its predecessor
+  /// reached the stability threshold; 0 when the session never stabilized.
+  std::uint64_t rounds_to_stability = 0;
+  /// Subquery count at the last round minus the first round (0 floor —
+  /// the paper's decomposition only grows the frontier).
+  std::uint64_t subquery_growth = 0;
+  /// Oracle precision@k in permille; only meaningful when
+  /// `oracle_precision_defined` (eval/bench paths).
+  std::uint64_t oracle_precision_permille = 0;
+  bool oracle_precision_defined = false;
+  SessionOutcome outcome = SessionOutcome::kAbandoned;
+};
+
+/// Accumulates ranked-list observations over the life of one session.
+/// Not thread-safe; sessions are already serialized by their busy flag.
+class SessionQualityTracker {
+ public:
+  /// Round-to-round Jaccard overlap (permille) at or above which a
+  /// transition counts as "stable" for rounds-to-stability.
+  static constexpr std::uint64_t kStabilityPermille = 800;
+
+  /// Feeds the ranked image ids shown (or finalized) at a round, plus the
+  /// subquery/frontier count at that point. Ids are whatever the engine
+  /// ranks — the tracker only compares them for identity.
+  void ObserveRound(const std::vector<std::uint64_t>& ranked_ids,
+                    std::uint64_t subquery_count);
+
+  /// Marks that a round or finalize failed. Sticky until a later
+  /// successful `Finalized()`.
+  void RecordError() { errored_ = true; }
+
+  /// Marks a successful finalize; clears any earlier error.
+  void Finalized() {
+    finalized_ = true;
+    errored_ = false;
+  }
+
+  std::uint64_t rounds_observed() const { return rounds_observed_; }
+
+  /// Jaccard overlap (permille) of the most recent transition; 1000 before
+  /// the second observation.
+  std::uint64_t last_jaccard_permille() const { return last_jaccard_permille_; }
+  std::uint64_t last_rank_churn() const { return last_rank_churn_; }
+
+  /// Snapshots the session's quality summary. The outcome reflects the
+  /// tracker state: finalized beats errored beats abandoned.
+  SessionQuality Summary() const;
+
+ private:
+  std::vector<std::uint64_t> previous_;  ///< last observed ranked list
+  std::uint64_t rounds_observed_ = 0;
+  std::uint64_t last_jaccard_permille_ = 1000;
+  std::uint64_t jaccard_sum_permille_ = 0;  ///< over transitions
+  std::uint64_t transitions_ = 0;
+  std::uint64_t last_rank_churn_ = 0;
+  std::uint64_t rounds_to_stability_ = 0;
+  std::uint64_t first_subqueries_ = 0;
+  std::uint64_t last_subqueries_ = 0;
+  bool finalized_ = false;
+  bool errored_ = false;
+};
+
+/// Jaccard overlap of two id sets in permille (|A∩B| * 1000 / |A∪B|,
+/// duplicates ignored). 1000 when both are empty.
+std::uint64_t JaccardPermille(const std::vector<std::uint64_t>& a,
+                              const std::vector<std::uint64_t>& b);
+
+/// Positional churn between two ranked lists: positions (over the shorter
+/// length) holding different ids, plus the length difference.
+std::uint64_t RankChurn(const std::vector<std::uint64_t>& a,
+                        const std::vector<std::uint64_t>& b);
+
+/// Folds a finished session into the global `quality.*` histograms and
+/// per-outcome counters. Purely observational.
+void PublishSessionQuality(const SessionQuality& quality);
+
+}  // namespace obs
+}  // namespace qdcbir
+
+#endif  // QDCBIR_OBS_QUALITY_STATS_H_

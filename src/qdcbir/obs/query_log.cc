@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "qdcbir/obs/quality_stats.h"
+
 namespace qdcbir {
 namespace obs {
 
@@ -133,8 +135,13 @@ std::vector<QueryAuditRecord> QueryLog::Snapshot() const {
   return records;
 }
 
-std::string QueryLog::RenderJson() const {
-  const std::vector<QueryAuditRecord> records = Snapshot();
+std::string QueryLog::RenderJson(std::size_t limit) const {
+  std::vector<QueryAuditRecord> records = Snapshot();
+  if (records.size() > limit) {
+    // Keep the most recent records: Snapshot sorts ascending by sequence.
+    records.erase(records.begin(),
+                  records.end() - static_cast<std::ptrdiff_t>(limit));
+  }
   std::string out = "{\"capacity\":" + std::to_string(kCapacity);
   out += ",\"total_recorded\":" + std::to_string(total_recorded());
   out += ",\"dropped\":" + std::to_string(dropped());
@@ -175,6 +182,19 @@ std::string QueryLog::RenderJson() const {
     AppendField(&out, "alloc_bytes", record.alloc_bytes, &first);
     AppendField(&out, "cache_hits", record.cache_hits, &first);
     AppendField(&out, "cache_misses", record.cache_misses, &first);
+    AppendField(&out, "quality_jaccard_permille",
+                record.quality_jaccard_permille, &first);
+    AppendField(&out, "quality_rank_churn", record.quality_rank_churn,
+                &first);
+    AppendField(&out, "quality_rounds_to_stability",
+                record.quality_rounds_to_stability, &first);
+    out += ",\"outcome\":";
+    AppendJsonString(&out, SessionOutcomeName(static_cast<SessionOutcome>(
+                               record.quality_outcome)));
+    if (record.quality_oracle_precision_permille_plus1 > 0) {
+      AppendField(&out, "oracle_precision_permille",
+                  record.quality_oracle_precision_permille_plus1 - 1, &first);
+    }
     out += ",\"trace\":";
     AppendJsonString(&out, record.trace_hex());
     out.push_back('}');

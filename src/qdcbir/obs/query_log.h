@@ -57,6 +57,17 @@ struct QueryAuditRecord {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
 
+  /// Retrieval-quality telemetry (obs/quality_stats.h). Ratios are carried
+  /// as permille so the record stays a flat array of words.
+  std::uint64_t quality_jaccard_permille = 0;   ///< last round-to-round overlap
+  std::uint64_t quality_rank_churn = 0;         ///< last-transition churn
+  std::uint64_t quality_rounds_to_stability = 0;  ///< 0 = never stabilized
+  /// `SessionOutcome` as its underlying value (finalized/abandoned/errored).
+  std::uint64_t quality_outcome = 0;
+  /// Oracle precision@k in permille, plus one so 0 still means "undefined"
+  /// (serve has no ground truth; eval/bench paths fill it in).
+  std::uint64_t quality_oracle_precision_permille_plus1 = 0;
+
   void set_engine(std::string_view name);
   void set_label(std::string_view name);
   std::string_view engine_view() const;
@@ -103,8 +114,9 @@ class QueryLog {
     return dropped_.load(std::memory_order_relaxed);
   }
 
-  /// The `/queryz` JSON document: ring stats plus every stable record.
-  std::string RenderJson() const;
+  /// The `/queryz` JSON document: ring stats plus the most recent `limit`
+  /// stable records (default: the whole ring).
+  std::string RenderJson(std::size_t limit = kCapacity) const;
 
   /// The process-wide audit ring that SessionRunner and the serve layer
   /// record into.

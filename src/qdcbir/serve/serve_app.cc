@@ -85,6 +85,40 @@ double QueryParamDouble(const std::string& query, std::string_view key,
   return (end == raw.c_str() || *end != '\0') ? fallback : value;
 }
 
+/// Display/result ids flattened for the quality tracker (which compares
+/// opaque 64-bit ids; see obs/quality_stats.h).
+std::vector<std::uint64_t> DisplayIds(const std::vector<DisplayGroup>& display) {
+  std::vector<std::uint64_t> ids;
+  for (const DisplayGroup& group : display) {
+    for (const ImageId id : group.images) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<std::uint64_t> RankedIds(const std::vector<ImageId>& ranked) {
+  return std::vector<std::uint64_t>(ranked.begin(), ranked.end());
+}
+
+/// `?n=` limit of /queryz and /logz. Absent keeps `fallback`; a positive
+/// decimal integer sets `*out`; anything else (garbage, zero, negative)
+/// returns false so the handler can answer 400.
+bool ParseCountParam(const std::string& query, std::size_t fallback,
+                     std::size_t* out) {
+  const std::string raw = QueryParam(query, "n");
+  if (raw.empty()) {
+    *out = fallback;
+    return true;
+  }
+  for (const char c : raw) {
+    if (c < '0' || c > '9') return false;
+  }
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value == 0) return false;
+  *out = static_cast<std::size_t>(value);
+  return true;
+}
+
 StatusOr<std::string> ReadFileBytes(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
@@ -155,10 +189,12 @@ ServeApp::ServeApp(ServeOptions options)
     body.push_back('\n');
     return obs::HttpResponse{200, kJsonType, std::move(body)};
   });
-  server_.Handle("/metrics", [](const obs::HttpRequest&) {
-    // Registry families first, then the standard process_* block (each
-    // family self-describing with its own HELP/TYPE lines, so appending
-    // keeps the exposition valid).
+  server_.Handle("/metrics", [this](const obs::HttpRequest&) {
+    // Refresh the qdcbir_slo_* gauges so every scrape carries current
+    // burn-rate states, then render: registry families first, then the
+    // standard process_* block (each family self-describing with its own
+    // HELP/TYPE lines, so appending keeps the exposition valid).
+    slo_engine_->Evaluate();
     std::string body = obs::RenderPrometheusText(obs::MetricsRegistry::Global());
     body += obs::RenderProcessMetricsText(obs::ReadProcessStats());
     return obs::HttpResponse{200, kPromType, std::move(body)};
@@ -169,17 +205,28 @@ ServeApp::ServeApp(ServeOptions options)
   server_.Handle("/profilez", [this](const obs::HttpRequest& request) {
     return HandleProfilez(request);
   });
-  server_.Handle("/queryz", [](const obs::HttpRequest&) {
-    return obs::HttpResponse{200, kJsonType,
-                             obs::QueryLog::Global().RenderJson() + "\n"};
+  server_.Handle("/queryz", [](const obs::HttpRequest& request) {
+    std::size_t limit = 0;
+    if (!ParseCountParam(request.query, obs::QueryLog::kCapacity, &limit)) {
+      return JsonError(400, "n must be a positive integer");
+    }
+    return obs::HttpResponse{
+        200, kJsonType, obs::QueryLog::Global().RenderJson(limit) + "\n"};
   });
   server_.Handle("/tracez", [](const obs::HttpRequest&) {
     return obs::HttpResponse{200, kJsonType,
                              obs::TraceStore::Global().RenderJson() + "\n"};
   });
-  server_.Handle("/logz", [](const obs::HttpRequest&) {
-    return obs::HttpResponse{200, kJsonType,
-                             obs::LogRing::Global().RenderJson() + "\n"};
+  server_.Handle("/logz", [](const obs::HttpRequest& request) {
+    std::size_t limit = 0;
+    if (!ParseCountParam(request.query, obs::LogRing::kCapacity, &limit)) {
+      return JsonError(400, "n must be a positive integer");
+    }
+    return obs::HttpResponse{
+        200, kJsonType, obs::LogRing::Global().RenderJson(limit) + "\n"};
+  });
+  server_.Handle("/sloz", [this](const obs::HttpRequest& request) {
+    return HandleSloz(request);
   });
   server_.Handle("/api/query", [this](const obs::HttpRequest& request) {
     return HandleApiQuery(request);
@@ -197,6 +244,53 @@ ServeApp::ServeApp(ServeOptions options)
     cache::CacheManager::Options cache_options;
     cache_options.budget_bytes = options_.cache_mb << 20;
     cache_ = std::make_unique<cache::CacheManager>(cache_options);
+  }
+
+  {
+    std::vector<obs::SloDefinition> slos;
+    obs::SloDefinition latency;
+    latency.name = "session_latency";
+    latency.kind = obs::SloKind::kLatencyQuantile;
+    latency.metric = "serve.session.latency_ns";
+    latency.threshold = options_.slo_latency_ms * 1e6;
+    latency.objective = options_.slo_latency_objective;
+    slos.push_back(std::move(latency));
+
+    obs::SloDefinition availability;
+    availability.name = "http_availability";
+    availability.kind = obs::SloKind::kAvailability;
+    availability.metric = "serve.http.requests";
+    availability.bad_metric = "serve.http.bad_requests";
+    availability.objective = 0.999;
+    slos.push_back(std::move(availability));
+
+    obs::SloDefinition cache_rate;
+    cache_rate.name = "cache_hit_rate";
+    cache_rate.kind = obs::SloKind::kRatioFloor;
+    cache_rate.metric = "cache.hit";
+    cache_rate.bad_metric = "cache.miss";
+    // A cold or disabled cache is expected; only a sustained near-total
+    // miss rate should burn.
+    cache_rate.objective = 0.05;
+    slos.push_back(std::move(cache_rate));
+
+    obs::SloDefinition quality;
+    quality.name = "quality_stability";
+    quality.kind = obs::SloKind::kHistogramFloor;
+    quality.metric = "quality.topk_jaccard";
+    quality.threshold =
+        static_cast<double>(options_.slo_jaccard_floor_permille);
+    quality.objective = options_.slo_jaccard_objective;
+    slos.push_back(std::move(quality));
+
+    slo_engine_ = std::make_unique<obs::SloEngine>(std::move(slos));
+  }
+  if (!options_.wide_events_path.empty()) {
+    obs::WideEventSinkOptions sink_options;
+    sink_options.path = options_.wide_events_path;
+    sink_options.max_bytes =
+        static_cast<std::uint64_t>(options_.wide_events_max_mb) << 20;
+    wide_events_ = std::make_unique<obs::WideEventSink>(sink_options);
   }
 }
 
@@ -241,6 +335,52 @@ void ServeApp::Stop() {
   }
   server_.Stop();
   if (loader_.joinable()) loader_.join();
+
+  // Sessions still open after the listener drained never reached finalize:
+  // classify them (abandoned, or errored when their last round failed),
+  // publish their quality telemetry, and give them /queryz rows and wide
+  // events so abandoned traffic is as visible as completed traffic.
+  std::map<std::uint64_t, std::shared_ptr<Session>> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    leftovers.swap(sessions_);
+  }
+  for (const auto& [session_id, session] : leftovers) {
+    const obs::SessionQuality quality = session->quality.Summary();
+    obs::QueryAuditRecord record;
+    record.set_engine("qd");
+    record.set_label(session->label);
+    record.seed = session->seed;
+    record.rounds = static_cast<std::uint64_t>(session->qd.round());
+    record.picks = session->picks;
+    const QdSessionStats& stats = session->qd.stats();
+    record.subqueries = stats.localized_subqueries;
+    record.boundary_expansions = stats.boundary_expansions;
+    record.expanded_subqueries = stats.expanded_subqueries;
+    record.nodes_visited = stats.knn_nodes_visited;
+    record.candidates_scored = stats.knn_candidates;
+    record.nodes_touched = stats.nodes_touched;
+    record.distinct_nodes_sampled = stats.distinct_nodes_sampled;
+    record.rounds_ns = session->rounds_ns;
+    record.total_ns = session->rounds_ns;
+    record.trace_hi = session->trace.trace_hi;
+    record.trace_lo = session->trace.trace_lo;
+    const obs::ResourceUsage usage = session->resources.Snapshot();
+    record.distance_evals = usage.distance_evals;
+    record.feature_bytes = usage.feature_bytes;
+    record.leaves_visited = usage.leaves_visited;
+    record.tiles_gathered = usage.tiles_gathered;
+    record.container_allocs = usage.container_allocs;
+    record.alloc_bytes = usage.alloc_bytes;
+    record.cache_hits = usage.cache_hits;
+    record.cache_misses = usage.cache_misses;
+    record.quality_jaccard_permille = quality.last_jaccard_permille;
+    record.quality_rank_churn = quality.last_rank_churn;
+    record.quality_rounds_to_stability = quality.rounds_to_stability;
+    record.quality_outcome = static_cast<std::uint64_t>(quality.outcome);
+    obs::QueryLog::Global().Record(record);
+    FinishSessionObservability(*session, session_id, quality, record);
+  }
 }
 
 std::string ServeApp::load_error() const {
@@ -406,6 +546,8 @@ obs::HttpResponse ServeApp::HandleApiQuery(const obs::HttpRequest& request) {
     display = session->qd.Start();
   }
   session->rounds_ns += obs::MonotonicNanos() - start_ns;
+  session->quality.ObserveRound(DisplayIds(display),
+                                session->qd.stats().localized_subqueries);
   session->busy.store(false, std::memory_order_release);
 
   std::string out = "{\"session\":" + std::to_string(session_id) +
@@ -479,12 +621,15 @@ obs::HttpResponse ServeApp::HandleApiFeedback(
   }();
   session->rounds_ns += obs::MonotonicNanos() - start_ns;
   if (!next.ok()) {
+    session->quality.RecordError();
     QDCBIR_LOG(obs::LogLevel::kWarn,
                "feedback rejected: " + next.status().ToString());
     return WithTrace(JsonError(400, next.status().ToString()),
                      session->trace);
   }
   session->picks += relevant.size();
+  session->quality.ObserveRound(DisplayIds(*next),
+                                session->qd.stats().localized_subqueries);
 
   const JsonValue* finalize = body.Find("finalize");
   if (finalize == nullptr) {
@@ -504,10 +649,26 @@ obs::HttpResponse ServeApp::HandleApiFeedback(
   start_ns = obs::MonotonicNanos();
   StatusOr<QdResult> result = [&] {
     QDCBIR_SPAN("serve.api.feedback");
-    return session->qd.Finalize(k);
+    StatusOr<QdResult> finalized = session->qd.Finalize(k);
+    if (finalized.ok()) {
+      // Quality observation of the final ranked list happens inside the
+      // span so the proxies land as annotations on the session's trace.
+      session->quality.ObserveRound(
+          RankedIds(finalized->Flatten()),
+          session->qd.stats().localized_subqueries);
+      session->quality.Finalized();
+      QDCBIR_SPAN_ANNOTATE(
+          "quality.topk_jaccard_permille",
+          static_cast<std::int64_t>(session->quality.last_jaccard_permille()));
+      QDCBIR_SPAN_ANNOTATE(
+          "quality.rank_churn",
+          static_cast<std::int64_t>(session->quality.last_rank_churn()));
+    }
+    return finalized;
   }();
   const std::uint64_t finalize_ns = obs::MonotonicNanos() - start_ns;
   if (!result.ok()) {
+    session->quality.RecordError();
     QDCBIR_LOG(obs::LogLevel::kWarn,
                "finalize failed: " + result.status().ToString());
     return WithTrace(JsonError(400, result.status().ToString()),
@@ -548,6 +709,11 @@ obs::HttpResponse ServeApp::HandleApiFeedback(
   record.alloc_bytes = usage.alloc_bytes;
   record.cache_hits = usage.cache_hits;
   record.cache_misses = usage.cache_misses;
+  const obs::SessionQuality quality = session->quality.Summary();
+  record.quality_jaccard_permille = quality.last_jaccard_permille;
+  record.quality_rank_churn = quality.last_rank_churn;
+  record.quality_rounds_to_stability = quality.rounds_to_stability;
+  record.quality_outcome = static_cast<std::uint64_t>(quality.outcome);
   obs::QueryLog::Global().Record(record);
 
   // Per-session physical-work distributions, alongside the latency family.
@@ -619,6 +785,7 @@ obs::HttpResponse ServeApp::HandleApiFeedback(
     std::lock_guard<std::mutex> lock(sessions_mu_);
     sessions_.erase(session_id);
   }
+  FinishSessionObservability(*session, session_id, quality, record);
 
   std::string out = "{\"session\":" + std::to_string(session_id) +
                     ",\"results\":[";
@@ -783,6 +950,30 @@ obs::HttpResponse ServeApp::HandleStatusz(const obs::HttpRequest&) {
   }
   row("background_profiler",
       profiler_armed_ ? std::to_string(options_.profile_hz) + " Hz" : "off");
+  {
+    slo_engine_->Evaluate();
+    std::string slo_summary = obs::SloStateName(slo_engine_->WorstState());
+    slo_summary += " (";
+    bool first = true;
+    for (const obs::SloStatus& status : slo_engine_->Snapshot()) {
+      if (!first) slo_summary += ", ";
+      first = false;
+      slo_summary += status.name + ": " + obs::SloStateName(status.state);
+    }
+    slo_summary += ")";
+    row("slo", slo_summary);
+  }
+  if (wide_events_ != nullptr) {
+    row("wide_events", wide_events_->path() + ", " +
+                           std::to_string(wide_events_->emitted()) +
+                           " emitted, " +
+                           std::to_string(wide_events_->dropped()) +
+                           " dropped, " +
+                           std::to_string(wide_events_->rotations()) +
+                           " rotations");
+  } else {
+    row("wide_events", "off");
+  }
   body += "</table>\n<h2>endpoints</h2>\n<ul>\n";
   const auto link = [&body](const char* path, const char* what) {
     body += std::string("<li><a href=\"") + path + "\">" + path + "</a> — " +
@@ -795,6 +986,7 @@ obs::HttpResponse ServeApp::HandleStatusz(const obs::HttpRequest&) {
   link("/queryz", "audit ring of completed sessions (JSON)");
   link("/tracez", "sampled and slow span trees (JSON)");
   link("/logz", "structured log ring (JSON)");
+  link("/sloz", "SLO burn-rate states (JSON)");
   link("/profilez?seconds=2", "span-attributed CPU profile (collapsed)");
   link("/profilez?seconds=2&amp;format=json", "CPU profile (JSON aggregate)");
   body +=
@@ -858,6 +1050,70 @@ obs::HttpResponse ServeApp::HandleProfilez(const obs::HttpRequest& request) {
   }
   return obs::HttpResponse{200, "text/plain; charset=utf-8",
                            obs::Profiler::RenderCollapsed(samples)};
+}
+
+obs::HttpResponse ServeApp::HandleSloz(const obs::HttpRequest&) {
+  slo_engine_->Evaluate();
+  return obs::HttpResponse{200, kJsonType, slo_engine_->RenderJson() + "\n"};
+}
+
+void ServeApp::FinishSessionObservability(const Session& session,
+                                          std::uint64_t session_id,
+                                          const obs::SessionQuality& quality,
+                                          const obs::QueryAuditRecord& record) {
+  obs::PublishSessionQuality(quality);
+  slo_engine_->Evaluate();
+  if (wide_events_ == nullptr) return;
+
+  const std::uint64_t unix_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  obs::WideEventBuilder event;
+  event.Add("event", "session")
+      .Add("unix_ms", unix_ms)
+      .Add("session", session_id)
+      .Add("label", session.label)
+      .Add("engine", "qd")
+      .Add("seed", session.seed)
+      .Add("trace", record.trace_hex())
+      .Add("outcome", obs::SessionOutcomeName(quality.outcome))
+      .Add("rounds", record.rounds)
+      .Add("picks", record.picks)
+      .Add("results", record.results)
+      .Add("subqueries", record.subqueries)
+      .Add("boundary_expansions", record.boundary_expansions)
+      .Add("expanded_subqueries", record.expanded_subqueries)
+      .Add("rounds_ns", record.rounds_ns)
+      .Add("finalize_ns", record.finalize_ns)
+      .Add("total_ns", record.total_ns)
+      // Engine configuration the session ran under.
+      .Add("display_size",
+           static_cast<std::uint64_t>(options_.display_size))
+      .Add("boundary_threshold", options_.boundary_threshold)
+      .Add("cache_mb", static_cast<std::uint64_t>(options_.cache_mb))
+      .Add("load_generation", load_generation_.load(std::memory_order_relaxed))
+      // Physical work and cache traffic.
+      .Add("distance_evals", record.distance_evals)
+      .Add("feature_bytes", record.feature_bytes)
+      .Add("leaves_visited", record.leaves_visited)
+      .Add("tiles_gathered", record.tiles_gathered)
+      .Add("alloc_bytes", record.alloc_bytes)
+      .Add("cache_hits", record.cache_hits)
+      .Add("cache_misses", record.cache_misses)
+      // Quality telemetry.
+      .Add("quality_jaccard_permille", quality.last_jaccard_permille)
+      .Add("quality_mean_jaccard_permille", quality.mean_jaccard_permille)
+      .Add("quality_rank_churn", quality.last_rank_churn)
+      .Add("quality_rounds_to_stability", quality.rounds_to_stability)
+      .Add("quality_subquery_growth", quality.subquery_growth);
+  // SLO state at session completion, one field per definition plus the
+  // worst state, so offline slicing can filter sessions by health.
+  event.Add("slo_worst", obs::SloStateName(slo_engine_->WorstState()));
+  for (const obs::SloStatus& status : slo_engine_->Snapshot()) {
+    event.Add("slo_" + status.name, obs::SloStateName(status.state));
+  }
+  wide_events_->Emit(event.Build());
 }
 
 }  // namespace serve

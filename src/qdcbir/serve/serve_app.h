@@ -10,13 +10,18 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "qdcbir/cache/cache_manager.h"
 #include "qdcbir/core/thread_pool.h"
 #include "qdcbir/dataset/database.h"
 #include "qdcbir/obs/http_server.h"
+#include "qdcbir/obs/quality_stats.h"
+#include "qdcbir/obs/query_log.h"
 #include "qdcbir/obs/resource_stats.h"
+#include "qdcbir/obs/slo.h"
 #include "qdcbir/obs/trace_context.h"
+#include "qdcbir/obs/wide_event.h"
 #include "qdcbir/query/qd_engine.h"
 #include "qdcbir/rfs/rfs_tree.h"
 
@@ -80,6 +85,24 @@ struct ServeOptions {
   /// Pool for snapshot loading and localized subqueries; nullptr means
   /// `ThreadPool::Global()`.
   ThreadPool* pool = nullptr;
+  /// JSON-lines wide-event file: one event per completed session joining
+  /// trace id, engine config, resource stats, cache traffic, quality
+  /// telemetry, and SLO state. Empty disables the sink.
+  std::string wide_events_path;
+  /// Size cap of the live wide-event file; past it the file rotates to
+  /// `<path>.1` (replacing the previous rollover).
+  std::size_t wide_events_max_mb = 64;
+  /// Latency SLO: this fraction of sessions must finalize within
+  /// `slo_latency_ms` (evaluated as multi-window burn rates; see
+  /// obs/slo.h and `/sloz`).
+  double slo_latency_ms = 2000.0;
+  double slo_latency_objective = 0.95;
+  /// Quality-proxy SLO floor: this fraction of sessions must end with a
+  /// round-to-round top-k Jaccard overlap strictly above
+  /// `slo_jaccard_floor_permille`. 0 keeps the SLO always-ok (still
+  /// exported) — serve has no ground truth, so the floor is opt-in.
+  std::uint64_t slo_jaccard_floor_permille = 0;
+  double slo_jaccard_objective = 0.5;
 };
 
 /// The admin/serving application: loads a database snapshot and RFS tree
@@ -93,9 +116,11 @@ struct ServeOptions {
 ///   GET  /varz          build info + metrics registry snapshot
 ///   GET  /metrics       Prometheus text exposition (with trace exemplars
 ///                       and standard process_* families)
-///   GET  /queryz        audit ring of recently completed sessions
+///   GET  /queryz        audit ring of recently completed sessions (?n=N
+///                       keeps only the newest N records)
 ///   GET  /tracez        recent sampled and slow span trees
-///   GET  /logz          structured log ring
+///   GET  /logz          structured log ring (?n=N keeps the newest N)
+///   GET  /sloz          SLO definitions and burn-rate states (JSON)
 ///   GET  /profilez      span-attributed CPU profile capture
 ///                       (?seconds=N&hz=N&format=collapsed|json)
 ///   POST /api/query     open a session, returns the first display
@@ -135,6 +160,12 @@ class ServeApp {
   /// timeout passes); true when serving.
   bool WaitUntilReady(int timeout_ms);
 
+  /// Every registered admin route, sorted. The Content-Type audit test
+  /// walks this list so a new endpoint cannot ship without a declared type.
+  std::vector<std::string> HandledPaths() const {
+    return server_.HandledPaths();
+  }
+
  private:
   struct Session {
     explicit Session(QdSession qd_session) : qd(std::move(qd_session)) {}
@@ -155,6 +186,9 @@ class ServeApp {
     /// merge their physical-work deltas here. Snapshotted into the /queryz
     /// record and the serve.session.* histograms at finalize.
     obs::ResourceAccumulator resources;
+    /// Passive quality observer: fed the ranked ids of every display and
+    /// the final result; never influences ranking (see obs/quality_stats.h).
+    obs::SessionQualityTracker quality;
   };
 
   void LoadInBackground();
@@ -166,6 +200,16 @@ class ServeApp {
   obs::HttpResponse HandleApiReload(const obs::HttpRequest& request);
   obs::HttpResponse HandleStatusz(const obs::HttpRequest& request);
   obs::HttpResponse HandleProfilez(const obs::HttpRequest& request);
+  obs::HttpResponse HandleSloz(const obs::HttpRequest& request);
+
+  /// Publishes quality metrics, fills the audit record's quality fields,
+  /// and emits the session's wide event. Called with the session off the
+  /// map (finalize) or during teardown (abandoned/errored) — purely
+  /// observational, after the response is built.
+  void FinishSessionObservability(const Session& session,
+                                  std::uint64_t session_id,
+                                  const obs::SessionQuality& quality,
+                                  const obs::QueryAuditRecord& record);
 
   ThreadPool& QueryPool() const {
     return options_.pool != nullptr ? *options_.pool : ThreadPool::Global();
@@ -218,6 +262,12 @@ class ServeApp {
   /// True when `Start` armed the background profiler (so `Stop` disarms
   /// exactly what it armed, leaving externally-started captures alone).
   bool profiler_armed_ = false;
+
+  /// In-process SLO engine (obs/slo.h); evaluated from the /metrics,
+  /// /sloz, and /statusz handlers and after each session finalize.
+  std::unique_ptr<obs::SloEngine> slo_engine_;
+  /// Wide-event sink (null when `wide_events_path` is empty).
+  std::unique_ptr<obs::WideEventSink> wide_events_;
 };
 
 }  // namespace serve

@@ -237,6 +237,42 @@ TEST(PromValidatorTest, RejectsMalformedExemplarTraceId) {
   }
 }
 
+TEST(PromEscapingTest, HelpTextEscapesBackslashAndNewline) {
+  EXPECT_EQ(EscapeHelpText("plain help"), "plain help");
+  EXPECT_EQ(EscapeHelpText("path C:\\tmp"), "path C:\\\\tmp");
+  EXPECT_EQ(EscapeHelpText("line one\nline two"), "line one\\nline two");
+  // HELP lines keep double quotes literal per the exposition format.
+  EXPECT_EQ(EscapeHelpText("a \"quoted\" word"), "a \"quoted\" word");
+  EXPECT_EQ(EscapeHelpText("\\n is not a newline\n"),
+            "\\\\n is not a newline\\n");
+}
+
+TEST(PromEscapingTest, LabelValuesAlsoEscapeQuotes) {
+  EXPECT_EQ(EscapeLabelValue("abc123"), "abc123");
+  EXPECT_EQ(EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeLabelValue("a\\b\nc"), "a\\\\b\\nc");
+}
+
+TEST(PromEscapingTest, HelpWithEdgeCaseBytesRendersAndValidates) {
+  // A help string carrying every character the format makes special must
+  // come out as one physical, parseable HELP line.
+  MetricsRegistry registry;
+  registry
+      .GetCounter("test.tricky",
+                  "back\\slash, \"quotes\",\nand a newline")
+      .Add(1);
+  const std::string text = RenderPrometheusText(registry);
+  EXPECT_NE(
+      text.find("# HELP qdcbir_test_tricky "
+                "back\\\\slash, \"quotes\",\\nand a newline\n"),
+      std::string::npos)
+      << text;
+  std::string error;
+  std::map<std::string, double> samples;
+  ASSERT_TRUE(ValidatePrometheusText(text, &error, &samples)) << error;
+  EXPECT_DOUBLE_EQ(samples["qdcbir_test_tricky"], 1.0);
+}
+
 TEST(HistogramBucketBoundsTest, UpperBoundsMatchBucketOf) {
   // Every bucket's upper bound must map back into that bucket, and the
   // next integer must map past it — the exposition's `le` labels are only

@@ -1,0 +1,129 @@
+#include "qdcbir/obs/quality_stats.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "qdcbir/obs/metrics.h"
+
+namespace qdcbir {
+namespace obs {
+namespace {
+
+TEST(JaccardPermille, DisjointOverlappingAndIdenticalSets) {
+  EXPECT_EQ(JaccardPermille({1, 2, 3}, {4, 5, 6}), 0u);
+  EXPECT_EQ(JaccardPermille({1, 2, 3}, {1, 2, 3}), 1000u);
+  // |{2,3}| / |{1,2,3,4}| = 2/4.
+  EXPECT_EQ(JaccardPermille({1, 2, 3}, {2, 3, 4}), 500u);
+}
+
+TEST(JaccardPermille, IgnoresOrderAndDuplicates) {
+  EXPECT_EQ(JaccardPermille({3, 1, 2}, {2, 3, 1}), 1000u);
+  EXPECT_EQ(JaccardPermille({1, 1, 2, 2}, {2, 1}), 1000u);
+}
+
+TEST(JaccardPermille, BothEmptyIsTriviallyStable) {
+  EXPECT_EQ(JaccardPermille({}, {}), 1000u);
+  EXPECT_EQ(JaccardPermille({1}, {}), 0u);
+}
+
+TEST(RankChurn, CountsPositionalMismatchesPlusLengthDelta) {
+  EXPECT_EQ(RankChurn({1, 2, 3}, {1, 2, 3}), 0u);
+  // Positions 0 and 1 swapped.
+  EXPECT_EQ(RankChurn({1, 2, 3}, {2, 1, 3}), 2u);
+  // One positional mismatch plus two extra trailing entries.
+  EXPECT_EQ(RankChurn({1, 2}, {1, 9, 8, 7}), 3u);
+  EXPECT_EQ(RankChurn({}, {5, 6}), 2u);
+}
+
+TEST(SessionQualityTracker, SingleRoundIsTriviallyStable) {
+  SessionQualityTracker tracker;
+  tracker.ObserveRound({1, 2, 3}, 4);
+  const SessionQuality quality = tracker.Summary();
+  EXPECT_EQ(quality.rounds_observed, 1u);
+  EXPECT_EQ(quality.last_jaccard_permille, 1000u);
+  EXPECT_EQ(quality.mean_jaccard_permille, 1000u);
+  EXPECT_EQ(quality.last_rank_churn, 0u);
+  EXPECT_EQ(quality.subquery_growth, 0u);
+  EXPECT_EQ(quality.outcome, SessionOutcome::kAbandoned);
+}
+
+TEST(SessionQualityTracker, TracksTransitionsAndSubqueryGrowth) {
+  SessionQualityTracker tracker;
+  tracker.ObserveRound({1, 2, 3, 4}, 1);
+  tracker.ObserveRound({1, 2, 3, 4}, 3);   // identical: jaccard 1000
+  tracker.ObserveRound({5, 6, 7, 8}, 5);   // disjoint: jaccard 0
+  const SessionQuality quality = tracker.Summary();
+  EXPECT_EQ(quality.rounds_observed, 3u);
+  EXPECT_EQ(quality.last_jaccard_permille, 0u);
+  EXPECT_EQ(quality.mean_jaccard_permille, 500u);  // (1000 + 0) / 2
+  EXPECT_EQ(quality.last_rank_churn, 4u);
+  EXPECT_EQ(quality.subquery_growth, 4u);  // 5 - 1
+  // The identical second round reached the stability threshold.
+  EXPECT_EQ(quality.rounds_to_stability, 2u);
+}
+
+TEST(SessionQualityTracker, NeverStabilizingSessionReportsZero) {
+  SessionQualityTracker tracker;
+  tracker.ObserveRound({1, 2}, 1);
+  tracker.ObserveRound({3, 4}, 1);
+  tracker.ObserveRound({5, 6}, 1);
+  EXPECT_EQ(tracker.Summary().rounds_to_stability, 0u);
+}
+
+TEST(SessionQualityTracker, OutcomePrecedenceFinalizedBeatsErrored) {
+  SessionQualityTracker tracker;
+  tracker.ObserveRound({1}, 1);
+  EXPECT_EQ(tracker.Summary().outcome, SessionOutcome::kAbandoned);
+  tracker.RecordError();
+  EXPECT_EQ(tracker.Summary().outcome, SessionOutcome::kErrored);
+  tracker.Finalized();
+  EXPECT_EQ(tracker.Summary().outcome, SessionOutcome::kFinalized);
+}
+
+TEST(SessionQualityTracker, SubqueryShrinkageFloorsAtZero) {
+  SessionQualityTracker tracker;
+  tracker.ObserveRound({1}, 7);
+  tracker.ObserveRound({1}, 2);
+  EXPECT_EQ(tracker.Summary().subquery_growth, 0u);
+}
+
+TEST(SessionOutcomeName, StableJsonNames) {
+  EXPECT_STREQ(SessionOutcomeName(SessionOutcome::kFinalized), "finalized");
+  EXPECT_STREQ(SessionOutcomeName(SessionOutcome::kAbandoned), "abandoned");
+  EXPECT_STREQ(SessionOutcomeName(SessionOutcome::kErrored), "errored");
+  EXPECT_STREQ(SessionOutcomeName(static_cast<SessionOutcome>(99)),
+               "unknown");
+}
+
+TEST(PublishSessionQuality, FeedsHistogramsAndOutcomeCounters) {
+  auto& registry = MetricsRegistry::Global();
+  const std::uint64_t finalized_before =
+      registry.GetCounter("quality.sessions.finalized").Value();
+  const auto jaccard_before =
+      registry.GetHistogram("quality.topk_jaccard").Snap();
+  const auto precision_before =
+      registry.GetHistogram("quality.oracle_precision").Snap();
+
+  SessionQuality quality;
+  quality.rounds_observed = 3;
+  quality.last_jaccard_permille = 750;
+  quality.mean_jaccard_permille = 800;
+  quality.outcome = SessionOutcome::kFinalized;
+  PublishSessionQuality(quality);  // oracle precision undefined: not recorded
+
+  quality.oracle_precision_defined = true;
+  quality.oracle_precision_permille = 900;
+  PublishSessionQuality(quality);
+
+  EXPECT_EQ(registry.GetCounter("quality.sessions.finalized").Value(),
+            finalized_before + 2);
+  EXPECT_EQ(registry.GetHistogram("quality.topk_jaccard").Snap().count,
+            jaccard_before.count + 2);
+  EXPECT_EQ(registry.GetHistogram("quality.oracle_precision").Snap().count,
+            precision_before.count + 1);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace qdcbir

@@ -5,9 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "qdcbir/cache/cache_manager.h"
+#include "qdcbir/obs/quality_stats.h"
+#include "qdcbir/obs/wide_event.h"
 #include "qdcbir/core/thread_pool.h"
 #include "qdcbir/dataset/synthesizer.h"
 #include "qdcbir/features/extractor.h"
@@ -142,6 +147,87 @@ TEST_F(QdDeterminismTest, QdSessionIdenticalWithCacheOnAndOffAcrossThreads) {
   QdSessionStats stats_after_flush;
   ExpectIdenticalResults(
       baseline, RunScriptedSession(&sequential, &stats_after_flush, &cache));
+}
+
+void ExpectIdenticalStats(const QdSessionStats& a, const QdSessionStats& b) {
+  EXPECT_EQ(a.feedback_rounds, b.feedback_rounds);
+  EXPECT_EQ(a.nodes_touched, b.nodes_touched);
+  EXPECT_EQ(a.distinct_nodes_sampled, b.distinct_nodes_sampled);
+  EXPECT_EQ(a.boundary_expansions, b.boundary_expansions);
+  EXPECT_EQ(a.expanded_subqueries, b.expanded_subqueries);
+  EXPECT_EQ(a.localized_subqueries, b.localized_subqueries);
+  EXPECT_EQ(a.knn_candidates, b.knn_candidates);
+  EXPECT_EQ(a.knn_nodes_visited, b.knn_nodes_visited);
+}
+
+TEST_F(QdDeterminismTest, QualityTelemetryAndWideEventsAreInvisible) {
+  // The observability layer is passive by contract (obs/quality_stats.h,
+  // obs/wide_event.h): a session observed by the quality tracker and
+  // exported as a wide event must produce byte-identical ranked results
+  // AND identical QdSessionStats to the bare baseline, at every thread
+  // count.
+  ThreadPool sequential(1);
+  QdSessionStats baseline_stats;
+  const QdResult baseline = RunScriptedSession(&sequential, &baseline_stats);
+
+  const std::string events_path =
+      ::testing::TempDir() + "determinism_wide_events.jsonl";
+  std::remove(events_path.c_str());
+  obs::WideEventSink sink({events_path, 1 << 20});
+
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    ThreadPool pool(threads);
+
+    // Re-run the scripted session with full observation: every display and
+    // the finalized ranking feed the tracker, and the summary is exported.
+    QdOptions options;
+    options.seed = 4242;
+    options.pool = &pool;
+    QdSession session(rfs_, options);
+    obs::SessionQualityTracker tracker;
+    auto observe = [&](const std::vector<DisplayGroup>& display) {
+      std::vector<std::uint64_t> ids;
+      for (const DisplayGroup& group : display) {
+        for (const ImageId id : group.images) ids.push_back(id);
+      }
+      tracker.ObserveRound(ids, session.stats().localized_subqueries);
+    };
+    std::vector<DisplayGroup> display = session.Start();
+    observe(display);
+    for (int round = 0; round < 2; ++round) {
+      std::vector<ImageId> picks;
+      for (const DisplayGroup& group : display) {
+        for (std::size_t i = 0; i < group.images.size() && i < 2; ++i) {
+          picks.push_back(group.images[i]);
+        }
+      }
+      display = session.Feedback(picks).value();
+      observe(display);
+    }
+    const QdResult result = session.Finalize(60).value();
+    std::vector<std::uint64_t> final_ids;
+    for (const ImageId id : result.Flatten()) final_ids.push_back(id);
+    tracker.ObserveRound(final_ids, session.stats().localized_subqueries);
+    tracker.Finalized();
+
+    const obs::SessionQuality quality = tracker.Summary();
+    obs::PublishSessionQuality(quality);
+    sink.Emit(obs::WideEventBuilder()
+                  .Add("event", "session")
+                  .Add("threads", static_cast<std::uint64_t>(threads))
+                  .Add("outcome", obs::SessionOutcomeName(quality.outcome))
+                  .Add("quality_mean_jaccard_permille",
+                       quality.mean_jaccard_permille)
+                  .Build());
+
+    ExpectIdenticalResults(baseline, result);
+    ExpectIdenticalStats(baseline_stats, session.stats());
+    EXPECT_EQ(quality.outcome, obs::SessionOutcome::kFinalized);
+    EXPECT_GE(quality.rounds_observed, 4u);
+  }
+  EXPECT_EQ(sink.emitted(), 4u);
+  EXPECT_EQ(sink.dropped(), 0u);
 }
 
 TEST_F(QdDeterminismTest, QclusterIdenticalWithCacheOnAndOff) {

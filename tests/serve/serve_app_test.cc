@@ -11,7 +11,9 @@
 #include <unistd.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -822,6 +824,225 @@ TEST_F(ServeAppTest, ReloadFlushesCacheAndRefusesWhileSessionsOpen) {
   ASSERT_NE(record, nullptr);
   EXPECT_GT(record->U64Field("cache_hits", 0), 0u);
   app.Stop();
+}
+
+TEST_F(ServeAppTest, EveryAdminRouteDeclaresItsContentType) {
+  ThreadPool pool(4);
+  ServeOptions options;
+  options.db_path = *db_path_;
+  options.pool = &pool;
+  ServeApp app(std::move(options));
+  std::string error;
+  ASSERT_TRUE(app.Start(&error)) << error;
+  ASSERT_TRUE(app.WaitUntilReady(30000)) << app.load_error();
+
+  // An open session keeps /api/reload at 409 (a JSON error) instead of
+  // kicking off a real reload mid-walk.
+  const std::string query_body =
+      BodyOf(Post(app.port(), "/api/query", "{\"seed\":7}"));
+  ASSERT_TRUE(ParseJson(query_body).ok()) << query_body;
+
+  const std::string json = "application/json; charset=utf-8";
+  const std::string plain = "text/plain; charset=utf-8";
+  // path -> {query/body suffix or "", POST body or nullopt, expected type}
+  struct RouteProbe {
+    std::string request_path;
+    bool post = false;
+    std::string expected_type;
+  };
+  const std::map<std::string, RouteProbe> probes = {
+      {"/healthz", {"/healthz", false, plain}},
+      {"/readyz", {"/readyz", false, plain}},
+      {"/statusz", {"/statusz", false, "text/html; charset=utf-8"}},
+      {"/varz", {"/varz", false, json}},
+      {"/metrics",
+       {"/metrics", false, "text/plain; version=0.0.4; charset=utf-8"}},
+      {"/queryz", {"/queryz", false, json}},
+      {"/tracez", {"/tracez", false, json}},
+      {"/logz", {"/logz", false, json}},
+      {"/sloz", {"/sloz", false, json}},
+      {"/profilez", {"/profilez?seconds=0.05&hz=20", false, plain}},
+      {"/api/query", {"/api/query", true, json}},
+      {"/api/feedback", {"/api/feedback", true, json}},
+      {"/api/rep", {"/api/rep", false, json}},  // no id: JSON error
+      {"/api/reload", {"/api/reload", true, json}},
+  };
+
+  const std::vector<std::string> routes = app.HandledPaths();
+  EXPECT_GE(routes.size(), probes.size());
+  for (const std::string& route : routes) {
+    const auto it = probes.find(route);
+    ASSERT_NE(it, probes.end())
+        << "route " << route << " has no Content-Type expectation; add one";
+    const RouteProbe& probe = it->second;
+    const std::string response =
+        probe.post ? Post(app.port(), probe.request_path, "{}")
+                   : Get(app.port(), probe.request_path);
+    EXPECT_EQ(HeaderValue(response, "Content-Type"), probe.expected_type)
+        << route;
+  }
+  app.Stop();
+}
+
+TEST_F(ServeAppTest, QueryzAndLogzHonorCountLimit) {
+  ThreadPool pool(4);
+  ServeOptions options;
+  options.db_path = *db_path_;
+  options.pool = &pool;
+  ServeApp app(std::move(options));
+  std::string error;
+  ASSERT_TRUE(app.Start(&error)) << error;
+  ASSERT_TRUE(app.WaitUntilReady(30000)) << app.load_error();
+
+  RunScriptedHttpSession(app.port(), "limit-a");
+  RunScriptedHttpSession(app.port(), "limit-b");
+
+  // ?n=1 keeps only the newest record.
+  StatusOr<JsonValue> queryz =
+      ParseJson(BodyOf(Get(app.port(), "/queryz?n=1")));
+  ASSERT_TRUE(queryz.ok());
+  const JsonValue* records = queryz->Find("records");
+  ASSERT_NE(records, nullptr);
+  ASSERT_EQ(records->items.size(), 1u);
+  const JsonValue* label = records->items[0].Find("label");
+  ASSERT_NE(label, nullptr);
+  EXPECT_EQ(label->string, "limit-b");
+
+  // The default (no ?n=) still returns both.
+  queryz = ParseJson(BodyOf(Get(app.port(), "/queryz")));
+  ASSERT_TRUE(queryz.ok());
+  EXPECT_NE(FindAuditRecord(*queryz, "limit-a"), nullptr);
+
+  StatusOr<JsonValue> logz = ParseJson(BodyOf(Get(app.port(), "/logz?n=1")));
+  ASSERT_TRUE(logz.ok());
+  const JsonValue* entries = logz->Find("entries");
+  ASSERT_NE(entries, nullptr);
+  EXPECT_LE(entries->items.size(), 1u);
+
+  // Malformed and non-positive limits answer 400, not a silent default.
+  for (const char* bad :
+       {"/queryz?n=abc", "/queryz?n=0", "/queryz?n=-1", "/logz?n=1x",
+        "/logz?n=0"}) {
+    const std::string response = Get(app.port(), bad);
+    EXPECT_NE(response.find("400"), std::string::npos) << bad;
+  }
+  app.Stop();
+}
+
+TEST_F(ServeAppTest, SlozReportsConfiguredSlosAndMetricsExposeGauges) {
+  ThreadPool pool(4);
+  ServeOptions options;
+  options.db_path = *db_path_;
+  options.pool = &pool;
+  ServeApp app(std::move(options));
+  std::string error;
+  ASSERT_TRUE(app.Start(&error)) << error;
+  ASSERT_TRUE(app.WaitUntilReady(30000)) << app.load_error();
+
+  RunScriptedHttpSession(app.port(), "sloz-session");
+
+  StatusOr<JsonValue> sloz = ParseJson(BodyOf(Get(app.port(), "/sloz")));
+  ASSERT_TRUE(sloz.ok());
+  const JsonValue* slos = sloz->Find("slos");
+  ASSERT_NE(slos, nullptr);
+  ASSERT_TRUE(slos->is_array());
+  std::map<std::string, std::string> states;
+  for (const JsonValue& slo : slos->items) {
+    const JsonValue* name = slo.Find("name");
+    const JsonValue* state = slo.Find("state");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(state, nullptr);
+    states[name->string] = state->string;
+  }
+  for (const char* name : {"session_latency", "http_availability",
+                           "cache_hit_rate", "quality_stability"}) {
+    ASSERT_TRUE(states.count(name)) << name;
+    // A handful of healthy local sessions must not trip any SLO.
+    EXPECT_EQ(states[name], "ok") << name;
+  }
+
+  // The gauge families back the scrape-level CI gate.
+  const std::map<std::string, double> samples = ScrapeMetrics(app.port());
+  EXPECT_TRUE(samples.count("qdcbir_slo_session_latency_state"));
+  EXPECT_EQ(samples.at("qdcbir_slo_session_latency_state"), 0.0);
+  EXPECT_TRUE(samples.count("qdcbir_slo_http_availability_state"));
+  EXPECT_TRUE(samples.count("qdcbir_quality_topk_jaccard_count"));
+
+  const std::string statusz = BodyOf(Get(app.port(), "/statusz"));
+  EXPECT_NE(statusz.find("/sloz"), std::string::npos);
+  EXPECT_NE(statusz.find("slo"), std::string::npos);
+  app.Stop();
+}
+
+TEST_F(ServeAppTest, WideEventsJoinSessionOutcomeQualityAndSloState) {
+  const std::string events_path =
+      ::testing::TempDir() + "serve_wide_events.jsonl";
+  std::remove(events_path.c_str());
+
+  ThreadPool pool(4);
+  ServeOptions options;
+  options.db_path = *db_path_;
+  options.pool = &pool;
+  options.wide_events_path = events_path;
+  ServeApp app(std::move(options));
+  std::string error;
+  ASSERT_TRUE(app.Start(&error)) << error;
+  ASSERT_TRUE(app.WaitUntilReady(30000)) << app.load_error();
+
+  RunScriptedHttpSession(app.port(), "wide-final");
+
+  // The finalized session's audit record already carries the quality
+  // telemetry the wide event joins.
+  StatusOr<JsonValue> queryz = ParseJson(BodyOf(Get(app.port(), "/queryz")));
+  ASSERT_TRUE(queryz.ok());
+  const JsonValue* record = FindAuditRecord(*queryz, "wide-final");
+  ASSERT_NE(record, nullptr);
+  const JsonValue* outcome = record->Find("outcome");
+  ASSERT_NE(outcome, nullptr);
+  EXPECT_EQ(outcome->string, "finalized");
+  EXPECT_NE(record->Find("quality_jaccard_permille"), nullptr);
+  EXPECT_NE(record->Find("quality_rank_churn"), nullptr);
+
+  // A second session left open is swept at Stop as abandoned.
+  const std::string open_body = BodyOf(Post(
+      app.port(), "/api/query", "{\"seed\":9,\"label\":\"wide-aband\"}"));
+  ASSERT_TRUE(ParseJson(open_body).ok()) << open_body;
+  app.Stop();
+
+  std::ifstream in(events_path);
+  ASSERT_TRUE(in.good()) << events_path;
+  std::map<std::string, const JsonValue*> by_label;
+  std::vector<JsonValue> events;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    StatusOr<JsonValue> parsed = ParseJson(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    events.push_back(std::move(*parsed));
+  }
+  ASSERT_EQ(events.size(), 2u);
+  for (const JsonValue& event : events) {
+    const JsonValue* label = event.Find("label");
+    ASSERT_NE(label, nullptr);
+    by_label[label->string] = &event;
+  }
+  ASSERT_TRUE(by_label.count("wide-final"));
+  ASSERT_TRUE(by_label.count("wide-aband"));
+
+  const JsonValue& finalized = *by_label["wide-final"];
+  EXPECT_EQ(finalized.Find("event")->string, "session");
+  EXPECT_EQ(finalized.Find("outcome")->string, "finalized");
+  EXPECT_EQ(finalized.Find("engine")->string, "qd");
+  EXPECT_GE(finalized.U64Field("rounds", 0), 1u);
+  EXPECT_GT(finalized.U64Field("results", 0), 0u);
+  EXPECT_GT(finalized.U64Field("total_ns", 0), 0u);
+  ASSERT_NE(finalized.Find("trace"), nullptr);
+  EXPECT_EQ(finalized.Find("trace")->string.size(), 32u);
+  EXPECT_NE(finalized.Find("quality_mean_jaccard_permille"), nullptr);
+  EXPECT_NE(finalized.Find("slo_worst"), nullptr);
+  EXPECT_NE(finalized.Find("slo_session_latency"), nullptr);
+
+  EXPECT_EQ(by_label["wide-aband"]->Find("outcome")->string, "abandoned");
 }
 
 }  // namespace

@@ -34,21 +34,31 @@
 //   qdcbir_tool serve  --db=db.bin [--rfs=rfs.bin] [--address=127.0.0.1]
 //                      [--port=0] [--port-file=PATH] [--threads=N]
 //                      [--max-seconds=0] [--profile-hz=0] [--cache-mb=64]
+//                      [--wide-events=PATH] [--wide-events-max-mb=64]
+//                      [--slo-latency-ms=2000] [--slo-latency-objective=.95]
+//                      [--slo-jaccard-floor=0]
 //       Start the admin/serving HTTP endpoint: /healthz /readyz /statusz
-//       /varz /metrics /queryz /tracez /logz /profilez plus /api/query,
-//       /api/feedback, /api/rep, and /api/reload for driving
+//       /varz /metrics /queryz /tracez /logz /sloz /profilez plus
+//       /api/query, /api/feedback, /api/rep, and /api/reload for driving
 //       relevance-feedback sessions over the wire. --port=0 binds an
 //       ephemeral port (written to --port-file for scripts). --profile-hz
 //       arms the always-on background sampling profiler (bare --profile-hz
 //       picks the low default rate). --cache-mb sets the result-cache
-//       budget (0 disables caching). Runs until SIGINT/SIGTERM, or
+//       budget (0 disables caching). --wide-events appends one JSON session
+//       event per completed session (size-capped, rotates to PATH.1); the
+//       --slo-* flags tune the burn-rate SLOs shown at /sloz
+//       (docs/observability.md). Runs until SIGINT/SIGTERM, or
 //       --max-seconds if positive.
+//   qdcbir_tool events summarize --in=wide_events.jsonl
+//       Aggregate a wide-event file into outcome counts, a latency
+//       distribution, quality proxies, and worst-SLO-state counts.
 //   qdcbir_tool profile --db=db.bin --rfs=rfs.bin [--seconds=5] [--hz=99]
 //                      [--format=collapsed|json] [--out=PATH] [--query=..]
 //       Drive simulated relevance-feedback sessions under the sampling
 //       profiler and write a span-attributed CPU profile (collapsed stacks
 //       by default, ready for flamegraph.pl — see docs/profiling.md).
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -56,9 +66,11 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "qdcbir/qdcbir.h"
 #include "qdcbir/obs/build_info.h"
@@ -589,6 +601,99 @@ int CmdProfile(int argc, char** argv) {
   return 0;
 }
 
+/// `events summarize --in=wide_events.jsonl`: aggregate a wide-event file
+/// (one JSON session event per line; see docs/observability.md) into a
+/// human-readable digest — outcome counts, latency distribution, quality
+/// proxies, and worst-SLO-state counts. Unparseable lines are counted and
+/// skipped, so a file caught mid-rotation still summarizes.
+int CmdEvents(int argc, char** argv) {
+  const std::string sub = argc > 2 ? argv[2] : "";
+  const std::string in_path = Flag(argc, argv, "in", "wide_events.jsonl");
+  if (sub != "summarize") {
+    std::fprintf(stderr,
+                 "usage: qdcbir_tool events summarize --in=<events.jsonl>\n");
+    return 1;
+  }
+  std::ifstream in(in_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", in_path.c_str());
+    return 1;
+  }
+
+  std::size_t events = 0;
+  std::size_t malformed = 0;
+  std::map<std::string, std::size_t> outcomes;
+  std::map<std::string, std::size_t> slo_worst;
+  std::vector<double> latency_ms;
+  double jaccard_sum = 0.0;
+  std::size_t jaccard_count = 0;
+  std::uint64_t rounds_sum = 0;
+  std::uint64_t picks_sum = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    StatusOr<serve::JsonValue> parsed = serve::ParseJson(line);
+    if (!parsed.ok() || !parsed->is_object()) {
+      ++malformed;
+      continue;
+    }
+    ++events;
+    const serve::JsonValue& event = *parsed;
+    if (const serve::JsonValue* outcome = event.Find("outcome")) {
+      ++outcomes[outcome->string];
+    }
+    if (const serve::JsonValue* worst = event.Find("slo_worst")) {
+      ++slo_worst[worst->string];
+    }
+    if (const serve::JsonValue* total_ns = event.Find("total_ns")) {
+      if (total_ns->is_number()) latency_ms.push_back(total_ns->number / 1e6);
+    }
+    if (const serve::JsonValue* jaccard =
+            event.Find("quality_mean_jaccard_permille")) {
+      if (jaccard->is_number()) {
+        jaccard_sum += jaccard->number;
+        ++jaccard_count;
+      }
+    }
+    rounds_sum += event.U64Field("rounds", 0);
+    picks_sum += event.U64Field("picks", 0);
+  }
+
+  std::printf("%s: %zu events (%zu malformed lines skipped)\n",
+              in_path.c_str(), events, malformed);
+  if (events == 0) return malformed == 0 ? 0 : 1;
+  for (const auto& [name, count] : outcomes) {
+    std::printf("  outcome %-10s %zu\n", name.c_str(), count);
+  }
+  if (!latency_ms.empty()) {
+    std::sort(latency_ms.begin(), latency_ms.end());
+    double sum = 0.0;
+    for (const double v : latency_ms) sum += v;
+    const auto quantile = [&](double p) {
+      const std::size_t index = static_cast<std::size_t>(
+          p * static_cast<double>(latency_ms.size() - 1));
+      return latency_ms[index];
+    };
+    std::printf(
+        "  latency_ms mean %.2f  p50 %.2f  p95 %.2f  max %.2f\n",
+        sum / static_cast<double>(latency_ms.size()), quantile(0.5),
+        quantile(0.95), latency_ms.back());
+  }
+  std::printf("  rounds/session %.2f  picks/session %.2f\n",
+              static_cast<double>(rounds_sum) / static_cast<double>(events),
+              static_cast<double>(picks_sum) / static_cast<double>(events));
+  if (jaccard_count > 0) {
+    std::printf("  mean topk jaccard %.0f permille (over %zu sessions)\n",
+                jaccard_sum / static_cast<double>(jaccard_count),
+                jaccard_count);
+  }
+  for (const auto& [state, count] : slo_worst) {
+    std::printf("  slo worst=%-7s %zu\n", state.c_str(), count);
+  }
+  return 0;
+}
+
 volatile std::sig_atomic_t g_serve_stop = 0;
 
 void HandleStopSignal(int) { g_serve_stop = 1; }
@@ -611,6 +716,17 @@ int CmdServe(int argc, char** argv) {
   options.cache_mb = static_cast<std::size_t>(
       IntFlag(argc, argv, "cache-mb",
               static_cast<std::int64_t>(options.cache_mb)));
+  options.wide_events_path = Flag(argc, argv, "wide-events", "");
+  options.wide_events_max_mb = static_cast<std::size_t>(
+      IntFlag(argc, argv, "wide-events-max-mb",
+              static_cast<std::int64_t>(options.wide_events_max_mb)));
+  options.slo_latency_ms =
+      DoubleFlag(argc, argv, "slo-latency-ms", options.slo_latency_ms);
+  options.slo_latency_objective = DoubleFlag(
+      argc, argv, "slo-latency-objective", options.slo_latency_objective);
+  options.slo_jaccard_floor_permille = static_cast<std::uint64_t>(
+      IntFlag(argc, argv, "slo-jaccard-floor",
+              static_cast<std::int64_t>(options.slo_jaccard_floor_permille)));
   for (int i = 2; i < argc; ++i) {
     // Bare --profile-hz (no value) means "on at the low background rate".
     if (std::strcmp(argv[i], "--profile-hz") == 0) {
@@ -665,7 +781,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: qdcbir_tool "
                "<synth|rfs|info|query|render|catalog|export-reps|snapshot"
-               "|serve|profile> [--flags]\n"
+               "|serve|profile|events> [--flags]\n"
                "snapshot flags: --db=<path> [--verify=1] [--threads=N]\n"
                "                [--flip-bit=OFFSET] [--truncate=BYTES]  "
                "(chaos helpers: corrupt in place)\n"
@@ -673,6 +789,12 @@ int Usage() {
                "                [--port-file=<path>] [--max-seconds=0]\n"
                "                [--trace-sample-every=8] "
                "[--slow-trace-ms=250] [--profile-hz=0]\n"
+               "                [--wide-events=<jsonl>] "
+               "[--wide-events-max-mb=64]\n"
+               "                [--slo-latency-ms=2000] "
+               "[--slo-latency-objective=0.95] [--slo-jaccard-floor=0]\n"
+               "events:         qdcbir_tool events summarize "
+               "--in=<events.jsonl>\n"
                "profile flags:  --db=<path> --rfs=<path> [--seconds=5] "
                "[--hz=99]\n"
                "                [--format=collapsed|json] [--out=<path>] "
@@ -699,6 +821,7 @@ int Dispatch(int argc, char** argv, const std::string& command) {
   if (command == "snapshot") return CmdSnapshot(argc, argv);
   if (command == "serve") return CmdServe(argc, argv);
   if (command == "profile") return CmdProfile(argc, argv);
+  if (command == "events") return CmdEvents(argc, argv);
   return Usage();
 }
 

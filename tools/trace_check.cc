@@ -21,6 +21,22 @@
 // names (qdcbir_dist_block_batch); with only --metrics it matches the
 // registry's dotted counter names in the JSON snapshot (dist.block.batch).
 //
+// Latency-percentile gates run against the same --prom scrape:
+//
+//   --require-quantile=<hist>:<p>:<max>
+//
+// reads the histogram family's cumulative `_bucket{le="..."}` samples and
+// fails when the p-th percentile (p as 95 or 0.95) exceeds max. The value
+// reported is the matched bucket's upper bound, so the gate inherits the
+// HDR layout's bounded relative error.
+//
+// SLO gates read a /sloz scrape:
+//
+//   --sloz=<sloz.json> [--require-slo=<name>:<state>]...
+//
+// Each --require-slo fails unless the named SLO reports exactly the given
+// state (ok, warn, or breach).
+//
 //   trace_check --profile=<profile.collapsed>
 //               [--require-profile-samples=N]
 //               [--require-profile-span=<prefix>[:min]]...
@@ -40,9 +56,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "qdcbir/obs/prom_export.h"
@@ -139,6 +157,132 @@ bool CheckRequiredMetric(const std::string& spec,
   return true;
 }
 
+/// Cumulative `(le, count)` buckets of one histogram family in exposition
+/// text, in document order (exemplar suffixes after " # " are ignored).
+/// The +Inf bucket is included with le = infinity.
+std::vector<std::pair<double, double>> ParsePromBuckets(
+    const std::string& text, const std::string& family) {
+  std::vector<std::pair<double, double>> buckets;
+  const std::string prefix = family + "_bucket{le=\"";
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(prefix, 0) != 0) continue;
+    const std::size_t le_begin = prefix.size();
+    const std::size_t le_end = line.find('"', le_begin);
+    if (le_end == std::string::npos) continue;
+    const std::string le_text = line.substr(le_begin, le_end - le_begin);
+    double le = 0.0;
+    if (le_text == "+Inf") {
+      le = std::numeric_limits<double>::infinity();
+    } else {
+      char* end = nullptr;
+      le = std::strtod(le_text.c_str(), &end);
+      if (end == le_text.c_str()) continue;
+    }
+    std::size_t value_begin = line.find(' ', le_end);
+    if (value_begin == std::string::npos) continue;
+    ++value_begin;
+    char* end = nullptr;
+    const double count = std::strtod(line.c_str() + value_begin, &end);
+    if (end == line.c_str() + value_begin) continue;
+    buckets.emplace_back(le, count);
+  }
+  return buckets;
+}
+
+/// Checks one `<hist>:<p>:<max>` quantile spec against exposition text.
+bool CheckRequiredQuantile(const std::string& spec, const std::string& text) {
+  const std::size_t c2 = spec.rfind(':');
+  const std::size_t c1 = c2 == std::string::npos ? std::string::npos
+                                                 : spec.rfind(':', c2 - 1);
+  if (c1 == std::string::npos || c1 == 0 || c2 <= c1 + 1 ||
+      c2 + 1 >= spec.size()) {
+    std::fprintf(stderr,
+                 "bad --require-quantile spec (want <hist>:<p>:<max>): %s\n",
+                 spec.c_str());
+    return false;
+  }
+  const std::string family = spec.substr(0, c1);
+  double p = std::strtod(spec.c_str() + c1 + 1, nullptr);
+  if (p > 1.0) p /= 100.0;  // accept 95 and 0.95
+  const double max_value = std::strtod(spec.c_str() + c2 + 1, nullptr);
+  if (p <= 0.0 || p > 1.0) {
+    std::fprintf(stderr, "quantile p out of range in spec: %s\n",
+                 spec.c_str());
+    return false;
+  }
+  const std::vector<std::pair<double, double>> buckets =
+      ParsePromBuckets(text, family);
+  if (buckets.empty()) {
+    std::fprintf(stderr, "histogram %s has no _bucket samples\n",
+                 family.c_str());
+    return false;
+  }
+  const double total = buckets.back().second;
+  if (total <= 0.0) {
+    std::fprintf(stderr, "histogram %s is empty\n", family.c_str());
+    return false;
+  }
+  // The percentile's value is the upper bound of the first bucket whose
+  // cumulative count reaches p*total (the exposition form is cumulative).
+  const double target = p * total;
+  double value = buckets.back().first;
+  for (const auto& [le, count] : buckets) {
+    if (count >= target) {
+      value = le;
+      break;
+    }
+  }
+  if (value > max_value) {
+    std::fprintf(stderr, "quantile %s p%g = %g exceeds max %g\n",
+                 family.c_str(), p * 100.0, value, max_value);
+    return false;
+  }
+  std::printf("  quantile %-32s p%-4g %g (<= %g)\n", family.c_str(),
+              p * 100.0, value, max_value);
+  return true;
+}
+
+/// Checks one `<name>:<state>` spec against a /sloz JSON scrape. The
+/// document is flat (`"name":"..."` followed by `"state":"..."` within the
+/// same object), so a linear scan is sufficient.
+bool CheckRequiredSlo(const std::string& spec, const std::string& sloz) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    std::fprintf(stderr, "bad --require-slo spec (want <name>:<state>): %s\n",
+                 spec.c_str());
+    return false;
+  }
+  const std::string name = spec.substr(0, colon);
+  const std::string want_state = spec.substr(colon + 1);
+  const std::string name_key = "\"name\":\"" + name + "\"";
+  const std::size_t at = sloz.find(name_key);
+  if (at == std::string::npos) {
+    std::fprintf(stderr, "slo %s not present in sloz document\n",
+                 name.c_str());
+    return false;
+  }
+  const std::string state_key = "\"state\":\"";
+  const std::size_t state_begin = sloz.find(state_key, at);
+  const std::size_t object_end = sloz.find('}', at);
+  if (state_begin == std::string::npos ||
+      (object_end != std::string::npos && state_begin > object_end)) {
+    std::fprintf(stderr, "slo %s carries no state field\n", name.c_str());
+    return false;
+  }
+  const std::size_t value_begin = state_begin + state_key.size();
+  const std::size_t value_end = sloz.find('"', value_begin);
+  const std::string state = sloz.substr(value_begin, value_end - value_begin);
+  if (state != want_state) {
+    std::fprintf(stderr, "slo %s state is %s, required %s\n", name.c_str(),
+                 state.c_str(), want_state.c_str());
+    return false;
+  }
+  std::printf("  slo %-36s %s\n", name.c_str(), state.c_str());
+  return true;
+}
+
 /// One parsed collapsed-stack line: the root (span) frame and the count.
 struct CollapsedStack {
   std::string root;
@@ -201,13 +345,22 @@ int main(int argc, char** argv) {
       Flag(argc, argv, "require-profile-samples");
   const std::vector<std::string> required_profile_spans =
       FlagList(argc, argv, "require-profile-span");
+  const std::vector<std::string> required_quantiles =
+      FlagList(argc, argv, "require-quantile");
+  const std::string sloz_path = Flag(argc, argv, "sloz");
+  const std::vector<std::string> required_slos =
+      FlagList(argc, argv, "require-slo");
   if (trace_path.empty() && metrics_path.empty() && prom_path.empty() &&
-      profile_path.empty()) {
+      profile_path.empty() && sloz_path.empty()) {
     std::fprintf(stderr,
                  "usage: trace_check --trace=<file>"
                  " [--require-span=<name>[:min_count]]\n"
                  "                   [--metrics=<file>] [--prom=<file>]"
                  " [--require-metric=<name>[:min]]\n"
+                 "                   "
+                 "[--require-quantile=<hist>:<p>:<max>]\n"
+                 "                   [--sloz=<file>]"
+                 " [--require-slo=<name>:<state>]\n"
                  "                   [--profile=<collapsed file>]"
                  " [--require-profile-samples=N]\n"
                  "                   "
@@ -218,6 +371,14 @@ int main(int argc, char** argv) {
       metrics_path.empty()) {
     std::fprintf(stderr,
                  "--require-metric needs --prom=<file> or --metrics=<file>\n");
+    return 1;
+  }
+  if (!required_quantiles.empty() && prom_path.empty()) {
+    std::fprintf(stderr, "--require-quantile needs --prom=<file>\n");
+    return 1;
+  }
+  if (!required_slos.empty() && sloz_path.empty()) {
+    std::fprintf(stderr, "--require-slo needs --sloz=<file>\n");
     return 1;
   }
 
@@ -320,6 +481,26 @@ int main(int argc, char** argv) {
                 prom_path.c_str(), samples.size(), exemplar_trace_ids.size());
     for (const std::string& spec : required_metrics) {
       if (!CheckRequiredMetric(spec, samples, "prom exposition")) return 1;
+    }
+    for (const std::string& spec : required_quantiles) {
+      if (!CheckRequiredQuantile(spec, text)) return 1;
+    }
+  }
+
+  if (!sloz_path.empty()) {
+    std::string sloz;
+    if (!ReadFile(sloz_path, &sloz)) {
+      std::fprintf(stderr, "cannot read sloz file: %s\n", sloz_path.c_str());
+      return 1;
+    }
+    if (sloz.find("\"slos\"") == std::string::npos) {
+      std::fprintf(stderr, "sloz file %s missing \"slos\" array\n",
+                   sloz_path.c_str());
+      return 1;
+    }
+    std::printf("sloz ok: %s (%zu bytes)\n", sloz_path.c_str(), sloz.size());
+    for (const std::string& spec : required_slos) {
+      if (!CheckRequiredSlo(spec, sloz)) return 1;
     }
   }
 
