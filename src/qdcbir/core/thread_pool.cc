@@ -105,6 +105,7 @@ bool ThreadPool::RunOneTask(std::unique_lock<std::mutex>& lock) {
     const obs::ScopedTraceContext scoped_trace(std::move(task.trace));
     const obs::ScopedSpanTag scoped_span(task.enqueue_span);
     const obs::ScopedResourceAccounting scoped_resources(task.resources);
+    const obs::ScopedAccessAccounting scoped_access(task.access);
     try {
       task.fn();
     } catch (...) {
@@ -165,7 +166,8 @@ void ThreadPool::Post(std::function<void()> task) {
     queue_.push_back(Task{std::move(task), std::move(batch),
                           obs::MonotonicNanos(), obs::CurrentTraceContext(),
                           obs::CurrentSpanName(),
-                          obs::CurrentResourceAccumulator()});
+                          obs::CurrentResourceAccumulator(),
+                          obs::CurrentAccessAccumulator()});
   }
   work_cv_.notify_one();
 }
@@ -192,6 +194,7 @@ void ThreadPool::Run(std::vector<std::function<void()>> tasks) {
   const obs::TraceContext& trace = obs::CurrentTraceContext();
   const char* enqueue_span = obs::CurrentSpanName();
   obs::ResourceAccumulator* resources = obs::CurrentResourceAccumulator();
+  obs::AccessAccumulator* access = obs::CurrentAccessAccumulator();
   {
     std::lock_guard<std::mutex> lock(mu_);
     // The gauge goes up before any worker can pop a task (the pop needs
@@ -203,7 +206,7 @@ void ThreadPool::Run(std::vector<std::function<void()>> tasks) {
         static_cast<std::int64_t>(tasks.size()));
     for (std::function<void()>& task : tasks) {
       queue_.push_back(Task{std::move(task), batch, enqueue_ns, trace,
-                            enqueue_span, resources});
+                            enqueue_span, resources, access});
     }
   }
   work_cv_.notify_all();

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "qdcbir/obs/access_stats.h"
 #include "qdcbir/obs/metrics.h"
 #include "qdcbir/obs/resource_stats.h"
 #include "qdcbir/obs/span_stack.h"
@@ -141,6 +142,9 @@ class ThreadPool {
     /// The submitter's active resource sink, installed for the task's
     /// duration so engine taps on workers count toward the right session.
     obs::ResourceAccumulator* resources = nullptr;
+    /// The submitter's active per-leaf access sink, propagated the same
+    /// way so index-access taps on workers land in the right session.
+    obs::AccessAccumulator* access = nullptr;
   };
 
   void WorkerLoop();

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "qdcbir/obs/metrics.h"
 #include "qdcbir/obs/quality_stats.h"
 
 namespace qdcbir {
@@ -95,6 +96,10 @@ void QueryLog::Record(QueryAuditRecord record) {
                                             std::memory_order_relaxed)) {
     // Another writer holds this slot (sequences kCapacity apart racing).
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    static Counter& dropped_counter = MetricsRegistry::Global().GetCounter(
+        "querylog.dropped",
+        "Session audit records dropped on a query-log slot collision");
+    dropped_counter.Add(1);
     return;
   }
 

@@ -123,6 +123,12 @@ class QueryLog {
   static QueryLog& Global();
 
  private:
+  /// Test-only accessor: a real slot collision needs two writers racing
+  /// `kCapacity` sequences apart mid-write, which cannot be scheduled
+  /// deterministically from the public API. The peer pins a slot's seqlock
+  /// version to "write in progress" so the drop path is directly testable.
+  friend class QueryLogTestPeer;
+
   struct Slot {
     /// Seqlock version: 0 = never written, odd = write in progress.
     std::atomic<std::uint32_t> version{0};

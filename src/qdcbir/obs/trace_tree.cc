@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "qdcbir/obs/metrics.h"
+
 namespace qdcbir {
 namespace obs {
 
@@ -28,6 +30,12 @@ void TraceBuffer::Append(const SpanRecord& record) {
   std::lock_guard<std::mutex> lock(mu_);
   if (spans_.size() >= kMaxSpans) {
     ++dropped_;
+    // Cold path only: the registered reference is cached so a trace stuck
+    // at capacity doesn't re-walk the registry map per span.
+    static Counter& dropped_counter = MetricsRegistry::Global().GetCounter(
+        "trace.spans.dropped",
+        "Spans dropped because a trace's span buffer was full");
+    dropped_counter.Add(1);
     return;
   }
   spans_.push_back(record);
@@ -36,7 +44,13 @@ void TraceBuffer::Append(const SpanRecord& record) {
 void TraceBuffer::Annotate(std::uint64_t span_id, const char* key,
                            std::int64_t value) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (annotations_.size() >= kMaxSpans) return;
+  if (annotations_.size() >= kMaxSpans) {
+    static Counter& dropped_counter = MetricsRegistry::Global().GetCounter(
+        "trace.annotations.dropped",
+        "Span annotations dropped because a trace's buffer was full");
+    dropped_counter.Add(1);
+    return;
+  }
   annotations_.push_back(SpanAnnotation{span_id, key, value});
 }
 

@@ -9,6 +9,7 @@
 #include "qdcbir/core/feature_block.h"
 #include "qdcbir/core/thread_pool.h"
 
+#include "qdcbir/obs/access_stats.h"
 #include "qdcbir/obs/resource_stats.h"
 #include "qdcbir/obs/span.h"
 
@@ -91,6 +92,8 @@ StatusOr<Ranking> FaginEngine::ComputeRanking(std::size_t k) {
   AddBlockBatches(subsystems_.size() * blocks.num_blocks());
   obs::CountDistanceEvals(subsystems_.size() * blocks.size());
   obs::CountFeatureBytes(blocks.size() * blocks.dim() * sizeof(double));
+  obs::CountLeafScan(obs::kTableScanLeaf, subsystems_.size() * blocks.size(),
+                     blocks.size() * blocks.dim() * sizeof(double));
   {
     std::vector<std::function<void()>> sort_tasks;
     sort_tasks.reserve(subsystems_.size());

@@ -11,6 +11,7 @@
 #include "qdcbir/core/thread_pool.h"
 #include "qdcbir/query/multipoint.h"
 
+#include "qdcbir/obs/access_stats.h"
 #include "qdcbir/obs/resource_stats.h"
 #include "qdcbir/obs/span.h"
 
@@ -54,8 +55,10 @@ StatusOr<Ranking> QclusterEngine::ComputeRanking(std::size_t k) {
     if (hit != nullptr) {
       stats_.global_knn_computations += 1;
       stats_.candidates_scanned += table.size();
+      obs::CountLeafCacheHit(obs::kTableScanLeaf);
       return *hit;
     }
+    obs::CountLeafCacheMiss(obs::kTableScanLeaf);
   }
 
   std::vector<FeatureVector> relevant_points;
@@ -167,6 +170,8 @@ StatusOr<Ranking> QclusterEngine::ComputeRanking(std::size_t k) {
   AddBlockBatches(total_batches);
   obs::CountDistanceEvals(table.size() * centroids.size());
   obs::CountFeatureBytes(table.size() * blocks.dim() * sizeof(double));
+  obs::CountLeafScan(obs::kTableScanLeaf, table.size() * centroids.size(),
+                     table.size() * blocks.dim() * sizeof(double));
   stats_.global_knn_computations += 1;
   stats_.candidates_scanned += table.size();
   Ranking ranking;

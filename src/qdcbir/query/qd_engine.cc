@@ -12,6 +12,7 @@
 #include "qdcbir/core/distance_kernels.h"
 #include "qdcbir/core/feature_block.h"
 #include "qdcbir/core/thread_pool.h"
+#include "qdcbir/obs/access_stats.h"
 #include "qdcbir/obs/metrics.h"
 #include "qdcbir/obs/resource_stats.h"
 #include "qdcbir/obs/span.h"
@@ -252,8 +253,10 @@ Ranking QdSession::LocalizedSearch(NodeId node,
   if (std::shared_ptr<const LeafScanValue> hit =
           cache_mgr->LookupAs<LeafScanValue>(key, &token)) {
     stats->knn_nodes_visited += hit->nodes_visited;
+    obs::CountLeafCacheHit(static_cast<obs::AccessLeafId>(node));
     return hit->ranking;
   }
+  obs::CountLeafCacheMiss(static_cast<obs::AccessLeafId>(node));
   const std::size_t nodes_before = stats->knn_nodes_visited;
   Ranking ranking = LocalizedSearchUncached(node, query_point, fetch, stats);
   auto value = std::make_shared<LeafScanValue>();
@@ -277,6 +280,10 @@ Ranking QdSession::LocalizedSearchUncached(NodeId node,
     obs::CountLeafVisits(search_stats.nodes_visited);
     obs::CountDistanceEvals(search_stats.entries_scanned);
     obs::CountFeatureBytes(search_stats.entries_scanned *
+                           rfs_->feature_blocks().dim() * sizeof(double));
+    obs::CountLeafScan(static_cast<obs::AccessLeafId>(node),
+                       search_stats.entries_scanned,
+                       search_stats.entries_scanned *
                            rfs_->feature_blocks().dim() * sizeof(double));
     return ranking;
   }
@@ -319,6 +326,8 @@ Ranking QdSession::LocalizedSearchUncached(NodeId node,
   AddBlockBatches(batches);
   obs::CountDistanceEvals(members.size());
   obs::CountFeatureBytes(members.size() * blocks.dim() * sizeof(double));
+  obs::CountLeafScan(static_cast<obs::AccessLeafId>(node), members.size(),
+                     members.size() * blocks.dim() * sizeof(double));
   std::sort(ranking.begin(), ranking.end(),
             [](const KnnMatch& a, const KnnMatch& b) {
               if (a.distance_squared != b.distance_squared) {

@@ -1,0 +1,77 @@
+#ifndef QDCBIR_RFS_RFS_INTROSPECT_H_
+#define QDCBIR_RFS_RFS_INTROSPECT_H_
+
+/// \file
+/// RFS tree introspection: one walk of the annotated tree producing the
+/// geometry every observability surface shares — `GET /indexz` joins it
+/// with live access stats, `qdcbir_tool indexz` dumps it offline from a
+/// snapshot, and `qdcbir_tool snapshot inspect` prints the human summary.
+/// Leaf ids are the tree's stable NodeIds, the same ids the access-stats
+/// taps record, so the join is a plain merge on id.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qdcbir/core/types.h"
+#include "qdcbir/obs/access_stats.h"
+#include "qdcbir/rfs/rfs_tree.h"
+
+namespace qdcbir {
+
+/// Shape of one RFS leaf, as `/indexz` reports it.
+struct IndexLeafShape {
+  NodeId id = kInvalidNodeId;
+  std::size_t entries = 0;          ///< images stored in the leaf
+  std::size_t representatives = 0;  ///< leaf-level representatives
+  std::uint64_t feature_bytes = 0;  ///< resident feature payload
+  double diagonal = 0.0;            ///< MBR diagonal (expansion test input)
+};
+
+/// Whole-tree geometry from one walk of the annotated RFS tree.
+struct IndexTreeSummary {
+  int height = 0;
+  std::size_t node_count = 0;
+  std::size_t internal_count = 0;
+  std::size_t leaf_count = 0;
+  std::size_t total_images = 0;
+  std::size_t feature_dim = 0;
+  std::size_t leaf_representatives = 0;
+  std::size_t min_fanout = 0;  ///< children per internal node
+  std::size_t max_fanout = 0;
+  double mean_fanout = 0.0;
+  std::size_t min_leaf_entries = 0;
+  std::size_t max_leaf_entries = 0;
+  double mean_leaf_entries = 0.0;
+  std::uint64_t leaf_feature_bytes = 0;  ///< sum over leaves
+  std::vector<IndexLeafShape> leaves;    ///< sorted by id
+};
+
+IndexTreeSummary SummarizeIndexTree(const RfsTree& tree);
+
+/// Live access-side data joined into the `/indexz` document. Leave fields
+/// default for offline (tree-only) dumps — the JSON then reports zero
+/// access everywhere rather than changing shape.
+struct IndexAccessJoin {
+  std::uint64_t generation = 0;  ///< snapshot-load epoch the stats belong to
+  std::uint64_t sessions = 0;    ///< sessions drained into the table
+  std::vector<obs::LeafAccess> access;  ///< per-leaf counters, sorted by id
+  std::vector<obs::CoAccessTracker::PairCount> coaccess;
+  std::uint64_t coaccess_sets = 0;
+  std::uint64_t coaccess_evictions = 0;
+  std::uint64_t coaccess_truncated = 0;
+};
+
+/// The `/indexz` JSON document: tree geometry, per-leaf shape joined with
+/// access counters, hot-leaf table (top `hot_n` by scans), skew summary
+/// (top-`hot_n` share and Gini coefficient over leaf scan counts, both in
+/// permille), the table-scan bucket, and the co-access pair table.
+std::string RenderIndexzJson(const IndexTreeSummary& tree,
+                             const IndexAccessJoin& join, std::size_t hot_n);
+
+/// Human-readable tree-shape digest for `qdcbir_tool snapshot inspect`.
+std::string RenderIndexTreeText(const IndexTreeSummary& tree);
+
+}  // namespace qdcbir
+
+#endif  // QDCBIR_RFS_RFS_INTROSPECT_H_

@@ -13,6 +13,7 @@
 #include "qdcbir/cache/cache_manager.h"
 #include "qdcbir/dataset/database_io.h"
 #include "qdcbir/image/ppm_io.h"
+#include "qdcbir/obs/access_stats.h"
 #include "qdcbir/obs/build_info.h"
 #include "qdcbir/obs/clock.h"
 #include "qdcbir/obs/log.h"
@@ -23,7 +24,9 @@
 #include "qdcbir/obs/query_log.h"
 #include "qdcbir/obs/resource_stats.h"
 #include "qdcbir/obs/span.h"
+#include "qdcbir/obs/timeseries.h"
 #include "qdcbir/obs/trace_tree.h"
+#include "qdcbir/rfs/rfs_introspect.h"
 #include "qdcbir/rfs/rfs_serialization.h"
 #include "qdcbir/serve/json_mini.h"
 
@@ -34,6 +37,10 @@ namespace {
 
 constexpr const char* kJsonType = "application/json; charset=utf-8";
 constexpr const char* kPromType = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Rows of the `/indexz` hot-leaf and co-access tables (and of the labeled
+/// `/metrics` leaf families) when the request names no `?n=`.
+constexpr std::size_t kHotLeafDefault = 16;
 
 obs::HttpResponse JsonError(int status, const std::string& message) {
   return obs::HttpResponse{status, kJsonType,
@@ -197,6 +204,11 @@ ServeApp::ServeApp(ServeOptions options)
     slo_engine_->Evaluate();
     std::string body = obs::RenderPrometheusText(obs::MetricsRegistry::Global());
     body += obs::RenderProcessMetricsText(obs::ReadProcessStats());
+    // Labeled per-leaf heatmap samples (qdcbir_index_leaf_*{leaf="N"}) use
+    // family names disjoint from the registry's, so appending them keeps
+    // the exposition valid.
+    body += obs::RenderIndexLeafPrometheusText(
+        obs::AccessStatsTable::Global().Snapshot(), kHotLeafDefault);
     return obs::HttpResponse{200, kPromType, std::move(body)};
   });
   server_.Handle("/statusz", [this](const obs::HttpRequest& request) {
@@ -227,6 +239,12 @@ ServeApp::ServeApp(ServeOptions options)
   });
   server_.Handle("/sloz", [this](const obs::HttpRequest& request) {
     return HandleSloz(request);
+  });
+  server_.Handle("/indexz", [this](const obs::HttpRequest& request) {
+    return HandleIndexz(request);
+  });
+  server_.Handle("/historyz", [this](const obs::HttpRequest& request) {
+    return HandleHistoryz(request);
   });
   server_.Handle("/api/query", [this](const obs::HttpRequest& request) {
     return HandleApiQuery(request);
@@ -285,6 +303,11 @@ ServeApp::ServeApp(ServeOptions options)
 
     slo_engine_ = std::make_unique<obs::SloEngine>(std::move(slos));
   }
+  {
+    obs::FlightRecorder::Options recorder_options;
+    recorder_options.interval_ns = options_.history_interval_ms * 1000000ull;
+    recorder_ = std::make_unique<obs::FlightRecorder>(recorder_options);
+  }
   if (!options_.wide_events_path.empty()) {
     obs::WideEventSinkOptions sink_options;
     sink_options.path = options_.wide_events_path;
@@ -324,11 +347,13 @@ bool ServeApp::Start(std::string* error) {
                  "background profiler not started: " + profiler_error);
     }
   }
+  if (options_.history_interval_ms > 0) recorder_->Start();
   loader_ = std::thread([this] { LoadInBackground(); });
   return true;
 }
 
 void ServeApp::Stop() {
+  recorder_->Stop();
   if (profiler_armed_) {
     obs::Profiler::Global().Stop();
     profiler_armed_ = false;
@@ -459,6 +484,24 @@ void ServeApp::LoadInBackground() {
         cache::HashBytes(options_.db_path.data(), options_.db_path.size()),
         generation));
   }
+  // Leaf ids are only meaningful within one loaded tree: start a fresh
+  // access epoch and publish the new tree's shape as gauges so scrapes can
+  // normalize heatmaps (scans per leaf vs leaves in the tree).
+  obs::AccessStatsTable::Global().Reset();
+  obs::CoAccessTracker::Global().Reset();
+  {
+    const IndexTreeSummary shape = SummarizeIndexTree(*rfs_);
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    registry.GetGauge("index.tree.leaves", "Leaves in the loaded RFS tree")
+        .Set(static_cast<std::int64_t>(shape.leaf_count));
+    registry.GetGauge("index.tree.nodes", "Nodes in the loaded RFS tree")
+        .Set(static_cast<std::int64_t>(shape.node_count));
+    registry.GetGauge("index.tree.height", "Height of the loaded RFS tree")
+        .Set(static_cast<std::int64_t>(shape.height));
+    registry
+        .GetGauge("index.tree.images", "Images indexed by the loaded RFS tree")
+        .Set(static_cast<std::int64_t>(shape.total_images));
+  }
   QDCBIR_LOG(obs::LogLevel::kInfo,
              "serving " + std::to_string(db_->size()) + " images from " +
                  options_.db_path + " (load generation " +
@@ -537,11 +580,17 @@ obs::HttpResponse ServeApp::HandleApiQuery(const obs::HttpRequest& request) {
     sessions_[session_id] = session;
   }
 
+  static obs::Counter& sessions_counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "qd.sessions", "Interactive QD sessions opened over HTTP");
+  sessions_counter.Add(1);
+
   const std::uint64_t start_ns = obs::MonotonicNanos();
   std::vector<DisplayGroup> display;
   {
     const obs::ScopedTraceContext scoped(session->trace);
     const obs::ScopedResourceAccounting accounting(&session->resources);
+    const obs::ScopedAccessAccounting access_accounting(&session->access);
     QDCBIR_SPAN("serve.api.query");
     display = session->qd.Start();
   }
@@ -602,6 +651,9 @@ obs::HttpResponse ServeApp::HandleApiFeedback(
   // deltas (from this thread and every pool worker the engine fans out to)
   // merge into the session's accumulator.
   const obs::ScopedResourceAccounting accounting(&session->resources);
+  // Same span for the per-leaf access sink, so every localized scan below
+  // attributes its work to the RFS leaf it touched.
+  const obs::ScopedAccessAccounting access_accounting(&session->access);
 
   std::vector<ImageId> relevant;
   if (const JsonValue* ids = body.Find("relevant")) {
@@ -774,6 +826,13 @@ obs::HttpResponse ServeApp::HandleApiFeedback(
     completed.dropped_spans = session->trace.buffer->dropped();
     completed.spans = session->trace.buffer->spans();
     completed.annotations = session->trace.buffer->annotations();
+    if (slow) {
+      // Pin the slow session into engine history: an immediate sample
+      // captures the counters around the spike, and the event mark lets
+      // /historyz output join back to the /tracez tree by trace id.
+      recorder_->SampleNow();
+      recorder_->MarkEvent(completed.trace_id);
+    }
     obs::TraceStore::Global().Publish(std::move(completed));
   }
   QDCBIR_LOG(obs::LogLevel::kInfo,
@@ -963,6 +1022,20 @@ obs::HttpResponse ServeApp::HandleStatusz(const obs::HttpRequest&) {
     slo_summary += ")";
     row("slo", slo_summary);
   }
+  {
+    const obs::AccessStatsTable& table = obs::AccessStatsTable::Global();
+    row("index_access",
+        std::to_string(table.Snapshot().size()) + " leaves touched over " +
+            std::to_string(table.sessions_merged()) + " sessions, " +
+            std::to_string(obs::CoAccessTracker::Global().sets_recorded()) +
+            " co-access sets");
+  }
+  row("flight_recorder",
+      options_.history_interval_ms > 0
+          ? std::to_string(options_.history_interval_ms) + " ms cadence, " +
+                std::to_string(recorder_->samples_taken()) + " samples"
+          : "off (" + std::to_string(recorder_->samples_taken()) +
+                " event-driven samples)");
   if (wide_events_ != nullptr) {
     row("wide_events", wide_events_->path() + ", " +
                            std::to_string(wide_events_->emitted()) +
@@ -987,6 +1060,9 @@ obs::HttpResponse ServeApp::HandleStatusz(const obs::HttpRequest&) {
   link("/tracez", "sampled and slow span trees (JSON)");
   link("/logz", "structured log ring (JSON)");
   link("/sloz", "SLO burn-rate states (JSON)");
+  link("/indexz", "RFS tree geometry + per-leaf access heatmap (JSON)");
+  link("/historyz?metric=qd.sessions",
+       "flight-recorder metric history (JSON)");
   link("/profilez?seconds=2", "span-attributed CPU profile (collapsed)");
   link("/profilez?seconds=2&amp;format=json", "CPU profile (JSON aggregate)");
   body +=
@@ -1057,10 +1133,92 @@ obs::HttpResponse ServeApp::HandleSloz(const obs::HttpRequest&) {
   return obs::HttpResponse{200, kJsonType, slo_engine_->RenderJson() + "\n"};
 }
 
+obs::HttpResponse ServeApp::HandleIndexz(const obs::HttpRequest& request) {
+  std::size_t hot_n = 0;
+  if (!ParseCountParam(request.query, kHotLeafDefault, &hot_n)) {
+    return JsonError(400, "n must be a positive integer");
+  }
+  // The tree walk runs under `sessions_mu_` like /api/rep: readiness flips
+  // (reload) happen under the same lock, so observing kServing here pins
+  // `rfs_` for the duration. The walk is O(nodes) over in-memory structs.
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (readiness() != Readiness::kServing) {
+    return JsonError(503, std::string("not ready: ") +
+                              ReadinessName(readiness()));
+  }
+  const IndexTreeSummary summary = SummarizeIndexTree(*rfs_);
+  IndexAccessJoin join;
+  join.generation = load_generation_.load(std::memory_order_relaxed);
+  const obs::AccessStatsTable& table = obs::AccessStatsTable::Global();
+  join.sessions = table.sessions_merged();
+  join.access = table.Snapshot();
+  const obs::CoAccessTracker& coaccess = obs::CoAccessTracker::Global();
+  join.coaccess = coaccess.TopPairs(hot_n);
+  join.coaccess_sets = coaccess.sets_recorded();
+  join.coaccess_evictions = coaccess.evictions();
+  join.coaccess_truncated = coaccess.leaves_truncated();
+  return obs::HttpResponse{200, kJsonType,
+                           RenderIndexzJson(summary, join, hot_n) + "\n"};
+}
+
+obs::HttpResponse ServeApp::HandleHistoryz(const obs::HttpRequest& request) {
+  // `?metric=` names one series; absent (or unknown) renders the series
+  // directory with `"known":false` so callers can self-correct.
+  // `?window=` is trailing seconds of history; 0 or absent keeps the whole
+  // ring.
+  const std::string metric = QueryParam(request.query, "metric");
+  const double window_s = QueryParamDouble(request.query, "window", 0.0);
+  if (window_s < 0.0) {
+    return JsonError(400, "window must be non-negative seconds");
+  }
+  const std::uint64_t window_ns =
+      static_cast<std::uint64_t>(window_s * 1e9);
+  return obs::HttpResponse{200, kJsonType,
+                           recorder_->RenderJson(metric, window_ns) + "\n"};
+}
+
 void ServeApp::FinishSessionObservability(const Session& session,
                                           std::uint64_t session_id,
                                           const obs::SessionQuality& quality,
                                           const obs::QueryAuditRecord& record) {
+  // Drain the session's index-access heatmap: this thread's pending slot
+  // deltas first (pool workers flushed at task end; at teardown there is no
+  // installed sink, so the flush is a no-op), then per-leaf rows into the
+  // global table, label-free aggregates into the registry, and the
+  // touched-leaf set into the co-access tracker.
+  obs::FlushAccessAccounting();
+  const std::vector<obs::LeafAccess> access = session.access.Snapshot();
+  obs::AccessStatsTable::Global().MergeSession(access);
+  if (!access.empty()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    static obs::Counter& scans = registry.GetCounter(
+        "access.leaf.scans", "Localized leaf scans across RF sessions");
+    static obs::Counter& evals = registry.GetCounter(
+        "access.leaf.distance_evals",
+        "Distance evaluations attributed to leaf scans");
+    static obs::Counter& bytes = registry.GetCounter(
+        "access.leaf.feature_bytes",
+        "Feature-vector bytes read by leaf scans");
+    static obs::Counter& hits = registry.GetCounter(
+        "access.cache.hits", "Leaf scans answered from the result cache");
+    static obs::Counter& misses = registry.GetCounter(
+        "access.cache.misses", "Leaf scans that had to touch the index");
+    obs::LeafAccessCounts totals;
+    std::vector<obs::AccessLeafId> touched;
+    for (const obs::LeafAccess& row : access) {
+      totals.Add(row.counts);
+      if (row.counts.scans > 0 && row.leaf != obs::kTableScanLeaf) {
+        touched.push_back(row.leaf);
+      }
+    }
+    scans.Add(totals.scans);
+    evals.Add(totals.distance_evals);
+    bytes.Add(totals.feature_bytes);
+    hits.Add(totals.cache_hits);
+    misses.Add(totals.cache_misses);
+    obs::CoAccessTracker::Global().RecordTouchedSet(std::move(touched));
+  }
+
   obs::PublishSessionQuality(quality);
   slo_engine_->Evaluate();
   if (wide_events_ == nullptr) return;
@@ -1101,6 +1259,7 @@ void ServeApp::FinishSessionObservability(const Session& session,
       .Add("alloc_bytes", record.alloc_bytes)
       .Add("cache_hits", record.cache_hits)
       .Add("cache_misses", record.cache_misses)
+      .Add("leaves_touched", static_cast<std::uint64_t>(access.size()))
       // Quality telemetry.
       .Add("quality_jaccard_permille", quality.last_jaccard_permille)
       .Add("quality_mean_jaccard_permille", quality.mean_jaccard_permille)

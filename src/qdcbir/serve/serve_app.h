@@ -15,11 +15,13 @@
 #include "qdcbir/cache/cache_manager.h"
 #include "qdcbir/core/thread_pool.h"
 #include "qdcbir/dataset/database.h"
+#include "qdcbir/obs/access_stats.h"
 #include "qdcbir/obs/http_server.h"
 #include "qdcbir/obs/quality_stats.h"
 #include "qdcbir/obs/query_log.h"
 #include "qdcbir/obs/resource_stats.h"
 #include "qdcbir/obs/slo.h"
+#include "qdcbir/obs/timeseries.h"
 #include "qdcbir/obs/trace_context.h"
 #include "qdcbir/obs/wide_event.h"
 #include "qdcbir/query/qd_engine.h"
@@ -103,6 +105,11 @@ struct ServeOptions {
   /// exported) — serve has no ground truth, so the floor is opt-in.
   std::uint64_t slo_jaccard_floor_permille = 0;
   double slo_jaccard_objective = 0.5;
+  /// Metrics flight-recorder cadence: every counter and gauge is sampled
+  /// into a fixed-memory ring this often, surfaced at `/historyz`. 0
+  /// disables background sampling (the endpoint still answers, fed only by
+  /// the slow-trace hook's direct samples).
+  std::uint64_t history_interval_ms = 1000;
 };
 
 /// The admin/serving application: loads a database snapshot and RFS tree
@@ -121,6 +128,12 @@ struct ServeOptions {
 ///   GET  /tracez        recent sampled and slow span trees
 ///   GET  /logz          structured log ring (?n=N keeps the newest N)
 ///   GET  /sloz          SLO definitions and burn-rate states (JSON)
+///   GET  /indexz        RFS tree geometry joined with live per-leaf access
+///                       stats, hot-leaf/skew summary, and co-access pairs
+///                       (?n=N sizes the hot-leaf and pair tables)
+///   GET  /historyz      flight-recorder series for one metric
+///                       (?metric=name&window=seconds; per-interval deltas
+///                       and rates, with slow-trace event marks)
 ///   GET  /profilez      span-attributed CPU profile capture
 ///                       (?seconds=N&hz=N&format=collapsed|json)
 ///   POST /api/query     open a session, returns the first display
@@ -186,6 +199,11 @@ class ServeApp {
     /// merge their physical-work deltas here. Snapshotted into the /queryz
     /// record and the serve.session.* histograms at finalize.
     obs::ResourceAccumulator resources;
+    /// Per-leaf index access sink, installed alongside `resources` so pool
+    /// workers attribute scans/evals/bytes to the RFS leaf they touched.
+    /// Drained into the global AccessStatsTable and the co-access tracker
+    /// when the session ends (finalize or teardown).
+    obs::AccessAccumulator access;
     /// Passive quality observer: fed the ranked ids of every display and
     /// the final result; never influences ranking (see obs/quality_stats.h).
     obs::SessionQualityTracker quality;
@@ -201,6 +219,8 @@ class ServeApp {
   obs::HttpResponse HandleStatusz(const obs::HttpRequest& request);
   obs::HttpResponse HandleProfilez(const obs::HttpRequest& request);
   obs::HttpResponse HandleSloz(const obs::HttpRequest& request);
+  obs::HttpResponse HandleIndexz(const obs::HttpRequest& request);
+  obs::HttpResponse HandleHistoryz(const obs::HttpRequest& request);
 
   /// Publishes quality metrics, fills the audit record's quality fields,
   /// and emits the session's wide event. Called with the session off the
@@ -266,6 +286,11 @@ class ServeApp {
   /// In-process SLO engine (obs/slo.h); evaluated from the /metrics,
   /// /sloz, and /statusz handlers and after each session finalize.
   std::unique_ptr<obs::SloEngine> slo_engine_;
+  /// Metrics flight recorder behind `/historyz`. Background sampling runs
+  /// from `Start` to `Stop` when `history_interval_ms` > 0; slow-trace
+  /// capture additionally takes a direct sample and pins the trace id as an
+  /// event mark so history and traces join on time.
+  std::unique_ptr<obs::FlightRecorder> recorder_;
   /// Wide-event sink (null when `wide_events_path` is empty).
   std::unique_ptr<obs::WideEventSink> wide_events_;
 };

@@ -2,7 +2,10 @@
 // same scripted QD session must return byte-identical results at 1/2/4/8
 // pool lanes, with the tracer disarmed AND with it armed (tracing adds
 // mutex-serialized event appends on every span — none of that may leak
-// into result ordering or scoring).
+// into result ordering or scoring). The same holds for index-access
+// telemetry and the metrics flight recorder: ranked results AND the
+// logical cost model (QdSessionStats) must be byte-identical with them on
+// vs off.
 
 #include <gtest/gtest.h>
 
@@ -13,6 +16,9 @@
 
 #include "qdcbir/core/thread_pool.h"
 #include "qdcbir/dataset/synthesizer.h"
+#include "qdcbir/obs/access_stats.h"
+#include "qdcbir/obs/metrics.h"
+#include "qdcbir/obs/timeseries.h"
 #include "qdcbir/obs/trace.h"
 #include "qdcbir/query/qd_engine.h"
 #include "qdcbir/rfs/rfs_builder.h"
@@ -43,7 +49,8 @@ class InstrumentedDeterminismTest : public ::testing::Test {
     delete db_;
   }
 
-  static QdResult RunScriptedSession(ThreadPool* pool) {
+  static QdResult RunScriptedSession(ThreadPool* pool,
+                                     QdSessionStats* stats_out = nullptr) {
     QdOptions options;
     options.seed = 1234;
     options.pool = pool;
@@ -58,7 +65,9 @@ class InstrumentedDeterminismTest : public ::testing::Test {
       }
       display = session.Feedback(picks).value();
     }
-    return session.Finalize(60).value();
+    QdResult result = session.Finalize(60).value();
+    if (stats_out != nullptr) *stats_out = session.stats();
+    return result;
   }
 
   static const ImageDatabase* db_;
@@ -83,6 +92,17 @@ void ExpectIdenticalResults(const QdResult& a, const QdResult& b) {
       EXPECT_EQ(ga.images[i].distance_squared, gb.images[i].distance_squared);
     }
   }
+}
+
+void ExpectIdenticalStats(const QdSessionStats& a, const QdSessionStats& b) {
+  EXPECT_EQ(a.feedback_rounds, b.feedback_rounds);
+  EXPECT_EQ(a.nodes_touched, b.nodes_touched);
+  EXPECT_EQ(a.distinct_nodes_sampled, b.distinct_nodes_sampled);
+  EXPECT_EQ(a.boundary_expansions, b.boundary_expansions);
+  EXPECT_EQ(a.expanded_subqueries, b.expanded_subqueries);
+  EXPECT_EQ(a.localized_subqueries, b.localized_subqueries);
+  EXPECT_EQ(a.knn_candidates, b.knn_candidates);
+  EXPECT_EQ(a.knn_nodes_visited, b.knn_nodes_visited);
 }
 
 TEST_F(InstrumentedDeterminismTest, IdenticalAcrossThreadCountsTracingOff) {
@@ -119,6 +139,49 @@ TEST_F(InstrumentedDeterminismTest, IdenticalAcrossThreadCountsTracingOn) {
   buffer << in.rdbuf();
   EXPECT_TRUE(obs::ValidateChromeTrace(buffer.str(), &error, nullptr))
       << error;
+}
+
+TEST_F(InstrumentedDeterminismTest, IdenticalWithAccessTelemetryOnVsOff) {
+  // Untracked baseline: no access sink installed, so every tap is the
+  // accounting-off branch.
+  ThreadPool pool1(1);
+  QdSessionStats baseline_stats;
+  const QdResult baseline = RunScriptedSession(&pool1, &baseline_stats);
+
+  // A live flight recorder sampling its own registry on a tight cadence
+  // runs concurrently with the accounted sessions: neither the TLS-batched
+  // access taps nor the recorder's background snapshots may perturb ranked
+  // results or the logical cost model.
+  obs::MetricsRegistry registry;
+  obs::FlightRecorder::Options recorder_options;
+  recorder_options.interval_ns = 1000ull * 1000;  // 1ms
+  obs::FlightRecorder recorder(recorder_options, &registry);
+  recorder.Start();
+
+  for (const std::size_t lanes : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(lanes);
+    obs::AccessAccumulator access;
+    QdSessionStats stats;
+    QdResult result;
+    {
+      const obs::ScopedAccessAccounting accounting(&access);
+      result = RunScriptedSession(&pool, &stats);
+    }
+    ExpectIdenticalResults(baseline, result);
+    ExpectIdenticalStats(baseline_stats, stats);
+
+    // The telemetry must actually have been on: the scripted session's
+    // localized searches record per-leaf scans with distance evals.
+    const std::vector<obs::LeafAccess> rows = access.Snapshot();
+    ASSERT_FALSE(rows.empty()) << "access accounting captured nothing";
+    obs::LeafAccessCounts totals;
+    for (const obs::LeafAccess& row : rows) totals.Add(row.counts);
+    EXPECT_GT(totals.scans, 0u);
+    EXPECT_GT(totals.distance_evals, 0u);
+  }
+
+  recorder.Stop();
+  EXPECT_GT(recorder.samples_taken(), 0u);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "qdcbir/core/thread_pool.h"
+#include "qdcbir/obs/access_stats.h"
 #include "qdcbir/obs/metrics.h"
 #include "qdcbir/obs/prom_export.h"
 
@@ -271,6 +272,45 @@ TEST(PromEscapingTest, HelpWithEdgeCaseBytesRendersAndValidates) {
   std::map<std::string, double> samples;
   ASSERT_TRUE(ValidatePrometheusText(text, &error, &samples)) << error;
   EXPECT_DOUBLE_EQ(samples["qdcbir_test_tricky"], 1.0);
+}
+
+TEST(PromExportTest, AccessAndHistoryFamiliesRenderAndValidate) {
+  // The /metrics surface for the index-access telemetry: label-free
+  // access.* and history.* rollups from the registry, plus the labeled
+  // per-leaf index.leaf.* families appended after them. The combined
+  // document must be one valid exposition.
+  MetricsRegistry registry;
+  registry.GetCounter("access.leaf.scans", "Leaf scans across sessions")
+      .Add(12);
+  registry
+      .GetCounter("access.leaf.distance_evals", "Distance evals in leaf scans")
+      .Add(400);
+  registry.GetCounter("access.cache.hits", "Leaf scans served from cache")
+      .Add(3);
+  registry.GetCounter("history.samples.taken", "Recorder samples").Add(9);
+  registry.GetGauge("index.tree.leaves", "RFS leaf count").Set(17);
+
+  std::vector<LeafAccess> rows;
+  rows.push_back({3, {5, 100, 800, 1, 4}});
+  rows.push_back({kTableScanLeaf, {2, 900, 7200, 0, 2}});
+  const std::string text =
+      RenderPrometheusText(registry) + RenderIndexLeafPrometheusText(rows, 8);
+
+  std::string error;
+  std::map<std::string, double> samples;
+  ASSERT_TRUE(ValidatePrometheusText(text, &error, &samples)) << error;
+  EXPECT_DOUBLE_EQ(samples["qdcbir_access_leaf_scans"], 12.0);
+  EXPECT_DOUBLE_EQ(samples["qdcbir_history_samples_taken"], 9.0);
+  EXPECT_DOUBLE_EQ(samples["qdcbir_index_tree_leaves"], 17.0);
+  EXPECT_NE(text.find("# TYPE qdcbir_access_leaf_scans counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP qdcbir_access_leaf_scans"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE qdcbir_index_leaf_scans counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("qdcbir_index_leaf_scans{leaf=\"3\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("qdcbir_index_leaf_scans{leaf=\"table\"} 2"),
+            std::string::npos);
 }
 
 TEST(HistogramBucketBoundsTest, UpperBoundsMatchBucketOf) {

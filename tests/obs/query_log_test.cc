@@ -11,10 +11,21 @@
 #include <vector>
 
 #include "qdcbir/core/thread_pool.h"
+#include "qdcbir/obs/metrics.h"
 #include "qdcbir/obs/query_log.h"
 
 namespace qdcbir {
 namespace obs {
+
+/// Befriended by QueryLog: pins a slot into the "write in progress" seqlock
+/// state so the collision drop path can be forced deterministically.
+class QueryLogTestPeer {
+ public:
+  static void MarkSlotInFlight(QueryLog& log, std::size_t slot) {
+    log.slots_[slot].version.store(1, std::memory_order_relaxed);
+  }
+};
+
 namespace {
 
 QueryAuditRecord MakeRecord(std::uint64_t tag) {
@@ -189,6 +200,31 @@ TEST(QueryLogTest, ConcurrentWritersAndReadersStayTornFree) {
     sequences.insert(record.sequence);
   }
   EXPECT_EQ(sequences.size(), records.size());  // no duplicate sequences
+}
+
+TEST(QueryLogTest, SlotCollisionDropsVisiblyAndTicksCounter) {
+  QueryLog log;
+  Counter& dropped_counter =
+      MetricsRegistry::Global().GetCounter("querylog.dropped");
+  const std::uint64_t counter_before = dropped_counter.Value();
+
+  // Sequence 0 targets slot 0; with the slot pinned "in flight" the writer
+  // must drop the record, tick both the ring's own drop count and the
+  // registry counter, and never tear the slot.
+  QueryLogTestPeer::MarkSlotInFlight(log, 0);
+  log.Record(MakeRecord(42));
+  EXPECT_EQ(log.dropped(), 1u);
+  EXPECT_EQ(log.total_recorded(), 1u);  // the sequence was still consumed
+  EXPECT_TRUE(log.Snapshot().empty());  // nothing stable was published
+  EXPECT_EQ(dropped_counter.Value(), counter_before + 1);
+  EXPECT_NE(log.RenderJson().find("\"dropped\":1"), std::string::npos);
+
+  // Sequence 1 targets slot 1, which is healthy: recording proceeds.
+  log.Record(MakeRecord(43));
+  EXPECT_EQ(log.dropped(), 1u);
+  const std::vector<QueryAuditRecord> records = log.Snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].seed, 43u);
 }
 
 TEST(QueryLogTest, GlobalIsASingleton) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "qdcbir/obs/metrics.h"
 #include "qdcbir/obs/span.h"
 #include "qdcbir/obs/trace_tree.h"
 #include "qdcbir/serve/json_mini.h"
@@ -133,6 +134,9 @@ TEST(TraceTreeTest, SpansRecordIntoBufferWithParentLinks) {
 }
 
 TEST(TraceTreeTest, BufferBoundsSpansAndCountsDrops) {
+  Counter& dropped_counter =
+      MetricsRegistry::Global().GetCounter("trace.spans.dropped");
+  const std::uint64_t counter_before = dropped_counter.Value();
   TraceBuffer buffer;
   for (std::size_t i = 0; i < TraceBuffer::kMaxSpans + 10; ++i) {
     SpanRecord record;
@@ -142,6 +146,21 @@ TEST(TraceTreeTest, BufferBoundsSpansAndCountsDrops) {
   }
   EXPECT_EQ(buffer.spans().size(), TraceBuffer::kMaxSpans);
   EXPECT_EQ(buffer.dropped(), 10u);
+  // The overflow is also process-visible: /metrics ticks per dropped span.
+  EXPECT_EQ(dropped_counter.Value(), counter_before + 10);
+}
+
+TEST(TraceTreeTest, BufferBoundsAnnotationsAndCountsDrops) {
+  Counter& dropped_counter =
+      MetricsRegistry::Global().GetCounter("trace.annotations.dropped");
+  const std::uint64_t counter_before = dropped_counter.Value();
+  TraceBuffer buffer;
+  const std::uint64_t span_id = buffer.NewSpanId();
+  for (std::size_t i = 0; i < TraceBuffer::kMaxSpans + 7; ++i) {
+    buffer.Annotate(span_id, "leaf", static_cast<std::int64_t>(i));
+  }
+  EXPECT_EQ(buffer.annotations().size(), TraceBuffer::kMaxSpans);
+  EXPECT_EQ(dropped_counter.Value(), counter_before + 7);
 }
 
 TEST(TraceTreeTest, StoreRendersTreeJsonWithSelfTimes) {

@@ -177,6 +177,8 @@ TEST_F(ServeAppTest, MissingSnapshotReachesFailedAndReadyzAnswers503) {
   // Query endpoints refuse with 503 too instead of touching the absent db.
   EXPECT_NE(Post(app.port(), "/api/query", "{}").find("503"),
             std::string::npos);
+  // So does the index introspection walk: no tree, no answer.
+  EXPECT_NE(Get(app.port(), "/indexz").find("503"), std::string::npos);
   app.Stop();
 }
 
@@ -858,6 +860,8 @@ TEST_F(ServeAppTest, EveryAdminRouteDeclaresItsContentType) {
       {"/metrics",
        {"/metrics", false, "text/plain; version=0.0.4; charset=utf-8"}},
       {"/queryz", {"/queryz", false, json}},
+      {"/indexz", {"/indexz", false, json}},
+      {"/historyz", {"/historyz", false, json}},
       {"/tracez", {"/tracez", false, json}},
       {"/logz", {"/logz", false, json}},
       {"/sloz", {"/sloz", false, json}},
@@ -1043,6 +1047,157 @@ TEST_F(ServeAppTest, WideEventsJoinSessionOutcomeQualityAndSloState) {
   EXPECT_NE(finalized.Find("slo_session_latency"), nullptr);
 
   EXPECT_EQ(by_label["wide-aband"]->Find("outcome")->string, "abandoned");
+}
+
+TEST_F(ServeAppTest, IndexzJoinsTreeWithLiveAccessStats) {
+  ThreadPool pool(4);
+  ServeOptions options;
+  options.db_path = *db_path_;
+  options.pool = &pool;
+  options.trace_sample_every = 0;
+  options.cache_mb = 0;  // cache off: both sessions must touch the index
+  options.slow_trace_ms = 0.0;      // every finalize samples the recorder
+  options.history_interval_ms = 0;  // background cadence off: deterministic
+  ServeApp app(std::move(options));
+  std::string error;
+  ASSERT_TRUE(app.Start(&error)) << error;
+  ASSERT_TRUE(app.WaitUntilReady(30000)) << app.load_error();
+
+  EXPECT_NE(Get(app.port(), "/indexz?n=0").find("400"), std::string::npos);
+  EXPECT_NE(Get(app.port(), "/indexz?n=abc").find("400"), std::string::npos);
+
+  // Before any session: the tree geometry is full, the access join empty.
+  StatusOr<JsonValue> cold = ParseJson(BodyOf(Get(app.port(), "/indexz")));
+  ASSERT_TRUE(cold.ok());
+  const JsonValue* tree = cold->Find("tree");
+  ASSERT_NE(tree, nullptr);
+  EXPECT_GT(tree->U64Field("leaves", 0), 1u);
+  EXPECT_EQ(tree->U64Field("images", 0), 300u);
+  const JsonValue* cold_access = cold->Find("access");
+  ASSERT_NE(cold_access, nullptr);
+  EXPECT_EQ(cold_access->U64Field("sessions", 1), 0u);
+
+  RunScriptedHttpSession(app.port(), "indexz-a");
+  RunScriptedHttpSession(app.port(), "indexz-b");
+
+  StatusOr<JsonValue> warm = ParseJson(BodyOf(Get(app.port(), "/indexz")));
+  ASSERT_TRUE(warm.ok());
+  const JsonValue* access = warm->Find("access");
+  ASSERT_NE(access, nullptr);
+  EXPECT_GE(access->U64Field("sessions", 0), 2u);
+  const JsonValue* totals = access->Find("totals");
+  ASSERT_NE(totals, nullptr);
+  EXPECT_GT(totals->U64Field("scans", 0), 0u);
+  EXPECT_GT(totals->U64Field("distance_evals", 0), 0u);
+  const JsonValue* hot = access->Find("hot_leaves");
+  ASSERT_NE(hot, nullptr);
+  ASSERT_FALSE(hot->items.empty());
+  EXPECT_GT(hot->items[0].U64Field("scans", 0), 0u);
+  const JsonValue* skew = access->Find("skew");
+  ASSERT_NE(skew, nullptr);
+  EXPECT_GT(skew->U64Field("top_share_permille", 0), 0u);
+
+  // Each scripted session localizes several subqueries, so the sessions'
+  // touched-leaf sets produce at least one co-access pair.
+  const JsonValue* coaccess = warm->Find("coaccess");
+  ASSERT_NE(coaccess, nullptr);
+  EXPECT_GE(coaccess->U64Field("sets", 0), 2u);
+  const JsonValue* pairs = coaccess->Find("pairs");
+  ASSERT_NE(pairs, nullptr);
+  ASSERT_FALSE(pairs->items.empty());
+  EXPECT_GT(pairs->items[0].U64Field("count", 0), 0u);
+
+  // ?n= caps the hot-leaf and pair tables.
+  StatusOr<JsonValue> capped =
+      ParseJson(BodyOf(Get(app.port(), "/indexz?n=1")));
+  ASSERT_TRUE(capped.ok());
+  EXPECT_LE(capped->Find("access")->Find("hot_leaves")->items.size(), 1u);
+  EXPECT_LE(capped->Find("coaccess")->Find("pairs")->items.size(), 1u);
+
+  // /metrics carries both the label-free rollup and the per-leaf heatmap.
+  const std::string metrics = BodyOf(Get(app.port(), "/metrics"));
+  std::string prom_error;
+  std::map<std::string, double> samples;
+  ASSERT_TRUE(obs::ValidatePrometheusText(metrics, &prom_error, &samples))
+      << prom_error;
+  EXPECT_GE(samples["qdcbir_access_leaf_scans"], 1.0);
+  EXPECT_GE(samples["qdcbir_index_tree_leaves"], 2.0);
+  EXPECT_NE(metrics.find("qdcbir_index_leaf_scans{leaf=\""),
+            std::string::npos);
+
+  // /statusz links both new surfaces.
+  const std::string statusz = BodyOf(Get(app.port(), "/statusz"));
+  EXPECT_NE(statusz.find("/indexz"), std::string::npos);
+  EXPECT_NE(statusz.find("/historyz"), std::string::npos);
+  app.Stop();
+}
+
+TEST_F(ServeAppTest, HistoryzServesMonotoneSessionSeries) {
+  ThreadPool pool(4);
+  ServeOptions options;
+  options.db_path = *db_path_;
+  options.pool = &pool;
+  options.trace_sample_every = 0;
+  options.slow_trace_ms = 0.0;      // threshold 0: every session samples
+  options.history_interval_ms = 0;  // only event-driven samples
+  ServeApp app(std::move(options));
+  std::string error;
+  ASSERT_TRUE(app.Start(&error)) << error;
+  ASSERT_TRUE(app.WaitUntilReady(30000)) << app.load_error();
+
+  EXPECT_NE(Get(app.port(), "/historyz?window=-1").find("400"),
+            std::string::npos);
+
+  RunScriptedHttpSession(app.port(), "history-a");
+  RunScriptedHttpSession(app.port(), "history-b");
+
+  const std::string body =
+      BodyOf(Get(app.port(), "/historyz?metric=qd.sessions"));
+  StatusOr<JsonValue> history = ParseJson(body);
+  ASSERT_TRUE(history.ok()) << body;
+  EXPECT_EQ(history->Find("metric")->string, "qd.sessions");
+  ASSERT_NE(history->Find("known"), nullptr);
+  EXPECT_TRUE(history->Find("known")->boolean) << body;
+  EXPECT_EQ(history->Find("type")->string, "counter");
+
+  // Two slow-trace captures → two samples; the series must be strictly
+  // ordered in time and monotone in value with non-negative deltas.
+  const JsonValue* points = history->Find("points");
+  ASSERT_NE(points, nullptr);
+  ASSERT_GE(points->items.size(), 2u);
+  std::uint64_t prev_t = 0;
+  double prev_value = -1.0;
+  for (const JsonValue& point : points->items) {
+    const std::uint64_t t = point.U64Field("t_ns", 0);
+    EXPECT_GT(t, prev_t);
+    prev_t = t;
+    const double value = point.Find("value")->number;
+    EXPECT_GE(value, prev_value);
+    prev_value = value;
+    EXPECT_GE(point.Find("delta")->number, 0.0);
+    EXPECT_GE(point.Find("rate")->number, 0.0);
+  }
+  EXPECT_GE(prev_value, 2.0);  // both sessions were counted
+
+  // The slow-trace hook pinned each session's trace id as an event mark.
+  const JsonValue* events = history->Find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_GE(events->items.size(), 2u);
+  EXPECT_EQ(events->items[0].Find("label")->string.size(), 32u);
+
+  // Unknown metric: known:false plus the series directory.
+  StatusOr<JsonValue> unknown =
+      ParseJson(BodyOf(Get(app.port(), "/historyz?metric=no.such")));
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_FALSE(unknown->Find("known")->boolean);
+  const JsonValue* series = unknown->Find("series");
+  ASSERT_NE(series, nullptr);
+  bool lists_sessions = false;
+  for (const JsonValue& name : series->items) {
+    if (name.string == "qd.sessions") lists_sessions = true;
+  }
+  EXPECT_TRUE(lists_sessions);
+  app.Stop();
 }
 
 }  // namespace

@@ -31,6 +31,15 @@
 //       Inspect a snapshot's chunk table and checksums; --verify=1 fully
 //       loads it (non-zero exit on any corruption). The chaos flags damage
 //       the file in place so CI can prove corruption cannot pass --verify.
+//   qdcbir_tool snapshot inspect --db=db.bin [--rfs=rfs.bin]
+//       Chunk table plus the RFS tree-shape digest (height, fanout, leaf
+//       occupancy) — the same walk `GET /indexz` serves live. --rfs reads a
+//       standalone tree; default recovers the snapshot's embedded one.
+//   qdcbir_tool indexz --db=db.bin [--rfs=rfs.bin] [--out=indexz.json]
+//                      [--hot=16]
+//       Offline /indexz dump: the RFS tree geometry as JSON (access
+//       counters all zero — no server ran). --hot sizes the hot-leaf and
+//       co-access tables, for symmetry with the live endpoint's ?n=.
 //   qdcbir_tool serve  --db=db.bin [--rfs=rfs.bin] [--address=127.0.0.1]
 //                      [--port=0] [--port-file=PATH] [--threads=N]
 //                      [--max-seconds=0] [--profile-hz=0] [--cache-mb=64]
@@ -415,7 +424,24 @@ int CmdExportReps(int argc, char** argv) {
   return 0;
 }
 
+/// Loads the RFS tree (standalone `rfs_path`, or the snapshot's embedded
+/// blob when empty) and prints the tree-shape digest shared with /indexz.
+int PrintTreeShape(const std::string& db_path, const std::string& rfs_path) {
+  StatusOr<RfsTree> rfs = Status::Internal("rfs load not run");
+  if (!rfs_path.empty()) {
+    rfs = RfsSerializer::LoadFromFile(rfs_path);
+  } else {
+    StatusOr<std::string> blob = DatabaseIo::LoadEmbeddedRfsBlob(db_path);
+    if (!blob.ok()) return Fail(blob.status());
+    rfs = RfsSerializer::Deserialize(*blob);
+  }
+  if (!rfs.ok()) return Fail(rfs.status());
+  std::printf("%s", RenderIndexTreeText(SummarizeIndexTree(*rfs)).c_str());
+  return 0;
+}
+
 int CmdSnapshot(int argc, char** argv) {
+  const bool inspect = argc > 2 && std::strcmp(argv[2], "inspect") == 0;
   const std::string db_path = Flag(argc, argv, "db", "db.bin");
   const std::int64_t flip = IntFlag(argc, argv, "flip-bit", -1);
   const std::int64_t truncate = IntFlag(argc, argv, "truncate", -1);
@@ -485,7 +511,8 @@ int CmdSnapshot(int argc, char** argv) {
   if (info->version == 1) {
     std::printf("  legacy monolithic blob (no per-chunk checksums); "
                 "re-save to upgrade\n");
-    return 0;
+    return inspect ? PrintTreeShape(db_path, Flag(argc, argv, "rfs", ""))
+                   : 0;
   }
   std::printf("  %-6s %12s %12s %10s  %s\n", "chunk", "offset", "length",
               "crc32c", "ok");
@@ -501,6 +528,45 @@ int CmdSnapshot(int argc, char** argv) {
     std::fprintf(stderr, "snapshot has corrupt chunks\n");
     return 1;
   }
+  if (inspect) return PrintTreeShape(db_path, Flag(argc, argv, "rfs", ""));
+  return 0;
+}
+
+int CmdIndexz(int argc, char** argv) {
+  const std::string db_path = Flag(argc, argv, "db", "db.bin");
+  const std::string rfs_path = Flag(argc, argv, "rfs", "");
+  const std::string out_path = Flag(argc, argv, "out", "");
+  const std::size_t hot_n =
+      static_cast<std::size_t>(IntFlag(argc, argv, "hot", 16));
+
+  StatusOr<RfsTree> rfs = Status::Internal("rfs load not run");
+  if (!rfs_path.empty()) {
+    rfs = RfsSerializer::LoadFromFile(rfs_path);
+  } else {
+    StatusOr<std::string> blob = DatabaseIo::LoadEmbeddedRfsBlob(db_path);
+    if (!blob.ok()) return Fail(blob.status());
+    rfs = RfsSerializer::Deserialize(*blob);
+  }
+  if (!rfs.ok()) return Fail(rfs.status());
+
+  const IndexTreeSummary summary = SummarizeIndexTree(*rfs);
+  // Offline dump: default join → the document keeps its live shape but
+  // reports zero access everywhere (no server ran).
+  const std::string json =
+      RenderIndexzJson(summary, IndexAccessJoin{}, hot_n) + "\n";
+  if (out_path.empty()) {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+  } else {
+    std::ofstream out(out_path, std::ios::binary);
+    out << json;
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote indexz document to %s\n", out_path.c_str());
+  }
+  std::fprintf(stderr, "%s",
+               RenderIndexTreeText(summary).c_str());
   return 0;
 }
 
@@ -727,6 +793,9 @@ int CmdServe(int argc, char** argv) {
   options.slo_jaccard_floor_permille = static_cast<std::uint64_t>(
       IntFlag(argc, argv, "slo-jaccard-floor",
               static_cast<std::int64_t>(options.slo_jaccard_floor_permille)));
+  options.history_interval_ms = static_cast<std::uint64_t>(
+      IntFlag(argc, argv, "history-interval-ms",
+              static_cast<std::int64_t>(options.history_interval_ms)));
   for (int i = 2; i < argc; ++i) {
     // Bare --profile-hz (no value) means "on at the low background rate".
     if (std::strcmp(argv[i], "--profile-hz") == 0) {
@@ -781,14 +850,20 @@ int Usage() {
   std::fprintf(stderr,
                "usage: qdcbir_tool "
                "<synth|rfs|info|query|render|catalog|export-reps|snapshot"
-               "|serve|profile|events> [--flags]\n"
+               "|indexz|serve|profile|events> [--flags]\n"
                "snapshot flags: --db=<path> [--verify=1] [--threads=N]\n"
                "                [--flip-bit=OFFSET] [--truncate=BYTES]  "
                "(chaos helpers: corrupt in place)\n"
+               "                qdcbir_tool snapshot inspect adds the RFS "
+               "tree-shape digest ([--rfs=<path>])\n"
+               "indexz flags:   --db=<path> [--rfs=<path>] "
+               "[--out=<json>] [--hot=16]  (offline /indexz dump)\n"
                "serve flags:    --db=<path> [--rfs=<path>] [--port=0]\n"
                "                [--port-file=<path>] [--max-seconds=0]\n"
                "                [--trace-sample-every=8] "
                "[--slow-trace-ms=250] [--profile-hz=0]\n"
+               "                [--history-interval-ms=1000]  "
+               "(flight-recorder cadence behind /historyz; 0 disables)\n"
                "                [--wide-events=<jsonl>] "
                "[--wide-events-max-mb=64]\n"
                "                [--slo-latency-ms=2000] "
@@ -819,6 +894,7 @@ int Dispatch(int argc, char** argv, const std::string& command) {
   if (command == "catalog") return CmdCatalog(argc, argv);
   if (command == "export-reps") return CmdExportReps(argc, argv);
   if (command == "snapshot") return CmdSnapshot(argc, argv);
+  if (command == "indexz") return CmdIndexz(argc, argv);
   if (command == "serve") return CmdServe(argc, argv);
   if (command == "profile") return CmdProfile(argc, argv);
   if (command == "events") return CmdEvents(argc, argv);

@@ -37,6 +37,24 @@
 // Each --require-slo fails unless the named SLO reports exactly the given
 // state (ok, warn, or breach).
 //
+// Index-access gates read a /indexz scrape:
+//
+//   --indexz=<indexz.json> [--require-leaf-scans=N]
+//           [--require-coaccess-pairs=N]
+//
+// The document must carry the tree/leaves/access/coaccess sections.
+// --require-leaf-scans gates the access totals' scan count (table-scan
+// bucket excluded), --require-coaccess-pairs the number of reported
+// co-access pairs.
+//
+// Flight-recorder gates read a /historyz scrape:
+//
+//   --historyz=<historyz.json> [--require-history-metric=<name>]
+//
+// The metric must be known to the recorder with at least one point, every
+// point's delta non-negative, and each delta consistent with the sampled
+// values (cur - prev, or cur across a counter reset).
+//
 //   trace_check --profile=<profile.collapsed>
 //               [--require-profile-samples=N]
 //               [--require-profile-span=<prefix>[:min]]...
@@ -141,7 +159,13 @@ bool CheckRequiredMetric(const std::string& spec,
     min_value = std::strtod(spec.c_str() + colon + 1, nullptr);
     has_min = true;
   }
-  const auto it = samples.find(name);
+  auto it = samples.find(name);
+  if (it == samples.end()) {
+    // Dotted registry names are accepted against exposition samples too:
+    // access.leaf.scans matches qdcbir_access_leaf_scans, so CI specs stay
+    // the same whether they gate the JSON snapshot or the prom scrape.
+    it = samples.find(qdcbir::obs::PrometheusName(name));
+  }
   if (it == samples.end()) {
     std::fprintf(stderr, "required metric missing from %s: %s\n", source,
                  name.c_str());
@@ -330,6 +354,157 @@ bool ParseCollapsed(const std::string& text,
   return true;
 }
 
+/// Numeric value following `"key":` at or after `from`, or -1 when absent.
+/// The /indexz and /historyz documents use plain identifier keys, so a
+/// linear scan is sufficient.
+double JsonNumberAfter(const std::string& json, const std::string& key,
+                       std::size_t from, std::size_t* value_end = nullptr) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = json.find(needle, from);
+  if (at == std::string::npos) return -1.0;
+  char* end = nullptr;
+  const char* begin = json.c_str() + at + needle.size();
+  const double value = std::strtod(begin, &end);
+  if (end == begin) return -1.0;
+  if (value_end != nullptr) {
+    *value_end = static_cast<std::size_t>(end - json.c_str());
+  }
+  return value;
+}
+
+/// Validates a /indexz scrape and its optional gates: the structural
+/// sections, a minimum on the access totals' scan count, and a minimum on
+/// the co-access pair count.
+bool CheckIndexz(const std::string& json, const std::string& path,
+                 const std::string& min_scans_spec,
+                 const std::string& min_pairs_spec) {
+  for (const char* section :
+       {"\"tree\"", "\"leaves\"", "\"access\"", "\"coaccess\""}) {
+    if (json.find(section) == std::string::npos) {
+      std::fprintf(stderr, "indexz file %s missing section %s\n",
+                   path.c_str(), section);
+      return false;
+    }
+  }
+  // The access rollup's totals live after the "access" key (the per-leaf
+  // rows under "leaves" carry their own nested "access" objects, so anchor
+  // on the section that has "sessions" and "totals").
+  const std::size_t access_at = json.find("\"access\":{\"sessions\"");
+  if (access_at == std::string::npos) {
+    std::fprintf(stderr, "indexz file %s carries no access rollup\n",
+                 path.c_str());
+    return false;
+  }
+  const double total_scans = JsonNumberAfter(json, "scans", access_at);
+  std::size_t pairs_at = json.find("\"pairs\":[", access_at);
+  std::size_t pair_count = 0;
+  if (pairs_at != std::string::npos) {
+    const std::size_t close = json.find(']', pairs_at);
+    for (std::size_t i = pairs_at; i < close && i != std::string::npos; ++i) {
+      if (json[i] == '{') ++pair_count;
+    }
+  }
+  std::printf("indexz ok: %s (%g leaf scans, %zu co-access pairs)\n",
+              path.c_str(), total_scans < 0 ? 0.0 : total_scans, pair_count);
+  if (!min_scans_spec.empty()) {
+    const double min_scans = std::strtod(min_scans_spec.c_str(), nullptr);
+    if (total_scans < min_scans) {
+      std::fprintf(stderr, "indexz leaf scans %g below required %g\n",
+                   total_scans, min_scans);
+      return false;
+    }
+    std::printf("  leaf scans %g (>= %g)\n", total_scans, min_scans);
+  }
+  if (!min_pairs_spec.empty()) {
+    const std::size_t min_pairs = static_cast<std::size_t>(
+        std::strtoull(min_pairs_spec.c_str(), nullptr, 10));
+    if (pair_count < min_pairs) {
+      std::fprintf(stderr, "indexz co-access pairs %zu below required %zu\n",
+                   pair_count, min_pairs);
+      return false;
+    }
+    std::printf("  co-access pairs %zu (>= %zu)\n", pair_count, min_pairs);
+  }
+  return true;
+}
+
+/// Validates a /historyz scrape: when `metric` is given the document must
+/// be for that metric and `"known":true` with at least one point; in every
+/// case each point's delta must be non-negative and consistent with the
+/// sampled values (cur - prev, or cur across a counter reset), and the
+/// timestamps strictly increasing.
+bool CheckHistoryz(const std::string& json, const std::string& path,
+                   const std::string& metric) {
+  if (!metric.empty()) {
+    if (json.find("\"metric\":\"" + metric + "\"") == std::string::npos) {
+      std::fprintf(stderr, "historyz file %s is not for metric %s\n",
+                   path.c_str(), metric.c_str());
+      return false;
+    }
+    if (json.find("\"known\":true") == std::string::npos) {
+      std::fprintf(stderr, "historyz metric %s unknown to the recorder\n",
+                   metric.c_str());
+      return false;
+    }
+  }
+  const std::size_t points_at = json.find("\"points\":[");
+  if (points_at == std::string::npos) {
+    std::fprintf(stderr, "historyz file %s carries no points array\n",
+                 path.c_str());
+    return false;
+  }
+  const bool is_counter =
+      json.find("\"type\":\"counter\"") != std::string::npos;
+  std::size_t pos = points_at;
+  const std::size_t points_end = json.find(']', points_at);
+  std::size_t count = 0;
+  double prev_t = -1.0;
+  double prev_value = 0.0;
+  while (true) {
+    const std::size_t point_at = json.find("{\"t_ns\":", pos);
+    if (point_at == std::string::npos || point_at > points_end) break;
+    std::size_t after = point_at;
+    const double t_ns = JsonNumberAfter(json, "t_ns", point_at, &after);
+    const double value = JsonNumberAfter(json, "value", after, &after);
+    const double delta = JsonNumberAfter(json, "delta", after, &after);
+    if (t_ns <= prev_t) {
+      std::fprintf(stderr, "historyz point %zu: t_ns not increasing\n",
+                   count);
+      return false;
+    }
+    if (is_counter && delta < 0.0) {
+      std::fprintf(stderr, "historyz point %zu: negative delta %g\n", count,
+                   delta);
+      return false;
+    }
+    if (count > 0 && is_counter) {
+      // Reset-aware consistency: the delta is either the plain difference
+      // or, when the counter went backwards, the new value itself.
+      const double diff = value - prev_value;
+      const double expected = diff >= 0.0 ? diff : value;
+      if (delta > expected + 1e-6 || delta < expected - 1e-6) {
+        std::fprintf(stderr,
+                     "historyz point %zu: delta %g inconsistent with "
+                     "values %g -> %g\n",
+                     count, delta, prev_value, value);
+        return false;
+      }
+    }
+    prev_t = t_ns;
+    prev_value = value;
+    ++count;
+    pos = after;
+  }
+  if (!metric.empty() && count == 0) {
+    std::fprintf(stderr, "historyz metric %s has no points\n",
+                 metric.c_str());
+    return false;
+  }
+  std::printf("historyz ok: %s (%zu points%s)\n", path.c_str(), count,
+              metric.empty() ? "" : (", metric " + metric).c_str());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -350,8 +525,17 @@ int main(int argc, char** argv) {
   const std::string sloz_path = Flag(argc, argv, "sloz");
   const std::vector<std::string> required_slos =
       FlagList(argc, argv, "require-slo");
+  const std::string indexz_path = Flag(argc, argv, "indexz");
+  const std::string required_leaf_scans =
+      Flag(argc, argv, "require-leaf-scans");
+  const std::string required_coaccess_pairs =
+      Flag(argc, argv, "require-coaccess-pairs");
+  const std::string historyz_path = Flag(argc, argv, "historyz");
+  const std::string required_history_metric =
+      Flag(argc, argv, "require-history-metric");
   if (trace_path.empty() && metrics_path.empty() && prom_path.empty() &&
-      profile_path.empty() && sloz_path.empty()) {
+      profile_path.empty() && sloz_path.empty() && indexz_path.empty() &&
+      historyz_path.empty()) {
     std::fprintf(stderr,
                  "usage: trace_check --trace=<file>"
                  " [--require-span=<name>[:min_count]]\n"
@@ -364,7 +548,24 @@ int main(int argc, char** argv) {
                  "                   [--profile=<collapsed file>]"
                  " [--require-profile-samples=N]\n"
                  "                   "
-                 "[--require-profile-span=<prefix>[:min]]\n");
+                 "[--require-profile-span=<prefix>[:min]]\n"
+                 "                   [--indexz=<file>]"
+                 " [--require-leaf-scans=N]"
+                 " [--require-coaccess-pairs=N]\n"
+                 "                   [--historyz=<file>]"
+                 " [--require-history-metric=<name>]\n");
+    return 1;
+  }
+  if ((!required_leaf_scans.empty() || !required_coaccess_pairs.empty()) &&
+      indexz_path.empty()) {
+    std::fprintf(stderr,
+                 "--require-leaf-scans/--require-coaccess-pairs need "
+                 "--indexz=<file>\n");
+    return 1;
+  }
+  if (!required_history_metric.empty() && historyz_path.empty()) {
+    std::fprintf(stderr,
+                 "--require-history-metric needs --historyz=<file>\n");
     return 1;
   }
   if (!required_metrics.empty() && prom_path.empty() &&
@@ -501,6 +702,31 @@ int main(int argc, char** argv) {
     std::printf("sloz ok: %s (%zu bytes)\n", sloz_path.c_str(), sloz.size());
     for (const std::string& spec : required_slos) {
       if (!CheckRequiredSlo(spec, sloz)) return 1;
+    }
+  }
+
+  if (!indexz_path.empty()) {
+    std::string json;
+    if (!ReadFile(indexz_path, &json)) {
+      std::fprintf(stderr, "cannot read indexz file: %s\n",
+                   indexz_path.c_str());
+      return 1;
+    }
+    if (!CheckIndexz(json, indexz_path, required_leaf_scans,
+                     required_coaccess_pairs)) {
+      return 1;
+    }
+  }
+
+  if (!historyz_path.empty()) {
+    std::string json;
+    if (!ReadFile(historyz_path, &json)) {
+      std::fprintf(stderr, "cannot read historyz file: %s\n",
+                   historyz_path.c_str());
+      return 1;
+    }
+    if (!CheckHistoryz(json, historyz_path, required_history_metric)) {
+      return 1;
     }
   }
 
